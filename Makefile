@@ -1,0 +1,41 @@
+# PXML-Go build targets. Everything is stdlib Go; `go` is the only tool.
+
+GO ?= go
+
+.PHONY: all build test test-short bench fig7 fuzz vet cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the binary-driving integration tests and large smoke tests.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce the paper's Figure 7 panels into results/.
+fig7:
+	$(GO) run ./cmd/pxmlbench -panel a -instances 2 -queries 4 -csv results/fig7a.csv | tee results/fig7a.txt
+	$(GO) run ./cmd/pxmlbench -panel b -instances 2 -queries 4 -csv results/fig7b.csv | tee results/fig7b.txt
+	$(GO) run ./cmd/pxmlbench -panel c -instances 2 -queries 4 -csv results/fig7c.csv | tee results/fig7c.txt
+
+# Short fuzz passes over the codecs and the path-expression parser.
+fuzz:
+	$(GO) test ./internal/codec -fuzz FuzzDecodeText -fuzztime 30s
+	$(GO) test ./internal/codec -fuzz FuzzDecodeJSON -fuzztime 30s
+	$(GO) test ./internal/pathexpr -fuzz FuzzParse -fuzztime 30s
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,168 @@
+package pxml
+
+import (
+	"fmt"
+
+	"pxml/internal/core"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+)
+
+// Builder assembles a probabilistic instance fluently, deferring error
+// handling to Build. Every method returns the receiver; the first error
+// encountered is remembered and reported by Build, which also validates
+// the finished instance.
+type Builder struct {
+	pi  *core.ProbInstance
+	err error
+}
+
+// NewBuilder starts a probabilistic instance rooted at root.
+func NewBuilder(root string) *Builder {
+	return &Builder{pi: core.NewProbInstance(root)}
+}
+
+// fail records the first error.
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil && err != nil {
+		b.err = err
+	}
+	return b
+}
+
+// Type registers a leaf type with the given domain.
+func (b *Builder) Type(name string, domain ...string) *Builder {
+	return b.fail(b.pi.RegisterType(NewType(name, domain...)))
+}
+
+// Children declares lch(o, label) = kids.
+func (b *Builder) Children(o, label string, kids ...string) *Builder {
+	if len(kids) == 0 {
+		return b.fail(fmt.Errorf("pxml: Children(%s, %s) needs at least one child", o, label))
+	}
+	b.pi.SetLCh(o, label, kids...)
+	return b
+}
+
+// Card sets card(o, label) = [min, max].
+func (b *Builder) Card(o, label string, min, max int) *Builder {
+	b.pi.SetCard(o, label, min, max)
+	return b
+}
+
+// OPFEntry is one (probability, child set) pair for Builder.OPF.
+type OPFEntry struct {
+	P    float64
+	Kids []string
+}
+
+// Entry builds an OPFEntry.
+func Entry(p float64, kids ...string) OPFEntry { return OPFEntry{P: p, Kids: kids} }
+
+// OPF assigns ℘(o) from explicit entries.
+func (b *Builder) OPF(o string, entries ...OPFEntry) *Builder {
+	w := prob.NewOPF()
+	for _, e := range entries {
+		w.Add(sets.NewSet(e.Kids...), e.P)
+	}
+	b.pi.SetOPF(o, w)
+	return b
+}
+
+// IndependentOPF assigns ℘(o) from independent per-child probabilities
+// (the compact ProTDB-style form), expanded to the explicit table.
+func (b *Builder) IndependentOPF(o string, probs map[string]float64) *Builder {
+	iw := prob.NewIndependentOPF()
+	for c, p := range probs {
+		iw.Put(c, p)
+	}
+	if err := iw.Validate(); err != nil {
+		return b.fail(err)
+	}
+	w, err := iw.Expand()
+	if err != nil {
+		return b.fail(err)
+	}
+	b.pi.SetOPF(o, w)
+	return b
+}
+
+// SymRow is one row of a symmetric OPF table: the probability of drawing
+// Counts[i] children from the i-th indistinguishability group.
+type SymRow struct {
+	P      float64
+	Counts []int
+}
+
+// SymEntry builds a SymRow.
+func SymEntry(p float64, counts ...int) SymRow { return SymRow{P: p, Counts: counts} }
+
+// SymmetricOPF assigns ℘(o) from a count-vector table over groups of
+// indistinguishable children (the Section 3.2 vehicle example), expanded
+// to the explicit form.
+func (b *Builder) SymmetricOPF(o string, groups [][]string, rows ...SymRow) *Builder {
+	w, err := prob.NewSymmetricOPF(groups...)
+	if err != nil {
+		return b.fail(err)
+	}
+	for _, row := range rows {
+		if err := w.Put(row.Counts, row.P); err != nil {
+			return b.fail(err)
+		}
+	}
+	ex, err := w.Expand()
+	if err != nil {
+		return b.fail(err)
+	}
+	b.pi.SetOPF(o, ex)
+	return b
+}
+
+// Leaf assigns τ(o) = typeName (the type must have been registered).
+func (b *Builder) Leaf(o, typeName string) *Builder {
+	return b.fail(b.pi.SetLeafType(o, typeName))
+}
+
+// LeafValue assigns τ(o) and a certain value: a point-mass VPF plus the
+// Definition 3.4 default value.
+func (b *Builder) LeafValue(o, typeName, value string) *Builder {
+	if err := b.pi.SetLeafType(o, typeName); err != nil {
+		return b.fail(err)
+	}
+	if err := b.pi.SetDefaultValue(o, value); err != nil {
+		return b.fail(err)
+	}
+	b.pi.SetVPF(o, prob.PointMass(value))
+	return b
+}
+
+// VPF assigns ℘(o) for a typed leaf from a value→probability map.
+func (b *Builder) VPF(o string, dist map[string]float64) *Builder {
+	v := prob.NewVPF()
+	for val, p := range dist {
+		v.Put(val, p)
+	}
+	b.pi.SetVPF(o, v)
+	return b
+}
+
+// Build validates and returns the instance. The builder must not be
+// reused afterwards.
+func (b *Builder) Build() (*ProbInstance, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.pi.Validate(); err != nil {
+		return nil, err
+	}
+	return b.pi, nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixtures.
+func (b *Builder) MustBuild() *ProbInstance {
+	pi, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return pi
+}

@@ -1,0 +1,88 @@
+// pxmld serves a catalog of probabilistic instances over HTTP — a small
+// probabilistic semistructured database daemon. Instances can be uploaded,
+// fetched, visualized and queried with pxql statements; instance-valued
+// query results can be stored back into the catalog.
+//
+//	pxmld -addr :8080
+//	pxmld -addr :8080 -load bib=inst.pxml -load web=crawl.json
+//
+// Endpoints (see internal/server):
+//
+//	GET    /instances
+//	PUT    /instances/{name}
+//	GET    /instances/{name}
+//	DELETE /instances/{name}
+//	GET    /instances/{name}/dot
+//	POST   /instances/{name}/query[?store=name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"pxml"
+	"pxml/internal/server"
+)
+
+// loadFlags collects repeated -load name=file flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	dataDir := flag.String("datadir", "", "persist the catalog to this directory (instances survive restarts)")
+	var loads loadFlags
+	flag.Var(&loads, "load", "preload an instance: name=file (repeatable)")
+	flag.Parse()
+
+	var srv *server.Server
+	if *dataDir != "" {
+		var err error
+		srv, err = server.NewPersistent(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "catalog persisted in %s (%d instances loaded)\n", *dataDir, len(srv.Names()))
+	} else {
+		srv = server.New()
+	}
+	for _, spec := range loads {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -load %q (want name=file)", spec))
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			fatal(err)
+		}
+		var pi *pxml.ProbInstance
+		if strings.HasSuffix(file, ".json") {
+			pi, err = pxml.DecodeJSON(f)
+		} else {
+			pi, err = pxml.DecodeText(f)
+		}
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("loading %s: %w", file, err))
+		}
+		srv.Put(name, pi)
+		fmt.Fprintf(os.Stderr, "loaded %s from %s (%d objects)\n", name, file, pi.NumObjects())
+	}
+	fmt.Fprintf(os.Stderr, "pxmld listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxmld:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// pxmlgen generates random probabilistic instances following the PXML
+// paper's Section 7.1 experimental design (balanced trees, SL/FR labeling,
+// no cardinality constraints, random local probability tables) and writes
+// them in either the text or JSON encoding.
+//
+// Usage:
+//
+//	pxmlgen -depth 5 -branch 4 -labeling FR -seed 7 -o inst.pxml
+//	pxmlgen -depth 3 -branch 2 -format json -o inst.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pxml"
+)
+
+func main() {
+	depth := flag.Int("depth", 3, "tree depth (levels below the root); the paper sweeps 3-9")
+	branch := flag.Int("branch", 2, "branching factor; the paper sweeps 2-8")
+	labeling := flag.String("labeling", "SL", "edge labeling scheme: SL (same label per parent) or FR (fully random)")
+	labels := flag.Int("labels", 2, "label alphabet size per level")
+	leafDomain := flag.Int("leafdomain", 2, "leaf value domain size (0 = untyped leaves)")
+	seed := flag.Int64("seed", 1, "random seed (generation is deterministic per seed)")
+	format := flag.String("format", "text", "output format: text or json")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w, err := pxml.GenerateWorkload(pxml.GenConfig{
+		Depth:          *depth,
+		Branch:         *branch,
+		Labeling:       pxml.Labeling(*labeling),
+		LabelsPerLevel: *labels,
+		LeafDomainSize: *leafDomain,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "text":
+		err = pxml.EncodeText(dst, w.PI)
+	case "json":
+		err = pxml.EncodeJSON(dst, w.PI)
+	default:
+		err = fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	st := w.PI.ComputeStats()
+	fmt.Fprintf(os.Stderr, "generated %d objects, %d edges, %d OPF entries, depth %d\n",
+		st.Objects, st.Edges, st.OPFEntries, st.Depth)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxmlgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,256 @@
+// pxmlquery runs PXML algebra operations and probabilistic queries over an
+// instance file.
+//
+// Operations (-op):
+//
+//	project   ancestor projection Λ_p; writes the resulting instance
+//	single    single projection (root + matched objects)
+//	descend   descendant projection (matched objects + their substructure)
+//	select    selection σ(p = o); writes the conditioned instance and
+//	          prints the condition probability
+//	selectval selection σ(val(p) = v)
+//	point     P(o ∈ p) — probabilistic point query
+//	exists    P(∃o. o ∈ p)
+//	valexists P(∃ leaf o ∈ p with val(o) = v)
+//	probex    P(o exists) via Bayesian-network inference (works on DAGs)
+//	marginals P(o exists) for every object (one pass; tree instances)
+//	worlds    enumerate the possible worlds with probabilities
+//	topk      the N most probable worlds (best-first; no full enumeration)
+//	count     distribution of the number of objects satisfying -path
+//
+// Examples:
+//
+//	pxmlquery -op project -path R.book.author -o out.pxml inst.pxml
+//	pxmlquery -op select  -path R.book -object B1 inst.pxml
+//	pxmlquery -op point   -path R.book.author -object A1 inst.pxml
+//	pxmlquery -op probex  -object A1 inst.pxml
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pxml"
+)
+
+func main() {
+	op := flag.String("op", "project", "operation: project|single|descend|select|selectval|point|exists|valexists|probex")
+	pathArg := flag.String("path", "", "path expression, e.g. R.book.author")
+	object := flag.String("object", "", "object id (select/point/probex)")
+	value := flag.String("value", "", "leaf value (selectval/valexists)")
+	format := flag.String("format", "", "input format: text or json (default by extension)")
+	out := flag.String("o", "", "output file for instance-valued results (default stdout)")
+	outFormat := flag.String("oformat", "text", "output format: text or json")
+	limit := flag.Int("limit", 0, "world-enumeration cap for -op worlds (0 = default)")
+	top := flag.Int("top", 10, "print at most this many worlds for -op worlds (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pxmlquery [flags] <instance-file>")
+		os.Exit(2)
+	}
+	pi, err := load(flag.Arg(0), *format)
+	if err != nil {
+		fatal(err)
+	}
+
+	var path pxml.Path
+	if *pathArg != "" {
+		path, err = pxml.ParsePath(*pathArg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	writeResult := func(res *pxml.ProbInstance) {
+		dst := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		if *outFormat == "json" {
+			err = pxml.EncodeJSON(dst, res)
+		} else {
+			err = pxml.EncodeText(dst, res)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	switch *op {
+	case "project", "single", "descend":
+		requirePath(path)
+		var res *pxml.ProbInstance
+		switch *op {
+		case "project":
+			res, err = pxml.AncestorProject(pi, path)
+		case "single":
+			res, err = pxml.SingleProject(pi, path)
+		case "descend":
+			res, err = pxml.DescendantProject(pi, path)
+		}
+		if err != nil {
+			fatalHint(err)
+		}
+		writeResult(res)
+	case "select":
+		requirePath(path)
+		require(*object, "-object")
+		res, p, err := pxml.Select(pi, pxml.ObjectCondition{Path: path, Object: *object})
+		if err != nil {
+			fatalHint(err)
+		}
+		fmt.Fprintf(os.Stderr, "P(%s = %s) = %.9f\n", path, *object, p)
+		writeResult(res)
+	case "selectval":
+		requirePath(path)
+		require(*value, "-value")
+		res, p, err := pxml.Select(pi, pxml.ValueCondition{Path: path, Value: *value})
+		if err != nil {
+			fatalHint(err)
+		}
+		fmt.Fprintf(os.Stderr, "P(val(%s) = %s) = %.9f\n", path, *value, p)
+		writeResult(res)
+	case "point":
+		requirePath(path)
+		require(*object, "-object")
+		p, err := pxml.PointQuery(pi, path, *object)
+		if errors.Is(err, pxml.ErrNotTree) {
+			p, err = pxml.PathProb(pi, path, *object)
+			if err == nil {
+				fmt.Fprintln(os.Stderr, "note: DAG instance; answered via Bayesian-network inference")
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.9f\n", p)
+	case "exists":
+		requirePath(path)
+		p, err := pxml.ExistsQuery(pi, path)
+		if errors.Is(err, pxml.ErrNotTree) {
+			p, err = pxml.PathProb(pi, path, "")
+			if err == nil {
+				fmt.Fprintln(os.Stderr, "note: DAG instance; answered via Bayesian-network inference")
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.9f\n", p)
+	case "valexists":
+		requirePath(path)
+		require(*value, "-value")
+		p, err := pxml.ValueExistsQuery(pi, path, *value)
+		if err != nil {
+			fatalHint(err)
+		}
+		fmt.Printf("%.9f\n", p)
+	case "probex":
+		require(*object, "-object")
+		p, err := pxml.ProbExists(pi, *object)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.9f\n", p)
+	case "marginals":
+		marg, err := pxml.ExistenceMarginals(pi)
+		if err != nil {
+			fatalHint(err)
+		}
+		for _, o := range pi.Objects() {
+			fmt.Printf("%s\t%.9f\n", o, marg[o])
+		}
+	case "count":
+		requirePath(path)
+		d, err := pxml.CountDistribution(pi, path)
+		if err != nil {
+			fatalHint(err)
+		}
+		e, err := pxml.ExpectedCount(pi, path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "E[count(%s)] = %.6f\n", path, e)
+		maxK := 0
+		for k := range d {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		for k := 0; k <= maxK; k++ {
+			if d[k] > 0 {
+				fmt.Printf("%d\t%.9f\n", k, d[k])
+			}
+		}
+	case "topk":
+		n := *top
+		if n <= 0 {
+			n = 10
+		}
+		worlds, err := pxml.TopK(pi, n, 0)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range worlds {
+			fmt.Printf("p=%.9f objects=%v\n", w.P, w.S.Objects())
+		}
+	case "worlds":
+		gi, err := pxml.Enumerate(pi, *limit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d worlds, total probability %.9f\n", gi.Len(), gi.TotalMass())
+		for i, w := range gi.Worlds() {
+			if *top > 0 && i == *top {
+				break
+			}
+			fmt.Printf("p=%.9f objects=%v\n", w.P, w.S.Objects())
+		}
+	default:
+		fatal(fmt.Errorf("unknown op %q", *op))
+	}
+}
+
+func load(path, format string) (*pxml.ProbInstance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if format == "json" || (format == "" && strings.HasSuffix(path, ".json")) {
+		return pxml.DecodeJSON(f)
+	}
+	return pxml.DecodeText(f)
+}
+
+func requirePath(p pxml.Path) {
+	if p.Root == "" {
+		fatal(fmt.Errorf("missing -path"))
+	}
+}
+
+func require(v, name string) {
+	if v == "" {
+		fatal(fmt.Errorf("missing %s", name))
+	}
+}
+
+func fatalHint(err error) {
+	if errors.Is(err, pxml.ErrNotTree) {
+		fmt.Fprintln(os.Stderr, "pxmlquery: the instance's weak graph is a DAG; this operation's fast path needs a tree")
+	}
+	fatal(err)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxmlquery:", err)
+	os.Exit(1)
+}

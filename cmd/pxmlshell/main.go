@@ -1,0 +1,171 @@
+// pxmlshell is an interactive shell over PXML probabilistic instances: it
+// loads instance files and evaluates pxql statements against the current
+// instance. Algebra statements (PROJECT / SELECT / SINGLE / DESCEND)
+// replace the current instance with their result, giving a pipeline-style
+// workflow; UNDO restores the previous instance.
+//
+// Shell commands:
+//
+//	LOAD <file>        load an instance (text or JSON by extension)
+//	SAVE <file>        save the current instance
+//	UNDO               restore the instance before the last algebra op
+//	HELP               statement summary
+//	QUIT / EXIT        leave
+//
+// Everything else is parsed as a pxql statement; see internal/pxql.
+//
+// Usage:
+//
+//	pxmlshell [instance-file]
+//	echo "PROB R.book = B1" | pxmlshell inst.pxml
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"pxml"
+	"pxml/internal/pxql"
+)
+
+func main() {
+	var cur, prev *pxml.ProbInstance
+	if len(os.Args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: pxmlshell [instance-file]")
+		os.Exit(2)
+	}
+	if len(os.Args) == 2 {
+		pi, err := load(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pxmlshell:", err)
+			os.Exit(1)
+		}
+		cur = pi
+		fmt.Fprintf(os.Stderr, "loaded %s (%d objects)\n", os.Args[1], cur.NumObjects())
+	}
+
+	interactive := isTerminal()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for {
+		if interactive {
+			fmt.Fprint(os.Stderr, "pxml> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "QUIT", "EXIT":
+			return
+		case "HELP":
+			printHelp()
+			continue
+		case "LOAD":
+			if len(fields) != 2 {
+				fmt.Fprintln(os.Stderr, "LOAD needs one file")
+				continue
+			}
+			pi, err := load(fields[1])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			prev, cur = cur, pi
+			fmt.Printf("loaded %s (%d objects)\n", fields[1], cur.NumObjects())
+			continue
+		case "SAVE":
+			if len(fields) != 2 {
+				fmt.Fprintln(os.Stderr, "SAVE needs one file")
+				continue
+			}
+			if cur == nil {
+				fmt.Fprintln(os.Stderr, "no instance loaded")
+				continue
+			}
+			if err := save(fields[1], cur); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Printf("saved %s\n", fields[1])
+			continue
+		case "UNDO":
+			if prev == nil {
+				fmt.Fprintln(os.Stderr, "nothing to undo")
+				continue
+			}
+			cur, prev = prev, nil
+			fmt.Printf("restored instance (%d objects)\n", cur.NumObjects())
+			continue
+		}
+		if cur == nil {
+			fmt.Fprintln(os.Stderr, "no instance loaded; use LOAD <file>")
+			continue
+		}
+		res, err := pxql.Eval(cur, line)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			continue
+		}
+		if res.Text != "" {
+			fmt.Println(res.Text)
+		}
+		if res.Instance != nil {
+			prev, cur = cur, res.Instance
+		}
+	}
+}
+
+func load(path string) (*pxml.ProbInstance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return pxml.DecodeJSON(f)
+	}
+	return pxml.DecodeText(f)
+}
+
+func save(path string, pi *pxml.ProbInstance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return pxml.EncodeJSON(f, pi)
+	}
+	return pxml.EncodeText(f, pi)
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+func printHelp() {
+	fmt.Println(`pxql statements:
+  PROJECT <path>                       ancestor projection (replaces current instance)
+  SINGLE <path> | DESCEND <path>       single / descendant projection
+  SELECT <path> = <obj> [AND ...]      object selection (replaces current instance)
+  SELECT VAL(<path>) = <value>         value selection
+  SELECT CARD(<path> = <obj>, <label>) IN [a,b]
+  PROB <path> = <obj>                  point query
+  PROB EXISTS <path>                   existence query
+  PROB VAL(<path>) = <value>           value-existence query
+  PROB OBJECT <obj>                    existence marginal (DAG-capable)
+  CHAIN <r.o1.o2...>                   chain probability over object ids
+  COUNT <path> | MARGINALS | WORLDS [n] | TOPK n | STATS
+shell commands: LOAD <file>, SAVE <file>, UNDO, HELP, QUIT`)
+}

@@ -1,0 +1,174 @@
+package pxml_test
+
+import (
+	"fmt"
+	"log"
+
+	"pxml"
+)
+
+// Example builds the tiny bibliography of the package documentation and
+// asks for the probability that author A2 exists.
+func Example() {
+	inst, err := pxml.NewBuilder("R").
+		Children("R", "book", "B1", "B2").
+		OPF("R",
+			pxml.Entry(0.3, "B1"),
+			pxml.Entry(0.2, "B2"),
+			pxml.Entry(0.5, "B1", "B2")).
+		Children("B2", "author", "A2").
+		OPF("B2", pxml.Entry(1, "A2")).
+		Children("B1", "author", "A1").
+		OPF("B1", pxml.Entry(0.4), pxml.Entry(0.6, "A1")).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := pxml.PointQuery(inst, pxml.MustParsePath("R.book.author"), "A2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(A2 exists) = %.2f\n", p)
+	// Output: P(A2 exists) = 0.70
+}
+
+// ExampleAncestorProject shows the Λ operator keeping matched objects and
+// their ancestors while marginalizing everything else away.
+func ExampleAncestorProject() {
+	inst := pxml.NewBuilder("R").
+		Children("R", "book", "B1").
+		OPF("R", pxml.Entry(0.2), pxml.Entry(0.8, "B1")).
+		Children("B1", "author", "A1").
+		Children("B1", "title", "T1").
+		OPF("B1",
+			pxml.Entry(0.1),
+			pxml.Entry(0.5, "A1"),
+			pxml.Entry(0.2, "T1"),
+			pxml.Entry(0.2, "A1", "T1")).
+		MustBuild()
+	out, err := pxml.AncestorProject(inst, pxml.MustParsePath("R.book.author"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out.Objects())
+	fmt.Printf("%.2f\n", out.OPF("B1").Prob(pxml.NewSet("A1")))
+	// Output:
+	// [A1 B1 R]
+	// 1.00
+}
+
+// ExampleSelect conditions an instance on an object surely existing
+// (Section 2, situation 2 of the paper).
+func ExampleSelect() {
+	inst := pxml.NewBuilder("R").
+		Children("R", "book", "B1", "B2").
+		OPF("R",
+			pxml.Entry(0.3, "B1"),
+			pxml.Entry(0.2, "B2"),
+			pxml.Entry(0.5, "B1", "B2")).
+		MustBuild()
+	out, p, err := pxml.Select(inst, pxml.ObjectCondition{
+		Path: pxml.MustParsePath("R.book"), Object: "B1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(condition) = %.2f\n", p)
+	fmt.Printf("P({B1}) after = %.3f\n", out.OPF("R").Prob(pxml.NewSet("B1")))
+	// Output:
+	// P(condition) = 0.80
+	// P({B1}) after = 0.375
+}
+
+// ExampleEnumerate lists the possible worlds of a probabilistic instance
+// with their probabilities (the Definition 4.4 semantics).
+func ExampleEnumerate() {
+	inst := pxml.NewBuilder("R").
+		Children("R", "x", "A").
+		OPF("R", pxml.Entry(0.25), pxml.Entry(0.75, "A")).
+		MustBuild()
+	worlds, err := pxml.Enumerate(inst, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range worlds.Worlds() {
+		fmt.Printf("%.2f %v\n", w.P, w.S.Objects())
+	}
+	// Output:
+	// 0.75 [A R]
+	// 0.25 [R]
+}
+
+// ExampleEvalPXQL runs query-language statements against an instance.
+func ExampleEvalPXQL() {
+	inst := pxml.NewBuilder("R").
+		Children("R", "book", "B1").
+		OPF("R", pxml.Entry(0.4), pxml.Entry(0.6, "B1")).
+		MustBuild()
+	res, err := pxml.EvalPXQL(inst, "PROB R.book = B1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Text)
+	// Output: P(B1 ∈ R.book) = 0.600000000
+}
+
+// ExampleCartesianProduct merges two sources under a fresh root
+// (Definition 5.7).
+func ExampleCartesianProduct() {
+	a := pxml.NewBuilder("r1").
+		Children("r1", "k", "x").
+		OPF("r1", pxml.Entry(0.5), pxml.Entry(0.5, "x")).
+		MustBuild()
+	b := pxml.NewBuilder("r2").
+		Children("r2", "k", "y").
+		OPF("r2", pxml.Entry(0.5), pxml.Entry(0.5, "y")).
+		MustBuild()
+	prod, _, err := pxml.CartesianProduct(a, b, "root")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2f\n", prod.OPF("root").Prob(pxml.NewSet("x", "y")))
+	// Output: 0.25
+}
+
+// ExampleTopK finds the most probable possible worlds without enumerating
+// the full domain.
+func ExampleTopK() {
+	inst := pxml.NewBuilder("R").
+		Children("R", "x", "A", "B").
+		OPF("R",
+			pxml.Entry(0.5, "A"),
+			pxml.Entry(0.3, "A", "B"),
+			pxml.Entry(0.2)).
+		MustBuild()
+	worlds, err := pxml.TopK(inst, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range worlds {
+		fmt.Printf("%.1f %v\n", w.P, w.S.Objects())
+	}
+	// Output:
+	// 0.5 [A R]
+	// 0.3 [A B R]
+}
+
+// ExampleCountDistribution computes the exact distribution of how many
+// objects satisfy a path expression.
+func ExampleCountDistribution() {
+	inst := pxml.NewBuilder("R").
+		Children("R", "x", "A", "B").
+		IndependentOPF("R", map[string]float64{"A": 0.5, "B": 0.5}).
+		MustBuild()
+	d, err := pxml.CountDistribution(inst, pxml.MustParsePath("R.x"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 0; k <= 2; k++ {
+		fmt.Printf("P(count=%d) = %.2f\n", k, d[k])
+	}
+	// Output:
+	// P(count=0) = 0.25
+	// P(count=1) = 0.50
+	// P(count=2) = 0.25
+}

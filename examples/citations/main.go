@@ -1,0 +1,168 @@
+// Citations: the paper's opening motivation — a citation index built by
+// crawling and parsing documents (Citeseer/DBLP), where "often, there will
+// be uncertainty over the existence of a reference, the type of the
+// reference, the existence of subfields ... the identity of the author
+// (does Hung refer to Edward Hung or Sheung-lun Hung?)". This example
+// models one crawled page two ways:
+//
+//  1. as a point probabilistic instance, queried through the pxql query
+//     language (the shell's statement syntax), and
+//  2. as an interval probabilistic instance (the companion-paper PIXML
+//     variant referenced in the introduction) where the extractor only
+//     commits to probability bounds, with queries returning intervals.
+//
+// Run with:
+//
+//	go run ./examples/citations
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pxml"
+)
+
+func main() {
+	// A crawled page with two candidate references. Reference 1 was parsed
+	// confidently; reference 2 might be a false positive. The "Hung"
+	// author of reference 1 is ambiguous between two known identities —
+	// modeled as two potential author objects that cannot co-occur
+	// (card [1,1] picks exactly one).
+	page, err := pxml.NewBuilder("page").
+		Type("year", "2002", "2003").
+		Children("page", "ref", "ref1", "ref2").
+		OPF("page",
+			pxml.Entry(0.55, "ref1"),
+			pxml.Entry(0.05, "ref2"),
+			pxml.Entry(0.40, "ref1", "ref2")).
+		Children("ref1", "author", "hungE", "hungSL").
+		Children("ref1", "year", "y1").
+		Card("ref1", "author", 1, 1).
+		Card("ref1", "year", 0, 1).
+		OPF("ref1",
+			pxml.Entry(0.50, "hungE", "y1"),
+			pxml.Entry(0.20, "hungSL", "y1"),
+			pxml.Entry(0.22, "hungE"),
+			pxml.Entry(0.08, "hungSL")).
+		Children("ref2", "author", "getoorL").
+		OPF("ref2",
+			pxml.Entry(0.6, "getoorL"),
+			pxml.Entry(0.4)).
+		Leaf("y1", "year").
+		VPF("y1", map[string]float64{"2002": 0.3, "2003": 0.7}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawled page: %d objects, tree=%v\n\n", page.NumObjects(), page.IsTree())
+
+	// --- Point queries through the pxql query language. ---
+	for _, stmt := range []string{
+		"STATS",
+		"PROB page.ref = ref1",
+		"PROB page.ref.author = hungE",
+		"PROB page.ref.author = hungSL",
+		"PROB VAL(page.ref.year) = 2003",
+		"SELECT page.ref = ref2",
+	} {
+		res, err := pxml.EvalPXQL(page, stmt)
+		if err != nil {
+			log.Fatalf("%s: %v", stmt, err)
+		}
+		fmt.Printf("pxql> %s\n      %s\n", stmt, res.Text)
+		if res.Instance != nil {
+			// Selections replace the working instance in a shell session;
+			// here we just show the conditioned entity-resolution odds.
+			pe, err := pxml.PointQuery(res.Instance, pxml.MustParsePath("page.ref.author"), "hungE")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("      after conditioning: P(Edward Hung) = %.4f\n", pe)
+		}
+	}
+	fmt.Println()
+
+	// --- Interval probabilities: the extractor only bounds its belief. ---
+	// Same weak instance; each OPF becomes a probability interval. The
+	// extractor commits, e.g., to P(ref1 and ref2 both real) ∈ [0.3, 0.5].
+	w := page.Weak().Clone()
+	iv := pxml.NewIntervalInstance(w)
+	iv.SetOPF("page", newIOPF(map[string][2]float64{
+		"ref1":      {0.4, 0.6},
+		"ref2":      {0.0, 0.1},
+		"ref1,ref2": {0.3, 0.5},
+	}))
+	iv.SetOPF("ref1", newIOPF(map[string][2]float64{
+		"hungE,y1":  {0.4, 0.6},
+		"hungSL,y1": {0.1, 0.3},
+		"hungE":     {0.1, 0.3},
+		"hungSL":    {0.0, 0.2},
+	}))
+	iv.SetOPF("ref2", newIOPF(map[string][2]float64{
+		"":        {0.3, 0.5},
+		"getoorL": {0.5, 0.7},
+	}))
+	iv.SetVPF("y1", newIVPF(map[string][2]float64{"2002": {0.2, 0.4}, "2003": {0.6, 0.8}}))
+	if err := iv.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	authors := pxml.MustParsePath("page.ref.author")
+	b, err := pxml.IntervalPointBound(iv, authors, "hungE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interval model: P(Edward Hung cited) ∈ %s\n", b)
+	eb, err := pxml.IntervalExistsBound(iv, authors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interval model: P(some author cited) ∈ %s\n", eb)
+	vb, err := pxml.IntervalValueExistsBound(iv, pxml.MustParsePath("page.ref.year"), "2003")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interval model: P(year 2003 appears) ∈ %s\n", vb)
+	cb, err := pxml.IntervalChainBound(iv, []string{"page", "ref1", "hungE"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interval model: P(chain page.ref1.hungE) ∈ %s\n", cb)
+
+	// Lifting the point instance gives degenerate intervals: the two
+	// models agree when the bounds collapse.
+	lifted := pxml.IntervalFromPoint(page)
+	lb, err := pxml.IntervalPointBound(lifted, authors, "hungE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pq, err := pxml.PointQuery(page, authors, "hungE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlifted point model: bound %s vs point query %.6f\n", lb, pq)
+}
+
+// newIOPF builds an interval OPF from a map of comma-joined child ids to
+// [lo, hi] pairs ("" is the empty set).
+func newIOPF(m map[string][2]float64) *pxml.IntervalOPF {
+	w := pxml.NewIntervalOPF()
+	for k, b := range m {
+		var ids []string
+		if k != "" {
+			ids = strings.Split(k, ",")
+		}
+		w.Put(pxml.NewSet(ids...), pxml.Bound{Lo: b[0], Hi: b[1]})
+	}
+	return w
+}
+
+func newIVPF(m map[string][2]float64) *pxml.IntervalVPF {
+	w := pxml.NewIntervalVPF()
+	for v, b := range m {
+		w.Put(v, pxml.Bound{Lo: b[0], Hi: b[1]})
+	}
+	return w
+}

@@ -1,0 +1,111 @@
+// Quickstart: build a small probabilistic semistructured instance with the
+// fluent builder, then run each of the paper's operations on it — ancestor
+// projection, selection, Cartesian product, and probabilistic point
+// queries. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pxml"
+)
+
+func main() {
+	// A tiny bibliography: a root that probably has one or two books,
+	// books that may have an author and a title, and a title whose string
+	// value is itself uncertain (say, extracted by a noisy parser).
+	inst, err := pxml.NewBuilder("R").
+		Type("title-type", "VQDB", "Lore").
+		Children("R", "book", "B1", "B2").
+		Card("R", "book", 1, 2).
+		OPF("R",
+			pxml.Entry(0.3, "B1"),
+			pxml.Entry(0.2, "B2"),
+			pxml.Entry(0.5, "B1", "B2")).
+		Children("B1", "author", "A1").
+		Children("B1", "title", "T1").
+		OPF("B1",
+			pxml.Entry(0.1),
+			pxml.Entry(0.3, "A1"),
+			pxml.Entry(0.2, "T1"),
+			pxml.Entry(0.4, "A1", "T1")).
+		Children("B2", "author", "A2").
+		Card("B2", "author", 1, 1).
+		OPF("B2", pxml.Entry(1, "A2")).
+		Leaf("T1", "title-type").
+		VPF("T1", map[string]float64{"VQDB": 0.6, "Lore": 0.4}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := inst.ComputeStats()
+	fmt.Printf("instance: %d objects, %d edges, %d OPF entries, tree=%v\n\n",
+		st.Objects, st.Edges, st.OPFEntries, inst.IsTree())
+
+	// The possible-worlds semantics: every compatible instance with its
+	// probability (Theorem 1 guarantees they sum to one).
+	worlds, err := pxml.Enumerate(inst, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("possible worlds: %d (total probability %.6f)\n\n", worlds.Len(), worlds.TotalMass())
+
+	// Ancestor projection: keep authors and everything above them.
+	authors := pxml.MustParsePath("R.book.author")
+	proj, err := pxml.AncestorProject(inst, authors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Λ_{%s} keeps objects %v\n", authors, proj.Objects())
+	fmt.Printf("  ℘'(R): %s\n\n", proj.OPF("R"))
+
+	// Selection: condition on book B1 surely existing.
+	sel, p, err := pxml.Select(inst, pxml.ObjectCondition{Path: pxml.MustParsePath("R.book"), Object: "B1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("σ(R.book = B1): condition probability %.3f\n", p)
+	fmt.Printf("  ℘'(R): %s\n\n", sel.OPF("R"))
+
+	// Probabilistic point queries.
+	pa1, err := pxml.PointQuery(inst, authors, "A1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(A1 ∈ %s) = %.4f\n", authors, pa1)
+	pe, err := pxml.ExistsQuery(inst, authors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(some author exists)  = %.4f\n", pe)
+	pv, err := pxml.ValueExistsQuery(inst, pxml.MustParsePath("R.book.title"), "Lore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(some title = Lore)   = %.4f\n\n", pv)
+
+	// Cartesian product: merge with a second source.
+	other, err := pxml.NewBuilder("R2").
+		Children("R2", "book", "B9").
+		IndependentOPF("R2", map[string]float64{"B9": 0.5}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prod, _, err := pxml.CartesianProduct(inst, other, "LIB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("product instance: %d objects rooted at %s\n", prod.NumObjects(), prod.Root())
+
+	// Serialize the product to the compact text format.
+	fmt.Println("\nserialized product:")
+	if err := pxml.EncodeText(os.Stdout, prod); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Sensornet: probabilistic semistructured data from a noisy input source —
+// the motivating setting of the paper's introduction ("uncertainty in
+// sensor readings, information extraction using probabilistic parsing of
+// input sources and image processing"). Two field gateways report the same
+// deployment; each report is a probabilistic instance in which both the
+// structure (which sensors answered) and the values (their discretized
+// readings) are uncertain. The example runs value queries and value
+// selection on one report, combines the two reports with a Cartesian
+// product, and contrasts that with a mixture (the possible-worlds "union")
+// of the two reports.
+//
+// Run with:
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"pxml"
+)
+
+func gatewayA() (*pxml.ProbInstance, error) {
+	return pxml.NewBuilder("gwA").
+		Type("reading", "ok", "hot", "cold").
+		Children("gwA", "rack", "ra1", "ra2").
+		OPF("gwA",
+			pxml.Entry(0.1, "ra1"),
+			pxml.Entry(0.1, "ra2"),
+			pxml.Entry(0.8, "ra1", "ra2")).
+		Children("ra1", "sensor", "sa1", "sa2").
+		IndependentOPF("ra1", map[string]float64{"sa1": 0.9, "sa2": 0.7}).
+		Children("ra2", "sensor", "sa3").
+		IndependentOPF("ra2", map[string]float64{"sa3": 0.95}).
+		Leaf("sa1", "reading").
+		VPF("sa1", map[string]float64{"ok": 0.85, "hot": 0.10, "cold": 0.05}).
+		Leaf("sa2", "reading").
+		VPF("sa2", map[string]float64{"ok": 0.60, "hot": 0.35, "cold": 0.05}).
+		Leaf("sa3", "reading").
+		VPF("sa3", map[string]float64{"ok": 0.95, "hot": 0.02, "cold": 0.03}).
+		Build()
+}
+
+func gatewayB() (*pxml.ProbInstance, error) {
+	return pxml.NewBuilder("gwB").
+		Type("reading", "ok", "hot", "cold").
+		Children("gwB", "rack", "rb1").
+		IndependentOPF("gwB", map[string]float64{"rb1": 0.9}).
+		Children("rb1", "sensor", "sb1").
+		IndependentOPF("rb1", map[string]float64{"sb1": 0.8}).
+		Leaf("sb1", "reading").
+		VPF("sb1", map[string]float64{"ok": 0.5, "hot": 0.5}).
+		Build()
+}
+
+func main() {
+	a, err := gatewayA()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := gatewayB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway A: %d objects; gateway B: %d objects\n\n", a.NumObjects(), b.NumObjects())
+
+	sensors := pxml.MustParsePath("gwA.rack.sensor")
+
+	// How likely is an overheating reading anywhere in report A?
+	pHot, err := pxml.ValueExistsQuery(a, sensors, "hot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(some sensor reads 'hot' | report A) = %.4f\n", pHot)
+
+	// Per-sensor diagnosis: which sensor is the likely culprit?
+	for _, s := range []string{"sa1", "sa2", "sa3"} {
+		p, err := pxml.ValuePointQuery(a, sensors, s, "hot")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P(%s present ∧ reads 'hot') = %.4f\n", s, p)
+	}
+	fmt.Println()
+
+	// An operator confirms SOME sensor really reported 'hot'. That value
+	// condition ranges over several leaves, and its exact conditional
+	// distribution does not factor into per-object local functions, so
+	// the fast path declines (ErrNotRepresentable) — the global semantics
+	// still answers exactly over possible worlds.
+	if _, _, err := pxml.Select(a, pxml.ValueCondition{
+		Path: sensors, Value: "hot",
+	}); !errors.Is(err, pxml.ErrNotRepresentable) {
+		log.Fatalf("expected ErrNotRepresentable for a multi-leaf value condition, got %v", err)
+	}
+	posterior, pHotObs, err := pxml.SelectGlobal(a, pxml.ValueCondition{Path: sensors, Value: "hot"}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("σ(val(%s) = hot): P = %.4f, posterior over %d worlds\n", sensors, pHotObs, posterior.Len())
+
+	// When the observation pins down WHICH sensor reported 'hot', the
+	// conditional does factor and the fast path applies: condition on the
+	// sensor's presence along its unique path and pin its reading.
+	condA, pSa2, err := pxml.Select(a, pxml.ObjectCondition{Path: sensors, Object: "sa2"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	condA.SetVPF("sa2", pxml.PointMass("hot"))
+	fmt.Printf("P(sa2 answered) = %.4f; conditioning on it and pinning its reading to 'hot'\n\n", pSa2)
+
+	// Combine the two gateways' reports into one deployment view.
+	both, _, err := pxml.CartesianProduct(a, b, "site")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pAnyHot, err := pxml.ValueExistsQuery(both, pxml.MustParsePath("site.rack.sensor"), "hot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("combined site view: %d objects\n", both.NumObjects())
+	fmt.Printf("P(some sensor reads 'hot' | both gateways) = %.4f\n\n", pAnyHot)
+
+	// Alternatively, if the two reports describe the SAME rack and we
+	// believe gateway A with weight 0.7, the union of evidence is a
+	// mixture over possible worlds (which in general no longer factors
+	// into a single probabilistic instance).
+	ga, err := pxml.Enumerate(a, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gb, err := pxml.Enumerate(b, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix, err := pxml.Mixture(ga, gb, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mixture of the two reports: %d worlds, total probability %.6f\n",
+		mix.Len(), mix.TotalMass())
+	fmt.Printf("P(report contains ≥2 sensors | mixture) = %.4f\n",
+		mix.ProbWhere(func(s *pxml.Instance) bool {
+			n := 0
+			for _, o := range s.Objects() {
+				if _, ok := s.TypeOf(o); ok {
+					n++
+				}
+			}
+			return n >= 2
+		}))
+}

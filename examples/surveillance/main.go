@@ -1,0 +1,126 @@
+// Surveillance: the object-recognition scenario sketched in Section 3.2 of
+// the paper. An image-analysis pipeline reports scenes whose contents are
+// uncertain: "if we have two vehicles, vehicle1 and vehicle2, and a bridge
+// bridge1 in a scene S1, we may not be able to distinguish between a scene
+// that has bridge1 and vehicle1 in it from a scene that has bridge1 and
+// vehicle2" — so the OPF assigns those indistinguishable child sets equal
+// probability. This example builds such an instance, checks the symmetry,
+// and answers operational questions (is there a vehicle near the bridge?
+// which scene should an analyst look at first?).
+//
+// Run with:
+//
+//	go run ./examples/surveillance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pxml"
+)
+
+func main() {
+	// Two scenes from a drone pass. Scene 1 surely contains the bridge
+	// and exactly one of the two (indistinguishable) vehicles with equal
+	// probability, or both with smaller probability. Scene 2 is a
+	// lower-confidence detection altogether.
+	inst, err := pxml.NewBuilder("feed").
+		Type("conf", "low", "high").
+		Children("feed", "scene", "S1", "S2").
+		OPF("feed",
+			pxml.Entry(0.55, "S1"),
+			pxml.Entry(0.05, "S2"),
+			pxml.Entry(0.40, "S1", "S2")).
+		Children("S1", "bridge", "bridge1").
+		Children("S1", "vehicle", "vehicle1", "vehicle2").
+		Card("S1", "bridge", 1, 1).
+		Card("S1", "vehicle", 1, 2).
+		// Indistinguishable vehicles: the symmetric OPF stores one
+		// probability per count vector (bridges drawn, vehicles drawn) and
+		// spreads it uniformly — the ℘(S1) symmetry of §3.2. The two
+		// single-vehicle worlds each receive 0.70/2 = 0.35.
+		SymmetricOPF("S1",
+			[][]string{{"bridge1"}, {"vehicle1", "vehicle2"}},
+			pxml.SymEntry(0.70, 1, 1),
+			pxml.SymEntry(0.30, 1, 2)).
+		Children("S2", "vehicle", "vehicle3").
+		OPF("S2",
+			pxml.Entry(0.7),
+			pxml.Entry(0.3, "vehicle3")).
+		Children("vehicle1", "track", "t1").
+		IndependentOPF("vehicle1", map[string]float64{"t1": 0.6}).
+		Children("vehicle2", "track", "t2").
+		IndependentOPF("vehicle2", map[string]float64{"t2": 0.6}).
+		Leaf("t1", "conf").
+		VPF("t1", map[string]float64{"high": 0.8, "low": 0.2}).
+		Leaf("t2", "conf").
+		VPF("t2", map[string]float64{"high": 0.8, "low": 0.2}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surveillance feed: %d objects, tree=%v\n\n", inst.NumObjects(), inst.IsTree())
+
+	// The symmetry of indistinguishable vehicles survives querying: the
+	// two vehicles have identical existence probabilities.
+	vehicles := pxml.MustParsePath("feed.scene.vehicle")
+	p1, err := pxml.PointQuery(inst, vehicles, "vehicle1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := pxml.PointQuery(inst, vehicles, "vehicle2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(vehicle1 observed) = %.4f\nP(vehicle2 observed) = %.4f (symmetric, as required)\n\n", p1, p2)
+
+	// Is there any vehicle at all in the feed?
+	pv, err := pxml.ExistsQuery(inst, vehicles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(some vehicle in some scene) = %.4f\n", pv)
+
+	// Is there a high-confidence track?
+	tracks := pxml.MustParsePath("feed.scene.vehicle.track")
+	ph, err := pxml.ValueExistsQuery(inst, tracks, "high")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(some high-confidence track)  = %.4f\n\n", ph)
+
+	// An analyst confirms scene S1 is real footage: condition on it.
+	sel, pS1, err := pxml.Select(inst, pxml.ObjectCondition{
+		Path: pxml.MustParsePath("feed.scene"), Object: "S1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after confirming S1 (prior P = %.3f):\n", pS1)
+	p1c, err := pxml.PointQuery(sel, vehicles, "vehicle1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  P(vehicle1 observed | S1) = %.4f\n\n", p1c)
+
+	// Focus the feed on vehicles and their tracks: descendant projection
+	// keeps the matched vehicles and everything below them.
+	focus, err := pxml.DescendantProject(inst, vehicles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("descendant projection on %s keeps %v\n", vehicles, focus.Objects())
+	fmt.Printf("  ℘'(feed): %s\n", focus.OPF("feed"))
+
+	// The joint at the new root preserves the mutual-exclusion structure:
+	// compare P(vehicle1 ∧ vehicle2) against independence.
+	w := focus.OPF("feed")
+	joint := 0.0
+	for _, e := range w.Entries() {
+		if e.Set.Contains("vehicle1") && e.Set.Contains("vehicle2") {
+			joint += e.Prob
+		}
+	}
+	fmt.Printf("  P(vehicle1 ∧ vehicle2) = %.4f vs %.4f under independence\n",
+		joint, w.ProbContains("vehicle1")*w.ProbContains("vehicle2"))
+}

@@ -1,0 +1,3 @@
+module pxml
+
+go 1.22

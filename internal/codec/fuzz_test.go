@@ -1,0 +1,75 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pxml/internal/core"
+	"pxml/internal/fixtures"
+)
+
+// FuzzDecodeText asserts the text decoder never panics on arbitrary input
+// and that anything it accepts round-trips stably (decode → encode →
+// decode reproduces the same instance).
+func FuzzDecodeText(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeText(&seed, fixtures.Figure2()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("pxml/1\nroot r\n")
+	f.Add("pxml/1\nroot r\nlch r l 0 1 x\nopf r 0.5 x\nopf r 0.5\n")
+	f.Add("pxml/1\nroot r\ntype t a b\nleaf x t a\nvpf x 1 a\nobj y\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		pi, err := DecodeText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeText(&buf, pi); err != nil {
+			// Decoded instances may contain tokens the encoder rejects
+			// only if the decoder let whitespace through, which it cannot
+			// (it splits on whitespace); any other failure is a bug.
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeText(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, buf.String())
+		}
+		if !core.Equal(pi, again, 1e-9) {
+			t.Fatalf("round trip unstable:\nfirst:  %v\nsecond: %v", pi.Objects(), again.Objects())
+		}
+	})
+}
+
+// FuzzDecodeJSON asserts the JSON decoder never panics and accepted inputs
+// round-trip stably.
+func FuzzDecodeJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeJSON(&seed, fixtures.Figure2VariedLeaves()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"format":"pxml-json/1","root":"r","objects":[]}`)
+	f.Add(`{"format":"pxml-json/1","root":"r","objects":[{"id":"r","children":[{"label":"l","ids":["x"]}],"opf":[{"set":["x"],"p":1}]}]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, in string) {
+		pi, err := DecodeJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeJSON(&buf, pi); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !core.Equal(pi, again, 1e-9) {
+			t.Fatal("round trip unstable")
+		}
+	})
+}

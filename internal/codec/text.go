@@ -1,0 +1,300 @@
+package codec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pxml/internal/core"
+	"pxml/internal/model"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+)
+
+// FormatText identifies the line-oriented text encoding. Grammar (one
+// record per line, space separated; identifiers, labels and values must be
+// whitespace-free):
+//
+//	pxml 1
+//	root <id>
+//	type <name> <value>...
+//	lch <id> <label> <min> <max> <child>...
+//	opf <id> <p> <child>...
+//	leaf <id> <typename> [<default-value>]
+//	vpf <id> <p> <value>
+//	obj <id>
+//
+// "obj" records objects that appear nowhere else (isolated ids).
+const FormatText = "pxml/1"
+
+// EncodeText writes the instance in the compact text encoding. It is the
+// serialization used by the benchmark harness's write-to-disk leg.
+func EncodeText(w io.Writer, pi *core.ProbInstance) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintln(bw, FormatText); err != nil {
+		return err
+	}
+	if err := checkToken(pi.Root()); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "root %s\n", pi.Root())
+	var typeNames []string
+	for name := range pi.Types() {
+		typeNames = append(typeNames, name)
+	}
+	sort.Strings(typeNames)
+	for _, name := range typeNames {
+		t := pi.Types()[name]
+		if err := checkTokens(append([]string{t.Name}, t.Domain...)); err != nil {
+			return err
+		}
+		bw.WriteString("type ")
+		bw.WriteString(t.Name)
+		for _, v := range t.Domain {
+			bw.WriteByte(' ')
+			bw.WriteString(v)
+		}
+		bw.WriteByte('\n')
+	}
+	mentioned := map[model.ObjectID]bool{pi.Root(): true}
+	for _, o := range pi.Objects() {
+		if err := checkToken(o); err != nil {
+			return err
+		}
+		for _, l := range pi.Labels(o) {
+			if err := checkToken(l); err != nil {
+				return err
+			}
+			iv := pi.Card(o, l)
+			bw.WriteString("lch ")
+			bw.WriteString(o)
+			bw.WriteByte(' ')
+			bw.WriteString(l)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(iv.Min))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(iv.Max))
+			for _, c := range pi.LCh(o, l) {
+				mentioned[c] = true
+				bw.WriteByte(' ')
+				bw.WriteString(c)
+			}
+			bw.WriteByte('\n')
+			mentioned[o] = true
+		}
+		if w := pi.OPF(o); w != nil {
+			for _, e := range w.Entries() {
+				bw.WriteString("opf ")
+				bw.WriteString(o)
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatFloat(e.Prob, 'g', -1, 64))
+				for _, c := range e.Set {
+					bw.WriteByte(' ')
+					bw.WriteString(c)
+				}
+				bw.WriteByte('\n')
+			}
+		}
+		if t, ok := pi.TypeOf(o); ok {
+			bw.WriteString("leaf ")
+			bw.WriteString(o)
+			bw.WriteByte(' ')
+			bw.WriteString(t.Name)
+			if v, okV := pi.DefaultValue(o); okV {
+				bw.WriteByte(' ')
+				bw.WriteString(v)
+			}
+			bw.WriteByte('\n')
+			mentioned[o] = true
+		}
+		if v := pi.VPF(o); v != nil {
+			for _, e := range v.Entries() {
+				if err := checkToken(e.Value); err != nil {
+					return err
+				}
+				bw.WriteString("vpf ")
+				bw.WriteString(o)
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatFloat(e.Prob, 'g', -1, 64))
+				bw.WriteByte(' ')
+				bw.WriteString(e.Value)
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	for _, o := range pi.Objects() {
+		if !mentioned[o] {
+			bw.WriteString("obj ")
+			bw.WriteString(o)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeText reads an instance from the text encoding.
+func DecodeText(r io.Reader) (*core.ProbInstance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	if !sc.Scan() {
+		return nil, fmt.Errorf("codec: empty input")
+	}
+	line++
+	if got := strings.TrimSpace(sc.Text()); got != FormatText {
+		return nil, fmt.Errorf("codec: line 1: unexpected header %q", got)
+	}
+	var pi *core.ProbInstance
+	opfs := map[model.ObjectID]*prob.OPF{}
+	vpfs := map[model.ObjectID]*prob.VPF{}
+	type pendingLeaf struct{ typ, val string }
+	leaves := map[model.ObjectID]pendingLeaf{}
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func(msg string) error {
+			return fmt.Errorf("codec: line %d: %s: %q", line, msg, sc.Text())
+		}
+		switch fields[0] {
+		case "root":
+			if len(fields) != 2 {
+				return nil, bad("root needs one id")
+			}
+			if pi != nil {
+				return nil, bad("duplicate root")
+			}
+			pi = core.NewProbInstance(fields[1])
+		case "type":
+			if pi == nil {
+				return nil, bad("type before root")
+			}
+			if len(fields) < 3 {
+				return nil, bad("type needs a name and a domain")
+			}
+			if err := pi.RegisterType(model.NewType(fields[1], fields[2:]...)); err != nil {
+				return nil, fmt.Errorf("codec: line %d: %w", line, err)
+			}
+		case "lch":
+			if pi == nil {
+				return nil, bad("lch before root")
+			}
+			if len(fields) < 5 {
+				return nil, bad("lch needs id label min max children")
+			}
+			min, err1 := strconv.Atoi(fields[3])
+			max, err2 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil {
+				return nil, bad("bad cardinality")
+			}
+			pi.SetLCh(fields[1], fields[2], fields[5:]...)
+			pi.SetCard(fields[1], fields[2], min, max)
+		case "opf":
+			if pi == nil {
+				return nil, bad("opf before root")
+			}
+			if len(fields) < 3 {
+				return nil, bad("opf needs id and probability")
+			}
+			p, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, bad("bad probability")
+			}
+			w := opfs[fields[1]]
+			if w == nil {
+				w = prob.NewOPF()
+				opfs[fields[1]] = w
+			}
+			w.Add(sets.NewSet(fields[3:]...), p)
+		case "leaf":
+			if pi == nil {
+				return nil, bad("leaf before root")
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, bad("leaf needs id type [value]")
+			}
+			pl := pendingLeaf{typ: fields[2]}
+			if len(fields) == 4 {
+				pl.val = fields[3]
+			}
+			leaves[fields[1]] = pl
+		case "vpf":
+			if pi == nil {
+				return nil, bad("vpf before root")
+			}
+			if len(fields) != 4 {
+				return nil, bad("vpf needs id probability value")
+			}
+			p, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, bad("bad probability")
+			}
+			v := vpfs[fields[1]]
+			if v == nil {
+				v = prob.NewVPF()
+				vpfs[fields[1]] = v
+			}
+			v.Put(fields[3], p)
+		case "obj":
+			if pi == nil {
+				return nil, bad("obj before root")
+			}
+			if len(fields) != 2 {
+				return nil, bad("obj needs one id")
+			}
+			pi.AddObject(fields[1])
+		default:
+			return nil, bad("unknown record")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	if pi == nil {
+		return nil, fmt.Errorf("codec: missing root record")
+	}
+	for o, pl := range leaves {
+		if err := pi.SetLeafType(o, pl.typ); err != nil {
+			return nil, fmt.Errorf("codec: leaf %s: %w", o, err)
+		}
+		if pl.val != "" {
+			if err := pi.SetDefaultValue(o, pl.val); err != nil {
+				return nil, fmt.Errorf("codec: leaf %s: %w", o, err)
+			}
+		}
+	}
+	for o, w := range opfs {
+		pi.SetOPF(o, w)
+	}
+	for o, v := range vpfs {
+		pi.SetVPF(o, v)
+	}
+	if err := pi.WeakInstance.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: decoded instance invalid: %w", err)
+	}
+	return pi, nil
+}
+
+func checkToken(s string) error {
+	if s == "" {
+		return fmt.Errorf("codec: empty token")
+	}
+	if strings.IndexFunc(s, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' }) >= 0 {
+		return fmt.Errorf("codec: token %q contains whitespace", s)
+	}
+	return nil
+}
+
+func checkTokens(ss []string) error {
+	for _, s := range ss {
+		if err := checkToken(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+
+	"pxml/internal/prob"
+)
+
+// Equal reports whether two probabilistic instances are identical: same
+// root, objects, lch, card, types, leaf assignments, and local probability
+// functions (probabilities compared within tol). Entries with probability
+// below tol on one side and absent on the other are considered equal.
+func Equal(a, b *ProbInstance, tol float64) bool {
+	if a.Root() != b.Root() || a.NumObjects() != b.NumObjects() {
+		return false
+	}
+	for _, o := range a.Objects() {
+		if !b.HasObject(o) {
+			return false
+		}
+		la, lb := a.Labels(o), b.Labels(o)
+		if len(la) != len(lb) {
+			return false
+		}
+		for i, l := range la {
+			if lb[i] != l {
+				return false
+			}
+			if !a.LCh(o, l).Equal(b.LCh(o, l)) {
+				return false
+			}
+			if a.Card(o, l) != b.Card(o, l) {
+				return false
+			}
+		}
+		ta, oka := a.TypeOf(o)
+		tb, okb := b.TypeOf(o)
+		if oka != okb {
+			return false
+		}
+		if oka {
+			if ta.Name != tb.Name || len(ta.Domain) != len(tb.Domain) {
+				return false
+			}
+			for i := range ta.Domain {
+				if ta.Domain[i] != tb.Domain[i] {
+					return false
+				}
+			}
+			va, okVA := a.DefaultValue(o)
+			vb, okVB := b.DefaultValue(o)
+			if okVA != okVB || va != vb {
+				return false
+			}
+		}
+		if !opfEqual(a.OPF(o), b.OPF(o), tol) {
+			return false
+		}
+		if !vpfEqual(a.VPF(o), b.VPF(o), tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func opfEqual(a, b *prob.OPF, tol float64) bool {
+	if a == nil || b == nil {
+		return massBelow(a, tol) && massBelow(b, tol)
+	}
+	for _, e := range a.Entries() {
+		if math.Abs(e.Prob-b.Prob(e.Set)) > tol {
+			return false
+		}
+	}
+	for _, e := range b.Entries() {
+		if math.Abs(e.Prob-a.Prob(e.Set)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func massBelow(a *prob.OPF, tol float64) bool {
+	return a == nil || a.Mass() <= tol
+}
+
+func vpfEqual(a, b *prob.VPF, tol float64) bool {
+	if a == nil || b == nil {
+		if a != nil && a.Mass() > tol {
+			return false
+		}
+		if b != nil && b.Mass() > tol {
+			return false
+		}
+		return true
+	}
+	for _, e := range a.Entries() {
+		if math.Abs(e.Prob-b.Prob(e.Value)) > tol {
+			return false
+		}
+	}
+	for _, e := range b.Entries() {
+		if math.Abs(e.Prob-a.Prob(e.Value)) > tol {
+			return false
+		}
+	}
+	return true
+}

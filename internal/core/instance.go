@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pxml/internal/model"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+)
+
+// LocalInterpretation is ℘ of Definition 3.10: it maps each non-leaf object
+// to an OPF over its potential child sets, and each typed leaf object to a
+// VPF over its value domain. Untyped leaves (which the algebra can create;
+// see model.Instance) have no local probability function and contribute a
+// unit factor to instance probabilities.
+type LocalInterpretation struct {
+	opf map[model.ObjectID]*prob.OPF
+	vpf map[model.ObjectID]*prob.VPF
+}
+
+// NewLocalInterpretation returns an empty local interpretation.
+func NewLocalInterpretation() *LocalInterpretation {
+	return &LocalInterpretation{
+		opf: make(map[model.ObjectID]*prob.OPF),
+		vpf: make(map[model.ObjectID]*prob.VPF),
+	}
+}
+
+// SetOPF assigns ℘(o) for a non-leaf object.
+func (li *LocalInterpretation) SetOPF(o model.ObjectID, w *prob.OPF) { li.opf[o] = w }
+
+// SetVPF assigns ℘(o) for a leaf object.
+func (li *LocalInterpretation) SetVPF(o model.ObjectID, w *prob.VPF) { li.vpf[o] = w }
+
+// OPF returns ℘(o) for a non-leaf object, nil when unset.
+func (li *LocalInterpretation) OPF(o model.ObjectID) *prob.OPF { return li.opf[o] }
+
+// VPF returns ℘(o) for a leaf object, nil when unset.
+func (li *LocalInterpretation) VPF(o model.ObjectID) *prob.VPF { return li.vpf[o] }
+
+// Clone returns a deep copy.
+func (li *LocalInterpretation) Clone() *LocalInterpretation {
+	c := NewLocalInterpretation()
+	for o, w := range li.opf {
+		c.opf[o] = w.Clone()
+	}
+	for o, w := range li.vpf {
+		c.vpf[o] = w.Clone()
+	}
+	return c
+}
+
+// ProbInstance is a probabilistic instance I = (V, lch, τ, val, card, ℘)
+// per Definition 3.11: a weak instance together with a local
+// interpretation.
+type ProbInstance struct {
+	*WeakInstance
+	interp *LocalInterpretation
+}
+
+// NewProbInstance returns a probabilistic instance over a fresh weak
+// instance with the given root.
+func NewProbInstance(root model.ObjectID) *ProbInstance {
+	return &ProbInstance{
+		WeakInstance: NewWeakInstance(root),
+		interp:       NewLocalInterpretation(),
+	}
+}
+
+// FromWeak wraps an existing weak instance with an empty local
+// interpretation. The weak instance is used directly, not copied.
+func FromWeak(w *WeakInstance) *ProbInstance {
+	return &ProbInstance{WeakInstance: w, interp: NewLocalInterpretation()}
+}
+
+// Weak returns the underlying weak instance.
+func (pi *ProbInstance) Weak() *WeakInstance { return pi.WeakInstance }
+
+// Interp returns the local interpretation ℘.
+func (pi *ProbInstance) Interp() *LocalInterpretation { return pi.interp }
+
+// SetOPF assigns ℘(o) for a non-leaf object.
+func (pi *ProbInstance) SetOPF(o model.ObjectID, w *prob.OPF) { pi.interp.SetOPF(o, w) }
+
+// SetVPF assigns ℘(o) for a leaf object.
+func (pi *ProbInstance) SetVPF(o model.ObjectID, w *prob.VPF) { pi.interp.SetVPF(o, w) }
+
+// OPF returns ℘(o) for a non-leaf object, nil when unset.
+func (pi *ProbInstance) OPF(o model.ObjectID) *prob.OPF { return pi.interp.OPF(o) }
+
+// VPF returns ℘(o) for a leaf object, nil when unset.
+func (pi *ProbInstance) VPF(o model.ObjectID) *prob.VPF { return pi.interp.VPF(o) }
+
+// Clone returns a deep copy of the probabilistic instance.
+func (pi *ProbInstance) Clone() *ProbInstance {
+	return &ProbInstance{
+		WeakInstance: pi.WeakInstance.Clone(),
+		interp:       pi.interp.Clone(),
+	}
+}
+
+// Rename returns a copy with object identifiers substituted per the
+// mapping; see WeakInstance.Rename.
+func (pi *ProbInstance) Rename(m map[model.ObjectID]model.ObjectID) *ProbInstance {
+	rn := func(o model.ObjectID) model.ObjectID {
+		if n, ok := m[o]; ok {
+			return n
+		}
+		return o
+	}
+	out := &ProbInstance{
+		WeakInstance: pi.WeakInstance.Rename(m),
+		interp:       NewLocalInterpretation(),
+	}
+	for o, w := range pi.interp.opf {
+		nw := prob.NewOPF()
+		w.Each(func(c sets.Set, p float64) {
+			ids := make([]string, c.Len())
+			for i, id := range c {
+				ids[i] = rn(id)
+			}
+			nw.Add(sets.NewSet(ids...), p)
+		})
+		out.interp.opf[rn(o)] = nw
+	}
+	for o, w := range pi.interp.vpf {
+		out.interp.vpf[rn(o)] = w.Clone()
+	}
+	return out
+}
+
+// ValidateLite checks everything Validate checks except PC membership of
+// OPF support sets, making it safe for instances whose PC(o) would be huge.
+// Specifically: the weak instance is valid and acyclic, every non-leaf
+// object reachable in the weak instance graph has a valid OPF whose support
+// sets are subsets of the object's potential children with per-label counts
+// within card, and every typed leaf has a valid VPF supported on its
+// domain.
+func (pi *ProbInstance) ValidateLite() error { return pi.validate(false) }
+
+// Validate performs the full Definition 3.11 check: ValidateLite plus
+// membership of every OPF support set in PC(o). Objects with more than
+// DefaultPCLimit potential child sets cause an error; use ValidateLite for
+// such instances.
+func (pi *ProbInstance) Validate() error { return pi.validate(true) }
+
+func (pi *ProbInstance) validate(checkPC bool) error {
+	if err := pi.WeakInstance.Validate(); err != nil {
+		return err
+	}
+	if err := pi.CheckAcyclic(); err != nil {
+		return err
+	}
+	for _, o := range pi.Objects() {
+		if pi.IsLeaf(o) {
+			if t, typed := pi.TypeOf(o); typed {
+				v := pi.VPF(o)
+				if v == nil {
+					return fmt.Errorf("core: typed leaf %s has no VPF", o)
+				}
+				if err := v.Validate(); err != nil {
+					return fmt.Errorf("core: VPF(%s): %w", o, err)
+				}
+				for _, e := range v.Entries() {
+					if e.Prob > 0 && !t.Has(e.Value) {
+						return fmt.Errorf("core: VPF(%s) supports value %q outside dom(%s)", o, e.Value, t.Name)
+					}
+				}
+			} else if pi.VPF(o) != nil {
+				return fmt.Errorf("core: untyped leaf %s has a VPF", o)
+			}
+			continue
+		}
+		w := pi.OPF(o)
+		if w == nil {
+			return fmt.Errorf("core: non-leaf %s has no OPF", o)
+		}
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("core: OPF(%s): %w", o, err)
+		}
+		if err := pi.checkOPFSupport(o, w, checkPC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkOPFSupport verifies every support set of the OPF is structurally
+// admissible: members are potential children and per-label counts lie in
+// card. With checkPC it additionally verifies exact membership in PC(o).
+func (pi *ProbInstance) checkOPFSupport(o model.ObjectID, w *prob.OPF, checkPC bool) error {
+	labels := pi.Labels(o)
+	var pcKeys map[string]bool
+	if checkPC {
+		pc, err := pi.PotentialChildSets(o, DefaultPCLimit)
+		if err != nil {
+			return fmt.Errorf("core: validating OPF(%s): %w", o, err)
+		}
+		pcKeys = make(map[string]bool, len(pc))
+		for _, c := range pc {
+			pcKeys[c.Key()] = true
+		}
+	}
+	for _, e := range w.Entries() {
+		if e.Prob <= 0 {
+			continue
+		}
+		if checkPC && !pcKeys[e.Set.Key()] {
+			return fmt.Errorf("core: OPF(%s) supports %s ∉ PC(%s)", o, e.Set, o)
+		}
+		counts := make(map[model.Label]int, len(labels))
+		for _, c := range e.Set {
+			l, ok := pi.LabelOf(o, c)
+			if !ok {
+				return fmt.Errorf("core: OPF(%s) supports %s containing non-child %s", o, e.Set, c)
+			}
+			counts[l]++
+		}
+		for _, l := range labels {
+			if !pi.Card(o, l).Contains(counts[l]) {
+				return fmt.Errorf("core: OPF(%s) set %s has %d %s-children outside card %v",
+					o, e.Set, counts[l], l, pi.Card(o, l))
+			}
+		}
+	}
+	return nil
+}
+
+// Compatible reports whether the semistructured instance S is compatible
+// with the probabilistic instance's weak instance per Definition 4.1. A nil
+// error means compatible.
+//
+// Deviation (documented in the package comment of model): the literal
+// definition forbids a weak-instance non-leaf from being childless in S,
+// but cardinality minima of zero (used throughout the paper, e.g.
+// card(A1, institution) = [0,1] in Figure 2) explicitly permit it, so the
+// leaf conditions here apply only to weak-instance leaves.
+func (pi *ProbInstance) Compatible(s *model.Instance) error {
+	return CompatibleWith(pi.WeakInstance, s)
+}
+
+// CompatibleWith is Compatible for a bare weak instance.
+func CompatibleWith(w *WeakInstance, s *model.Instance) error {
+	if s.Root() != w.Root() {
+		return fmt.Errorf("core: instance root %s differs from weak root %s", s.Root(), w.Root())
+	}
+	for _, o := range s.Objects() {
+		if !w.HasObject(o) {
+			return fmt.Errorf("core: object %s not in weak instance", o)
+		}
+		if w.IsLeaf(o) {
+			if !s.IsLeaf(o) {
+				return fmt.Errorf("core: weak leaf %s has children in instance", o)
+			}
+			wt, typed := w.TypeOf(o)
+			st, styped := s.TypeOf(o)
+			if typed != styped {
+				return fmt.Errorf("core: leaf %s typed-ness mismatch", o)
+			}
+			if typed {
+				if wt.Name != st.Name {
+					return fmt.Errorf("core: leaf %s has type %q, weak instance says %q", o, st.Name, wt.Name)
+				}
+				v, ok := s.ValueOf(o)
+				if !ok {
+					return fmt.Errorf("core: typed leaf %s has no value", o)
+				}
+				if !wt.Has(v) {
+					return fmt.Errorf("core: leaf %s value %q outside dom(%s)", o, v, wt.Name)
+				}
+			}
+			continue
+		}
+		// Non-leaf in W: every instance edge must be sanctioned by lch with
+		// a matching label, and per-label counts must respect card.
+		counts := make(map[model.Label]int)
+		var edgeErr error
+		s.Graph().EachChild(o, func(child, label string) {
+			if edgeErr != nil {
+				return
+			}
+			if !w.LCh(o, label).Contains(child) {
+				edgeErr = fmt.Errorf("core: edge %s -%s-> %s not sanctioned by lch", o, label, child)
+				return
+			}
+			counts[label]++
+		})
+		if edgeErr != nil {
+			return edgeErr
+		}
+		for _, l := range w.Labels(o) {
+			if !w.Card(o, l).Contains(counts[l]) {
+				return fmt.Errorf("core: object %s has %d %s-children, card is %v", o, counts[l], l, w.Card(o, l))
+			}
+		}
+	}
+	return nil
+}
+
+// InstanceProb computes P_℘(S) of Definition 4.4:
+// the product over objects o of S of ℘(o)(c_S(o)), where c_S(o) is the set
+// of children of o in S for non-leaves and the value of o for typed leaves.
+// It returns an error when S is not compatible with the weak instance.
+func (pi *ProbInstance) InstanceProb(s *model.Instance) (float64, error) {
+	if err := pi.Compatible(s); err != nil {
+		return 0, err
+	}
+	p := 1.0
+	for _, o := range s.Objects() {
+		if pi.IsLeaf(o) {
+			if _, typed := pi.TypeOf(o); typed {
+				v, _ := s.ValueOf(o)
+				vpf := pi.VPF(o)
+				if vpf == nil {
+					return 0, fmt.Errorf("core: typed leaf %s has no VPF", o)
+				}
+				p *= vpf.Prob(v)
+			}
+			continue
+		}
+		w := pi.OPF(o)
+		if w == nil {
+			return 0, fmt.Errorf("core: non-leaf %s has no OPF", o)
+		}
+		p *= w.Prob(sets.NewSet(s.Children(o)...))
+	}
+	return p, nil
+}
+
+// Depth returns the length of the longest path from the root in the weak
+// instance graph, or an error when the graph is cyclic.
+func (pi *ProbInstance) Depth() (int, error) {
+	g := pi.WeakInstance.Graph()
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	depth := make(map[model.ObjectID]int, len(order))
+	maxDepth := 0
+	for _, o := range order {
+		for _, c := range g.Children(o) {
+			if d := depth[o] + 1; d > depth[c] {
+				depth[c] = d
+				if d > maxDepth {
+					maxDepth = d
+				}
+			}
+		}
+	}
+	return maxDepth, nil
+}
+
+// Stats summarizes a probabilistic instance for tooling: object and edge
+// counts of the weak instance graph and the total number of local
+// probability entries (the quantity the Figure 7 experiments scale by).
+type Stats struct {
+	Objects    int
+	Edges      int
+	Leaves     int
+	OPFEntries int
+	VPFEntries int
+	Depth      int
+}
+
+// ComputeStats returns summary statistics of the instance.
+func (pi *ProbInstance) ComputeStats() Stats {
+	g := pi.WeakInstance.Graph()
+	st := Stats{Objects: pi.NumObjects(), Edges: g.NumEdges()}
+	for _, o := range pi.Objects() {
+		if pi.IsLeaf(o) {
+			st.Leaves++
+			if v := pi.VPF(o); v != nil {
+				st.VPFEntries += v.Len()
+			}
+			continue
+		}
+		if w := pi.OPF(o); w != nil {
+			st.OPFEntries += w.Len()
+		}
+	}
+	if d, err := pi.Depth(); err == nil {
+		st.Depth = d
+	}
+	return st
+}
+
+// SortedOPFObjects returns the non-leaf objects that carry an OPF, sorted.
+func (pi *ProbInstance) SortedOPFObjects() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(pi.interp.opf))
+	for o := range pi.interp.opf {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedVPFObjects returns the leaf objects that carry a VPF, sorted.
+func (pi *ProbInstance) SortedVPFObjects() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(pi.interp.vpf))
+	for o := range pi.interp.vpf {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

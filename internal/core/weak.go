@@ -1,0 +1,545 @@
+// Package core implements the PXML probabilistic semistructured data model:
+// weak instances (Definition 3.4), potential child sets (Definitions
+// 3.5–3.6), the weak instance graph and its acyclicity requirement
+// (Definitions 3.7 and 4.3), local interpretations (Definitions 3.8–3.10),
+// probabilistic instances (Definition 3.11), compatibility of semistructured
+// instances (Definition 4.1) and the local-to-global semantics
+// P_℘(S) = Π_o ℘(o)(c_S(o)) of Definition 4.4 whose coherence is Theorem 1.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pxml/internal/graph"
+	"pxml/internal/model"
+	"pxml/internal/sets"
+)
+
+// DefaultPCLimit bounds the number of potential child sets materialized for
+// a single object. The paper's experiments use up to 2^8 = 256 entries per
+// object; the default leaves ample headroom while preventing accidental
+// exponential blowups on adversarial cardinality constraints.
+const DefaultPCLimit = 1 << 20
+
+// WeakInstance is W = (V, lch, τ, val, card) per Definition 3.4. It fixes
+// which objects exist, which objects may be children of which under which
+// label, the leaf types and (default) leaf values, and cardinality bounds
+// on the number of children per label.
+//
+// Two deviations from the letter of the definition, both forced by the
+// paper's own examples, are documented where they matter:
+//   - leaf types and values are optional (see model.Instance);
+//   - PC(o) is the per-label cross product rather than literal minimal
+//     hitting sets (see sets.UnionProduct).
+type WeakInstance struct {
+	root    model.ObjectID
+	objects map[model.ObjectID]struct{}
+	lch     map[model.ObjectID]map[model.Label]sets.Set
+	card    map[model.ObjectID]map[model.Label]sets.Interval
+	types   map[model.TypeName]model.Type
+	typ     map[model.ObjectID]model.TypeName
+	val     map[model.ObjectID]model.Value
+
+	// graphMu guards graphCache, which memoizes the Definition 3.7 weak
+	// instance graph: every algebra operation and query starts from it, so
+	// rebuilding per call would dominate repeated-query workloads. Any
+	// structural mutation invalidates the cache. The cached graph is
+	// shared with callers and must be treated as read-only.
+	graphMu    sync.Mutex
+	graphCache *graph.Graph
+}
+
+// NewWeakInstance returns a weak instance containing only the root object.
+func NewWeakInstance(root model.ObjectID) *WeakInstance {
+	w := &WeakInstance{
+		root:    root,
+		objects: make(map[model.ObjectID]struct{}),
+		lch:     make(map[model.ObjectID]map[model.Label]sets.Set),
+		card:    make(map[model.ObjectID]map[model.Label]sets.Interval),
+		types:   make(map[model.TypeName]model.Type),
+		typ:     make(map[model.ObjectID]model.TypeName),
+		val:     make(map[model.ObjectID]model.Value),
+	}
+	w.objects[root] = struct{}{}
+	return w
+}
+
+// Root returns the root object identifier.
+func (w *WeakInstance) Root() model.ObjectID { return w.root }
+
+// invalidateGraph drops the memoized weak instance graph after a
+// structural mutation.
+func (w *WeakInstance) invalidateGraph() {
+	w.graphMu.Lock()
+	w.graphCache = nil
+	w.graphMu.Unlock()
+}
+
+// AddObject inserts an object into V.
+func (w *WeakInstance) AddObject(o model.ObjectID) {
+	if _, ok := w.objects[o]; ok {
+		return
+	}
+	w.objects[o] = struct{}{}
+	w.invalidateGraph()
+}
+
+// HasObject reports whether o ∈ V.
+func (w *WeakInstance) HasObject(o model.ObjectID) bool {
+	_, ok := w.objects[o]
+	return ok
+}
+
+// Objects returns V in sorted order.
+func (w *WeakInstance) Objects() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(w.objects))
+	for o := range w.objects {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumObjects returns |V|.
+func (w *WeakInstance) NumObjects() int { return len(w.objects) }
+
+// SetLCh declares lch(o, l) = children: the set of objects that may be
+// children of o under label l. All mentioned objects are added to V.
+// Passing an empty children list removes the entry.
+func (w *WeakInstance) SetLCh(o model.ObjectID, l model.Label, children ...model.ObjectID) {
+	w.invalidateGraph()
+	w.AddObject(o)
+	if len(children) == 0 {
+		if m := w.lch[o]; m != nil {
+			delete(m, l)
+			if len(m) == 0 {
+				delete(w.lch, o)
+			}
+		}
+		return
+	}
+	for _, c := range children {
+		w.AddObject(c)
+	}
+	if w.lch[o] == nil {
+		w.lch[o] = make(map[model.Label]sets.Set)
+	}
+	w.lch[o][l] = sets.NewSet(children...)
+}
+
+// LCh returns lch(o, l); nil when empty.
+func (w *WeakInstance) LCh(o model.ObjectID, l model.Label) sets.Set {
+	return w.lch[o][l]
+}
+
+// Labels returns the labels under which o has potential children, sorted.
+func (w *WeakInstance) Labels(o model.ObjectID) []model.Label {
+	m := w.lch[o]
+	ls := make([]model.Label, 0, len(m))
+	for l := range m {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// AllChildren returns the union of lch(o, l) over all labels: every object
+// that may be a child of o.
+func (w *WeakInstance) AllChildren(o model.ObjectID) sets.Set {
+	var u sets.Set
+	for _, l := range w.Labels(o) {
+		u = u.Union(w.lch[o][l])
+	}
+	return u
+}
+
+// LabelOf returns the unique label under which child is a potential child
+// of o. The boolean result is false when child is not a potential child.
+// Uniqueness is guaranteed by Validate's label-disjointness check.
+func (w *WeakInstance) LabelOf(o, child model.ObjectID) (model.Label, bool) {
+	for _, l := range w.Labels(o) {
+		if w.lch[o][l].Contains(child) {
+			return l, true
+		}
+	}
+	return "", false
+}
+
+// SetCard sets card(o, l) = [min, max] (Definition 3.4 item 5).
+func (w *WeakInstance) SetCard(o model.ObjectID, l model.Label, min, max int) {
+	w.invalidateGraph()
+	w.AddObject(o)
+	if w.card[o] == nil {
+		w.card[o] = make(map[model.Label]sets.Interval)
+	}
+	w.card[o][l] = sets.Interval{Min: min, Max: max}
+}
+
+// Card returns card(o, l). When no interval has been set the default is
+// [0, |lch(o, l)|] — the "no cardinality constraint" regime the paper's
+// experiments use.
+func (w *WeakInstance) Card(o model.ObjectID, l model.Label) sets.Interval {
+	if iv, ok := w.card[o][l]; ok {
+		return iv
+	}
+	return sets.Interval{Min: 0, Max: w.lch[o][l].Len()}
+}
+
+// IsLeaf reports whether o is a leaf of the weak instance: it has no
+// potential children under any label.
+func (w *WeakInstance) IsLeaf(o model.ObjectID) bool {
+	for _, s := range w.lch[o] {
+		if s.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RegisterType records a leaf type so objects can reference it by name.
+func (w *WeakInstance) RegisterType(t model.Type) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if old, ok := w.types[t.Name]; ok {
+		if len(old.Domain) != len(t.Domain) {
+			return fmt.Errorf("core: type %q re-registered with different domain", t.Name)
+		}
+		for i := range old.Domain {
+			if old.Domain[i] != t.Domain[i] {
+				return fmt.Errorf("core: type %q re-registered with different domain", t.Name)
+			}
+		}
+		return nil
+	}
+	w.types[t.Name] = t
+	return nil
+}
+
+// Types returns the registered types keyed by name. Callers must not mutate
+// the returned map.
+func (w *WeakInstance) Types() map[model.TypeName]model.Type { return w.types }
+
+// SetLeafType assigns τ(o) = tn. The type must have been registered.
+func (w *WeakInstance) SetLeafType(o model.ObjectID, tn model.TypeName) error {
+	if _, ok := w.types[tn]; !ok {
+		return fmt.Errorf("core: unknown type %q for object %s", tn, o)
+	}
+	w.AddObject(o)
+	w.typ[o] = tn
+	return nil
+}
+
+// SetDefaultValue assigns val(o) = v, the representative leaf value of
+// Definition 3.4 item 4. The value must lie in the object's type domain.
+func (w *WeakInstance) SetDefaultValue(o model.ObjectID, v model.Value) error {
+	tn, ok := w.typ[o]
+	if !ok {
+		return fmt.Errorf("core: object %s has no type; set one before a default value", o)
+	}
+	if !w.types[tn].Has(v) {
+		return fmt.Errorf("core: value %q outside dom(%s) for object %s", v, tn, o)
+	}
+	w.val[o] = v
+	return nil
+}
+
+// TypeOf returns τ(o); the boolean result is false for untyped objects.
+func (w *WeakInstance) TypeOf(o model.ObjectID) (model.Type, bool) {
+	tn, ok := w.typ[o]
+	if !ok {
+		return model.Type{}, false
+	}
+	return w.types[tn], true
+}
+
+// DefaultValue returns val(o); the boolean result is false when no default
+// value was assigned.
+func (w *WeakInstance) DefaultValue(o model.ObjectID) (model.Value, bool) {
+	v, ok := w.val[o]
+	return v, ok
+}
+
+// PotentialLChildSets returns PL(o, l), the potential l-child sets of
+// Definition 3.5: subsets of lch(o, l) whose cardinality lies within
+// card(o, l).
+func (w *WeakInstance) PotentialLChildSets(o model.ObjectID, l model.Label) []sets.Set {
+	return sets.BoundedSubsets(w.lch[o][l], w.Card(o, l))
+}
+
+// PotentialChildSets returns PC(o), the potential child sets of Definition
+// 3.6: one potential l-child set chosen per label, unioned. The limit
+// bounds the result size; exceeding it is an error. A leaf object has the
+// single potential child set ∅.
+func (w *WeakInstance) PotentialChildSets(o model.ObjectID, limit int) ([]sets.Set, error) {
+	if limit <= 0 {
+		limit = DefaultPCLimit
+	}
+	labels := w.Labels(o)
+	total := 1
+	fams := make([]sets.Family, 0, len(labels))
+	for _, l := range labels {
+		n := w.lch[o][l].Len()
+		cnt := sets.CountBoundedSubsets(n, w.Card(o, l), limit)
+		if total*cnt > limit {
+			return nil, fmt.Errorf("core: PC(%s) exceeds limit %d", o, limit)
+		}
+		total *= cnt
+		fams = append(fams, sets.Family(w.PotentialLChildSets(o, l)))
+	}
+	return sets.UnionProduct(fams), nil
+}
+
+// PCSize returns |PC(o)| without materializing the sets, capped at limit
+// (returns limit+1 when the true size exceeds it). It assumes the per-label
+// potential sets are distinct, which holds because per-label universes are
+// disjoint.
+func (w *WeakInstance) PCSize(o model.ObjectID, limit int) int {
+	if limit <= 0 {
+		limit = DefaultPCLimit
+	}
+	total := 1
+	for _, l := range w.Labels(o) {
+		n := w.lch[o][l].Len()
+		cnt := sets.CountBoundedSubsets(n, w.Card(o, l), limit)
+		if cnt > limit || total > limit/max(cnt, 1) {
+			return limit + 1
+		}
+		total *= cnt
+	}
+	return total
+}
+
+// childMayAppear reports whether the given potential child of o under label
+// l occurs in at least one set of PC(o): some potential l-child set
+// contains it and no other label's family is empty.
+func (w *WeakInstance) childMayAppear(o model.ObjectID, l model.Label) bool {
+	iv := w.Card(o, l)
+	n := w.lch[o][l].Len()
+	if iv.Max < 1 || iv.Min > n {
+		return false
+	}
+	// Another label with an unsatisfiable cardinality annihilates PC(o).
+	for _, l2 := range w.Labels(o) {
+		if l2 == l {
+			continue
+		}
+		if w.Card(o, l2).Min > w.lch[o][l2].Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// Graph returns the weak instance graph G_W of Definition 3.7: an edge
+// o → o' labeled l exists iff o' belongs to some c ∈ PC(o) (under label l).
+// The graph is memoized until the next structural mutation and is shared
+// between callers: treat it as read-only.
+func (w *WeakInstance) Graph() *graph.Graph {
+	w.graphMu.Lock()
+	defer w.graphMu.Unlock()
+	if w.graphCache != nil {
+		return w.graphCache
+	}
+	w.graphCache = w.buildGraph()
+	return w.graphCache
+}
+
+// buildGraph constructs the weak instance graph from scratch.
+func (w *WeakInstance) buildGraph() *graph.Graph {
+	g := graph.New()
+	for o := range w.objects {
+		g.AddNode(o)
+	}
+	for o, m := range w.lch {
+		for l, cs := range m {
+			if !w.childMayAppear(o, l) {
+				continue
+			}
+			for _, c := range cs {
+				// Relabel conflicts surface in Validate; ignore here.
+				_ = g.AddEdge(o, c, l)
+			}
+		}
+	}
+	return g
+}
+
+// CheckAcyclic reports an error when the weak instance graph contains a
+// directed cycle (Definition 4.3 requires acyclicity for coherence).
+func (w *WeakInstance) CheckAcyclic() error {
+	if _, err := w.Graph().TopoSort(); err != nil {
+		return fmt.Errorf("core: weak instance not acyclic: %w", err)
+	}
+	return nil
+}
+
+// IsTree reports whether the weak instance graph is a tree rooted at the
+// root: acyclic, every non-root object has exactly one parent, and every
+// object is reachable from the root. The Section 6 fast algorithms assume
+// this structure.
+func (w *WeakInstance) IsTree() bool {
+	g := w.Graph()
+	if !g.IsAcyclic() {
+		return false
+	}
+	reach := g.ReachableFrom(w.root)
+	if len(reach) != len(w.objects) {
+		return false
+	}
+	for o := range w.objects {
+		switch {
+		case o == w.root:
+			if g.InDegree(o) != 0 {
+				return false
+			}
+		default:
+			if g.InDegree(o) != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks the structural invariants of Definition 3.4: the root
+// exists and is not anyone's potential child, lch targets are objects of V,
+// an object is a potential child of a given parent under at most one label,
+// cardinality intervals are well formed, types are registered with values
+// in domain, and only weak-instance leaves carry types.
+func (w *WeakInstance) Validate() error {
+	if _, ok := w.objects[w.root]; !ok {
+		return fmt.Errorf("core: root %s not in V", w.root)
+	}
+	for o, m := range w.lch {
+		if _, ok := w.objects[o]; !ok {
+			return fmt.Errorf("core: lch parent %s not in V", o)
+		}
+		seen := make(map[model.ObjectID]model.Label)
+		for l, cs := range m {
+			for _, c := range cs {
+				if _, ok := w.objects[c]; !ok {
+					return fmt.Errorf("core: lch(%s,%s) child %s not in V", o, l, c)
+				}
+				if c == w.root {
+					return fmt.Errorf("core: root %s appears in lch(%s,%s)", w.root, o, l)
+				}
+				if prev, dup := seen[c]; dup {
+					return fmt.Errorf("core: object %s is a potential child of %s under labels %q and %q", c, o, prev, l)
+				}
+				seen[c] = l
+			}
+		}
+	}
+	for o, m := range w.card {
+		for l, iv := range m {
+			if err := iv.Validate(); err != nil {
+				return fmt.Errorf("core: card(%s,%s): %w", o, l, err)
+			}
+		}
+	}
+	for o, tn := range w.typ {
+		if _, ok := w.types[tn]; !ok {
+			return fmt.Errorf("core: object %s has unregistered type %q", o, tn)
+		}
+		if !w.IsLeaf(o) {
+			return fmt.Errorf("core: non-leaf object %s carries leaf type %q", o, tn)
+		}
+	}
+	for o, v := range w.val {
+		tn, ok := w.typ[o]
+		if !ok {
+			return fmt.Errorf("core: object %s has default value but no type", o)
+		}
+		if !w.types[tn].Has(v) {
+			return fmt.Errorf("core: default value %q of %s outside dom(%s)", v, o, tn)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the weak instance. Child sets are shared
+// (immutable by convention); maps are copied.
+func (w *WeakInstance) Clone() *WeakInstance {
+	c := NewWeakInstance(w.root)
+	for o := range w.objects {
+		c.objects[o] = struct{}{}
+	}
+	for o, m := range w.lch {
+		cm := make(map[model.Label]sets.Set, len(m))
+		for l, s := range m {
+			cm[l] = s
+		}
+		c.lch[o] = cm
+	}
+	for o, m := range w.card {
+		cm := make(map[model.Label]sets.Interval, len(m))
+		for l, iv := range m {
+			cm[l] = iv
+		}
+		c.card[o] = cm
+	}
+	for k, v := range w.types {
+		c.types[k] = v
+	}
+	for k, v := range w.typ {
+		c.typ[k] = v
+	}
+	for k, v := range w.val {
+		c.val[k] = v
+	}
+	return c
+}
+
+// Rename returns a copy of the weak instance with object identifiers
+// substituted per the mapping (identifiers absent from the map are kept).
+// It is used by the Cartesian product to make operand universes disjoint.
+func (w *WeakInstance) Rename(m map[model.ObjectID]model.ObjectID) *WeakInstance {
+	rn := func(o model.ObjectID) model.ObjectID {
+		if n, ok := m[o]; ok {
+			return n
+		}
+		return o
+	}
+	c := NewWeakInstance(rn(w.root))
+	for o := range w.objects {
+		c.objects[rn(o)] = struct{}{}
+	}
+	for o, lm := range w.lch {
+		cm := make(map[model.Label]sets.Set, len(lm))
+		for l, s := range lm {
+			ids := make([]string, s.Len())
+			for i, id := range s {
+				ids[i] = rn(id)
+			}
+			cm[l] = sets.NewSet(ids...)
+		}
+		c.lch[rn(o)] = cm
+	}
+	for o, lm := range w.card {
+		cm := make(map[model.Label]sets.Interval, len(lm))
+		for l, iv := range lm {
+			cm[l] = iv
+		}
+		c.card[rn(o)] = cm
+	}
+	for k, v := range w.types {
+		c.types[k] = v
+	}
+	for k, v := range w.typ {
+		c.typ[rn(k)] = v
+	}
+	for k, v := range w.val {
+		c.val[rn(k)] = v
+	}
+	return c
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+// Package dot renders PXML structures in Graphviz DOT form for
+// visualization: deterministic semistructured instances (possible worlds)
+// and the weak instance graphs of probabilistic instances, with edges
+// annotated by label and — for probabilistic instances — by the marginal
+// probability that the edge is realized given its parent exists.
+package dot
+
+import (
+	"fmt"
+	"strings"
+
+	"pxml/internal/core"
+	"pxml/internal/model"
+)
+
+// quote escapes a string for a DOT identifier.
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// Instance renders a deterministic semistructured instance. Typed leaves
+// show their value in the node label.
+func Instance(s *model.Instance) string {
+	var b strings.Builder
+	b.WriteString("digraph pxml {\n  rankdir=TB;\n  node [shape=ellipse];\n")
+	fmt.Fprintf(&b, "  %s [shape=doublecircle];\n", quote(s.Root()))
+	for _, o := range s.Objects() {
+		if v, ok := s.ValueOf(o); ok {
+			t, _ := s.TypeOf(o)
+			fmt.Fprintf(&b, "  %s [shape=box,label=%s];\n",
+				quote(o), quote(fmt.Sprintf("%s\n%s = %s", o, t.Name, v)))
+		}
+	}
+	for _, e := range s.Edges() {
+		fmt.Fprintf(&b, "  %s -> %s [label=%s];\n", quote(e.From), quote(e.To), quote(e.Label))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Weak renders the weak instance graph of a probabilistic instance. Every
+// potential edge o → c is annotated with its label and the conditional
+// marginal P(c ∈ children(o) | o exists) read from the OPF; typed leaves
+// show their most likely value.
+func Weak(pi *core.ProbInstance) string {
+	var b strings.Builder
+	b.WriteString("digraph pxml {\n  rankdir=TB;\n  node [shape=ellipse];\n")
+	fmt.Fprintf(&b, "  %s [shape=doublecircle];\n", quote(pi.Root()))
+	for _, o := range pi.Objects() {
+		if t, ok := pi.TypeOf(o); ok {
+			label := fmt.Sprintf("%s\n%s", o, t.Name)
+			if v := pi.VPF(o); v != nil {
+				best, bestP := "", -1.0
+				for _, e := range v.Entries() {
+					if e.Prob > bestP {
+						best, bestP = e.Value, e.Prob
+					}
+				}
+				label = fmt.Sprintf("%s\n%s ≈ %s (%.2f)", o, t.Name, best, bestP)
+			}
+			fmt.Fprintf(&b, "  %s [shape=box,label=%s];\n", quote(o), quote(label))
+		}
+	}
+	g := pi.WeakInstance.Graph()
+	for _, e := range g.Edges() {
+		label := e.Label
+		if opf := pi.OPF(e.From); opf != nil {
+			label = fmt.Sprintf("%s (%.2f)", e.Label, opf.ProbContains(e.To))
+		}
+		fmt.Fprintf(&b, "  %s -> %s [label=%s];\n", quote(e.From), quote(e.To), quote(label))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"pxml/internal/fixtures"
+)
+
+func TestInstanceDOT(t *testing.T) {
+	out := Instance(fixtures.Figure1())
+	for _, want := range []string{
+		"digraph pxml",
+		`"R" [shape=doublecircle]`,
+		`"B1" -> "A1" [label="author"]`,
+		"title-type = VQDB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "}\n") {
+		t.Error("unterminated digraph")
+	}
+}
+
+func TestWeakDOT(t *testing.T) {
+	out := Weak(fixtures.Figure2())
+	for _, want := range []string{
+		"digraph pxml",
+		`"R" -> "B1" [label="book (0.80)"]`, // P(B1 ∈ c(R)) = 0.8
+		`"A1" -> "I1" [label="institution (0.80)"]`,
+		"institution-type ≈ Stanford (1.00)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuoteEscapes(t *testing.T) {
+	if got := quote(`a"b`); got != `"a\"b"` {
+		t.Errorf("quote = %s", got)
+	}
+}

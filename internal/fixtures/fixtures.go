@@ -1,0 +1,270 @@
+// Package fixtures provides shared test data: the paper's running
+// bibliographic example (Figures 1 and 2) and randomized small
+// probabilistic instances for property-based testing. It lives outside the
+// _test files so every package's tests and the examples can reuse it.
+package fixtures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pxml/internal/core"
+	"pxml/internal/model"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+)
+
+// Figure1 builds the deterministic semistructured instance of Figure 1.
+func Figure1() *model.Instance {
+	s := model.NewInstance("R")
+	must(s.RegisterType(model.NewType("title-type", "VQDB", "Lore")))
+	must(s.RegisterType(model.NewType("institution-type", "Stanford", "UMD")))
+	type edge struct{ from, to, l string }
+	for _, e := range []edge{
+		{"R", "B1", "book"}, {"R", "B2", "book"}, {"R", "B3", "book"},
+		{"B1", "T1", "title"}, {"B1", "A1", "author"}, {"B1", "A2", "author"},
+		{"B2", "A1", "author"}, {"B2", "A2", "author"}, {"B2", "A3", "author"},
+		{"B3", "T2", "title"}, {"B3", "A3", "author"},
+		{"A1", "I1", "institution"}, {"A2", "I1", "institution"},
+		{"A2", "I2", "institution"}, {"A3", "I2", "institution"},
+	} {
+		must(s.AddEdge(e.from, e.to, e.l))
+	}
+	must(s.SetLeaf("T1", "title-type", "VQDB"))
+	must(s.SetLeaf("T2", "title-type", "Lore"))
+	must(s.SetLeaf("I1", "institution-type", "Stanford"))
+	must(s.SetLeaf("I2", "institution-type", "UMD"))
+	return s
+}
+
+// Figure2 builds the probabilistic instance of Figure 2, the paper's
+// running example. Leaf VPFs are point masses on the Figure 1 values so
+// that Example 4.1's hand computation reproduces exactly. Note the weak
+// instance graph is a DAG, not a tree: B1 and B2 share the potential
+// authors A1 and A2, and A1 and A2 share the potential institution I1.
+func Figure2() *core.ProbInstance {
+	pi := core.NewProbInstance("R")
+	must(pi.RegisterType(model.NewType("title-type", "VQDB", "Lore")))
+	must(pi.RegisterType(model.NewType("institution-type", "Stanford", "UMD")))
+
+	pi.SetLCh("R", "book", "B1", "B2", "B3")
+	pi.SetCard("R", "book", 2, 3)
+	opf(pi, "R", e("0.2", "B1", "B2"), e("0.2", "B1", "B3"), e("0.2", "B2", "B3"), e("0.4", "B1", "B2", "B3"))
+
+	pi.SetLCh("B1", "title", "T1")
+	pi.SetLCh("B1", "author", "A1", "A2")
+	pi.SetCard("B1", "author", 1, 2)
+	pi.SetCard("B1", "title", 0, 1)
+	opf(pi, "B1",
+		e("0.3", "A1"), e("0.35", "A1", "T1"),
+		e("0.1", "A2"), e("0.15", "A2", "T1"),
+		e("0.05", "A1", "A2"), e("0.05", "A1", "A2", "T1"))
+
+	pi.SetLCh("B2", "author", "A1", "A2", "A3")
+	pi.SetCard("B2", "author", 2, 2)
+	opf(pi, "B2", e("0.4", "A1", "A2"), e("0.4", "A1", "A3"), e("0.2", "A2", "A3"))
+
+	pi.SetLCh("B3", "title", "T2")
+	pi.SetLCh("B3", "author", "A3")
+	pi.SetCard("B3", "author", 1, 1)
+	pi.SetCard("B3", "title", 1, 1)
+	opf(pi, "B3", e("1.0", "A3", "T2"))
+
+	pi.SetLCh("A1", "institution", "I1")
+	pi.SetCard("A1", "institution", 0, 1)
+	opf(pi, "A1", e("0.2"), e("0.8", "I1"))
+
+	pi.SetLCh("A2", "institution", "I1", "I2")
+	pi.SetCard("A2", "institution", 1, 1)
+	opf(pi, "A2", e("0.5", "I1"), e("0.5", "I2"))
+
+	pi.SetLCh("A3", "institution", "I2")
+	pi.SetCard("A3", "institution", 1, 1)
+	opf(pi, "A3", e("1.0", "I2"))
+
+	must(pi.SetLeafType("T1", "title-type"))
+	must(pi.SetLeafType("T2", "title-type"))
+	must(pi.SetLeafType("I1", "institution-type"))
+	must(pi.SetLeafType("I2", "institution-type"))
+	pi.SetVPF("T1", prob.PointMass("VQDB"))
+	pi.SetVPF("T2", prob.PointMass("Lore"))
+	pi.SetVPF("I1", prob.PointMass("Stanford"))
+	pi.SetVPF("I2", prob.PointMass("UMD"))
+	return pi
+}
+
+// Figure2VariedLeaves is Figure2 with non-degenerate leaf VPFs, exercising
+// value distributions in tests.
+func Figure2VariedLeaves() *core.ProbInstance {
+	pi := Figure2()
+	t1 := prob.NewVPF()
+	t1.Put("VQDB", 0.7)
+	t1.Put("Lore", 0.3)
+	pi.SetVPF("T1", t1)
+	i1 := prob.NewVPF()
+	i1.Put("Stanford", 0.6)
+	i1.Put("UMD", 0.4)
+	pi.SetVPF("I1", i1)
+	return pi
+}
+
+type entry struct {
+	p   float64
+	ids []string
+}
+
+func e(p string, ids ...string) entry {
+	var f float64
+	if _, err := fmt.Sscanf(p, "%g", &f); err != nil {
+		panic(err)
+	}
+	return entry{p: f, ids: ids}
+}
+
+func opf(pi *core.ProbInstance, o model.ObjectID, es ...entry) {
+	w := prob.NewOPF()
+	for _, en := range es {
+		w.Put(sets.NewSet(en.ids...), en.p)
+	}
+	pi.SetOPF(o, w)
+}
+
+// RandomConfig controls RandomInstance.
+type RandomConfig struct {
+	// MaxDepth bounds the tree/DAG depth (levels below the root).
+	MaxDepth int
+	// MaxChildren bounds the number of potential children per object.
+	MaxChildren int
+	// DAG allows cross edges that share children between parents of the
+	// same level, producing non-tree weak instance graphs.
+	DAG bool
+	// WithCard adds random non-trivial cardinality constraints.
+	WithCard bool
+	// LeafDomain is the leaf value domain size (0 leaves untyped).
+	LeafDomain int
+}
+
+// RandomInstance builds a small random valid probabilistic instance for
+// property-based tests. Object counts stay small enough (≤ ~40) for the
+// enumeration oracle to remain tractable.
+func RandomInstance(r *rand.Rand, cfg RandomConfig) *core.ProbInstance {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 3
+	}
+	if cfg.MaxChildren <= 0 {
+		cfg.MaxChildren = 3
+	}
+	pi := core.NewProbInstance("r")
+	// The type name encodes the domain size so instances generated with
+	// different configurations still share compatible type registries
+	// (e.g. when combined by a Cartesian product).
+	leafType := fmt.Sprintf("leaf%d", cfg.LeafDomain)
+	if cfg.LeafDomain > 0 {
+		dom := make([]string, cfg.LeafDomain)
+		for i := range dom {
+			dom[i] = fmt.Sprintf("v%d", i)
+		}
+		must(pi.RegisterType(model.NewType(leafType, dom...)))
+	}
+	counter := 0
+	labels := []string{"a", "b"}
+	level := []model.ObjectID{"r"}
+	for depth := 0; depth < cfg.MaxDepth && len(level) > 0; depth++ {
+		var next []model.ObjectID
+		for _, o := range level {
+			n := r.Intn(cfg.MaxChildren + 1)
+			if o == "r" && n == 0 {
+				n = 1 // keep the instance non-trivial
+			}
+			if n == 0 {
+				continue
+			}
+			perLabel := make(map[string][]model.ObjectID)
+			used := make(map[model.ObjectID]bool)
+			for i := 0; i < n; i++ {
+				var c model.ObjectID
+				// In DAG mode occasionally reuse a child created for an
+				// earlier parent at this level.
+				if cfg.DAG && len(next) > 0 && r.Intn(3) == 0 {
+					c = next[r.Intn(len(next))]
+					if used[c] {
+						continue
+					}
+				} else {
+					counter++
+					c = fmt.Sprintf("o%d", counter)
+					next = append(next, c)
+				}
+				used[c] = true
+				l := labels[r.Intn(len(labels))]
+				perLabel[l] = append(perLabel[l], c)
+			}
+			for l, cs := range perLabel {
+				pi.SetLCh(o, l, cs...)
+				if cfg.WithCard && r.Intn(2) == 0 {
+					lo := r.Intn(2)
+					hi := lo + r.Intn(len(cs)-lo+1)
+					if hi == 0 {
+						// card [0,0] would delete the children from the
+						// weak instance graph, leaving them unreachable.
+						hi = 1
+					}
+					pi.SetCard(o, l, lo, hi)
+				}
+			}
+		}
+		level = next
+	}
+	// Assign OPFs to non-leaves and VPFs to typed leaves.
+	for _, o := range pi.Objects() {
+		if pi.IsLeaf(o) {
+			if cfg.LeafDomain > 0 {
+				must(pi.SetLeafType(o, leafType))
+				v := prob.NewVPF()
+				total := 0.0
+				weights := make([]float64, cfg.LeafDomain)
+				for i := range weights {
+					weights[i] = r.Float64() + 1e-3
+					total += weights[i]
+				}
+				for i, wt := range weights {
+					v.Put(fmt.Sprintf("v%d", i), wt/total)
+				}
+				pi.SetVPF(o, v)
+			}
+			continue
+		}
+		pc, err := pi.PotentialChildSets(o, core.DefaultPCLimit)
+		must(err)
+		w := prob.NewOPF()
+		total := 0.0
+		weights := make([]float64, len(pc))
+		for i := range pc {
+			weights[i] = r.Float64() + 1e-3
+			total += weights[i]
+		}
+		for i, c := range pc {
+			w.Put(c, weights[i]/total)
+		}
+		pi.SetOPF(o, w)
+	}
+	return pi
+}
+
+// RandomTree returns a random instance whose weak instance graph is a tree
+// (the structure the Section 6 fast algorithms assume).
+func RandomTree(r *rand.Rand) *core.ProbInstance {
+	return RandomInstance(r, RandomConfig{MaxDepth: 1 + r.Intn(3), MaxChildren: 1 + r.Intn(3), WithCard: r.Intn(2) == 0, LeafDomain: r.Intn(3)})
+}
+
+// RandomDAG returns a random instance whose weak instance graph may share
+// children across parents.
+func RandomDAG(r *rand.Rand) *core.ProbInstance {
+	return RandomInstance(r, RandomConfig{MaxDepth: 1 + r.Intn(3), MaxChildren: 1 + r.Intn(3), DAG: true, WithCard: r.Intn(2) == 0, LeafDomain: r.Intn(3)})
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

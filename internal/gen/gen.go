@@ -1,0 +1,270 @@
+// Package gen implements the experimental workload generator of Section
+// 7.1 of the PXML paper: probabilistic instances shaped as balanced trees
+// with a fixed branching factor, no cardinality constraints (so each
+// non-leaf object's local interpretation has 2^b entries), random local
+// probability tables, and two edge-labeling schemes — SL ("same label":
+// all children of a parent share one label) and FR ("fully random": each
+// child gets an independently random label). It also generates the random
+// path-expression queries the experiments use: length equal to the tree
+// depth, labels drawn from the labels actually used at each depth, and
+// accepted only when at least one object satisfies the expression.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"pxml/internal/core"
+	"pxml/internal/model"
+	"pxml/internal/pathexpr"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+)
+
+// Labeling selects the edge-labeling scheme of Section 7.1.
+type Labeling string
+
+const (
+	// SL gives all children of the same parent the same label.
+	SL Labeling = "SL"
+	// FR assigns each child an independently random label.
+	FR Labeling = "FR"
+)
+
+// Config parameterizes Generate.
+type Config struct {
+	// Depth is the number of levels below the root (the paper sweeps 3–9).
+	Depth int
+	// Branch is the number of children of every non-leaf (the paper
+	// sweeps 2–8). Branch ≤ 16 keeps 2^b OPFs materializable.
+	Branch int
+	// Labeling is SL or FR.
+	Labeling Labeling
+	// LabelsPerLevel is the size of the label alphabet at each level
+	// (default 2, as in the paper's depth-2 example with {a,b} and {c,d}).
+	LabelsPerLevel int
+	// LeafDomainSize is the size of the leaf value domain (default 2;
+	// 0 generates untyped leaves).
+	LeafDomainSize int
+	// Seed drives the deterministic random source.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Depth < 1 {
+		return fmt.Errorf("gen: depth %d < 1", c.Depth)
+	}
+	if c.Branch < 1 || c.Branch > 16 {
+		return fmt.Errorf("gen: branch %d outside [1,16]", c.Branch)
+	}
+	if c.Labeling != SL && c.Labeling != FR {
+		return fmt.Errorf("gen: unknown labeling %q", c.Labeling)
+	}
+	return nil
+}
+
+// NumObjects returns the number of objects a (Depth, Branch) instance has:
+// (b^(d+1) − 1)/(b − 1) for b > 1, d+1 for b = 1.
+func NumObjects(depth, branch int) int {
+	if branch == 1 {
+		return depth + 1
+	}
+	n, p := 0, 1
+	for i := 0; i <= depth; i++ {
+		n += p
+		p *= branch
+	}
+	return n
+}
+
+// Instance is a generated workload instance together with the metadata the
+// query generator needs.
+type Instance struct {
+	PI *core.ProbInstance
+	// LevelLabels[i] lists the labels used by edges entering level i+1
+	// (the paper keeps "track of labels used by edges of objects in each
+	// depth" for query generation).
+	LevelLabels [][]model.Label
+	Config      Config
+}
+
+// Generate builds a Section 7.1 instance. The construction is
+// deterministic for a given Config (including Seed).
+func Generate(cfg Config) (*Instance, error) {
+	if cfg.LabelsPerLevel <= 0 {
+		cfg.LabelsPerLevel = 2
+	}
+	if cfg.LeafDomainSize < 0 {
+		return nil, fmt.Errorf("gen: negative leaf domain")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	pi := core.NewProbInstance("n0")
+
+	leafType := "leaftype"
+	var leafDomain []model.Value
+	if cfg.LeafDomainSize > 0 {
+		leafDomain = make([]model.Value, cfg.LeafDomainSize)
+		for i := range leafDomain {
+			leafDomain[i] = "w" + strconv.Itoa(i)
+		}
+		if err := pi.RegisterType(model.NewType(leafType, leafDomain...)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-level label alphabets: L<level>x<k>.
+	alphabet := make([][]model.Label, cfg.Depth)
+	for lvl := range alphabet {
+		ls := make([]model.Label, cfg.LabelsPerLevel)
+		for k := range ls {
+			ls[k] = "L" + strconv.Itoa(lvl) + "x" + strconv.Itoa(k)
+		}
+		alphabet[lvl] = ls
+	}
+
+	counter := 0
+	level := []model.ObjectID{"n0"}
+	// subsetBuf reuses per-mask child id slices while building OPFs.
+	for lvl := 0; lvl < cfg.Depth; lvl++ {
+		next := make([]model.ObjectID, 0, len(level)*cfg.Branch)
+		for _, o := range level {
+			children := make([]model.ObjectID, cfg.Branch)
+			for i := range children {
+				counter++
+				children[i] = "n" + strconv.Itoa(counter)
+			}
+			next = append(next, children...)
+			// Label assignment.
+			perLabel := make(map[model.Label][]model.ObjectID)
+			switch cfg.Labeling {
+			case SL:
+				l := alphabet[lvl][r.Intn(len(alphabet[lvl]))]
+				perLabel[l] = children
+			case FR:
+				for _, c := range children {
+					l := alphabet[lvl][r.Intn(len(alphabet[lvl]))]
+					perLabel[l] = append(perLabel[l], c)
+				}
+			}
+			for l, cs := range perLabel {
+				pi.SetLCh(o, l, cs...)
+				// "We assume that there is no cardinality constraint":
+				// card spans [0, count] (the WeakInstance default, set
+				// explicitly for serialization fidelity).
+				pi.SetCard(o, l, 0, len(cs))
+			}
+			// OPF over all 2^b child subsets with random probabilities.
+			pi.SetOPF(o, randomOPF(r, children))
+		}
+		level = next
+	}
+	// Leaves.
+	if cfg.LeafDomainSize > 0 {
+		for _, o := range level {
+			if err := pi.SetLeafType(o, leafType); err != nil {
+				return nil, err
+			}
+			pi.SetVPF(o, randomVPF(r, leafDomain))
+		}
+	}
+	// Level labels actually used (FR may skip some alphabet entries).
+	used := make([][]model.Label, cfg.Depth)
+	g := pi.WeakInstance.Graph()
+	lv := []model.ObjectID{"n0"}
+	for lvl := 0; lvl < cfg.Depth; lvl++ {
+		seen := map[model.Label]bool{}
+		var nxt []model.ObjectID
+		for _, o := range lv {
+			for _, l := range pi.Labels(o) {
+				seen[l] = true
+			}
+			nxt = append(nxt, g.Children(o)...)
+		}
+		for _, l := range alphabet[lvl] {
+			if seen[l] {
+				used[lvl] = append(used[lvl], l)
+			}
+		}
+		lv = nxt
+	}
+	return &Instance{PI: pi, LevelLabels: used, Config: cfg}, nil
+}
+
+// randomOPF builds a random distribution over all subsets of children.
+func randomOPF(r *rand.Rand, children []model.ObjectID) *prob.OPF {
+	n := len(children)
+	w := prob.NewOPF()
+	weights := make([]float64, 1<<n)
+	total := 0.0
+	for mask := range weights {
+		weights[mask] = r.Float64() + 1e-6
+		total += weights[mask]
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		// children are generated in ascending id order but their string
+		// sort order differs (n10 < n2), so build via NewSet.
+		ids := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				ids = append(ids, children[i])
+			}
+		}
+		w.Put(sets.NewSet(ids...), weights[mask]/total)
+	}
+	return w
+}
+
+func randomVPF(r *rand.Rand, domain []model.Value) *prob.VPF {
+	v := prob.NewVPF()
+	total := 0.0
+	weights := make([]float64, len(domain))
+	for i := range weights {
+		weights[i] = r.Float64() + 1e-6
+		total += weights[i]
+	}
+	for i, d := range domain {
+		v.Put(d, weights[i]/total)
+	}
+	return v
+}
+
+// RandomQuery generates a random path expression of length Depth whose
+// labels are drawn from the per-level label sets, accepted only if some
+// object satisfies it (the Section 7.1 acceptance rule: queries "returned
+// results not only consisting of a root"). The boolean result is false when
+// no satisfiable query was found within the attempt budget.
+func (in *Instance) RandomQuery(r *rand.Rand) (pathexpr.Path, bool) {
+	g := in.PI.WeakInstance.Graph()
+	const attempts = 64
+	for a := 0; a < attempts; a++ {
+		p := pathexpr.Path{Root: in.PI.Root()}
+		for lvl := 0; lvl < in.Config.Depth; lvl++ {
+			ls := in.LevelLabels[lvl]
+			if len(ls) == 0 {
+				return pathexpr.Path{}, false
+			}
+			p.Labels = append(p.Labels, ls[r.Intn(len(ls))])
+		}
+		if len(p.Targets(g)) > 0 {
+			return p, true
+		}
+	}
+	return pathexpr.Path{}, false
+}
+
+// RandomSelection generates a selection query per Section 7.1: a path
+// expression p plus an object chosen uniformly from the objects satisfying
+// p ("the selection queries used have the form p = o where o is an object
+// id selected randomly from SelObj").
+func (in *Instance) RandomSelection(r *rand.Rand) (pathexpr.Path, model.ObjectID, bool) {
+	p, ok := in.RandomQuery(r)
+	if !ok {
+		return pathexpr.Path{}, "", false
+	}
+	targets := p.Targets(in.PI.WeakInstance.Graph())
+	return p, targets[r.Intn(len(targets))], true
+}

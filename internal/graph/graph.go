@@ -1,0 +1,427 @@
+// Package graph provides the edge-labeled directed graph substrate used by
+// the PXML semistructured data model (Definitions 3.1 and 3.2 of the paper).
+//
+// A Graph is a finite set of string-identified vertices together with
+// labeled directed edges. At most one edge may connect an ordered pair of
+// vertices, matching the paper's formulation E ⊆ V × V with a labeling
+// function ℓ : E → L. All iteration orders exposed by this package are
+// deterministic (sorted) so that higher layers can produce canonical,
+// reproducible output.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a mutable, edge-labeled directed graph. The zero value is not
+// usable; create instances with New.
+type Graph struct {
+	nodes map[string]struct{}
+	// out maps a source vertex to its successors and the edge label.
+	out map[string]map[string]string
+	// in maps a target vertex to the set of its predecessors.
+	in map[string]map[string]struct{}
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]struct{}),
+		out:   make(map[string]map[string]string),
+		in:    make(map[string]map[string]struct{}),
+	}
+}
+
+// AddNode inserts a vertex. Adding an existing vertex is a no-op.
+func (g *Graph) AddNode(id string) {
+	g.nodes[id] = struct{}{}
+}
+
+// HasNode reports whether the vertex exists.
+func (g *Graph) HasNode(id string) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// AddEdge inserts the edge from → to with the given label, creating the
+// endpoints if necessary. It returns an error if an edge between the pair
+// already exists with a different label; re-adding an identical edge is a
+// no-op. This enforces the model's single-label-per-edge rule.
+func (g *Graph) AddEdge(from, to, label string) error {
+	if cur, ok := g.out[from][to]; ok {
+		if cur == label {
+			return nil
+		}
+		return fmt.Errorf("graph: edge (%s,%s) already labeled %q, cannot relabel to %q", from, to, cur, label)
+	}
+	g.AddNode(from)
+	g.AddNode(to)
+	if g.out[from] == nil {
+		g.out[from] = make(map[string]string)
+	}
+	g.out[from][to] = label
+	if g.in[to] == nil {
+		g.in[to] = make(map[string]struct{})
+	}
+	g.in[to][from] = struct{}{}
+	return nil
+}
+
+// RemoveEdge deletes the edge from → to if present.
+func (g *Graph) RemoveEdge(from, to string) {
+	if m, ok := g.out[from]; ok {
+		delete(m, to)
+		if len(m) == 0 {
+			delete(g.out, from)
+		}
+	}
+	if m, ok := g.in[to]; ok {
+		delete(m, from)
+		if len(m) == 0 {
+			delete(g.in, to)
+		}
+	}
+}
+
+// RemoveNode deletes a vertex and all edges incident to it.
+func (g *Graph) RemoveNode(id string) {
+	for to := range g.out[id] {
+		delete(g.in[to], id)
+		if len(g.in[to]) == 0 {
+			delete(g.in, to)
+		}
+	}
+	delete(g.out, id)
+	for from := range g.in[id] {
+		delete(g.out[from], id)
+		if len(g.out[from]) == 0 {
+			delete(g.out, from)
+		}
+	}
+	delete(g.in, id)
+	delete(g.nodes, id)
+}
+
+// HasEdge reports whether the edge from → to exists.
+func (g *Graph) HasEdge(from, to string) bool {
+	_, ok := g.out[from][to]
+	return ok
+}
+
+// Label returns the label of the edge from → to. The boolean result is
+// false when the edge does not exist.
+func (g *Graph) Label(from, to string) (string, bool) {
+	l, ok := g.out[from][to]
+	return l, ok
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, m := range g.out {
+		n += len(m)
+	}
+	return n
+}
+
+// Nodes returns all vertices in sorted order.
+func (g *Graph) Nodes() []string {
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Edge is a labeled directed edge.
+type Edge struct {
+	From, To, Label string
+}
+
+// Edges returns all edges sorted by (From, To).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.NumEdges())
+	for from, m := range g.out {
+		for to, l := range m {
+			es = append(es, Edge{From: from, To: to, Label: l})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// Children returns C(o), the successors of o, in sorted order (Def 3.2).
+func (g *Graph) Children(o string) []string {
+	m := g.out[o]
+	cs := make([]string, 0, len(m))
+	for c := range m {
+		cs = append(cs, c)
+	}
+	sort.Strings(cs)
+	return cs
+}
+
+// OutDegree returns the number of children of o.
+func (g *Graph) OutDegree(o string) int { return len(g.out[o]) }
+
+// InDegree returns the number of parents of o.
+func (g *Graph) InDegree(o string) int { return len(g.in[o]) }
+
+// Parents returns parents(o), the predecessors of o, in sorted order
+// (Def 3.2).
+func (g *Graph) Parents(o string) []string {
+	m := g.in[o]
+	ps := make([]string, 0, len(m))
+	for p := range m {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	return ps
+}
+
+// LCh returns lch(o, l): the children of o reached via edges labeled l, in
+// sorted order (Def 3.2).
+func (g *Graph) LCh(o, label string) []string {
+	var cs []string
+	for c, l := range g.out[o] {
+		if l == label {
+			cs = append(cs, c)
+		}
+	}
+	sort.Strings(cs)
+	return cs
+}
+
+// IsLeaf reports whether o has no children (Def 3.2).
+func (g *Graph) IsLeaf(o string) bool { return len(g.out[o]) == 0 }
+
+// Leaves returns all vertices with no children, in sorted order.
+func (g *Graph) Leaves() []string {
+	var ls []string
+	for id := range g.nodes {
+		if len(g.out[id]) == 0 {
+			ls = append(ls, id)
+		}
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// Roots returns all vertices with no parents, in sorted order.
+func (g *Graph) Roots() []string {
+	var rs []string
+	for id := range g.nodes {
+		if len(g.in[id]) == 0 {
+			rs = append(rs, id)
+		}
+	}
+	sort.Strings(rs)
+	return rs
+}
+
+// Descendants returns des(o): every vertex reachable from o by a non-empty
+// directed path, in sorted order (Def 3.2).
+func (g *Graph) Descendants(o string) []string {
+	seen := make(map[string]bool)
+	var stack []string
+	for c := range g.out[o] {
+		stack = append(stack, c)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for c := range g.out[cur] {
+			if !seen[c] {
+				stack = append(stack, c)
+			}
+		}
+	}
+	ds := make([]string, 0, len(seen))
+	for id := range seen {
+		ds = append(ds, id)
+	}
+	sort.Strings(ds)
+	return ds
+}
+
+// NonDescendants returns non-des(o): every vertex that is neither o nor a
+// descendant of o, in sorted order (Def 3.2).
+func (g *Graph) NonDescendants(o string) []string {
+	des := make(map[string]bool)
+	for _, d := range g.Descendants(o) {
+		des[d] = true
+	}
+	var nds []string
+	for id := range g.nodes {
+		if id != o && !des[id] {
+			nds = append(nds, id)
+		}
+	}
+	sort.Strings(nds)
+	return nds
+}
+
+// ReachableFrom returns the set of vertices reachable from root, including
+// root itself, in sorted order.
+func (g *Graph) ReachableFrom(root string) []string {
+	if !g.HasNode(root) {
+		return nil
+	}
+	seen := map[string]bool{root: true}
+	stack := []string{root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := range g.out[cur] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	rs := make([]string, 0, len(seen))
+	for id := range seen {
+		rs = append(rs, id)
+	}
+	sort.Strings(rs)
+	return rs
+}
+
+// TopoSort returns a topological order of all vertices. It returns an error
+// naming a vertex on a cycle if the graph is cyclic.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for id := range g.nodes {
+		indeg[id] = len(g.in[id])
+	}
+	var queue []string
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Strings(queue)
+	order := make([]string, 0, len(g.nodes))
+	for len(queue) > 0 {
+		// Pop the smallest id to keep the order deterministic.
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, cur)
+		var freed []string
+		for c := range g.out[cur] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				freed = append(freed, c)
+			}
+		}
+		sort.Strings(freed)
+		queue = mergeSorted(queue, freed)
+	}
+	if len(order) != len(g.nodes) {
+		for id, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("graph: cycle detected through vertex %q", id)
+			}
+		}
+	}
+	return order, nil
+}
+
+// mergeSorted merges two ascending string slices into one ascending slice.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// IsAcyclic reports whether the graph contains no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for id := range g.nodes {
+		c.AddNode(id)
+	}
+	for from, m := range g.out {
+		for to, l := range m {
+			// Error impossible: the source graph has no duplicate pairs.
+			_ = c.AddEdge(from, to, l)
+		}
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph on the given vertex set: it contains
+// exactly the listed vertices and every edge of g whose endpoints are both
+// in the set.
+func (g *Graph) InducedSubgraph(keep map[string]bool) *Graph {
+	s := New()
+	for id := range keep {
+		if g.HasNode(id) {
+			s.AddNode(id)
+		}
+	}
+	for from, m := range g.out {
+		if !keep[from] {
+			continue
+		}
+		for to, l := range m {
+			if keep[to] {
+				_ = s.AddEdge(from, to, l)
+			}
+		}
+	}
+	return s
+}
+
+// EachChild calls fn for every (child, label) pair of o in sorted child
+// order. It avoids the allocation of Children for hot paths.
+func (g *Graph) EachChild(o string, fn func(child, label string)) {
+	m := g.out[o]
+	if len(m) == 0 {
+		return
+	}
+	cs := make([]string, 0, len(m))
+	for c := range m {
+		cs = append(cs, c)
+	}
+	sort.Strings(cs)
+	for _, c := range cs {
+		fn(c, m[c])
+	}
+}

@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// bibGraph builds the semistructured instance graph of Figure 1.
+func bibGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	edges := []Edge{
+		{"R", "B1", "book"}, {"R", "B2", "book"}, {"R", "B3", "book"},
+		{"B1", "T1", "title"}, {"B1", "A1", "author"}, {"B1", "A2", "author"},
+		{"B2", "A1", "author"}, {"B2", "A2", "author"}, {"B2", "A3", "author"},
+		{"B3", "T2", "title"}, {"B3", "A3", "author"},
+		{"A1", "I1", "institution"}, {"A2", "I1", "institution"}, {"A2", "I2", "institution"},
+		{"A3", "I2", "institution"},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.From, e.To, e.Label); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeRelabelFails(t *testing.T) {
+	g := New()
+	if err := g.AddEdge("a", "b", "x"); err != nil {
+		t.Fatalf("first AddEdge: %v", err)
+	}
+	if err := g.AddEdge("a", "b", "x"); err != nil {
+		t.Fatalf("idempotent AddEdge: %v", err)
+	}
+	if err := g.AddEdge("a", "b", "y"); err == nil {
+		t.Fatal("expected error when relabeling existing edge")
+	}
+}
+
+func TestChildrenParentsLCh(t *testing.T) {
+	g := bibGraph(t)
+	if got, want := g.Children("B1"), []string{"A1", "A2", "T1"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Children(B1) = %v, want %v", got, want)
+	}
+	if got, want := g.Parents("A1"), []string{"B1", "B2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Parents(A1) = %v, want %v", got, want)
+	}
+	if got, want := g.LCh("B1", "author"), []string{"A1", "A2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("LCh(B1,author) = %v, want %v", got, want)
+	}
+	if got := g.LCh("B1", "institution"); len(got) != 0 {
+		t.Errorf("LCh(B1,institution) = %v, want empty", got)
+	}
+	if l, ok := g.Label("B1", "T1"); !ok || l != "title" {
+		t.Errorf("Label(B1,T1) = %q,%v", l, ok)
+	}
+	if _, ok := g.Label("B1", "I1"); ok {
+		t.Error("Label(B1,I1) should not exist")
+	}
+}
+
+func TestLeavesRootsDegrees(t *testing.T) {
+	g := bibGraph(t)
+	if got, want := g.Leaves(), []string{"I1", "I2", "T1", "T2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Leaves = %v, want %v", got, want)
+	}
+	if got, want := g.Roots(), []string{"R"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Roots = %v, want %v", got, want)
+	}
+	if g.OutDegree("R") != 3 || g.InDegree("R") != 0 {
+		t.Errorf("degrees of R: out=%d in=%d", g.OutDegree("R"), g.InDegree("R"))
+	}
+	if !g.IsLeaf("I1") || g.IsLeaf("A1") {
+		t.Error("IsLeaf misclassification")
+	}
+}
+
+func TestDescendantsNonDescendants(t *testing.T) {
+	g := bibGraph(t)
+	if got, want := g.Descendants("B3"), []string{"A3", "I2", "T2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Descendants(B3) = %v, want %v", got, want)
+	}
+	if got, want := g.NonDescendants("B3"), []string{"A1", "A2", "B1", "B2", "I1", "R", "T1"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("NonDescendants(B3) = %v, want %v", got, want)
+	}
+	// Descendants plus non-descendants plus the vertex itself cover V.
+	if n := len(g.Descendants("B1")) + len(g.NonDescendants("B1")) + 1; n != g.NumNodes() {
+		t.Errorf("partition size %d, want %d", n, g.NumNodes())
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := bibGraph(t)
+	g.AddNode("orphan")
+	all := g.ReachableFrom("R")
+	if len(all) != g.NumNodes()-1 {
+		t.Errorf("ReachableFrom(R) = %d nodes, want %d", len(all), g.NumNodes()-1)
+	}
+	if got := g.ReachableFrom("missing"); got != nil {
+		t.Errorf("ReachableFrom(missing) = %v, want nil", got)
+	}
+	if got, want := g.ReachableFrom("A3"), []string{"A3", "I2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ReachableFrom(A3) = %v, want %v", got, want)
+	}
+}
+
+func TestTopoSortAcyclic(t *testing.T) {
+	g := bibGraph(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	pos := make(map[string]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violates topological order", e)
+		}
+	}
+	if !g.IsAcyclic() {
+		t.Error("IsAcyclic = false for DAG")
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New()
+	_ = g.AddEdge("a", "b", "x")
+	_ = g.AddEdge("b", "c", "x")
+	_ = g.AddEdge("c", "a", "x")
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+	if g.IsAcyclic() {
+		t.Error("IsAcyclic = true for cycle")
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := New()
+	_ = g.AddEdge("a", "a", "x")
+	if g.IsAcyclic() {
+		t.Error("self-loop should be cyclic")
+	}
+}
+
+func TestRemoveEdgeAndNode(t *testing.T) {
+	g := bibGraph(t)
+	g.RemoveEdge("B1", "A1")
+	if g.HasEdge("B1", "A1") {
+		t.Error("edge not removed")
+	}
+	if got, want := g.Parents("A1"), []string{"B2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Parents(A1) after removal = %v, want %v", got, want)
+	}
+	n, e := g.NumNodes(), g.NumEdges()
+	g.RemoveNode("A2")
+	if g.HasNode("A2") {
+		t.Error("node not removed")
+	}
+	// A2 had 1 incoming from B1, 1 from B2, and 2 outgoing.
+	if g.NumNodes() != n-1 || g.NumEdges() != e-4 {
+		t.Errorf("after RemoveNode: nodes=%d edges=%d, want %d,%d", g.NumNodes(), g.NumEdges(), n-1, e-4)
+	}
+	for _, other := range g.Nodes() {
+		if g.HasEdge(other, "A2") || g.HasEdge("A2", other) {
+			t.Errorf("dangling edge with removed node via %s", other)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := bibGraph(t)
+	c := g.Clone()
+	if !reflect.DeepEqual(g.Edges(), c.Edges()) || !reflect.DeepEqual(g.Nodes(), c.Nodes()) {
+		t.Fatal("clone differs from original")
+	}
+	c.RemoveNode("B1")
+	if !g.HasNode("B1") {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := bibGraph(t)
+	keep := map[string]bool{"R": true, "B1": true, "A1": true, "A2": true}
+	s := g.InducedSubgraph(keep)
+	if got, want := s.Nodes(), []string{"A1", "A2", "B1", "R"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("nodes = %v, want %v", got, want)
+	}
+	wantEdges := []Edge{{"B1", "A1", "author"}, {"B1", "A2", "author"}, {"R", "B1", "book"}}
+	if got := s.Edges(); !reflect.DeepEqual(got, wantEdges) {
+		t.Errorf("edges = %v, want %v", got, wantEdges)
+	}
+}
+
+func TestEachChildOrderAndLabels(t *testing.T) {
+	g := bibGraph(t)
+	var got []string
+	g.EachChild("B1", func(c, l string) { got = append(got, c+":"+l) })
+	want := []string{"A1:author", "A2:author", "T1:title"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("EachChild = %v, want %v", got, want)
+	}
+}
+
+// randomDAG builds a random DAG by only adding edges from lower-numbered to
+// higher-numbered vertices.
+func randomDAG(r *rand.Rand, n int) *Graph {
+	g := New()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		g.AddNode(names[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(3) == 0 {
+				_ = g.AddEdge(names[i], names[j], "l")
+			}
+		}
+	}
+	return g
+}
+
+func TestQuickTopoSortRandomDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(12))
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make(map[string]int)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return len(order) == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(20250705))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDescendantPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(12))
+		for _, o := range g.Nodes() {
+			if len(g.Descendants(o))+len(g.NonDescendants(o))+1 != g.NumNodes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(20250705))}); err != nil {
+		t.Fatal(err)
+	}
+}

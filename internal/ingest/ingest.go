@@ -1,0 +1,121 @@
+// Package ingest converts deterministic semistructured data plus
+// extraction confidences into probabilistic instances — the workflow the
+// paper's introduction motivates ("a semistructured representation is
+// constructed from a noisy input source ... probabilistic parsing of input
+// sources"). An extractor that produced an ordinary instance with a
+// per-object confidence score (how sure it is the object is real) yields a
+// PXML instance whose independent OPFs carry exactly those marginals; an
+// optional per-leaf value distribution captures value noise.
+package ingest
+
+import (
+	"fmt"
+
+	"pxml/internal/core"
+	"pxml/internal/model"
+	"pxml/internal/prob"
+)
+
+// Options configures FromInstance.
+type Options struct {
+	// Confidence returns the extractor's confidence in [0,1] that the
+	// given object really exists (given its parent exists). Nil means
+	// certainty (probability 1) for every object.
+	Confidence func(model.ObjectID) float64
+	// ValueDist optionally replaces a typed leaf's observed point value
+	// with a distribution over its domain (e.g. an OCR confusion model).
+	// Nil, or a nil return, keeps the observed value as a point mass.
+	ValueDist func(o model.ObjectID, observed model.Value) map[model.Value]float64
+	// MaxChildrenPerObject guards the independent-OPF expansion (2^n
+	// entries for n children). Objects with more children are rejected.
+	// Zero means the default of 16.
+	MaxChildrenPerObject int
+}
+
+// FromInstance lifts a deterministic instance into a probabilistic one:
+// every parent gets an independent OPF in which each observed child occurs
+// with its confidence, and every typed leaf gets a VPF (the observed value
+// as a point mass, or the supplied distribution). Cardinalities default to
+// [0, n] per label. The result's existence marginals are exactly the
+// products of confidences along root paths (for tree inputs).
+func FromInstance(s *model.Instance, opts Options) (*core.ProbInstance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("ingest: input invalid: %w", err)
+	}
+	conf := opts.Confidence
+	if conf == nil {
+		conf = func(model.ObjectID) float64 { return 1 }
+	}
+	maxKids := opts.MaxChildrenPerObject
+	if maxKids <= 0 {
+		maxKids = 16
+	}
+	pi := core.NewProbInstance(s.Root())
+	for _, t := range s.Types() {
+		if err := pi.RegisterType(t); err != nil {
+			return nil, err
+		}
+	}
+	g := s.Graph()
+	for _, o := range s.Objects() {
+		children := g.Children(o)
+		if len(children) == 0 {
+			if t, ok := s.TypeOf(o); ok {
+				if err := pi.SetLeafType(o, t.Name); err != nil {
+					return nil, err
+				}
+				observed, _ := s.ValueOf(o)
+				if err := pi.SetDefaultValue(o, observed); err != nil {
+					return nil, err
+				}
+				var dist map[model.Value]float64
+				if opts.ValueDist != nil {
+					dist = opts.ValueDist(o, observed)
+				}
+				v := prob.NewVPF()
+				if dist == nil {
+					v.Put(observed, 1)
+				} else {
+					for val, p := range dist {
+						if !t.Has(val) {
+							return nil, fmt.Errorf("ingest: value %q outside dom(%s) for %s", val, t.Name, o)
+						}
+						v.Put(val, p)
+					}
+					if err := v.Validate(); err != nil {
+						return nil, fmt.Errorf("ingest: value distribution of %s: %w", o, err)
+					}
+				}
+				pi.SetVPF(o, v)
+			}
+			continue
+		}
+		if len(children) > maxKids {
+			return nil, fmt.Errorf("ingest: object %s has %d children (max %d); supply explicit OPFs for such objects", o, len(children), maxKids)
+		}
+		perLabel := map[model.Label][]model.ObjectID{}
+		iw := prob.NewIndependentOPF()
+		for _, c := range children {
+			l, _ := g.Label(o, c)
+			perLabel[l] = append(perLabel[l], c)
+			p := conf(c)
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("ingest: confidence %v of %s outside [0,1]", p, c)
+			}
+			iw.Put(c, p)
+		}
+		for l, cs := range perLabel {
+			pi.SetLCh(o, l, cs...)
+			pi.SetCard(o, l, 0, len(cs))
+		}
+		w, err := iw.Expand()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: expanding OPF of %s: %w", o, err)
+		}
+		pi.SetOPF(o, w)
+	}
+	if err := pi.ValidateLite(); err != nil {
+		return nil, fmt.Errorf("ingest: result invalid: %w", err)
+	}
+	return pi, nil
+}

@@ -1,0 +1,166 @@
+package ingest
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pxml/internal/fixtures"
+	"pxml/internal/model"
+	"pxml/internal/query"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFromInstanceMarginals(t *testing.T) {
+	s := fixtures.Figure1()
+	conf := map[string]float64{
+		"B1": 0.9, "B2": 0.8, "B3": 0.7,
+		"T1": 0.95, "T2": 0.95,
+		"A1": 0.6, "A2": 0.5, "A3": 0.4,
+		"I1": 1, "I2": 1,
+	}
+	pi, err := FromInstance(s, Options{
+		Confidence: func(o model.ObjectID) float64 { return conf[o] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pi.Validate(); err != nil {
+		t.Fatalf("lifted instance invalid: %v", err)
+	}
+	// Figure 1 is a DAG (shared authors); chain probabilities still equal
+	// confidence products.
+	p, err := query.ChainProb(pi, []string{"R", "B1", "A1", "I1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p, 0.9*0.6*1) {
+		t.Errorf("chain = %v, want %v", p, 0.9*0.6)
+	}
+	// Observed leaf values become point-mass VPFs with defaults.
+	if v, ok := pi.DefaultValue("T1"); !ok || v != "VQDB" {
+		t.Errorf("default value = %q,%v", v, ok)
+	}
+	if got := pi.VPF("T1").Prob("VQDB"); !approx(got, 1) {
+		t.Errorf("VPF = %v", got)
+	}
+}
+
+func TestFromInstanceTreeMarginalsExact(t *testing.T) {
+	// On a tree input, existence marginals are products of confidences.
+	s := model.NewInstance("r")
+	_ = s.RegisterType(model.NewType("t", "x", "y"))
+	_ = s.AddEdge("r", "a", "l")
+	_ = s.AddEdge("a", "b", "m")
+	_ = s.SetLeaf("b", "t", "x")
+	pi, err := FromInstance(s, Options{
+		Confidence: func(o model.ObjectID) float64 {
+			if o == "a" {
+				return 0.5
+			}
+			return 0.8
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := query.ExistenceMarginals(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(marg["a"], 0.5) || !approx(marg["b"], 0.5*0.8) {
+		t.Errorf("marginals = %v", marg)
+	}
+}
+
+func TestFromInstanceValueDist(t *testing.T) {
+	s := model.NewInstance("r")
+	_ = s.RegisterType(model.NewType("digit", "0", "8", "9"))
+	_ = s.AddEdge("r", "d", "digit")
+	_ = s.SetLeaf("d", "digit", "8")
+	pi, err := FromInstance(s, Options{
+		// An OCR confusion model: an observed 8 may really be a 9 or 0.
+		ValueDist: func(o model.ObjectID, observed model.Value) map[model.Value]float64 {
+			if observed == "8" {
+				return map[model.Value]float64{"8": 0.7, "9": 0.2, "0": 0.1}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pi.VPF("d").Prob("9"); !approx(got, 0.2) {
+		t.Errorf("VPF(9) = %v", got)
+	}
+}
+
+func TestFromInstanceErrors(t *testing.T) {
+	// Invalid input instance.
+	bad := model.NewInstance("r")
+	bad.AddObject("orphan")
+	if _, err := FromInstance(bad, Options{}); err == nil {
+		t.Error("invalid input accepted")
+	}
+
+	// Confidence out of range.
+	s := model.NewInstance("r")
+	_ = s.AddEdge("r", "a", "l")
+	if _, err := FromInstance(s, Options{
+		Confidence: func(model.ObjectID) float64 { return 1.5 },
+	}); err == nil {
+		t.Error("confidence >1 accepted")
+	}
+
+	// Value distribution outside the domain.
+	s2 := model.NewInstance("r")
+	_ = s2.RegisterType(model.NewType("t", "x"))
+	_ = s2.AddEdge("r", "a", "l")
+	_ = s2.SetLeaf("a", "t", "x")
+	if _, err := FromInstance(s2, Options{
+		ValueDist: func(model.ObjectID, model.Value) map[model.Value]float64 {
+			return map[model.Value]float64{"zz": 1}
+		},
+	}); err == nil {
+		t.Error("out-of-domain distribution accepted")
+	}
+
+	// Non-normalized value distribution.
+	if _, err := FromInstance(s2, Options{
+		ValueDist: func(model.ObjectID, model.Value) map[model.Value]float64 {
+			return map[model.Value]float64{"x": 0.5}
+		},
+	}); err == nil {
+		t.Error("non-normalized distribution accepted")
+	}
+
+	// Too many children for the independent expansion; a raised cap
+	// accepts the same shape (kept small: the expansion is 2^n entries).
+	wide := model.NewInstance("r")
+	for i := 0; i < 6; i++ {
+		_ = wide.AddEdge("r", "c"+string(rune('a'+i)), "l")
+	}
+	if _, err := FromInstance(wide, Options{MaxChildrenPerObject: 5}); err == nil || !strings.Contains(err.Error(), "children") {
+		t.Errorf("wide object: %v", err)
+	}
+	if _, err := FromInstance(wide, Options{MaxChildrenPerObject: 6}); err != nil {
+		t.Errorf("raised cap rejected: %v", err)
+	}
+}
+
+func TestFromInstanceDefaultConfidence(t *testing.T) {
+	s := fixtures.Figure1()
+	pi, err := FromInstance(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With unit confidences every object surely exists.
+	p, err := query.ChainProb(pi, []string{"R", "B3", "A3", "I2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p, 1) {
+		t.Errorf("chain = %v, want 1", p)
+	}
+}

@@ -1,0 +1,419 @@
+// Package interval implements the interval-probability variant of PXML
+// that the paper points to in its introduction: "A companion paper [14]
+// describes an approach which uses interval probabilities" (Hung, Getoor,
+// Subrahmanian, "Probabilistic Interval XML", ICDT 2003). Instead of one
+// number per potential child set, an interval OPF assigns a closed
+// subinterval of [0,1]; the semantics is the set of all point OPFs lying
+// inside the bounds and summing to one. Queries then return probability
+// intervals — the tight minimum and maximum over every consistent point
+// instance.
+//
+// The operations needed here reduce to a classic bounded-variable linear
+// program with a single Σω = 1 equality constraint, solvable greedily:
+// to extremize Σ_{c} q_c·ω(c), sort child sets by coefficient and push each
+// ω(c) to its bound in coefficient order while spending the remaining mass.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pxml/internal/core"
+	"pxml/internal/model"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+)
+
+// Bound is a closed subinterval of [0,1].
+type Bound struct {
+	Lo, Hi float64
+}
+
+// Validate reports an error unless 0 ≤ Lo ≤ Hi ≤ 1.
+func (b Bound) Validate() error {
+	if math.IsNaN(b.Lo) || math.IsNaN(b.Hi) || b.Lo < 0 || b.Hi > 1 || b.Lo > b.Hi {
+		return fmt.Errorf("interval: bound [%v,%v] outside 0 ≤ lo ≤ hi ≤ 1", b.Lo, b.Hi)
+	}
+	return nil
+}
+
+// Point returns the degenerate bound [p,p].
+func Point(p float64) Bound { return Bound{Lo: p, Hi: p} }
+
+// Contains reports whether p lies within the bound (with tolerance).
+func (b Bound) Contains(p float64) bool {
+	return p >= b.Lo-prob.Tolerance && p <= b.Hi+prob.Tolerance
+}
+
+// Mul returns the product interval (both operands within [0,1], so the
+// product is monotone in each endpoint).
+func (b Bound) Mul(o Bound) Bound { return Bound{Lo: b.Lo * o.Lo, Hi: b.Hi * o.Hi} }
+
+// String renders the bound as [lo,hi].
+func (b Bound) String() string { return fmt.Sprintf("[%.6g,%.6g]", b.Lo, b.Hi) }
+
+// OPF is an interval object probability function: a bound per potential
+// child set. Absent sets are implicitly [0,0].
+type OPF struct {
+	bounds map[string]Bound
+	sets   map[string]sets.Set
+}
+
+// NewOPF returns an empty interval OPF.
+func NewOPF() *OPF {
+	return &OPF{bounds: make(map[string]Bound), sets: make(map[string]sets.Set)}
+}
+
+// Put assigns the bound of child set c.
+func (w *OPF) Put(c sets.Set, b Bound) {
+	k := c.Key()
+	w.bounds[k] = b
+	w.sets[k] = c
+}
+
+// Bound returns the bound of c ([0,0] when absent).
+func (w *OPF) Bound(c sets.Set) Bound { return w.bounds[c.Key()] }
+
+// Len returns the number of stored entries.
+func (w *OPF) Len() int { return len(w.bounds) }
+
+// Entry is one (child set, bound) pair.
+type Entry struct {
+	Set   sets.Set
+	Bound Bound
+}
+
+// Entries returns all entries in canonical order.
+func (w *OPF) Entries() []Entry {
+	es := make([]Entry, 0, len(w.bounds))
+	for k, b := range w.bounds {
+		es = append(es, Entry{Set: w.sets[k], Bound: b})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i].Set, es[j].Set
+		if a.Len() != b.Len() {
+			return a.Len() < b.Len()
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	})
+	return es
+}
+
+// Consistent reports whether some point distribution satisfies the bounds:
+// every bound valid, Σ lo ≤ 1 ≤ Σ hi.
+func (w *OPF) Consistent() error {
+	sumLo, sumHi := 0.0, 0.0
+	for k, b := range w.bounds {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("interval: set %s: %w", w.sets[k], err)
+		}
+		sumLo += b.Lo
+		sumHi += b.Hi
+	}
+	if sumLo > 1+prob.Tolerance {
+		return fmt.Errorf("interval: lower bounds sum to %v > 1", sumLo)
+	}
+	if sumHi < 1-prob.Tolerance {
+		return fmt.Errorf("interval: upper bounds sum to %v < 1", sumHi)
+	}
+	return nil
+}
+
+// Tighten returns the OPF with bounds narrowed to those achievable by some
+// consistent point distribution: lo′(c) = max(lo(c), 1 − Σ_{c′≠c} hi(c′)),
+// hi′(c) = min(hi(c), 1 − Σ_{c′≠c} lo(c′)). Tightening is idempotent.
+func (w *OPF) Tighten() (*OPF, error) {
+	if err := w.Consistent(); err != nil {
+		return nil, err
+	}
+	sumLo, sumHi := 0.0, 0.0
+	for _, b := range w.bounds {
+		sumLo += b.Lo
+		sumHi += b.Hi
+	}
+	out := NewOPF()
+	for k, b := range w.bounds {
+		lo := math.Max(b.Lo, 1-(sumHi-b.Hi))
+		hi := math.Min(b.Hi, 1-(sumLo-b.Lo))
+		out.bounds[k] = Bound{Lo: lo, Hi: hi}
+		out.sets[k] = w.sets[k]
+	}
+	return out, nil
+}
+
+// ExtremizeLinear computes min and max of Σ_c q(c)·ω(c) over all point
+// distributions ω within the bounds with Σω = 1. This is the greedy
+// bounded-variable LP: everything starts at its lower bound; the remaining
+// mass 1 − Σ lo is then poured into sets in decreasing (for max) or
+// increasing (for min) coefficient order up to each set's slack.
+func (w *OPF) ExtremizeLinear(q func(sets.Set) float64) (min, max float64, err error) {
+	if err := w.Consistent(); err != nil {
+		return 0, 0, err
+	}
+	type item struct {
+		coeff     float64
+		lo, slack float64
+	}
+	items := make([]item, 0, len(w.bounds))
+	base := 0.0
+	spare := 1.0
+	for k, b := range w.bounds {
+		c := q(w.sets[k])
+		items = append(items, item{coeff: c, lo: b.Lo, slack: b.Hi - b.Lo})
+		base += c * b.Lo
+		spare -= b.Lo
+	}
+	if spare < 0 {
+		spare = 0
+	}
+	pour := func(desc bool) float64 {
+		sort.Slice(items, func(i, j int) bool {
+			if desc {
+				return items[i].coeff > items[j].coeff
+			}
+			return items[i].coeff < items[j].coeff
+		})
+		total := base
+		rem := spare
+		for _, it := range items {
+			if rem <= 0 {
+				break
+			}
+			take := math.Min(rem, it.slack)
+			total += it.coeff * take
+			rem -= take
+		}
+		return total
+	}
+	return pour(false), pour(true), nil
+}
+
+// ProbContains returns the tight bound on P(member ∈ c).
+func (w *OPF) ProbContains(member string) (Bound, error) {
+	lo, hi, err := w.ExtremizeLinear(func(c sets.Set) float64 {
+		if c.Contains(member) {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		return Bound{}, err
+	}
+	return Bound{Lo: lo, Hi: hi}, nil
+}
+
+// Sample materializes one consistent point OPF: the tightened lower bounds
+// plus the remaining mass distributed by the weights drawn from rnd (a
+// function returning values in [0,1)). It is used by the tests to check
+// that query intervals really contain the answers of consistent point
+// instances.
+func (w *OPF) Sample(rnd func() float64) (*prob.OPF, error) {
+	t, err := w.Tighten()
+	if err != nil {
+		return nil, err
+	}
+	out := prob.NewOPF()
+	spare := 1.0
+	keys := make([]string, 0, len(t.bounds))
+	for k, b := range t.bounds {
+		spare -= b.Lo
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if spare < 0 {
+		spare = 0
+	}
+	for _, k := range keys {
+		b := t.bounds[k]
+		take := math.Min(spare, (b.Hi-b.Lo)*rnd())
+		out.Put(t.sets[k], b.Lo+take)
+		spare -= take
+	}
+	// Any residue goes to the first set with slack.
+	if spare > prob.Tolerance {
+		for _, k := range keys {
+			b := t.bounds[k]
+			cur := out.Prob(t.sets[k])
+			room := b.Hi - cur
+			if room <= 0 {
+				continue
+			}
+			take := math.Min(room, spare)
+			out.Put(t.sets[k], cur+take)
+			spare -= take
+			if spare <= prob.Tolerance {
+				break
+			}
+		}
+	}
+	if err := out.Normalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VPF is an interval value probability function for typed leaves.
+type VPF struct {
+	bounds map[string]Bound
+}
+
+// NewVPF returns an empty interval VPF.
+func NewVPF() *VPF { return &VPF{bounds: make(map[string]Bound)} }
+
+// Put assigns the bound of value v.
+func (w *VPF) Put(v string, b Bound) { w.bounds[v] = b }
+
+// Bound returns the bound of v ([0,0] when absent).
+func (w *VPF) Bound(v string) Bound { return w.bounds[v] }
+
+// Consistent mirrors OPF.Consistent for value bounds.
+func (w *VPF) Consistent() error {
+	sumLo, sumHi := 0.0, 0.0
+	for v, b := range w.bounds {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("interval: value %q: %w", v, err)
+		}
+		sumLo += b.Lo
+		sumHi += b.Hi
+	}
+	if sumLo > 1+prob.Tolerance {
+		return fmt.Errorf("interval: value lower bounds sum to %v > 1", sumLo)
+	}
+	if sumHi < 1-prob.Tolerance {
+		return fmt.Errorf("interval: value upper bounds sum to %v < 1", sumHi)
+	}
+	return nil
+}
+
+// Instance is an interval probabilistic instance: a weak instance whose
+// local interpretation maps non-leaves to interval OPFs and typed leaves
+// to interval VPFs. It denotes the set of all (point) probabilistic
+// instances whose local functions lie within the bounds.
+type Instance struct {
+	weak *core.WeakInstance
+	opf  map[model.ObjectID]*OPF
+	vpf  map[model.ObjectID]*VPF
+}
+
+// New wraps a weak instance (used directly, not copied).
+func New(w *core.WeakInstance) *Instance {
+	return &Instance{
+		weak: w,
+		opf:  make(map[model.ObjectID]*OPF),
+		vpf:  make(map[model.ObjectID]*VPF),
+	}
+}
+
+// Weak returns the underlying weak instance.
+func (in *Instance) Weak() *core.WeakInstance { return in.weak }
+
+// SetOPF assigns the interval OPF of a non-leaf object.
+func (in *Instance) SetOPF(o model.ObjectID, w *OPF) { in.opf[o] = w }
+
+// SetVPF assigns the interval VPF of a typed leaf.
+func (in *Instance) SetVPF(o model.ObjectID, w *VPF) { in.vpf[o] = w }
+
+// OPF returns the interval OPF of o (nil when unset).
+func (in *Instance) OPF(o model.ObjectID) *OPF { return in.opf[o] }
+
+// VPF returns the interval VPF of o (nil when unset).
+func (in *Instance) VPF(o model.ObjectID) *VPF { return in.vpf[o] }
+
+// Validate checks the weak instance, acyclicity, and the consistency of
+// every local interval function.
+func (in *Instance) Validate() error {
+	if err := in.weak.Validate(); err != nil {
+		return err
+	}
+	if err := in.weak.CheckAcyclic(); err != nil {
+		return err
+	}
+	for _, o := range in.weak.Objects() {
+		if in.weak.IsLeaf(o) {
+			if _, typed := in.weak.TypeOf(o); typed {
+				v := in.vpf[o]
+				if v == nil {
+					return fmt.Errorf("interval: typed leaf %s has no interval VPF", o)
+				}
+				if err := v.Consistent(); err != nil {
+					return fmt.Errorf("interval: VPF(%s): %w", o, err)
+				}
+			}
+			continue
+		}
+		w := in.opf[o]
+		if w == nil {
+			return fmt.Errorf("interval: non-leaf %s has no interval OPF", o)
+		}
+		if err := w.Consistent(); err != nil {
+			return fmt.Errorf("interval: OPF(%s): %w", o, err)
+		}
+	}
+	return nil
+}
+
+// FromPoint lifts a point probabilistic instance to the degenerate
+// interval instance ([p,p] everywhere).
+func FromPoint(pi *core.ProbInstance) *Instance {
+	out := New(pi.Weak())
+	for _, o := range pi.SortedOPFObjects() {
+		w := NewOPF()
+		pi.OPF(o).Each(func(c sets.Set, p float64) { w.Put(c, Point(p)) })
+		out.SetOPF(o, w)
+	}
+	for _, o := range pi.SortedVPFObjects() {
+		v := NewVPF()
+		for _, e := range pi.VPF(o).Entries() {
+			v.Put(e.Value, Point(e.Prob))
+		}
+		out.SetVPF(o, v)
+	}
+	return out
+}
+
+// SamplePoint materializes one consistent point probabilistic instance,
+// drawing slack allocations from rnd.
+func (in *Instance) SamplePoint(rnd func() float64) (*core.ProbInstance, error) {
+	pi := core.FromWeak(in.weak)
+	for _, o := range in.weak.Objects() {
+		if in.weak.IsLeaf(o) {
+			v := in.vpf[o]
+			if v == nil {
+				continue
+			}
+			// Reuse the OPF sampler via a value-keyed interval OPF.
+			tmp := NewOPF()
+			for val, b := range v.bounds {
+				tmp.Put(sets.NewSet(val), b)
+			}
+			pt, err := tmp.Sample(rnd)
+			if err != nil {
+				return nil, fmt.Errorf("interval: sampling VPF(%s): %w", o, err)
+			}
+			vp := prob.NewVPF()
+			pt.Each(func(c sets.Set, p float64) {
+				if c.Len() == 1 {
+					vp.Put(c[0], p)
+				}
+			})
+			pi.SetVPF(o, vp)
+			continue
+		}
+		w := in.opf[o]
+		if w == nil {
+			continue
+		}
+		pt, err := w.Sample(rnd)
+		if err != nil {
+			return nil, fmt.Errorf("interval: sampling OPF(%s): %w", o, err)
+		}
+		pi.SetOPF(o, pt)
+	}
+	return pi, nil
+}

@@ -1,0 +1,199 @@
+package interval
+
+import (
+	"fmt"
+
+	"pxml/internal/model"
+	"pxml/internal/pathexpr"
+	"pxml/internal/sets"
+)
+
+// ErrNotTree mirrors the point-instance fast paths: interval queries are
+// implemented for tree-structured weak instance graphs.
+var ErrNotTree = fmt.Errorf("interval: weak instance graph is not a tree")
+
+// ChainBound returns the tight probability interval of a root-anchored
+// object chain: the product of the per-edge P(child ∈ c(parent)) bounds.
+// Each factor's extremes are achieved by independent choices of distinct
+// objects' local functions, so the product interval is tight.
+func ChainBound(in *Instance, chain []model.ObjectID) (Bound, error) {
+	if len(chain) == 0 {
+		return Bound{}, fmt.Errorf("interval: empty chain")
+	}
+	if chain[0] != in.weak.Root() {
+		return Bound{}, fmt.Errorf("interval: chain must start at root %s", in.weak.Root())
+	}
+	out := Point(1)
+	for i := 0; i+1 < len(chain); i++ {
+		w := in.opf[chain[i]]
+		if w == nil {
+			return Point(0), nil
+		}
+		if _, ok := in.weak.LabelOf(chain[i], chain[i+1]); !ok {
+			return Point(0), nil
+		}
+		b, err := w.ProbContains(chain[i+1])
+		if err != nil {
+			return Bound{}, err
+		}
+		out = out.Mul(b)
+		if out.Hi == 0 {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// PointBound returns the tight interval of P(o ∈ p) on a tree.
+func PointBound(in *Instance, p pathexpr.Path, o model.ObjectID) (Bound, error) {
+	return epsilonBound(in, p, map[model.ObjectID]bool{o: true}, nil)
+}
+
+// ExistsBound returns the tight interval of P(∃o. o ∈ p) on a tree.
+func ExistsBound(in *Instance, p pathexpr.Path) (Bound, error) {
+	return epsilonBound(in, p, nil, nil)
+}
+
+// ValueExistsBound returns the interval of P(∃ leaf o ∈ p with val v).
+func ValueExistsBound(in *Instance, p pathexpr.Path, v model.Value) (Bound, error) {
+	success := func(o model.ObjectID) Bound {
+		if w := in.vpf[o]; w != nil {
+			return tightValueBound(w, v)
+		}
+		return Point(0)
+	}
+	return epsilonBound(in, p, nil, success)
+}
+
+// tightValueBound narrows the stored bound of one value using the Σ = 1
+// constraint over the leaf's domain (the VPF analogue of OPF.Tighten).
+func tightValueBound(w *VPF, v model.Value) Bound {
+	b, ok := w.bounds[v]
+	if !ok {
+		return Point(0)
+	}
+	sumLoOthers, sumHiOthers := 0.0, 0.0
+	for u, ub := range w.bounds {
+		if u == v {
+			continue
+		}
+		sumLoOthers += ub.Lo
+		sumHiOthers += ub.Hi
+	}
+	lo := b.Lo
+	if 1-sumHiOthers > lo {
+		lo = 1 - sumHiOthers
+	}
+	hi := b.Hi
+	if 1-sumLoOthers < hi {
+		hi = 1 - sumLoOthers
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Bound{Lo: lo, Hi: hi}
+}
+
+// epsilonBound is the interval form of the Section 6 ε recursion. For each
+// kept object the failure probability fail = Σ_c ω(c)·Π_{j∈c∩kept}(1−ε_j)
+// is extremized over ω with children's ε already at their own extremes —
+// valid because distinct objects' local functions vary independently, and
+// fail is monotone decreasing in every child ε. On a tree the resulting
+// interval is tight.
+func epsilonBound(in *Instance, p pathexpr.Path, targets map[model.ObjectID]bool, success func(model.ObjectID) Bound) (Bound, error) {
+	if !in.weak.IsTree() {
+		return Bound{}, ErrNotTree
+	}
+	if p.Root != in.weak.Root() {
+		return Point(0), nil
+	}
+	if p.Len() == 0 {
+		if success != nil {
+			return success(in.weak.Root()), nil
+		}
+		if targets != nil && !targets[in.weak.Root()] {
+			return Point(0), nil
+		}
+		return Point(1), nil
+	}
+	g := in.weak.Graph()
+	plan := pathexpr.NewPlan(g, p, targets)
+	if plan.IsEmpty() {
+		return Point(0), nil
+	}
+	keptChildren := make(map[model.ObjectID][]model.ObjectID)
+	for _, e := range plan.Edges {
+		keptChildren[e.From] = append(keptChildren[e.From], e.To)
+	}
+	eps := make(map[model.ObjectID]Bound)
+	n := p.Len()
+	for o := range plan.Keep[n] {
+		if success != nil {
+			eps[o] = success(o)
+		} else {
+			eps[o] = Point(1)
+		}
+	}
+	matched := plan.Keep[n]
+	for level := n - 1; level >= 0; level-- {
+		for o := range plan.Keep[level] {
+			if matched[o] {
+				continue
+			}
+			w := in.opf[o]
+			if w == nil {
+				return Bound{}, fmt.Errorf("interval: non-leaf %s has no interval OPF", o)
+			}
+			kept := keptChildren[o]
+			qLo := func(c sets.Set) float64 {
+				// Minimal failure coefficient: children at ε max.
+				q := 1.0
+				for _, j := range kept {
+					if c.Contains(j) {
+						q *= 1 - eps[j].Hi
+					}
+				}
+				return q
+			}
+			qHi := func(c sets.Set) float64 {
+				q := 1.0
+				for _, j := range kept {
+					if c.Contains(j) {
+						q *= 1 - eps[j].Lo
+					}
+				}
+				return q
+			}
+			failLo, _, err := w.ExtremizeLinear(qLo)
+			if err != nil {
+				return Bound{}, err
+			}
+			_, failHi, err := w.ExtremizeLinear(qHi)
+			if err != nil {
+				return Bound{}, err
+			}
+			lo, hi := 1-failHi, 1-failLo
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > 1 {
+				hi = 1
+			}
+			if hi < lo {
+				hi = lo
+			}
+			eps[o] = Bound{Lo: lo, Hi: hi}
+		}
+	}
+	b, ok := eps[in.weak.Root()]
+	if !ok {
+		return Point(0), nil
+	}
+	return b, nil
+}

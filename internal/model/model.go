@@ -1,0 +1,327 @@
+// Package model implements the deterministic semistructured data (SD)
+// model of Section 3.1 of the PXML paper: rooted, edge-labeled directed
+// graphs over objects, with types and values attached to leaves
+// (Definition 3.3). It is the representation of the "possible worlds" that
+// probabilistic instances range over.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pxml/internal/graph"
+)
+
+// ObjectID identifies an object (a vertex drawn from the object universe O).
+type ObjectID = string
+
+// Label is an edge label drawn from the label universe L.
+type Label = string
+
+// Value is a leaf value. PXML values are atomic strings; richer domains are
+// encoded by their string representation, matching the paper's treatment of
+// leaf domains as finite sets of constants.
+type Value = string
+
+// TypeName names a leaf type drawn from the type universe T.
+type TypeName = string
+
+// Type is a leaf type: a name together with its finite domain of values,
+// e.g. dom(title-type) = {VQDB, Lore} in Example 3.1.
+type Type struct {
+	Name   TypeName
+	Domain []Value
+}
+
+// NewType returns a Type with a canonical (sorted, deduplicated) domain.
+func NewType(name TypeName, domain ...Value) Type {
+	d := make([]Value, len(domain))
+	copy(d, domain)
+	sort.Strings(d)
+	w := 0
+	for i, v := range d {
+		if i == 0 || v != d[w-1] {
+			d[w] = v
+			w++
+		}
+	}
+	return Type{Name: name, Domain: d[:w]}
+}
+
+// Has reports whether v belongs to the type's domain.
+func (t Type) Has(v Value) bool {
+	i := sort.SearchStrings(t.Domain, v)
+	return i < len(t.Domain) && t.Domain[i] == v
+}
+
+// Validate reports an error if the type has no name or an empty domain.
+func (t Type) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("model: type with empty name")
+	}
+	if len(t.Domain) == 0 {
+		return fmt.Errorf("model: type %q has empty domain", t.Name)
+	}
+	return nil
+}
+
+// Instance is a semistructured instance S = (V, E, ℓ, τ, val) per
+// Definition 3.3: a rooted edge-labeled directed graph whose leaves may
+// carry a type and a value.
+//
+// Deviation note: Definition 3.4 requires every leaf to carry a type and a
+// value, but the paper's own algebra produces instances whose leaves have
+// neither — Figure 4's ancestor projection leaves the author objects as
+// untyped, valueless leaves. PXML therefore makes τ and val optional per
+// leaf; semantics (compatibility, probabilities) apply the value conditions
+// only to typed leaves.
+type Instance struct {
+	root  ObjectID
+	g     *graph.Graph
+	types map[TypeName]Type
+	typ   map[ObjectID]TypeName
+	val   map[ObjectID]Value
+}
+
+// NewInstance returns an instance containing only the given root object.
+func NewInstance(root ObjectID) *Instance {
+	s := &Instance{
+		root:  root,
+		g:     graph.New(),
+		types: make(map[TypeName]Type),
+		typ:   make(map[ObjectID]TypeName),
+		val:   make(map[ObjectID]Value),
+	}
+	s.g.AddNode(root)
+	return s
+}
+
+// Root returns the root object.
+func (s *Instance) Root() ObjectID { return s.root }
+
+// Graph returns the underlying graph. Callers must treat it as read-only;
+// mutate instances through the Instance methods so type/value bookkeeping
+// stays consistent.
+func (s *Instance) Graph() *graph.Graph { return s.g }
+
+// AddObject inserts an object with no edges.
+func (s *Instance) AddObject(o ObjectID) { s.g.AddNode(o) }
+
+// HasObject reports whether o is in the instance.
+func (s *Instance) HasObject(o ObjectID) bool { return s.g.HasNode(o) }
+
+// AddEdge inserts the labeled edge o → child.
+func (s *Instance) AddEdge(o, child ObjectID, l Label) error {
+	return s.g.AddEdge(o, child, l)
+}
+
+// RegisterType records a leaf type so objects can reference it by name.
+// Re-registering the same name with a different domain is an error.
+func (s *Instance) RegisterType(t Type) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if old, ok := s.types[t.Name]; ok {
+		if !equalDomains(old.Domain, t.Domain) {
+			return fmt.Errorf("model: type %q re-registered with different domain", t.Name)
+		}
+		return nil
+	}
+	s.types[t.Name] = t
+	return nil
+}
+
+// SetLeaf assigns a type and value to an object. The type must be
+// registered and the value must lie in its domain.
+func (s *Instance) SetLeaf(o ObjectID, tn TypeName, v Value) error {
+	t, ok := s.types[tn]
+	if !ok {
+		return fmt.Errorf("model: unknown type %q for object %s", tn, o)
+	}
+	if !t.Has(v) {
+		return fmt.Errorf("model: value %q not in dom(%s) for object %s", v, tn, o)
+	}
+	s.g.AddNode(o)
+	s.typ[o] = tn
+	s.val[o] = v
+	return nil
+}
+
+// TypeOf returns the type of o. The boolean result is false when o has no
+// assigned type.
+func (s *Instance) TypeOf(o ObjectID) (Type, bool) {
+	tn, ok := s.typ[o]
+	if !ok {
+		return Type{}, false
+	}
+	return s.types[tn], true
+}
+
+// ValueOf returns val(o). The boolean result is false when o has no value.
+func (s *Instance) ValueOf(o ObjectID) (Value, bool) {
+	v, ok := s.val[o]
+	return v, ok
+}
+
+// Objects returns all objects in sorted order.
+func (s *Instance) Objects() []ObjectID { return s.g.Nodes() }
+
+// NumObjects returns |V|.
+func (s *Instance) NumObjects() int { return s.g.NumNodes() }
+
+// Edges returns all edges sorted by (from, to).
+func (s *Instance) Edges() []graph.Edge { return s.g.Edges() }
+
+// Children returns C(o).
+func (s *Instance) Children(o ObjectID) []ObjectID { return s.g.Children(o) }
+
+// LCh returns lch(o, l).
+func (s *Instance) LCh(o ObjectID, l Label) []ObjectID { return s.g.LCh(o, l) }
+
+// IsLeaf reports whether o has no children in this instance.
+func (s *Instance) IsLeaf(o ObjectID) bool { return s.g.IsLeaf(o) }
+
+// Types returns the registered types keyed by name. Callers must not
+// mutate the returned map.
+func (s *Instance) Types() map[TypeName]Type { return s.types }
+
+// Validate checks the structural invariants of Definition 3.3:
+// the root exists and has no parents, every object is reachable from the
+// root, values conform to their declared type domains, and only leaves
+// carry values.
+func (s *Instance) Validate() error {
+	if !s.g.HasNode(s.root) {
+		return fmt.Errorf("model: root %s missing", s.root)
+	}
+	if ps := s.g.Parents(s.root); len(ps) > 0 {
+		return fmt.Errorf("model: root %s has parents %v", s.root, ps)
+	}
+	reach := make(map[ObjectID]bool)
+	for _, o := range s.g.ReachableFrom(s.root) {
+		reach[o] = true
+	}
+	for _, o := range s.g.Nodes() {
+		if !reach[o] {
+			return fmt.Errorf("model: object %s unreachable from root", o)
+		}
+	}
+	for o, tn := range s.typ {
+		t, ok := s.types[tn]
+		if !ok {
+			return fmt.Errorf("model: object %s has unregistered type %q", o, tn)
+		}
+		v, ok := s.val[o]
+		if !ok {
+			return fmt.Errorf("model: typed object %s has no value", o)
+		}
+		if !t.Has(v) {
+			return fmt.Errorf("model: object %s has value %q outside dom(%s)", o, v, tn)
+		}
+		if !s.g.IsLeaf(o) {
+			return fmt.Errorf("model: non-leaf object %s carries a leaf type", o)
+		}
+	}
+	for o := range s.val {
+		if _, ok := s.typ[o]; !ok {
+			return fmt.Errorf("model: object %s has a value but no type", o)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (s *Instance) Clone() *Instance {
+	c := &Instance{
+		root:  s.root,
+		g:     s.g.Clone(),
+		types: make(map[TypeName]Type, len(s.types)),
+		typ:   make(map[ObjectID]TypeName, len(s.typ)),
+		val:   make(map[ObjectID]Value, len(s.val)),
+	}
+	for k, v := range s.types {
+		c.types[k] = v
+	}
+	for k, v := range s.typ {
+		c.typ[k] = v
+	}
+	for k, v := range s.val {
+		c.val[k] = v
+	}
+	return c
+}
+
+// CanonicalKey returns a string that uniquely identifies the instance up to
+// semantic equality: same root, objects, labeled edges, and leaf
+// type/value assignments. The algebra uses it to merge identical instances
+// when combining probabilities (e.g. Definition 5.3).
+func (s *Instance) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteString("root=")
+	b.WriteString(s.root)
+	b.WriteString(";V=")
+	for _, o := range s.g.Nodes() {
+		b.WriteString(o)
+		b.WriteByte(',')
+	}
+	b.WriteString(";E=")
+	for _, e := range s.g.Edges() {
+		b.WriteString(e.From)
+		b.WriteByte('>')
+		b.WriteString(e.To)
+		b.WriteByte(':')
+		b.WriteString(e.Label)
+		b.WriteByte(',')
+	}
+	b.WriteString(";L=")
+	leaves := make([]ObjectID, 0, len(s.typ))
+	for o := range s.typ {
+		leaves = append(leaves, o)
+	}
+	sort.Strings(leaves)
+	for _, o := range leaves {
+		b.WriteString(o)
+		b.WriteByte(':')
+		b.WriteString(s.typ[o])
+		b.WriteByte('=')
+		b.WriteString(s.val[o])
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Equal reports whether two instances are semantically identical.
+func (s *Instance) Equal(t *Instance) bool {
+	return s.CanonicalKey() == t.CanonicalKey()
+}
+
+// String renders the instance in a compact human-readable form, mainly for
+// tests and debugging.
+func (s *Instance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance root=%s objects=%d\n", s.root, s.NumObjects())
+	for _, e := range s.Edges() {
+		fmt.Fprintf(&b, "  %s -%s-> %s\n", e.From, e.Label, e.To)
+	}
+	leaves := make([]ObjectID, 0, len(s.val))
+	for o := range s.val {
+		leaves = append(leaves, o)
+	}
+	sort.Strings(leaves)
+	for _, o := range leaves {
+		fmt.Fprintf(&b, "  %s : %s = %s\n", o, s.typ[o], s.val[o])
+	}
+	return b.String()
+}
+
+func equalDomains(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

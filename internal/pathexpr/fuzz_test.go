@@ -1,0 +1,26 @@
+package pathexpr
+
+import "testing"
+
+// FuzzParse asserts Parse never panics and that accepted expressions
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add("R.book.author")
+	f.Add("R")
+	f.Add("a.*.b")
+	f.Add("..")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Parse(in)
+		if err != nil {
+			return
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("round trip rejected %q: %v", p.String(), err)
+		}
+		if back.String() != p.String() {
+			t.Fatalf("round trip unstable: %q vs %q", back.String(), p.String())
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package pathexpr implements the path expressions of Definition 5.1 —
+// p = r.l₁.l₂…lₙ, an object id followed by a sequence of edge labels — and
+// the structural graph operations built on them: locating the objects an
+// expression denotes, and extracting the "ancestor projection" subgraph of
+// Definition 5.2 (the matched objects plus every object and edge on a
+// root-to-match path).
+//
+// As an extension beyond the paper, the label wildcard "*" matches any edge
+// label; everything else follows the paper's single-path-expression form.
+package pathexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pxml/internal/graph"
+	"pxml/internal/model"
+)
+
+// Wildcard is the label that matches any edge label (extension).
+const Wildcard = "*"
+
+// Path is a parsed path expression: an object identifier (the root of the
+// instance the expression applies to) followed by an edge-label sequence.
+type Path struct {
+	Root   model.ObjectID
+	Labels []model.Label
+}
+
+// Parse parses "r.l1.l2…ln". The first segment is the root object id; the
+// rest are edge labels. Segments must be non-empty. A bare object id parses
+// to a Path with no labels (which denotes just that object).
+func Parse(s string) (Path, error) {
+	if s == "" {
+		return Path{}, fmt.Errorf("pathexpr: empty path expression")
+	}
+	segs := strings.Split(s, ".")
+	for i, seg := range segs {
+		if seg == "" {
+			return Path{}, fmt.Errorf("pathexpr: empty segment %d in %q", i, s)
+		}
+	}
+	p := Path{Root: segs[0]}
+	if len(segs) > 1 {
+		p.Labels = append(p.Labels, segs[1:]...)
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error, for tests and literals.
+func MustParse(s string) Path {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the path in the paper's dotted notation.
+func (p Path) String() string {
+	if len(p.Labels) == 0 {
+		return p.Root
+	}
+	return p.Root + "." + strings.Join(p.Labels, ".")
+}
+
+// Len returns the number of edge labels in the expression.
+func (p Path) Len() int { return len(p.Labels) }
+
+// matchLabel reports whether an edge label satisfies a pattern label.
+func matchLabel(pattern, label model.Label) bool {
+	return pattern == Wildcard || pattern == label
+}
+
+// Levels returns the level sets of the expression over g:
+// level 0 is {p.Root} (empty when g lacks it), and level i is the set of
+// objects reachable from level i−1 via an edge labeled p.Labels[i−1]. In a
+// DAG the same object may appear in several levels.
+func (p Path) Levels(g *graph.Graph) []map[model.ObjectID]bool {
+	levels := make([]map[model.ObjectID]bool, p.Len()+1)
+	levels[0] = map[model.ObjectID]bool{}
+	if g.HasNode(p.Root) {
+		levels[0][p.Root] = true
+	}
+	for i, l := range p.Labels {
+		next := map[model.ObjectID]bool{}
+		for o := range levels[i] {
+			g.EachChild(o, func(child, label string) {
+				if matchLabel(l, label) {
+					next[child] = true
+				}
+			})
+		}
+		levels[i+1] = next
+	}
+	return levels
+}
+
+// Targets returns the objects the expression denotes over g — the set
+// {o | o ∈ p} of Definition 5.1 — in sorted order.
+func (p Path) Targets(g *graph.Graph) []model.ObjectID {
+	levels := p.Levels(g)
+	last := levels[p.Len()]
+	out := make([]model.ObjectID, 0, len(last))
+	for o := range last {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Matches reports whether o ∈ p over g.
+func (p Path) Matches(g *graph.Graph, o model.ObjectID) bool {
+	last := p.Levels(g)[p.Len()]
+	return last[o]
+}
+
+// Plan is the structural skeleton of an ancestor projection: per-level kept
+// object sets and the kept edges. Level len(Labels) holds the matched
+// objects; lower levels hold their path ancestors. Only objects and edges
+// lying on a complete root-to-match path are kept (Definition 5.2).
+type Plan struct {
+	Path Path
+	// Keep[i] is the set of level-i objects on some complete match path.
+	Keep []map[model.ObjectID]bool
+	// Edges holds the kept edges.
+	Edges []graph.Edge
+}
+
+// NewPlan computes the ancestor-projection plan of p over g, restricted to
+// the target set targets (pass nil to keep every matched object — the plain
+// ancestor projection; pass a subset for point queries, which keep a single
+// object and its path ancestors, Section 6.2).
+func NewPlan(g *graph.Graph, p Path, targets map[model.ObjectID]bool) Plan {
+	levels := p.Levels(g)
+	n := p.Len()
+	keep := make([]map[model.ObjectID]bool, n+1)
+	keep[n] = map[model.ObjectID]bool{}
+	for o := range levels[n] {
+		if targets == nil || targets[o] {
+			keep[n][o] = true
+		}
+	}
+	var edges []graph.Edge
+	for i := n - 1; i >= 0; i-- {
+		keep[i] = map[model.ObjectID]bool{}
+		for o := range levels[i] {
+			g.EachChild(o, func(child, label string) {
+				if matchLabel(p.Labels[i], label) && keep[i+1][child] {
+					keep[i][o] = true
+					edges = append(edges, graph.Edge{From: o, To: child, Label: label})
+				}
+			})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
+	// Deduplicate edges (the same edge can be rediscovered when an object
+	// occurs in several levels of a DAG).
+	w := 0
+	for i, e := range edges {
+		if i == 0 || e != edges[w-1] {
+			edges[w] = e
+			w++
+		}
+	}
+	return Plan{Path: p, Keep: keep, Edges: edges[:w]}
+}
+
+// Kept returns the union of all kept level sets plus the expression root,
+// in sorted order: the vertex set V′ of Definition 5.2.
+func (pl Plan) Kept() []model.ObjectID {
+	all := map[model.ObjectID]bool{pl.Path.Root: true}
+	for _, k := range pl.Keep {
+		for o := range k {
+			all[o] = true
+		}
+	}
+	out := make([]model.ObjectID, 0, len(all))
+	for o := range all {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsEmpty reports whether no object matched the expression (the projection
+// result is the bare root).
+func (pl Plan) IsEmpty() bool { return len(pl.Keep[len(pl.Keep)-1]) == 0 }
+
+// Matched returns the kept matched objects (deepest level), sorted.
+func (pl Plan) Matched() []model.ObjectID {
+	last := pl.Keep[len(pl.Keep)-1]
+	out := make([]model.ObjectID, 0, len(last))
+	for o := range last {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProjectAncestors applies the ancestor projection Λ_p of Definition 5.2 to
+// a deterministic semistructured instance: the result contains the matched
+// objects, their path ancestors, the root, and exactly the edges on
+// complete match paths, with labels preserved. Types and values of kept
+// typed leaves are preserved; matched objects whose children are projected
+// away become untyped leaves, exactly as in the paper's Figure 4.
+func ProjectAncestors(s *model.Instance, p Path) *model.Instance {
+	out := model.NewInstance(s.Root())
+	for _, t := range s.Types() {
+		// Error impossible: types were valid in the source instance.
+		_ = out.RegisterType(t)
+	}
+	if p.Root != s.Root() {
+		return out
+	}
+	pl := NewPlan(s.Graph(), p, nil)
+	kept := map[model.ObjectID]bool{}
+	for _, o := range pl.Kept() {
+		kept[o] = true
+		out.AddObject(o)
+	}
+	for _, e := range pl.Edges {
+		// Error impossible: source edges are uniquely labeled.
+		_ = out.AddEdge(e.From, e.To, e.Label)
+	}
+	// Preserve type/value for kept objects that remain leaves.
+	for o := range kept {
+		if !out.IsLeaf(o) {
+			continue
+		}
+		if t, ok := s.TypeOf(o); ok {
+			if v, okV := s.ValueOf(o); okV {
+				// A typed leaf of the source keeps its assignment; a source
+				// non-leaf that became a leaf here has no type to carry.
+				if s.IsLeaf(o) {
+					_ = out.SetLeaf(o, t.Name, v)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package pathexpr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pxml/internal/fixtures"
+	"pxml/internal/graph"
+)
+
+func TestParse(t *testing.T) {
+	p, err := Parse("R.book.author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root != "R" || !reflect.DeepEqual(p.Labels, []string{"book", "author"}) {
+		t.Errorf("parsed = %+v", p)
+	}
+	if p.String() != "R.book.author" || p.Len() != 2 {
+		t.Errorf("String/Len = %q/%d", p.String(), p.Len())
+	}
+	bare, err := Parse("R")
+	if err != nil || bare.Len() != 0 || bare.String() != "R" {
+		t.Errorf("bare = %+v err=%v", bare, err)
+	}
+	for _, bad := range []string{"", "R..author", ".book", "R."} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("")
+}
+
+// TestTargetsFigure1 reproduces the paper's example: A2 ∈ R.book.author in
+// the Figure 1 instance.
+func TestTargetsFigure1(t *testing.T) {
+	g := fixtures.Figure1().Graph()
+	p := MustParse("R.book.author")
+	if got, want := p.Targets(g), []string{"A1", "A2", "A3"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Targets = %v, want %v", got, want)
+	}
+	if !p.Matches(g, "A2") || p.Matches(g, "T1") {
+		t.Error("Matches misbehaves")
+	}
+	if got := MustParse("R.book.title").Targets(g); !reflect.DeepEqual(got, []string{"T1", "T2"}) {
+		t.Errorf("title targets = %v", got)
+	}
+	if got := MustParse("R").Targets(g); !reflect.DeepEqual(got, []string{"R"}) {
+		t.Errorf("bare root targets = %v", got)
+	}
+	if got := MustParse("R.missing").Targets(g); len(got) != 0 {
+		t.Errorf("missing label targets = %v", got)
+	}
+	if got := MustParse("X.book").Targets(g); len(got) != 0 {
+		t.Errorf("unknown root targets = %v", got)
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	g := fixtures.Figure1().Graph()
+	got := MustParse("R.*.author").Targets(g)
+	if !reflect.DeepEqual(got, []string{"A1", "A2", "A3"}) {
+		t.Errorf("wildcard targets = %v", got)
+	}
+	// R.*.* reaches titles and authors.
+	got = MustParse("R.*.*").Targets(g)
+	if !reflect.DeepEqual(got, []string{"A1", "A2", "A3", "T1", "T2"}) {
+		t.Errorf("R.*.* targets = %v", got)
+	}
+}
+
+// TestProjectAncestorsFigure4 reproduces Example 5.1 / Figure 4: the
+// ancestor projection of the Figure 1 instance on R.book.author keeps
+// {R, B1, B2, B3, A1, A2, A3} and drops titles and institutions.
+func TestProjectAncestorsFigure4(t *testing.T) {
+	s := fixtures.Figure1()
+	out := ProjectAncestors(s, MustParse("R.book.author"))
+	if err := out.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := []string{"A1", "A2", "A3", "B1", "B2", "B3", "R"}
+	if got := out.Objects(); !reflect.DeepEqual(got, want) {
+		t.Errorf("objects = %v, want %v", got, want)
+	}
+	// Authors become untyped leaves (their institutions are projected away).
+	if !out.IsLeaf("A1") {
+		t.Error("A1 should be a leaf after projection")
+	}
+	if _, ok := out.TypeOf("A1"); ok {
+		t.Error("A1 should be untyped after projection")
+	}
+	// Edge labels preserved.
+	if l, ok := out.Graph().Label("B1", "A1"); !ok || l != "author" {
+		t.Errorf("label(B1,A1) = %q,%v", l, ok)
+	}
+	if out.Graph().HasEdge("B1", "T1") {
+		t.Error("title edge survived projection")
+	}
+}
+
+// TestProjectAncestorsKeepsTypedLeaves: projecting onto a path ending at
+// typed leaves keeps their types and values.
+func TestProjectAncestorsKeepsTypedLeaves(t *testing.T) {
+	s := fixtures.Figure1()
+	out := ProjectAncestors(s, MustParse("R.book.title"))
+	if v, ok := out.ValueOf("T1"); !ok || v != "VQDB" {
+		t.Errorf("val(T1) = %q,%v", v, ok)
+	}
+	if out.HasObject("A1") {
+		t.Error("author survived title projection")
+	}
+}
+
+func TestProjectAncestorsNoMatch(t *testing.T) {
+	s := fixtures.Figure1()
+	out := ProjectAncestors(s, MustParse("R.journal"))
+	if out.NumObjects() != 1 || !out.HasObject("R") {
+		t.Errorf("no-match projection = %v", out.Objects())
+	}
+	// Wrong root yields bare root of the source instance.
+	out = ProjectAncestors(s, MustParse("X.book"))
+	if out.NumObjects() != 1 {
+		t.Errorf("wrong-root projection = %v", out.Objects())
+	}
+}
+
+// TestPlanPartialPathPruned: objects on partial paths that never reach a
+// full match are dropped — the paper's E′ definition keeps only edges on
+// complete match paths.
+func TestPlanPartialPathPruned(t *testing.T) {
+	g := graph.New()
+	_ = g.AddEdge("r", "x", "a")
+	_ = g.AddEdge("r", "y", "a")
+	_ = g.AddEdge("x", "z", "b")
+	// y has no b-child: it must not be kept.
+	pl := NewPlan(g, MustParse("r.a.b"), nil)
+	if pl.Keep[1]["y"] {
+		t.Error("dead-end ancestor kept")
+	}
+	if !pl.Keep[1]["x"] || !pl.Keep[2]["z"] {
+		t.Error("match path lost")
+	}
+	if got := pl.Kept(); !reflect.DeepEqual(got, []string{"r", "x", "z"}) {
+		t.Errorf("Kept = %v", got)
+	}
+	if pl.IsEmpty() {
+		t.Error("plan should not be empty")
+	}
+	if got := pl.Matched(); !reflect.DeepEqual(got, []string{"z"}) {
+		t.Errorf("Matched = %v", got)
+	}
+}
+
+// TestPlanDAGMultiLevel: in a DAG an object reachable at several depths is
+// handled per level; an edge not on a complete match path is dropped even
+// when its endpoint is matched via another path (the r -a-> x case worked
+// out in the package design notes).
+func TestPlanDAGMultiLevel(t *testing.T) {
+	g := graph.New()
+	_ = g.AddEdge("r", "x", "a")
+	_ = g.AddEdge("r", "y", "a")
+	_ = g.AddEdge("y", "x", "a")
+	pl := NewPlan(g, MustParse("r.a.a"), nil)
+	// x is matched (via y); the direct edge r→x is level-0→1, but x at
+	// level 1 has no a-child, so that occurrence dies out.
+	if !pl.Keep[2]["x"] || !pl.Keep[1]["y"] {
+		t.Error("match path through y lost")
+	}
+	if pl.Keep[1]["x"] {
+		t.Error("dead-end level-1 occurrence of x kept")
+	}
+	wantEdges := []graph.Edge{{From: "r", To: "y", Label: "a"}, {From: "y", To: "x", Label: "a"}}
+	if !reflect.DeepEqual(pl.Edges, wantEdges) {
+		t.Errorf("edges = %v, want %v", pl.Edges, wantEdges)
+	}
+}
+
+// TestPlanTargetsRestriction: restricting the plan to one target keeps only
+// that object's path ancestors (the Section 6.2 point-query extraction).
+func TestPlanTargetsRestriction(t *testing.T) {
+	g := fixtures.Figure1().Graph()
+	pl := NewPlan(g, MustParse("R.book.author"), map[string]bool{"A3": true})
+	if got := pl.Matched(); !reflect.DeepEqual(got, []string{"A3"}) {
+		t.Errorf("Matched = %v", got)
+	}
+	// A3's books are B2 and B3; B1 is not a path ancestor of A3.
+	if pl.Keep[1]["B1"] || !pl.Keep[1]["B2"] || !pl.Keep[1]["B3"] {
+		t.Errorf("keep[1] = %v", pl.Keep[1])
+	}
+}
+
+// TestPlanSelfDAGEdgeDedup: an edge rediscovered at several levels appears
+// once in the plan.
+func TestPlanSelfDAGEdgeDedup(t *testing.T) {
+	g := graph.New()
+	_ = g.AddEdge("r", "m", "a")
+	_ = g.AddEdge("m", "n", "a")
+	_ = g.AddEdge("n", "q", "a")
+	_ = g.AddEdge("r", "n", "a")
+	// Path r.a.a.a: n occurs at levels 1 and 2; edge n→q used from both
+	// level-2 and level-3 contexts... verify no duplicates.
+	pl := NewPlan(g, MustParse("r.a.a.a"), nil)
+	seen := map[graph.Edge]int{}
+	for _, e := range pl.Edges {
+		seen[e]++
+		if seen[e] > 1 {
+			t.Errorf("duplicate edge %v", e)
+		}
+	}
+}
+
+func TestLevelsEmptyRoot(t *testing.T) {
+	g := graph.New()
+	g.AddNode("r")
+	levels := MustParse("q.a").Levels(g)
+	if len(levels[0]) != 0 || len(levels[1]) != 0 {
+		t.Errorf("levels = %v", levels)
+	}
+}
+
+// TestIndexedEvaluationMatchesDirect: the label index produces identical
+// targets and plans on the Figure 1 instance for every label combination.
+func TestIndexedEvaluationMatchesDirect(t *testing.T) {
+	g := fixtures.Figure1().Graph()
+	idx := NewIndex(g)
+	if got := idx.Labels(); !reflect.DeepEqual(got, []string{"author", "book", "institution", "title"}) {
+		t.Errorf("Labels = %v", got)
+	}
+	paths := []string{
+		"R.book.author", "R.book.title", "R.book.author.institution",
+		"R.*.author", "R.book.*", "R.missing", "X.book", "R",
+	}
+	for _, ps := range paths {
+		p := MustParse(ps)
+		if got, want := p.TargetsIndexed(idx), p.Targets(g); !reflect.DeepEqual(got, want) {
+			t.Errorf("TargetsIndexed(%s) = %v, want %v", ps, got, want)
+		}
+		got := NewPlanIndexed(idx, p, nil)
+		want := NewPlan(g, p, nil)
+		if !reflect.DeepEqual(got.Edges, want.Edges) {
+			t.Errorf("plan edges for %s: %v vs %v", ps, got.Edges, want.Edges)
+		}
+		if !reflect.DeepEqual(got.Kept(), want.Kept()) {
+			t.Errorf("plan kept for %s: %v vs %v", ps, got.Kept(), want.Kept())
+		}
+	}
+	// Targets restriction matches too.
+	p := MustParse("R.book.author")
+	got := NewPlanIndexed(idx, p, map[string]bool{"A3": true})
+	want := NewPlan(g, p, map[string]bool{"A3": true})
+	if !reflect.DeepEqual(got.Kept(), want.Kept()) {
+		t.Errorf("restricted plan: %v vs %v", got.Kept(), want.Kept())
+	}
+}
+
+// TestQuickIndexedPlanMatchesDirect: indexed and direct evaluation agree
+// on random DAGs and random paths.
+func TestQuickIndexedPlanMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pi := fixtures.RandomDAG(r)
+		g := pi.WeakInstance.Graph()
+		idx := NewIndex(g)
+		labels := []string{"a", "b", Wildcard, "zz"}
+		p := Path{Root: pi.Root()}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			p.Labels = append(p.Labels, labels[r.Intn(len(labels))])
+		}
+		if !reflect.DeepEqual(p.TargetsIndexed(idx), p.Targets(g)) {
+			return false
+		}
+		a := NewPlanIndexed(idx, p, nil)
+		b := NewPlan(g, p, nil)
+		return reflect.DeepEqual(a.Edges, b.Edges) && reflect.DeepEqual(a.Kept(), b.Kept())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(20250705))}); err != nil {
+		t.Fatal(err)
+	}
+}

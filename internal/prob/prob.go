@@ -1,0 +1,409 @@
+// Package prob implements the local probability models of the PXML paper:
+// object probability functions (OPFs, Definition 3.8) mapping an object's
+// potential child sets to probabilities, and value probability functions
+// (VPFs, Definition 3.9) mapping a leaf's domain values to probabilities.
+// It also provides the compact independent-children OPF representation that
+// Section 3.2 sketches and Section 8 identifies as the ProTDB special case.
+package prob
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pxml/internal/sets"
+)
+
+// Tolerance is the absolute slack allowed when checking that a distribution
+// sums to one. Probabilities are combined multiplicatively across object
+// chains, so a tight tolerance keeps the global semantics coherent.
+const Tolerance = 1e-9
+
+// OPF is an object probability function ω : PC(o) → [0,1] with
+// Σ_c ω(c) = 1 (Definition 3.8). Entries with probability zero may be
+// stored explicitly; Prob returns 0 for absent sets.
+type OPF struct {
+	probs map[string]float64
+	sets  map[string]sets.Set
+}
+
+// NewOPF returns an empty OPF.
+func NewOPF() *OPF {
+	return &OPF{probs: make(map[string]float64), sets: make(map[string]sets.Set)}
+}
+
+// OPFEntry is one (child set, probability) pair of an OPF.
+type OPFEntry struct {
+	Set  sets.Set
+	Prob float64
+}
+
+// Put assigns probability p to the child set c, replacing any previous
+// assignment for the same set.
+func (w *OPF) Put(c sets.Set, p float64) {
+	k := c.Key()
+	w.probs[k] = p
+	w.sets[k] = c
+}
+
+// Add accumulates probability p onto the child set c.
+func (w *OPF) Add(c sets.Set, p float64) {
+	k := c.Key()
+	if _, ok := w.probs[k]; !ok {
+		w.sets[k] = c
+	}
+	w.probs[k] += p
+}
+
+// Prob returns ω(c), zero when c has no entry.
+func (w *OPF) Prob(c sets.Set) float64 { return w.probs[c.Key()] }
+
+// Len returns the number of stored entries.
+func (w *OPF) Len() int { return len(w.probs) }
+
+// Entries returns all stored entries in canonical order (set size, then
+// lexicographic).
+func (w *OPF) Entries() []OPFEntry {
+	es := make([]OPFEntry, 0, len(w.probs))
+	for k, p := range w.probs {
+		es = append(es, OPFEntry{Set: w.sets[k], Prob: p})
+	}
+	sort.Slice(es, func(i, j int) bool { return lessEntry(es[i].Set, es[j].Set) })
+	return es
+}
+
+// Each calls fn for every stored entry in unspecified order; it avoids the
+// sort and allocation of Entries on hot paths.
+func (w *OPF) Each(fn func(c sets.Set, p float64)) {
+	for k, p := range w.probs {
+		fn(w.sets[k], p)
+	}
+}
+
+// Mass returns the total stored probability Σ_c ω(c).
+func (w *OPF) Mass() float64 {
+	total := 0.0
+	for _, p := range w.probs {
+		total += p
+	}
+	return total
+}
+
+// Validate reports an error unless every probability lies in [0,1] and the
+// total mass is 1 within Tolerance.
+func (w *OPF) Validate() error {
+	total := 0.0
+	for k, p := range w.probs {
+		if p < -Tolerance || p > 1+Tolerance || math.IsNaN(p) {
+			return fmt.Errorf("prob: OPF entry %s has probability %v outside [0,1]", w.sets[k], p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > Tolerance {
+		return fmt.Errorf("prob: OPF mass %v != 1", total)
+	}
+	return nil
+}
+
+// Normalize rescales all entries so the mass is 1. It returns an error when
+// the mass is zero (no distribution can be recovered), the situation
+// Section 6.1 treats as an empty projection result.
+func (w *OPF) Normalize() error {
+	total := w.Mass()
+	if total <= 0 {
+		return fmt.Errorf("prob: cannot normalize OPF with mass %v", total)
+	}
+	for k := range w.probs {
+		w.probs[k] /= total
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the OPF. Child sets are shared (they are
+// immutable by convention).
+func (w *OPF) Clone() *OPF {
+	c := NewOPF()
+	for k, p := range w.probs {
+		c.probs[k] = p
+		c.sets[k] = w.sets[k]
+	}
+	return c
+}
+
+// ProbContains returns P(member ∈ c) = Σ_{c ∋ member} ω(c), the building
+// block of the chain-probability formula in Section 6.2.
+func (w *OPF) ProbContains(member string) float64 {
+	total := 0.0
+	for k, p := range w.probs {
+		if w.sets[k].Contains(member) {
+			total += p
+		}
+	}
+	return total
+}
+
+// ConditionContains returns the OPF conditioned on the event that the given
+// object is among the chosen children, together with the probability of
+// that event. This is the per-ancestor update of the efficient selection
+// algorithm: ω'(c) = ω(c)·1[member ∈ c] / P(member ∈ c). The second result
+// is false when the event has probability zero.
+func (w *OPF) ConditionContains(member string) (*OPF, float64, bool) {
+	out := NewOPF()
+	norm := 0.0
+	for k, p := range w.probs {
+		if w.sets[k].Contains(member) {
+			out.probs[k] = p
+			out.sets[k] = w.sets[k]
+			norm += p
+		}
+	}
+	if norm <= 0 {
+		return nil, 0, false
+	}
+	for k := range out.probs {
+		out.probs[k] /= norm
+	}
+	return out, norm, true
+}
+
+// Condition returns the OPF conditioned on an arbitrary predicate over
+// child sets, with the probability of the predicate. The second result is
+// false when the event has probability zero.
+func (w *OPF) Condition(pred func(sets.Set) bool) (*OPF, float64, bool) {
+	out := NewOPF()
+	norm := 0.0
+	for k, p := range w.probs {
+		if pred(w.sets[k]) {
+			out.probs[k] = p
+			out.sets[k] = w.sets[k]
+			norm += p
+		}
+	}
+	if norm <= 0 {
+		return nil, 0, false
+	}
+	for k := range out.probs {
+		out.probs[k] /= norm
+	}
+	return out, norm, true
+}
+
+// MarginalizeDrop removes the given objects from every child set, summing
+// the probabilities of sets that become identical. This is the
+// marginalization step of the Section 6.1 projection update:
+// ω'(c') = Σ_{d ⊆ dropped, c'∪d ∈ PC(o)} ω(c'∪d).
+func (w *OPF) MarginalizeDrop(dropped sets.Set) *OPF {
+	out := NewOPF()
+	for k, p := range w.probs {
+		out.Add(w.sets[k].Minus(dropped), p)
+	}
+	return out
+}
+
+// Product returns the OPF over unions c ∪ c' for c from w and c' from v,
+// with probability ω(c)·ω'(c'). This is exactly the root OPF of the
+// Cartesian product operation (Definition 5.7); identical unions are
+// merged by summation. The operand OPFs must range over disjoint object
+// universes for the result to be a sensible distribution, which the
+// Cartesian product guarantees by renaming.
+func (w *OPF) Product(v *OPF) *OPF {
+	out := NewOPF()
+	for k1, p1 := range w.probs {
+		for k2, p2 := range v.probs {
+			out.Add(w.sets[k1].Union(v.sets[k2]), p1*p2)
+		}
+	}
+	return out
+}
+
+// Support returns the child sets with strictly positive probability, in
+// canonical order.
+func (w *OPF) Support() []sets.Set {
+	var ss []sets.Set
+	for k, p := range w.probs {
+		if p > 0 {
+			ss = append(ss, w.sets[k])
+		}
+	}
+	sort.Slice(ss, func(i, j int) bool { return lessEntry(ss[i], ss[j]) })
+	return ss
+}
+
+// String renders the OPF as a probability table for debugging.
+func (w *OPF) String() string {
+	var b strings.Builder
+	for _, e := range w.Entries() {
+		fmt.Fprintf(&b, "%s=%.6g ", e.Set, e.Prob)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func lessEntry(a, b sets.Set) bool {
+	if a.Len() != b.Len() {
+		return a.Len() < b.Len()
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// VPF is a value probability function ω : dom(τ(o)) → [0,1] with
+// Σ_v ω(v) = 1 (Definition 3.9).
+type VPF struct {
+	probs map[string]float64
+}
+
+// NewVPF returns an empty VPF.
+func NewVPF() *VPF { return &VPF{probs: make(map[string]float64)} }
+
+// VPFEntry is one (value, probability) pair of a VPF.
+type VPFEntry struct {
+	Value string
+	Prob  float64
+}
+
+// Put assigns probability p to value v.
+func (w *VPF) Put(v string, p float64) { w.probs[v] = p }
+
+// Prob returns ω(v), zero when v has no entry.
+func (w *VPF) Prob(v string) float64 { return w.probs[v] }
+
+// Len returns the number of stored entries.
+func (w *VPF) Len() int { return len(w.probs) }
+
+// Entries returns all entries sorted by value.
+func (w *VPF) Entries() []VPFEntry {
+	es := make([]VPFEntry, 0, len(w.probs))
+	for v, p := range w.probs {
+		es = append(es, VPFEntry{Value: v, Prob: p})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Value < es[j].Value })
+	return es
+}
+
+// Mass returns the total stored probability.
+func (w *VPF) Mass() float64 {
+	total := 0.0
+	for _, p := range w.probs {
+		total += p
+	}
+	return total
+}
+
+// Validate reports an error unless every probability lies in [0,1] and the
+// total mass is 1 within Tolerance.
+func (w *VPF) Validate() error {
+	total := 0.0
+	for v, p := range w.probs {
+		if p < -Tolerance || p > 1+Tolerance || math.IsNaN(p) {
+			return fmt.Errorf("prob: VPF value %q has probability %v outside [0,1]", v, p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > Tolerance {
+		return fmt.Errorf("prob: VPF mass %v != 1", total)
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (w *VPF) Clone() *VPF {
+	c := NewVPF()
+	for v, p := range w.probs {
+		c.probs[v] = p
+	}
+	return c
+}
+
+// PointMass returns a VPF that assigns probability one to v, the result of
+// conditioning a leaf on a value selection val(p) = v.
+func PointMass(v string) *VPF {
+	w := NewVPF()
+	w.Put(v, 1)
+	return w
+}
+
+// Uniform returns the uniform VPF over the given values.
+func Uniform(values []string) *VPF {
+	w := NewVPF()
+	if len(values) == 0 {
+		return w
+	}
+	p := 1.0 / float64(len(values))
+	for _, v := range values {
+		w.Put(v, p)
+	}
+	return w
+}
+
+// IndependentOPF is the compact per-child representation sketched in
+// Section 3.2: each potential child occurs independently with its own
+// probability. Section 8 notes this is the ProTDB model as a special case
+// of PXML. Expand converts it to the explicit OPF over all 2^n subsets.
+type IndependentOPF struct {
+	members []string
+	p       map[string]float64
+}
+
+// NewIndependentOPF returns an empty independent OPF.
+func NewIndependentOPF() *IndependentOPF {
+	return &IndependentOPF{p: make(map[string]float64)}
+}
+
+// Put sets the independent existence probability of one child.
+func (w *IndependentOPF) Put(member string, p float64) {
+	if _, ok := w.p[member]; !ok {
+		w.members = append(w.members, member)
+		sort.Strings(w.members)
+	}
+	w.p[member] = p
+}
+
+// Prob returns the independent existence probability of member.
+func (w *IndependentOPF) Prob(member string) float64 { return w.p[member] }
+
+// Members returns the potential children in sorted order.
+func (w *IndependentOPF) Members() []string {
+	out := make([]string, len(w.members))
+	copy(out, w.members)
+	return out
+}
+
+// Validate reports an error unless every probability lies in [0,1].
+func (w *IndependentOPF) Validate() error {
+	for m, p := range w.p {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("prob: independent OPF member %q has probability %v outside [0,1]", m, p)
+		}
+	}
+	return nil
+}
+
+// Expand materializes the explicit OPF: for every subset c of the members,
+// ω(c) = Π_{m ∈ c} p(m) · Π_{m ∉ c} (1 − p(m)). The result has 2^n entries;
+// callers must bound n (Expand refuses n > 30).
+func (w *IndependentOPF) Expand() (*OPF, error) {
+	n := len(w.members)
+	if n > 30 {
+		return nil, fmt.Errorf("prob: refusing to expand independent OPF with %d members", n)
+	}
+	out := NewOPF()
+	for mask := 0; mask < 1<<n; mask++ {
+		p := 1.0
+		var ids []string
+		for i, m := range w.members {
+			if mask&(1<<i) != 0 {
+				p *= w.p[m]
+				ids = append(ids, m)
+			} else {
+				p *= 1 - w.p[m]
+			}
+		}
+		out.Add(sets.NewSet(ids...), p)
+	}
+	return out, nil
+}

@@ -1,0 +1,373 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pxml/internal/sets"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// opfB1 is the paper's Figure 2 OPF for object B1.
+func opfB1() *OPF {
+	w := NewOPF()
+	w.Put(sets.NewSet("A1"), 0.3)
+	w.Put(sets.NewSet("A1", "T1"), 0.35)
+	w.Put(sets.NewSet("A2"), 0.1)
+	w.Put(sets.NewSet("A2", "T1"), 0.15)
+	w.Put(sets.NewSet("A1", "A2"), 0.05)
+	w.Put(sets.NewSet("A1", "A2", "T1"), 0.05)
+	return w
+}
+
+func TestOPFValidateAndMass(t *testing.T) {
+	w := opfB1()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !approx(w.Mass(), 1) {
+		t.Errorf("Mass = %v", w.Mass())
+	}
+	w.Put(sets.NewSet("Z"), 0.5)
+	if err := w.Validate(); err == nil {
+		t.Error("over-unit mass accepted")
+	}
+	bad := NewOPF()
+	bad.Put(sets.NewSet("a"), 1.5)
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("probability >1 accepted: %v", err)
+	}
+	neg := NewOPF()
+	neg.Put(sets.NewSet("a"), -0.2)
+	neg.Put(sets.NewSet("b"), 1.2)
+	if err := neg.Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestOPFProbContains(t *testing.T) {
+	w := opfB1()
+	// P(A1 ∈ c) = 0.3 + 0.35 + 0.05 + 0.05 = 0.75.
+	if got := w.ProbContains("A1"); !approx(got, 0.75) {
+		t.Errorf("ProbContains(A1) = %v, want 0.75", got)
+	}
+	// P(T1 ∈ c) = 0.35 + 0.15 + 0.05 = 0.55.
+	if got := w.ProbContains("T1"); !approx(got, 0.55) {
+		t.Errorf("ProbContains(T1) = %v, want 0.55", got)
+	}
+	if got := w.ProbContains("missing"); got != 0 {
+		t.Errorf("ProbContains(missing) = %v", got)
+	}
+}
+
+func TestOPFConditionContains(t *testing.T) {
+	w := opfB1()
+	cond, norm, ok := w.ConditionContains("T1")
+	if !ok || !approx(norm, 0.55) {
+		t.Fatalf("norm = %v ok=%v", norm, ok)
+	}
+	if err := cond.Validate(); err != nil {
+		t.Fatalf("conditioned OPF invalid: %v", err)
+	}
+	if got := cond.Prob(sets.NewSet("A1", "T1")); !approx(got, 0.35/0.55) {
+		t.Errorf("conditional prob = %v", got)
+	}
+	if got := cond.Prob(sets.NewSet("A1")); got != 0 {
+		t.Errorf("excluded set kept with prob %v", got)
+	}
+	if _, _, ok := w.ConditionContains("missing"); ok {
+		t.Error("conditioning on impossible event succeeded")
+	}
+}
+
+func TestOPFConditionPredicate(t *testing.T) {
+	w := opfB1()
+	// Condition on |c| == 2 (a cardinality-style selection condition).
+	cond, norm, ok := w.Condition(func(c sets.Set) bool { return c.Len() == 2 })
+	if !ok || !approx(norm, 0.55) { // 0.35 + 0.15 + 0.05
+		t.Fatalf("norm = %v ok=%v", norm, ok)
+	}
+	if err := cond.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := w.Condition(func(c sets.Set) bool { return false }); ok {
+		t.Error("empty predicate condition succeeded")
+	}
+}
+
+func TestOPFMarginalizeDrop(t *testing.T) {
+	w := opfB1()
+	m := w.MarginalizeDrop(sets.NewSet("T1"))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("marginal invalid: %v", err)
+	}
+	// {A1} absorbs {A1,T1}: 0.3 + 0.35.
+	if got := m.Prob(sets.NewSet("A1")); !approx(got, 0.65) {
+		t.Errorf("marginal {A1} = %v, want 0.65", got)
+	}
+	if got := m.Prob(sets.NewSet("A1", "A2")); !approx(got, 0.1) {
+		t.Errorf("marginal {A1,A2} = %v, want 0.1", got)
+	}
+	// Dropping everything leaves all mass on ∅.
+	all := w.MarginalizeDrop(sets.NewSet("A1", "A2", "T1"))
+	if got := all.Prob(sets.NewSet()); !approx(got, 1) {
+		t.Errorf("total marginal = %v", got)
+	}
+}
+
+func TestOPFProduct(t *testing.T) {
+	a := NewOPF()
+	a.Put(sets.NewSet("x"), 0.4)
+	a.Put(sets.NewSet(), 0.6)
+	b := NewOPF()
+	b.Put(sets.NewSet("y"), 0.7)
+	b.Put(sets.NewSet(), 0.3)
+	p := a.Product(b)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("product invalid: %v", err)
+	}
+	if got := p.Prob(sets.NewSet("x", "y")); !approx(got, 0.28) {
+		t.Errorf("P({x,y}) = %v", got)
+	}
+	if got := p.Prob(sets.NewSet()); !approx(got, 0.18) {
+		t.Errorf("P(∅) = %v", got)
+	}
+}
+
+func TestOPFNormalizeAndClone(t *testing.T) {
+	w := NewOPF()
+	w.Put(sets.NewSet("a"), 0.2)
+	w.Put(sets.NewSet("b"), 0.6)
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(w.Prob(sets.NewSet("a")), 0.25) {
+		t.Errorf("normalized prob = %v", w.Prob(sets.NewSet("a")))
+	}
+	c := w.Clone()
+	c.Put(sets.NewSet("a"), 0)
+	if approx(w.Prob(sets.NewSet("a")), 0) {
+		t.Error("clone aliases original")
+	}
+	empty := NewOPF()
+	if err := empty.Normalize(); err == nil {
+		t.Error("normalizing zero mass accepted")
+	}
+}
+
+func TestOPFEntriesOrderAndString(t *testing.T) {
+	w := opfB1()
+	es := w.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Set.Len() > es[i].Set.Len() {
+			t.Errorf("entries not ordered by size: %v", es)
+		}
+	}
+	if s := w.String(); !strings.Contains(s, "{A1}=0.3") {
+		t.Errorf("String = %q", s)
+	}
+	if len(w.Support()) != 6 {
+		t.Errorf("Support = %v", w.Support())
+	}
+	n := 0
+	w.Each(func(c sets.Set, p float64) { n++ })
+	if n != 6 {
+		t.Errorf("Each visited %d entries", n)
+	}
+}
+
+func TestVPFBasics(t *testing.T) {
+	w := NewVPF()
+	w.Put("VQDB", 0.7)
+	w.Put("Lore", 0.3)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(w.Prob("VQDB"), 0.7) || w.Prob("missing") != 0 {
+		t.Error("Prob misbehaves")
+	}
+	es := w.Entries()
+	if len(es) != 2 || es[0].Value != "Lore" {
+		t.Errorf("Entries = %v", es)
+	}
+	c := w.Clone()
+	c.Put("VQDB", 0)
+	if w.Prob("VQDB") != 0.7 {
+		t.Error("clone aliases original")
+	}
+	w.Put("extra", 0.5)
+	if err := w.Validate(); err == nil {
+		t.Error("over-unit VPF accepted")
+	}
+	bad := NewVPF()
+	bad.Put("x", math.NaN())
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestPointMassAndUniform(t *testing.T) {
+	pm := PointMass("v")
+	if err := pm.Validate(); err != nil || pm.Prob("v") != 1 {
+		t.Errorf("PointMass: %v %v", err, pm.Prob("v"))
+	}
+	u := Uniform([]string{"a", "b", "c", "d"})
+	if err := u.Validate(); err != nil || !approx(u.Prob("a"), 0.25) {
+		t.Errorf("Uniform: %v", u.Entries())
+	}
+	if Uniform(nil).Len() != 0 {
+		t.Error("Uniform(nil) should be empty")
+	}
+}
+
+func TestIndependentOPFExpand(t *testing.T) {
+	w := NewIndependentOPF()
+	w.Put("a", 0.5)
+	w.Put("b", 0.25)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := w.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("expanded OPF invalid: %v", err)
+	}
+	if got := e.Prob(sets.NewSet("a", "b")); !approx(got, 0.125) {
+		t.Errorf("P({a,b}) = %v", got)
+	}
+	if got := e.Prob(sets.NewSet()); !approx(got, 0.375) {
+		t.Errorf("P(∅) = %v", got)
+	}
+	// Marginal existence probabilities round-trip.
+	if got := e.ProbContains("a"); !approx(got, 0.5) {
+		t.Errorf("marginal a = %v", got)
+	}
+	if got := e.ProbContains("b"); !approx(got, 0.25) {
+		t.Errorf("marginal b = %v", got)
+	}
+}
+
+func TestIndependentOPFValidateAndLimit(t *testing.T) {
+	w := NewIndependentOPF()
+	w.Put("a", 1.5)
+	if err := w.Validate(); err == nil {
+		t.Error("invalid independent prob accepted")
+	}
+	big := NewIndependentOPF()
+	for i := 0; i < 31; i++ {
+		big.Put(string(rune('a'+i%26))+string(rune('0'+i/26)), 0.5)
+	}
+	if _, err := big.Expand(); err == nil {
+		t.Error("oversized expansion accepted")
+	}
+	if got := w.Members(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Members = %v", got)
+	}
+	if w.Prob("a") != 1.5 {
+		t.Errorf("Prob = %v", w.Prob("a"))
+	}
+}
+
+// TestQuickExpandIsDistribution: any independent OPF expands to a valid
+// distribution whose per-member marginals equal the inputs.
+func TestQuickExpandIsDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := NewIndependentOPF()
+		n := 1 + r.Intn(6)
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = string(rune('a' + i))
+			w.Put(names[i], r.Float64())
+		}
+		e, err := w.Expand()
+		if err != nil || e.Validate() != nil {
+			return false
+		}
+		for _, m := range names {
+			if math.Abs(e.ProbContains(m)-w.Prob(m)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(20250705))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConditionThenMassLaw: conditioning preserves the probability
+// ratio law P(A|B)·P(B) = P(A∧B) on random OPFs.
+func TestQuickConditionThenMassLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := NewOPF()
+		universe := []string{"a", "b", "c"}
+		total := 0.0
+		weights := make([]float64, 8)
+		for i := range weights {
+			weights[i] = r.Float64()
+			total += weights[i]
+		}
+		for mask := 0; mask < 8; mask++ {
+			var ids []string
+			for i, u := range universe {
+				if mask&(1<<i) != 0 {
+					ids = append(ids, u)
+				}
+			}
+			w.Put(sets.NewSet(ids...), weights[mask]/total)
+		}
+		cond, norm, ok := w.ConditionContains("a")
+		if !ok {
+			return norm == 0
+		}
+		// P(c | a ∈ c) * P(a ∈ c) must equal original P(c) for c ∋ a.
+		for _, e := range cond.Entries() {
+			if math.Abs(e.Prob*norm-w.Prob(e.Set)) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(cond.Mass()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(20250705))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMarginalizePreservesMass: marginalization never changes total
+// probability mass.
+func TestQuickMarginalizePreservesMass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := NewOPF()
+		names := []string{"a", "b", "c", "d"}
+		for i := 0; i < 6; i++ {
+			var ids []string
+			for _, n := range names {
+				if r.Intn(2) == 0 {
+					ids = append(ids, n)
+				}
+			}
+			w.Add(sets.NewSet(ids...), r.Float64())
+		}
+		before := w.Mass()
+		var drop []string
+		for _, n := range names {
+			if r.Intn(2) == 0 {
+				drop = append(drop, n)
+			}
+		}
+		after := w.MarginalizeDrop(sets.NewSet(drop...)).Mass()
+		return math.Abs(before-after) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(20250705))}); err != nil {
+		t.Fatal(err)
+	}
+}

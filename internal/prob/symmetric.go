@@ -1,0 +1,196 @@
+package prob
+
+import (
+	"fmt"
+	"sort"
+
+	"pxml/internal/sets"
+)
+
+// SymmetricOPF is the compact representation for indistinguishable
+// objects that Section 3.2 of the paper motivates with the vehicle
+// example: "if we have two vehicles, vehicle1 and vehicle2, and a bridge
+// bridge1 in a scene S1, we may not be able to distinguish between a scene
+// that has bridge1 and vehicle1 in it from a scene that has bridge1 and
+// vehicle2 in it" — i.e. ℘(S1)({bridge1, vehicle1}) =
+// ℘(S1)({bridge1, vehicle2}).
+//
+// Children are partitioned into groups of mutually indistinguishable
+// objects; the probability of a child set depends only on HOW MANY members
+// of each group it contains. The table therefore stores one probability
+// per count vector, and Expand spreads each count vector's probability
+// uniformly over the child sets realizing it.
+type SymmetricOPF struct {
+	groups [][]string // each group sorted; groups sorted by first member
+	probs  map[string]float64
+}
+
+// NewSymmetricOPF creates a symmetric OPF over the given groups of
+// indistinguishable children. Groups must be non-empty and pairwise
+// disjoint.
+func NewSymmetricOPF(groups ...[]string) (*SymmetricOPF, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("prob: symmetric OPF needs at least one group")
+	}
+	seen := map[string]bool{}
+	gs := make([][]string, len(groups))
+	for i, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("prob: symmetric OPF group %d is empty", i)
+		}
+		cp := append([]string(nil), g...)
+		sort.Strings(cp)
+		for _, m := range cp {
+			if seen[m] {
+				return nil, fmt.Errorf("prob: object %q appears in two groups", m)
+			}
+			seen[m] = true
+		}
+		gs[i] = cp
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i][0] < gs[j][0] })
+	return &SymmetricOPF{groups: gs, probs: make(map[string]float64)}, nil
+}
+
+// Groups returns the indistinguishability groups.
+func (w *SymmetricOPF) Groups() [][]string {
+	out := make([][]string, len(w.groups))
+	for i, g := range w.groups {
+		out[i] = append([]string(nil), g...)
+	}
+	return out
+}
+
+func countsKey(counts []int) string {
+	b := make([]byte, 0, len(counts)*3)
+	for _, c := range counts {
+		b = append(b, byte('0'+c/10), byte('0'+c%10), ',')
+	}
+	return string(b)
+}
+
+// Put assigns the probability of drawing counts[i] children from group i.
+// Each count must lie within [0, |group i|].
+func (w *SymmetricOPF) Put(counts []int, p float64) error {
+	if len(counts) != len(w.groups) {
+		return fmt.Errorf("prob: count vector has %d entries, want %d", len(counts), len(w.groups))
+	}
+	for i, c := range counts {
+		if c < 0 || c > len(w.groups[i]) || c > 99 {
+			return fmt.Errorf("prob: count %d out of range for group %d (size %d)", c, i, len(w.groups[i]))
+		}
+	}
+	w.probs[countsKey(counts)] = p
+	return nil
+}
+
+// Prob returns the probability assigned to a count vector.
+func (w *SymmetricOPF) Prob(counts []int) float64 { return w.probs[countsKey(counts)] }
+
+// Validate checks the count-vector table is a probability distribution.
+func (w *SymmetricOPF) Validate() error {
+	total := 0.0
+	for k, p := range w.probs {
+		if p < -Tolerance || p > 1+Tolerance {
+			return fmt.Errorf("prob: symmetric OPF entry %q has probability %v", k, p)
+		}
+		total += p
+	}
+	if total < 1-Tolerance || total > 1+Tolerance {
+		return fmt.Errorf("prob: symmetric OPF mass %v != 1", total)
+	}
+	return nil
+}
+
+// Expand materializes the explicit OPF: each count vector's probability is
+// split uniformly over every child set realizing it (the Section 3.2
+// symmetry). The result size is the product of binomials; Expand refuses
+// results above 1<<20 entries.
+func (w *SymmetricOPF) Expand() (*OPF, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	out := NewOPF()
+	for key, p := range w.probs {
+		if p <= 0 {
+			continue
+		}
+		counts := parseCountsKey(key)
+		// Enumerate one subset per group with the required size, take the
+		// cross product.
+		perGroup := make([][]sets.Set, len(w.groups))
+		ways := 1
+		for i, g := range w.groups {
+			perGroup[i] = sets.BoundedSubsets(sets.NewSet(g...), sets.Interval{Min: counts[i], Max: counts[i]})
+			ways *= len(perGroup[i])
+			if ways == 0 || ways > 1<<20 {
+				return nil, fmt.Errorf("prob: symmetric expansion too large")
+			}
+		}
+		share := p / float64(ways)
+		acc := []sets.Set{nil}
+		for _, options := range perGroup {
+			next := make([]sets.Set, 0, len(acc)*len(options))
+			for _, a := range acc {
+				for _, o := range options {
+					next = append(next, a.Union(o))
+				}
+			}
+			acc = next
+		}
+		for _, s := range acc {
+			out.Add(s, share)
+		}
+	}
+	return out, nil
+}
+
+func parseCountsKey(key string) []int {
+	var counts []int
+	for i := 0; i+2 < len(key)+1; i += 3 {
+		counts = append(counts, int(key[i]-'0')*10+int(key[i+1]-'0'))
+	}
+	return counts
+}
+
+// IsSymmetric reports whether an explicit OPF is invariant under every
+// within-group permutation of the given groups: sets with identical
+// per-group counts carry identical probabilities. It is the verification
+// companion of Expand, used to check that algebra operations preserve the
+// Section 3.2 indistinguishability when they should.
+func IsSymmetric(w *OPF, groups [][]string, tol float64) bool {
+	index := map[string]int{}
+	for gi, g := range groups {
+		for _, m := range g {
+			index[m] = gi
+		}
+	}
+	byCounts := map[string][]float64{}
+	w.Each(func(c sets.Set, p float64) {
+		counts := make([]int, len(groups))
+		for _, m := range c {
+			gi, ok := index[m]
+			if !ok {
+				return
+			}
+			counts[gi]++
+		}
+		k := countsKey(counts)
+		byCounts[k] = append(byCounts[k], p)
+	})
+	for _, ps := range byCounts {
+		for i := 1; i < len(ps); i++ {
+			if diff(ps[i], ps[0]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,150 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pxml/internal/sets"
+)
+
+func TestSymmetricOPFVehicles(t *testing.T) {
+	// The Section 3.2 scene: one bridge group, one two-vehicle group.
+	w, err := NewSymmetricOPF([]string{"bridge1"}, []string{"vehicle1", "vehicle2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Always the bridge; one vehicle with 0.7, both with 0.3.
+	if err := w.Put([]int{1, 1}, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put([]int{1, 2}, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := w.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("expanded invalid: %v", err)
+	}
+	// Indistinguishability: the two single-vehicle sets share probability.
+	p1 := e.Prob(sets.NewSet("bridge1", "vehicle1"))
+	p2 := e.Prob(sets.NewSet("bridge1", "vehicle2"))
+	if math.Abs(p1-0.35) > 1e-12 || math.Abs(p2-0.35) > 1e-12 {
+		t.Errorf("single-vehicle probs = %v, %v", p1, p2)
+	}
+	if got := e.Prob(sets.NewSet("bridge1", "vehicle1", "vehicle2")); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("both-vehicles prob = %v", got)
+	}
+	if !IsSymmetric(e, w.Groups(), 1e-12) {
+		t.Error("expansion not symmetric")
+	}
+}
+
+func TestSymmetricOPFErrors(t *testing.T) {
+	if _, err := NewSymmetricOPF(); err == nil {
+		t.Error("empty groups accepted")
+	}
+	if _, err := NewSymmetricOPF([]string{}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewSymmetricOPF([]string{"a"}, []string{"a"}); err == nil {
+		t.Error("overlapping groups accepted")
+	}
+	w, err := NewSymmetricOPF([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put([]int{3}, 1); err == nil {
+		t.Error("oversized count accepted")
+	}
+	if err := w.Put([]int{1, 1}, 1); err == nil {
+		t.Error("wrong-arity counts accepted")
+	}
+	if err := w.Put([]int{-1}, 1); err == nil {
+		t.Error("negative count accepted")
+	}
+	_ = w.Put([]int{1}, 0.5)
+	if err := w.Validate(); err == nil {
+		t.Error("sub-unit mass accepted")
+	}
+}
+
+func TestIsSymmetricDetectsAsymmetry(t *testing.T) {
+	w := NewOPF()
+	w.Put(sets.NewSet("v1"), 0.6)
+	w.Put(sets.NewSet("v2"), 0.4)
+	if IsSymmetric(w, [][]string{{"v1", "v2"}}, 1e-12) {
+		t.Error("asymmetric OPF reported symmetric")
+	}
+}
+
+// TestQuickSymmetricExpansion: random symmetric tables expand to valid,
+// symmetric explicit OPFs whose per-count-vector mass matches the table.
+func TestQuickSymmetricExpansion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1n := 1 + r.Intn(3)
+		g2n := 1 + r.Intn(3)
+		g1 := make([]string, g1n)
+		for i := range g1 {
+			g1[i] = "a" + string(rune('0'+i))
+		}
+		g2 := make([]string, g2n)
+		for i := range g2 {
+			g2[i] = "b" + string(rune('0'+i))
+		}
+		w, err := NewSymmetricOPF(g1, g2)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		type cv struct{ c1, c2 int }
+		weights := map[cv]float64{}
+		for c1 := 0; c1 <= g1n; c1++ {
+			for c2 := 0; c2 <= g2n; c2++ {
+				weights[cv{c1, c2}] = r.Float64() + 1e-3
+				total += weights[cv{c1, c2}]
+			}
+		}
+		for k, v := range weights {
+			if err := w.Put([]int{k.c1, k.c2}, v/total); err != nil {
+				return false
+			}
+		}
+		e, err := w.Expand()
+		if err != nil || e.Validate() != nil {
+			return false
+		}
+		if !IsSymmetric(e, w.Groups(), 1e-9) {
+			return false
+		}
+		// Aggregate expanded mass per count vector matches the table.
+		agg := map[cv]float64{}
+		e.Each(func(c sets.Set, p float64) {
+			var k cv
+			for _, m := range c {
+				if m[0] == 'a' {
+					k.c1++
+				} else {
+					k.c2++
+				}
+			}
+			agg[k] += p
+		})
+		for k, v := range weights {
+			if math.Abs(agg[k]-v/total) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(20250705))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package pxql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pxml/internal/core"
+	"pxml/internal/fixtures"
+	"pxml/internal/model"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// bib builds a tree bibliography through core (same shape as the algebra
+// tests' treeBib).
+func bib(t testing.TB) *core.ProbInstance {
+	t.Helper()
+	pi := core.NewProbInstance("R")
+	if err := pi.RegisterType(model.NewType("title-type", "VQDB", "Lore")); err != nil {
+		t.Fatal(err)
+	}
+	pi.SetLCh("R", "book", "B1", "B2")
+	w := prob.NewOPF()
+	w.Put(sets.NewSet("B1"), 0.3)
+	w.Put(sets.NewSet("B2"), 0.2)
+	w.Put(sets.NewSet("B1", "B2"), 0.5)
+	pi.SetOPF("R", w)
+	pi.SetLCh("B1", "author", "A1")
+	pi.SetLCh("B1", "title", "T1")
+	w1 := prob.NewOPF()
+	w1.Put(sets.NewSet(), 0.1)
+	w1.Put(sets.NewSet("A1"), 0.3)
+	w1.Put(sets.NewSet("T1"), 0.2)
+	w1.Put(sets.NewSet("A1", "T1"), 0.4)
+	pi.SetOPF("B1", w1)
+	pi.SetLCh("B2", "author", "A2")
+	w2 := prob.NewOPF()
+	w2.Put(sets.NewSet("A2"), 1)
+	pi.SetOPF("B2", w2)
+	if err := pi.SetLeafType("T1", "title-type"); err != nil {
+		t.Fatal(err)
+	}
+	v := prob.NewVPF()
+	v.Put("VQDB", 0.6)
+	v.Put("Lore", 0.4)
+	pi.SetVPF("T1", v)
+	if err := pi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return pi
+}
+
+func wantProb(t *testing.T, pi *core.ProbInstance, stmt string, want float64) {
+	t.Helper()
+	res, err := Eval(pi, stmt)
+	if err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	if res.Prob == nil {
+		t.Fatalf("%s: no probability", stmt)
+	}
+	if !approx(*res.Prob, want) {
+		t.Errorf("%s = %v, want %v", stmt, *res.Prob, want)
+	}
+}
+
+func TestEvalProbQueries(t *testing.T) {
+	pi := bib(t)
+	wantProb(t, pi, "PROB R.book = B1", 0.8)
+	wantProb(t, pi, "PROB R.book.author = A1", 0.8*0.7)
+	wantProb(t, pi, "PROB VAL(R.book.title) = Lore", 0.8*0.6*0.4)
+	wantProb(t, pi, "PROB OBJECT A2", 0.7)
+	wantProb(t, pi, "CHAIN R.B1.A1", 0.8*0.7)
+}
+
+func TestEvalProbExistsExact(t *testing.T) {
+	// Cross-check PROB EXISTS against enumeration rather than a hand
+	// formula (authors under different books are not independent at the
+	// root).
+	pi := bib(t)
+	res, err := Eval(pi, "PROB EXISTS R.book.author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Eval(pi, "WORLDS 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res2
+	// Manual: fail = Σ_c ω(R)(c) Π (1-ε): ε_B1 = 0.7, ε_B2 = 1.
+	want := 1 - (0.3*0.3 + 0.2*0 + 0.5*0.3*0)
+	if !approx(*res.Prob, want) {
+		t.Errorf("exists = %v, want %v", *res.Prob, want)
+	}
+}
+
+func TestEvalSelect(t *testing.T) {
+	pi := bib(t)
+	res, err := Eval(pi, "SELECT R.book = B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instance == nil || res.Prob == nil || !approx(*res.Prob, 0.8) {
+		t.Fatalf("select result = %+v", res)
+	}
+	if got := res.Instance.OPF("R").ProbContains("B1"); !approx(got, 1) {
+		t.Errorf("conditioned marginal = %v", got)
+	}
+
+	// Conjunction.
+	res, err = Eval(pi, "SELECT R.book = B1 AND R.book = B2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(*res.Prob, 0.5) {
+		t.Errorf("conjunction prob = %v", *res.Prob)
+	}
+
+	// Value selection.
+	res, err = Eval(pi, "SELECT VAL(R.book.title) = Lore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(*res.Prob, 0.8*0.6*0.4) {
+		t.Errorf("value selection prob = %v", *res.Prob)
+	}
+
+	// Cardinality selection.
+	res, err = Eval(pi, "SELECT CARD(R.book = B1, author) IN [1,1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(*res.Prob, 0.8*0.7) {
+		t.Errorf("card selection prob = %v", *res.Prob)
+	}
+}
+
+func TestEvalProjections(t *testing.T) {
+	pi := bib(t)
+	res, err := Eval(pi, "PROJECT R.book.author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instance == nil || res.Instance.HasObject("T1") {
+		t.Fatalf("projection kept T1: %+v", res.Instance.Objects())
+	}
+	res, err = Eval(pi, "SINGLE R.book.author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instance.HasObject("B1") {
+		t.Error("single projection kept B1")
+	}
+	res, err = Eval(pi, "DESCEND R.book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Instance.HasObject("A1") {
+		t.Error("descendant projection lost A1")
+	}
+}
+
+func TestEvalTextOutputs(t *testing.T) {
+	pi := bib(t)
+	res, err := Eval(pi, "STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "objects=6") || !strings.Contains(res.Text, "tree=true") {
+		t.Errorf("stats = %q", res.Text)
+	}
+	res, err = Eval(pi, "MARGINALS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "R\t1.000000000") {
+		t.Errorf("marginals = %q", res.Text)
+	}
+	res, err = Eval(pi, "WORLDS 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "total probability 1.000000000") {
+		t.Errorf("worlds = %q", res.Text)
+	}
+	if got := strings.Count(res.Text, "p="); got != 2 {
+		t.Errorf("worlds lines = %d", got)
+	}
+}
+
+func TestEvalDAGFallback(t *testing.T) {
+	pi := fixtures.Figure2()
+	res, err := Eval(pi, "PROB R.book.author = A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(*res.Prob, 0.88) { // cross-checked in bayes tests
+		t.Errorf("DAG point query = %v", *res.Prob)
+	}
+	res, err = Eval(pi, "PROB OBJECT A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(*res.Prob, 0.634) {
+		t.Errorf("DAG existence = %v", *res.Prob)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"FROB x",
+		"PROJECT",
+		"PROJECT a b",
+		"SELECT",
+		"SELECT nonsense",
+		"SELECT VAL(R.book = x",
+		"SELECT CARD(R.book, author) IN [1,2]",
+		"SELECT CARD(R.book = B1, author) IN [a,b]",
+		"SELECT CARD(R.book = B1, author) [1,2]",
+		"PROB",
+		"PROB EXISTS",
+		"PROB OBJECT",
+		"PROB R.book",
+		"PROB VAL(R.x)",
+		"WORLDS x",
+		"WORLDS 1 2",
+		"CHAIN",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	q, err := Parse("select val(R.book.title) = Lore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Op != "select" {
+		t.Errorf("op = %q", q.Op)
+	}
+	q, err = Parse("prob exists R.book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Op != "prob-exists" {
+		t.Errorf("op = %q", q.Op)
+	}
+}
+
+func TestEvalSelectZeroProb(t *testing.T) {
+	pi := bib(t)
+	if _, err := Eval(pi, "SELECT R.book = NOPE"); err == nil {
+		t.Error("impossible selection accepted")
+	}
+}
+
+func TestEvalTopK(t *testing.T) {
+	pi := bib(t)
+	res, err := Eval(pi, "TOPK 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(res.Text, "p="); got != 3 {
+		t.Errorf("topk lines = %d: %q", got, res.Text)
+	}
+	// The best world of TOPK matches the head of WORLDS.
+	w, err := Eval(pi, "WORLDS 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topFirst := strings.SplitN(res.Text, "\n", 2)[0]
+	if !strings.Contains(w.Text, topFirst) {
+		t.Errorf("TOPK head %q not the WORLDS head:\n%s", topFirst, w.Text)
+	}
+	for _, bad := range []string{"TOPK", "TOPK x", "TOPK 0"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEvalEstimate(t *testing.T) {
+	pi := bib(t)
+	res, err := Eval(pi, "ESTIMATE 4000 R.book = B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prob == nil || *res.Prob < 0.75 || *res.Prob > 0.85 { // exact 0.8
+		t.Errorf("estimate = %v", res.Prob)
+	}
+	if !strings.Contains(res.Text, "±") {
+		t.Errorf("estimate text = %q", res.Text)
+	}
+	res, err = Eval(pi, "ESTIMATE 4000 EXISTS R.book.author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prob == nil || *res.Prob < 0.86 || *res.Prob > 0.96 { // exact 0.91
+		t.Errorf("exists estimate = %v", res.Prob)
+	}
+	for _, bad := range []string{"ESTIMATE", "ESTIMATE x R.a = b", "ESTIMATE 10 VAL(R.a) = b", "ESTIMATE 0 EXISTS R.a"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEvalCount(t *testing.T) {
+	pi := bib(t)
+	res, err := Eval(pi, "COUNT R.book.author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prob == nil {
+		t.Fatal("no expectation")
+	}
+	// E = P(A1) + P(A2) = 0.8·0.7 + 0.7.
+	if !approx(*res.Prob, 0.8*0.7+0.7) {
+		t.Errorf("E[count] = %v", *res.Prob)
+	}
+	if !strings.Contains(res.Text, "P(count=2)") {
+		t.Errorf("count text = %q", res.Text)
+	}
+	if _, err := Parse("COUNT"); err == nil {
+		t.Error("COUNT without path accepted")
+	}
+}

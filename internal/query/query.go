@@ -1,0 +1,190 @@
+// Package query implements the probabilistic queries of Section 6.2 of the
+// PXML paper: the probability of a simple object chain, probabilistic point
+// queries ("what is the probability that object o satisfies path expression
+// p?", Definition 6.1) and their extension to existence queries ("what is
+// the probability that some object satisfies p?"), plus value-existence
+// queries combining a path with a leaf value.
+//
+// The fast algorithms assume a tree-structured weak instance graph, exactly
+// as Section 6 does. For DAG instances use the bayes package (exact
+// variable-elimination inference) or the enumeration oracle.
+package query
+
+import (
+	"fmt"
+
+	"pxml/internal/algebra"
+	"pxml/internal/core"
+	"pxml/internal/model"
+	"pxml/internal/pathexpr"
+	"pxml/internal/sets"
+)
+
+// ErrNotTree is returned by the query fast paths on non-tree instances;
+// it is the same sentinel the algebra fast paths use, so callers can check
+// a single error value. Use bayes.PathProb or enumeration for DAGs.
+var ErrNotTree = algebra.ErrNotTree
+
+// ChainProb computes the probability of a simple object chain
+// c = r.o₁.o₂…oᵢ per the Section 6.2 formula: the product over the chain of
+// P(oₖ₊₁ ∈ c(oₖ)) — each factor conditional on the parent's existence, so
+// the product telescopes into the chain probability. Unlike the other
+// queries this is exact on DAGs too: a chain is a single path, and each
+// object's child-set choice is independent of how the object was reached.
+func ChainProb(pi *core.ProbInstance, chain []model.ObjectID) (float64, error) {
+	if len(chain) == 0 {
+		return 0, fmt.Errorf("query: empty chain")
+	}
+	if chain[0] != pi.Root() {
+		return 0, fmt.Errorf("query: chain must start at the root %s, got %s", pi.Root(), chain[0])
+	}
+	p := 1.0
+	for i := 0; i+1 < len(chain); i++ {
+		opf := pi.OPF(chain[i])
+		if opf == nil {
+			return 0, nil // a leaf has no children: the chain is impossible
+		}
+		if _, ok := pi.LabelOf(chain[i], chain[i+1]); !ok {
+			return 0, nil
+		}
+		p *= opf.ProbContains(chain[i+1])
+		if p == 0 {
+			return 0, nil
+		}
+	}
+	return p, nil
+}
+
+// PointQuery computes the Definition 6.1 probabilistic point query: the
+// probability that object o satisfies path expression p in a compatible
+// instance. Per Section 6.2 it extracts o and its path ancestors and
+// evaluates ε_r over that restriction; in a tree that restriction is the
+// unique root chain of o.
+func PointQuery(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64, error) {
+	if !pi.IsTree() {
+		return 0, ErrNotTree
+	}
+	return epsilonRoot(pi, p, map[model.ObjectID]bool{o: true}, nil)
+}
+
+// ExistsQuery computes the extension the paper describes at the end of
+// Section 6.2: the probability that some object satisfies p. It keeps all
+// objects satisfying the path expression together with their path
+// ancestors and computes ε_r bottom-up.
+func ExistsQuery(pi *core.ProbInstance, p pathexpr.Path) (float64, error) {
+	if !pi.IsTree() {
+		return 0, ErrNotTree
+	}
+	return epsilonRoot(pi, p, nil, nil)
+}
+
+// ValueExistsQuery computes the probability that some leaf satisfying p
+// carries value v — the probabilistic reading of the value selection
+// condition val(p) = v. Matched leaves succeed with probability VPF(v);
+// matched non-leaves or unvalued leaves never do.
+func ValueExistsQuery(pi *core.ProbInstance, p pathexpr.Path, v model.Value) (float64, error) {
+	if !pi.IsTree() {
+		return 0, ErrNotTree
+	}
+	success := func(o model.ObjectID) float64 {
+		if vpf := pi.VPF(o); vpf != nil {
+			return vpf.Prob(v)
+		}
+		return 0
+	}
+	return epsilonRoot(pi, p, nil, success)
+}
+
+// ValuePointQuery computes P(o ∈ p ∧ val(o) = v) for a specific leaf o.
+func ValuePointQuery(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID, v model.Value) (float64, error) {
+	if !pi.IsTree() {
+		return 0, ErrNotTree
+	}
+	success := func(m model.ObjectID) float64 {
+		if vpf := pi.VPF(m); vpf != nil {
+			return vpf.Prob(v)
+		}
+		return 0
+	}
+	return epsilonRoot(pi, p, map[model.ObjectID]bool{o: true}, success)
+}
+
+// epsilonRoot runs the ε recursion of Section 6.1/6.2 over the plan of p
+// restricted to targets (nil = all matches): bottom-up,
+//
+//	ε_o = 1 − Σ_c ω(o)(c) · Π_{j ∈ c ∩ kept} (1 − ε_j)
+//
+// with matched objects assigned success probability 1 (or success(o) when a
+// success function is supplied, e.g. a VPF lookup for value queries). ε_r
+// is the probability that a compatible instance contains a successful
+// match.
+func epsilonRoot(pi *core.ProbInstance, p pathexpr.Path, targets map[model.ObjectID]bool, success func(model.ObjectID) float64) (float64, error) {
+	if p.Root != pi.Root() {
+		return 0, nil
+	}
+	if p.Len() == 0 {
+		// The bare root always satisfies its own path expression; for
+		// value queries the root has no value, so success is 0.
+		if success != nil {
+			return success(pi.Root()), nil
+		}
+		if targets != nil && !targets[pi.Root()] {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	g := pi.WeakInstance.Graph()
+	plan := pathexpr.NewPlan(g, p, targets)
+	if plan.IsEmpty() {
+		return 0, nil
+	}
+	keptChildren := make(map[model.ObjectID][]model.ObjectID)
+	for _, e := range plan.Edges {
+		keptChildren[e.From] = append(keptChildren[e.From], e.To)
+	}
+	eps := make(map[model.ObjectID]float64)
+	n := p.Len()
+	for o := range plan.Keep[n] {
+		if success != nil {
+			eps[o] = success(o)
+		} else {
+			eps[o] = 1
+		}
+	}
+	matched := plan.Keep[n]
+	for level := n - 1; level >= 0; level-- {
+		for o := range plan.Keep[level] {
+			if matched[o] {
+				continue // cannot happen in a tree; keep ε from the match
+			}
+			opf := pi.OPF(o)
+			if opf == nil {
+				return 0, fmt.Errorf("query: non-leaf %s has no OPF", o)
+			}
+			kept := keptChildren[o]
+			fail := 0.0
+			opf.Each(func(c sets.Set, pr float64) {
+				if pr <= 0 {
+					return
+				}
+				f := pr
+				for _, j := range kept {
+					if c.Contains(j) {
+						f *= 1 - eps[j]
+					}
+				}
+				fail += f
+			})
+			eps[o] = 1 - fail
+		}
+	}
+	e, ok := eps[pi.Root()]
+	if !ok {
+		return 0, nil
+	}
+	// Clamp tiny negative residue from floating-point cancellation.
+	if e < 0 {
+		e = 0
+	}
+	return e, nil
+}

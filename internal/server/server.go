@@ -1,0 +1,325 @@
+// Package server exposes a catalog of named probabilistic instances over
+// HTTP, turning the PXML library into a small probabilistic
+// semistructured database service:
+//
+//	GET    /instances                 list instances with summary stats
+//	PUT    /instances/{name}          store an instance (text or JSON body)
+//	GET    /instances/{name}          fetch an instance (Accept: application/json for JSON)
+//	DELETE /instances/{name}          drop an instance
+//	GET    /instances/{name}/dot      Graphviz rendering of the weak graph
+//	POST   /instances/{name}/query    execute one pxql statement (text body);
+//	                                  ?store=<new> keeps an instance-valued
+//	                                  result in the catalog under that name
+//
+// Query responses are JSON: {"text": ..., "prob": ..., "stored": ...}.
+// The catalog is safe for concurrent use; instances are immutable once
+// stored (queries never mutate their input — algebra results are fresh
+// instances).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"pxml/internal/codec"
+	"pxml/internal/core"
+	"pxml/internal/dot"
+	"pxml/internal/pxql"
+)
+
+// maxBodyBytes bounds request bodies (instances and statements).
+const maxBodyBytes = 64 << 20
+
+// Server is a concurrency-safe catalog of named probabilistic instances,
+// optionally backed by a directory (see NewPersistent).
+type Server struct {
+	mu        sync.RWMutex
+	instances map[string]*core.ProbInstance
+	dir       string
+}
+
+// New returns an empty catalog.
+func New() *Server {
+	return &Server{instances: make(map[string]*core.ProbInstance)}
+}
+
+// Put stores an instance under a name, replacing any previous one,
+// ignoring any persistence error (the in-memory store is always updated).
+// Use PutErr when the disk write outcome matters.
+func (s *Server) Put(name string, pi *core.ProbInstance) {
+	_ = s.PutErr(name, pi)
+}
+
+// PutErr is Put with the persistence error surfaced.
+func (s *Server) PutErr(name string, pi *core.ProbInstance) error {
+	s.mu.Lock()
+	s.instances[name] = pi
+	s.mu.Unlock()
+	return s.persist(name, pi)
+}
+
+// Get returns the named instance.
+func (s *Server) Get(name string) (*core.ProbInstance, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pi, ok := s.instances[name]
+	return pi, ok
+}
+
+// Delete removes the named instance, reporting whether it existed.
+func (s *Server) Delete(name string) bool {
+	s.mu.Lock()
+	_, ok := s.instances[name]
+	delete(s.instances, name)
+	s.mu.Unlock()
+	if ok {
+		s.unpersist(name)
+	}
+	return ok
+}
+
+// Names returns the stored names, sorted.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.instances))
+	for n := range s.instances {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the HTTP handler for the catalog.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /instances", s.handleList)
+	mux.HandleFunc("PUT /instances/{name}", s.handlePut)
+	mux.HandleFunc("GET /instances/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /instances/{name}", s.handleDelete)
+	mux.HandleFunc("GET /instances/{name}/dot", s.handleDot)
+	mux.HandleFunc("POST /instances/{name}/query", s.handleQuery)
+	return mux
+}
+
+type listEntry struct {
+	Name    string `json:"name"`
+	Root    string `json:"root"`
+	Objects int    `json:"objects"`
+	Edges   int    `json:"edges"`
+	Depth   int    `json:"depth"`
+	Tree    bool   `json:"tree"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	entries := make([]listEntry, 0, len(s.instances))
+	for name, pi := range s.instances {
+		st := pi.ComputeStats()
+		entries = append(entries, listEntry{
+			Name: name, Root: pi.Root(),
+			Objects: st.Objects, Edges: st.Edges, Depth: st.Depth,
+			Tree: pi.IsTree(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	writeJSON(w, http.StatusOK, entries)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var pi *core.ProbInstance
+	var err error
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		pi, err = codec.DecodeJSON(body)
+	} else {
+		pi, err = codec.DecodeText(body)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := pi.ValidateLite(); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("instance invalid: %w", err))
+		return
+	}
+	if s.dir != "" && !validName(name) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", name))
+		return
+	}
+	if err := s.PutErr(name, pi); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "objects": pi.NumObjects()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	pi, ok := s.Get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "json") {
+		w.Header().Set("Content-Type", "application/json")
+		if err := codec.EncodeJSON(w, pi); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := codec.EncodeText(w, pi); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.Delete(r.PathValue("name")) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDot(w http.ResponseWriter, r *http.Request) {
+	pi, ok := s.Get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+	io.WriteString(w, dot.Weak(pi))
+}
+
+type queryResponse struct {
+	Text   string   `json:"text"`
+	Prob   *float64 `json:"prob,omitempty"`
+	Stored string   `json:"stored,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	pi, ok := s.Get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		return
+	}
+	stmt, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := pxql.Eval(pi, string(stmt))
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := queryResponse{Text: res.Text, Prob: res.Prob}
+	if store := r.URL.Query().Get("store"); store != "" {
+		if res.Instance == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("statement produced no instance to store"))
+			return
+		}
+		s.Put(store, res.Instance)
+		resp.Stored = store
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// NewPersistent returns a catalog backed by a directory: every stored
+// instance is written to <dir>/<name>.pxml (text encoding, atomically via
+// rename), deletes remove the file, and all existing files are loaded at
+// startup. Names are restricted to [A-Za-z0-9_-]+ to keep the file mapping
+// unambiguous.
+func NewPersistent(dir string) (*Server, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating data dir: %w", err)
+	}
+	s := New()
+	s.dir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading data dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pxml") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".pxml")
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		pi, err := codec.DecodeText(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("server: loading %s: %w", e.Name(), err)
+		}
+		s.instances[name] = pi
+	}
+	return s, nil
+}
+
+// validName reports whether a name is safe for persistent storage.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// persist writes the named instance to disk when persistence is enabled.
+func (s *Server) persist(name string, pi *core.ProbInstance) error {
+	if s.dir == "" {
+		return nil
+	}
+	if !validName(name) {
+		return fmt.Errorf("server: name %q not storable (use [A-Za-z0-9_-])", name)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := codec.EncodeText(tmp, pi); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(s.dir, name+".pxml"))
+}
+
+// unpersist removes the named instance's file when persistence is enabled.
+func (s *Server) unpersist(name string) {
+	if s.dir == "" || !validName(name) {
+		return
+	}
+	_ = os.Remove(filepath.Join(s.dir, name+".pxml"))
+}

@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pxml/internal/codec"
+	"pxml/internal/core"
+	"pxml/internal/fixtures"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func figure2Text(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := codec.EncodeText(&buf, fixtures.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func do(t *testing.T, method, url, body, contentType string) (*http.Response, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func TestPutGetDeleteRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	text := figure2Text(t)
+
+	resp, body := do(t, "PUT", ts.URL+"/instances/bib", text, "text/plain")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"objects":11`) {
+		t.Errorf("PUT response: %s", body)
+	}
+
+	// Fetch back as text and as JSON.
+	resp, body = do(t, "GET", ts.URL+"/instances/bib", "", "")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(body, "pxml/1") {
+		t.Fatalf("GET text status %d: %.60s", resp.StatusCode, body)
+	}
+	back, err := codec.DecodeText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("decoding served instance: %v", err)
+	}
+	if back.NumObjects() != 11 {
+		t.Errorf("served instance objects = %d", back.NumObjects())
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/instances/bib", nil)
+	req.Header.Set("Accept", "application/json")
+	jr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if _, err := codec.DecodeJSON(jr.Body); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+
+	// List.
+	resp, body = do(t, "GET", ts.URL+"/instances", "", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"name":"bib"`) {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"tree":false`) {
+		t.Errorf("list should mark Figure 2 as non-tree: %s", body)
+	}
+
+	// Delete.
+	resp, _ = do(t, "DELETE", ts.URL+"/instances/bib", "", "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "DELETE", ts.URL+"/instances/bib", "", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE status %d", resp.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/instances/bib", figure2Text(t), "text/plain")
+
+	// Probability query (DAG instance: pxql falls back to BN inference).
+	resp, body := do(t, "POST", ts.URL+"/instances/bib/query", "PROB OBJECT A1", "text/plain")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	var qr struct {
+		Text string   `json:"text"`
+		Prob *float64 `json:"prob"`
+	}
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Prob == nil || *qr.Prob < 0.879 || *qr.Prob > 0.881 {
+		t.Errorf("P(A1) = %v", qr.Prob)
+	}
+
+	// Bad statement.
+	resp, _ = do(t, "POST", ts.URL+"/instances/bib/query", "FROBNICATE", "text/plain")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad statement status %d", resp.StatusCode)
+	}
+
+	// Unknown instance.
+	resp, _ = do(t, "POST", ts.URL+"/instances/nope/query", "STATS", "text/plain")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown instance status %d", resp.StatusCode)
+	}
+}
+
+func TestQueryStoreResult(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Store a tree instance so the algebra fast paths apply.
+	var buf bytes.Buffer
+	if err := codec.EncodeText(&buf, smallTree()); err != nil {
+		t.Fatal(err)
+	}
+	do(t, "PUT", ts.URL+"/instances/t", buf.String(), "text/plain")
+
+	resp, body := do(t, "POST", ts.URL+"/instances/t/query?store=proj", "PROJECT r.a", "text/plain")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"stored":"proj"`) {
+		t.Fatalf("store query: %d %s", resp.StatusCode, body)
+	}
+	if _, ok := s.Get("proj"); !ok {
+		t.Error("stored result missing from catalog")
+	}
+	// Storing a scalar result fails.
+	resp, _ = do(t, "POST", ts.URL+"/instances/t/query?store=x", "STATS", "text/plain")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("scalar store status %d", resp.StatusCode)
+	}
+}
+
+func TestPutRejectsGarbage(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := do(t, "PUT", ts.URL+"/instances/x", "not an instance", "text/plain")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage PUT status %d", resp.StatusCode)
+	}
+	// Structurally broken instance (child under two labels).
+	bad := "pxml/1\nroot r\nlch r a 0 1 x\nlch r b 0 1 x\n"
+	resp, _ = do(t, "PUT", ts.URL+"/instances/x", bad, "text/plain")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid PUT status %d", resp.StatusCode)
+	}
+}
+
+func TestDotEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/instances/bib", figure2Text(t), "text/plain")
+	resp, body := do(t, "GET", ts.URL+"/instances/bib/dot", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dot status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"digraph pxml", `"R" -> "B1"`, "book (0.80)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dot output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, ts := newTestServer(t)
+	_ = s
+	text := figure2Text(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			resp, _ := do(t, "PUT", ts.URL+"/instances/"+name, text, "text/plain")
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("concurrent PUT status %d", resp.StatusCode)
+			}
+			resp, _ = do(t, "POST", ts.URL+"/instances/"+name+"/query", "STATS", "text/plain")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent query status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.Names()); got != 8 {
+		t.Errorf("stored instances = %d", got)
+	}
+}
+
+// smallTree builds a tiny tree instance (so the algebra fast paths apply).
+func smallTree() *core.ProbInstance {
+	pi := core.NewProbInstance("r")
+	pi.SetLCh("r", "a", "x")
+	w := prob.NewOPF()
+	w.Put(sets.NewSet(), 0.3)
+	w.Put(sets.NewSet("x"), 0.7)
+	pi.SetOPF("r", w)
+	pi.SetLCh("x", "b", "y")
+	wx := prob.NewOPF()
+	wx.Put(sets.NewSet(), 0.5)
+	wx.Put(sets.NewSet("y"), 0.5)
+	pi.SetOPF("x", wx)
+	return pi
+}
+
+func TestPersistentCatalog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutErr("tree", smallTree()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutErr("bib", fixtures.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid name for disk storage.
+	if err := s.PutErr("../evil", smallTree()); err == nil {
+		t.Error("path-escaping name accepted")
+	}
+
+	// A fresh catalog over the same directory sees both instances.
+	s2, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := s2.Names()
+	if len(names) != 2 || names[0] != "bib" || names[1] != "tree" {
+		t.Fatalf("restored names = %v", names)
+	}
+	pi, ok := s2.Get("bib")
+	if !ok || pi.NumObjects() != 11 {
+		t.Fatalf("restored bib = %v", pi)
+	}
+
+	// Delete removes the file too.
+	s2.Delete("tree")
+	s3, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3.Names()) != 1 {
+		t.Errorf("names after delete = %v", s3.Names())
+	}
+}
+
+func TestPersistentHTTPRejectsBadNames(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := do(t, "PUT", ts.URL+"/instances/has%2Fslash", figure2Text(t), "text/plain")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad name status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,97 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses to aggregate timings and check the paper's linearity claims
+// (Section 7.2 observes that projection ℘-update time and selection total
+// time are linear in the number of objects).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean; zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation; zero for fewer than two
+// points.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the minimum; +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum; -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Fit is an ordinary-least-squares line y = Slope·x + Intercept with the
+// coefficient of determination R2.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits a least-squares line through the points. It returns an
+// error for fewer than two points or zero x-variance.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("stats: need at least two points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: zero variance in x")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	_ = n
+	return fit, nil
+}
