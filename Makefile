@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench fig7 fuzz vet cover clean
+.PHONY: all build check test test-short race bench fig7 fuzz vet cover clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The default verification path: compile, vet, full test suite.
+check: build vet test
+
 test:
 	$(GO) test ./...
+
+# Race-detector pass (the engine and server suites hammer shared state).
+race:
+	$(GO) test -race ./...
 
 # Skips the binary-driving integration tests and large smoke tests.
 test-short:

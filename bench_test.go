@@ -24,6 +24,7 @@
 package pxml_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,6 +34,7 @@ import (
 	"pxml/internal/bayes"
 	"pxml/internal/bench"
 	"pxml/internal/codec"
+	"pxml/internal/engine"
 	"pxml/internal/enumerate"
 	"pxml/internal/fixtures"
 	"pxml/internal/gen"
@@ -346,6 +348,78 @@ func BenchmarkPathIndexVsDirect(b *testing.B) {
 	b.Run("index-build", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = pathexpr.NewIndex(g)
+		}
+	})
+}
+
+// BenchmarkEngineColdVsWarmPointQuery is the engine's headline pair: the
+// same repeated point query against a generated workload instance, cold
+// (every query re-derives the tree classification and walks the full edge
+// set to plan the path) versus warm (an engine reusing its cached
+// classification and label-partitioned index). The warm path must win by
+// well over 2x on the 1000-object instance.
+func BenchmarkEngineColdVsWarmPointQuery(b *testing.B) {
+	in, err := gen.Generate(gen.Config{Depth: 9, Branch: 2, Labeling: gen.FR, Seed: 8, LeafDomainSize: 0, LabelsPerLevel: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := in.PI.WeakInstance.Graph()
+	// A guaranteed-satisfiable root-to-leaf path (cf. BenchmarkPathIndexVsDirect).
+	p := pathexpr.Path{Root: in.PI.Root()}
+	cur := in.PI.Root()
+	for len(g.Children(cur)) > 0 {
+		child := g.Children(cur)[0]
+		l, _ := g.Label(cur, child)
+		p.Labels = append(p.Labels, l)
+		cur = child
+	}
+	o := cur
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := query.PointQuery(in.PI, p, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eng := engine.New(in.PI)
+	if err := eng.Warm(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ProbPoint(ctx, p, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineColdVsWarmDAG is the same pair on the paper's Figure 2
+// DAG, where the cold path recompiles the Bayesian network per query and
+// the warm engine compiles once and clones per query.
+func BenchmarkEngineColdVsWarmDAG(b *testing.B) {
+	pi := fixtures.Figure2()
+	p := pathexpr.MustParse("R.book.author")
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bayes.PathProb(pi, p, "A1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eng := engine.New(pi)
+	if err := eng.Warm(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ProbPoint(ctx, p, "A1"); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

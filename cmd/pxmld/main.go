@@ -14,11 +14,19 @@
 //	DELETE /instances/{name}
 //	GET    /instances/{name}/dot
 //	POST   /instances/{name}/query[?store=name]
+//	POST   /instances/{name}/batch
+//	GET    /metrics
+//
+// Each instance is served through a query engine that caches its derived
+// structures across queries; GET /metrics exposes per-instance query and
+// cache counters. Requests are logged as structured JSON on stderr
+// (disable with -quiet).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -39,6 +47,8 @@ func (l *loadFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	dataDir := flag.String("datadir", "", "persist the catalog to this directory (instances survive restarts)")
+	quiet := flag.Bool("quiet", false, "disable structured request logging")
+	maxBody := flag.Int64("maxbody", 0, "instance upload size limit in bytes (0 = default 64MiB)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload an instance: name=file (repeatable)")
 	flag.Parse()
@@ -53,6 +63,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "catalog persisted in %s (%d instances loaded)\n", *dataDir, len(srv.Names()))
 	} else {
 		srv = server.New()
+	}
+	if !*quiet {
+		srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
+	if *maxBody > 0 {
+		srv.SetMaxBody(*maxBody)
 	}
 	for _, spec := range loads {
 		name, file, ok := strings.Cut(spec, "=")
@@ -73,7 +89,9 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("loading %s: %w", file, err))
 		}
-		srv.Put(name, pi)
+		if err := srv.Put(name, pi); err != nil {
+			fatal(fmt.Errorf("storing %s: %w", name, err))
+		}
 		fmt.Fprintf(os.Stderr, "loaded %s from %s (%d objects)\n", name, file, pi.NumObjects())
 	}
 	fmt.Fprintf(os.Stderr, "pxmld listening on %s\n", *addr)

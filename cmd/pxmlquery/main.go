@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ func main() {
 	outFormat := flag.String("oformat", "text", "output format: text or json")
 	limit := flag.Int("limit", 0, "world-enumeration cap for -op worlds (0 = default)")
 	top := flag.Int("top", 10, "print at most this many worlds for -op worlds (0 = all)")
+	timeout := flag.Duration("timeout", 0, "abort probabilistic queries after this long (0 = no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pxmlquery [flags] <instance-file>")
@@ -54,6 +56,13 @@ func main() {
 	pi, err := load(flag.Arg(0), *format)
 	if err != nil {
 		fatal(err)
+	}
+	eng := pxml.NewEngine(pi)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var path pxml.Path
@@ -121,29 +130,21 @@ func main() {
 	case "point":
 		requirePath(path)
 		require(*object, "-object")
-		p, err := pxml.PointQuery(pi, path, *object)
-		if errors.Is(err, pxml.ErrNotTree) {
-			p, err = pxml.PathProb(pi, path, *object)
-			if err == nil {
-				fmt.Fprintln(os.Stderr, "note: DAG instance; answered via Bayesian-network inference")
-			}
-		}
+		// The engine routes tree instances through the Section 6 fast
+		// path and DAGs through Bayesian-network inference.
+		p, err := eng.ProbPoint(ctx, path, *object)
 		if err != nil {
 			fatal(err)
 		}
+		noteDAG(eng)
 		fmt.Printf("%.9f\n", p)
 	case "exists":
 		requirePath(path)
-		p, err := pxml.ExistsQuery(pi, path)
-		if errors.Is(err, pxml.ErrNotTree) {
-			p, err = pxml.PathProb(pi, path, "")
-			if err == nil {
-				fmt.Fprintln(os.Stderr, "note: DAG instance; answered via Bayesian-network inference")
-			}
-		}
+		p, err := eng.ProbExists(ctx, path)
 		if err != nil {
 			fatal(err)
 		}
+		noteDAG(eng)
 		fmt.Printf("%.9f\n", p)
 	case "valexists":
 		requirePath(path)
@@ -155,13 +156,13 @@ func main() {
 		fmt.Printf("%.9f\n", p)
 	case "probex":
 		require(*object, "-object")
-		p, err := pxml.ProbExists(pi, *object)
+		p, err := eng.ProbObject(ctx, *object)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%.9f\n", p)
 	case "marginals":
-		marg, err := pxml.ExistenceMarginals(pi)
+		marg, err := eng.Marginals()
 		if err != nil {
 			fatalHint(err)
 		}
@@ -229,6 +230,13 @@ func load(path, format string) (*pxml.ProbInstance, error) {
 		return pxml.DecodeJSON(f)
 	}
 	return pxml.DecodeText(f)
+}
+
+// noteDAG tells the user when the answer came from the network route.
+func noteDAG(eng *pxml.Engine) {
+	if !eng.IsTree() {
+		fmt.Fprintln(os.Stderr, "note: DAG instance; answered via Bayesian-network inference")
+	}
 }
 
 func requirePath(p pxml.Path) {

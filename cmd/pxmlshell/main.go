@@ -9,10 +9,13 @@
 //	LOAD <file>        load an instance (text or JSON by extension)
 //	SAVE <file>        save the current instance
 //	UNDO               restore the instance before the last algebra op
+//	METRICS            the current engine's query/cache counters
 //	HELP               statement summary
 //	QUIT / EXIT        leave
 //
-// Everything else is parsed as a pxql statement; see internal/pxql.
+// Everything else is parsed as a pxql statement; see internal/pxql. The
+// current instance is held in a query engine, so repeated statements reuse
+// its cached path index, Bayesian network and marginals.
 //
 // Usage:
 //
@@ -22,16 +25,28 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
 
 	"pxml"
-	"pxml/internal/pxql"
 )
 
+// shellState is the engine-backed current/previous instance pair; each
+// instance keeps its engine (and caches) across statements until an
+// algebra result replaces it.
+type shellState struct {
+	cur, prev *pxml.Engine
+}
+
+func (st *shellState) setCur(pi *pxml.ProbInstance) {
+	st.prev, st.cur = st.cur, pxml.NewEngine(pi)
+}
+
 func main() {
-	var cur, prev *pxml.ProbInstance
+	var st shellState
 	if len(os.Args) > 2 {
 		fmt.Fprintln(os.Stderr, "usage: pxmlshell [instance-file]")
 		os.Exit(2)
@@ -42,9 +57,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pxmlshell:", err)
 			os.Exit(1)
 		}
-		cur = pi
-		fmt.Fprintf(os.Stderr, "loaded %s (%d objects)\n", os.Args[1], cur.NumObjects())
+		st.cur = pxml.NewEngine(pi)
+		fmt.Fprintf(os.Stderr, "loaded %s (%d objects)\n", os.Args[1], pi.NumObjects())
 	}
+	ctx := context.Background()
 
 	interactive := isTerminal()
 	sc := bufio.NewScanner(os.Stdin)
@@ -77,38 +93,50 @@ func main() {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				continue
 			}
-			prev, cur = cur, pi
-			fmt.Printf("loaded %s (%d objects)\n", fields[1], cur.NumObjects())
+			st.setCur(pi)
+			fmt.Printf("loaded %s (%d objects)\n", fields[1], pi.NumObjects())
 			continue
 		case "SAVE":
 			if len(fields) != 2 {
 				fmt.Fprintln(os.Stderr, "SAVE needs one file")
 				continue
 			}
-			if cur == nil {
+			if st.cur == nil {
 				fmt.Fprintln(os.Stderr, "no instance loaded")
 				continue
 			}
-			if err := save(fields[1], cur); err != nil {
+			if err := save(fields[1], st.cur.Instance()); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				continue
 			}
 			fmt.Printf("saved %s\n", fields[1])
 			continue
 		case "UNDO":
-			if prev == nil {
+			if st.prev == nil {
 				fmt.Fprintln(os.Stderr, "nothing to undo")
 				continue
 			}
-			cur, prev = prev, nil
-			fmt.Printf("restored instance (%d objects)\n", cur.NumObjects())
+			st.cur, st.prev = st.prev, nil
+			fmt.Printf("restored instance (%d objects)\n", st.cur.Instance().NumObjects())
+			continue
+		case "METRICS":
+			if st.cur == nil {
+				fmt.Fprintln(os.Stderr, "no instance loaded")
+				continue
+			}
+			b, err := json.MarshalIndent(st.cur.Metrics(), "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Println(string(b))
 			continue
 		}
-		if cur == nil {
+		if st.cur == nil {
 			fmt.Fprintln(os.Stderr, "no instance loaded; use LOAD <file>")
 			continue
 		}
-		res, err := pxql.Eval(cur, line)
+		res, err := st.cur.Run(ctx, line)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			continue
@@ -117,7 +145,7 @@ func main() {
 			fmt.Println(res.Text)
 		}
 		if res.Instance != nil {
-			prev, cur = cur, res.Instance
+			st.setCur(res.Instance)
 		}
 	}
 }
@@ -167,5 +195,5 @@ func printHelp() {
   PROB OBJECT <obj>                    existence marginal (DAG-capable)
   CHAIN <r.o1.o2...>                   chain probability over object ids
   COUNT <path> | MARGINALS | WORLDS [n] | TOPK n | STATS
-shell commands: LOAD <file>, SAVE <file>, UNDO, HELP, QUIT`)
+shell commands: LOAD <file>, SAVE <file>, UNDO, METRICS, HELP, QUIT`)
 }

@@ -253,6 +253,42 @@ func PathProb(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64
 	if err != nil {
 		return 0, err
 	}
+	return pathProbOn(net, pi, p, o)
+}
+
+// PathProbWith is PathProb over a previously compiled network: callers
+// holding many queries against one immutable instance compile once and
+// reuse. The shared network is never mutated — the path augmentation works
+// on a shallow per-query clone of the variable table.
+func PathProbWith(net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64, error) {
+	if p.Root != pi.Root() {
+		return 0, nil
+	}
+	return pathProbOn(net.queryClone(), pi, p, o)
+}
+
+// queryClone returns a shallow copy whose variable table can be extended
+// by addVar without touching the receiver. Factors, objVar and
+// containsChild are shared: the augmentation only reads them.
+func (n *Network) queryClone() *Network {
+	byName := make(map[string]int, len(n.byName))
+	for k, v := range n.byName {
+		byName[k] = v
+	}
+	return &Network{
+		vars:          append([]Variable(nil), n.vars...),
+		factors:       n.factors,
+		byName:        byName,
+		objVar:        n.objVar,
+		containsChild: n.containsChild,
+		root:          n.root,
+	}
+}
+
+// pathProbOn runs the reachability augmentation and elimination on net,
+// which it may extend with fresh variables (pass a queryClone when the
+// network is shared).
+func pathProbOn(net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64, error) {
 	if p.Len() == 0 {
 		if o == "" || o == pi.Root() {
 			return 1, nil

@@ -1,0 +1,385 @@
+// Package engine executes queries against one immutable probabilistic
+// instance while lazily caching the support structures every query
+// otherwise re-derives from scratch: the tree/DAG classification of the
+// weak graph, the label-partitioned path index, the compiled Bayesian
+// network, and the one-pass existence marginals. The first query that
+// needs a structure pays for building it; every later query — from any
+// goroutine — reuses it.
+//
+// An Engine is safe for concurrent use and assumes the wrapped instance is
+// never mutated after construction (the contract the server catalog
+// already enforces: algebra results are fresh instances). The execution
+// API is context-aware — Run and the Prob* entry points check for
+// cancellation between phases (parse, structure build, inference) — and
+// the batch entry points (RunBatch, BatchPoint, parallel Monte-Carlo
+// estimation) fan independent sub-evaluations out over a bounded worker
+// pool.
+//
+// Per-engine observability: query and error counts, cache hits/misses,
+// and a latency histogram, exported as a JSON-encodable snapshot (the
+// server aggregates these under GET /metrics).
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pxml/internal/bayes"
+	"pxml/internal/core"
+	"pxml/internal/enumerate"
+	"pxml/internal/metrics"
+	"pxml/internal/model"
+	"pxml/internal/pathexpr"
+	"pxml/internal/pxql"
+	"pxml/internal/query"
+)
+
+// lazy is a build-once cache slot. ready is set (with release semantics)
+// only after once.Do completes, so a true load guarantees v/err are
+// visible; callers that observe ready avoid the Once entirely.
+type lazy[T any] struct {
+	once  sync.Once
+	ready atomic.Bool
+	v     T
+	err   error
+}
+
+// get returns the cached value, building it on first use. hit reports
+// whether the value was already built (callers that raced the builder and
+// had to wait count as misses).
+func (l *lazy[T]) get(build func() (T, error)) (v T, err error, hit bool) {
+	if l.ready.Load() {
+		return l.v, l.err, true
+	}
+	l.once.Do(func() {
+		l.v, l.err = build()
+		l.ready.Store(true)
+	})
+	return l.v, l.err, false
+}
+
+// Engine wraps one immutable instance with cached query structures.
+type Engine struct {
+	pi  *core.ProbInstance
+	sem chan struct{} // bounded worker pool for batch evaluation
+
+	tree lazy[bool]
+	idx  lazy[*pathexpr.Index]
+	net  lazy[*bayes.Network]
+	marg lazy[map[model.ObjectID]float64]
+
+	reg     *metrics.Registry
+	queries *metrics.Counter
+	errs    *metrics.Counter
+	hits    *metrics.Counter
+	misses  *metrics.Counter
+	latency *metrics.Histogram
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the worker pool used by the batch entry points
+// (default: 8). n < 1 is treated as 1.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.sem = make(chan struct{}, n)
+	}
+}
+
+// defaultWorkers bounds batch parallelism when WithWorkers is not given.
+// A fixed small constant (rather than GOMAXPROCS) keeps a server hosting
+// many engines from over-subscribing the machine.
+const defaultWorkers = 8
+
+// New wraps an instance. The instance must not be mutated afterwards.
+func New(pi *core.ProbInstance, opts ...Option) *Engine {
+	e := &Engine{
+		pi:  pi,
+		sem: make(chan struct{}, defaultWorkers),
+		reg: metrics.NewRegistry(),
+	}
+	e.queries = e.reg.Counter("queries")
+	e.errs = e.reg.Counter("errors")
+	e.hits = e.reg.Counter("cache_hits")
+	e.misses = e.reg.Counter("cache_misses")
+	e.latency = e.reg.Histogram("latency")
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Instance returns the wrapped instance (treat as read-only).
+func (e *Engine) Instance() *core.ProbInstance { return e.pi }
+
+// Workers returns the batch worker-pool bound.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Metrics returns a JSON-encodable snapshot of the engine's counters and
+// latency histogram.
+func (e *Engine) Metrics() map[string]any { return e.reg.Snapshot() }
+
+// count tallies a cache access on the engine's hit/miss counters.
+func (e *Engine) count(hit bool) {
+	if hit {
+		e.hits.Inc()
+	} else {
+		e.misses.Inc()
+	}
+}
+
+// IsTree returns the cached tree/DAG classification of the weak graph.
+func (e *Engine) IsTree() bool {
+	v, _, hit := e.tree.get(func() (bool, error) { return e.pi.IsTree(), nil })
+	e.count(hit)
+	return v
+}
+
+// Index returns the cached label-partitioned path index.
+func (e *Engine) Index() *pathexpr.Index {
+	v, _, hit := e.idx.get(func() (*pathexpr.Index, error) {
+		return pathexpr.NewIndex(e.pi.WeakInstance.Graph()), nil
+	})
+	e.count(hit)
+	return v
+}
+
+// Network returns the cached compiled Bayesian network (the compile error,
+// if any, is cached too).
+func (e *Engine) Network() (*bayes.Network, error) {
+	v, err, hit := e.net.get(func() (*bayes.Network, error) { return bayes.Compile(e.pi) })
+	e.count(hit)
+	return v, err
+}
+
+// Marginals returns the cached existence marginals P(o exists) for every
+// object (tree instances; the error is cached on DAGs). The returned map
+// is a copy — callers may keep or mutate it.
+func (e *Engine) Marginals() (map[model.ObjectID]float64, error) {
+	v, err, hit := e.marg.get(func() (map[model.ObjectID]float64, error) {
+		return query.ExistenceMarginals(e.pi)
+	})
+	e.count(hit)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[model.ObjectID]float64, len(v))
+	for k, p := range v {
+		out[k] = p
+	}
+	return out, nil
+}
+
+// Warm precomputes the structures queries will need: the tree
+// classification and path index always, the Bayesian network only for DAG
+// instances (tree queries never touch it). Cancellation is honored
+// between phases.
+func (e *Engine) Warm(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	tree := e.IsTree()
+	e.Index()
+	if tree {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, err := e.Network()
+	return err
+}
+
+// finish records one query's latency and error outcome.
+func (e *Engine) finish(start time.Time, err error) {
+	e.latency.Observe(time.Since(start))
+	if err != nil {
+		e.errs.Inc()
+	}
+}
+
+// Run parses and executes one pxql statement. Cancellation and deadlines
+// on ctx are checked between the parse, structure-build and inference
+// phases (a phase already in flight runs to completion).
+func (e *Engine) Run(ctx context.Context, statement string) (res *pxql.Result, err error) {
+	start := time.Now()
+	e.queries.Inc()
+	defer func() { e.finish(start, err) }()
+	if err = ctx.Err(); err != nil {
+		return nil, err
+	}
+	var q pxql.Query
+	if q, err = pxql.Parse(statement); err != nil {
+		return nil, err
+	}
+	res, err = e.exec(ctx, q)
+	return res, err
+}
+
+// Exec executes a parsed statement (see Run for the context contract).
+func (e *Engine) Exec(ctx context.Context, q pxql.Query) (res *pxql.Result, err error) {
+	start := time.Now()
+	e.queries.Inc()
+	defer func() { e.finish(start, err) }()
+	res, err = e.exec(ctx, q)
+	return res, err
+}
+
+func (e *Engine) exec(ctx context.Context, q pxql.Query) (*pxql.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return pxql.ExecWith(e.pi, q, backend{e: e, ctx: ctx})
+}
+
+// ProbExists returns P(∃o. o ∈ p): the Section 6.2 tree fast path through
+// the cached index, or cached-network BN inference on DAGs.
+func (e *Engine) ProbExists(ctx context.Context, p pathexpr.Path) (pr float64, err error) {
+	start := time.Now()
+	e.queries.Inc()
+	defer func() { e.finish(start, err) }()
+	pr, err = e.existsProb(ctx, p)
+	return pr, err
+}
+
+// ProbPoint returns P(o ∈ p), routed like ProbExists.
+func (e *Engine) ProbPoint(ctx context.Context, p pathexpr.Path, o model.ObjectID) (pr float64, err error) {
+	start := time.Now()
+	e.queries.Inc()
+	defer func() { e.finish(start, err) }()
+	pr, err = e.pointProb(ctx, p, o)
+	return pr, err
+}
+
+// ProbValue returns P(o ∈ p ∧ val(o) = v). On trees it runs the ε
+// recursion with the VPF as the success probability; on DAGs it factors
+// into P(o ∈ p) · VPF(o)(v) (the value draw is independent of the
+// structure choice given that o occurs).
+func (e *Engine) ProbValue(ctx context.Context, p pathexpr.Path, o model.ObjectID, v model.Value) (pr float64, err error) {
+	start := time.Now()
+	e.queries.Inc()
+	defer func() { e.finish(start, err) }()
+	if err = ctx.Err(); err != nil {
+		return 0, err
+	}
+	if e.IsTree() {
+		pr, err = query.ValuePointQueryIndexed(e.pi, e.Index(), p, o, v)
+		return pr, err
+	}
+	vpf := e.pi.VPF(o)
+	if vpf == nil {
+		return 0, nil
+	}
+	pr, err = e.pointProb(ctx, p, o)
+	if err != nil {
+		return 0, err
+	}
+	pr *= vpf.Prob(v)
+	return pr, nil
+}
+
+// ProbObject returns the existence marginal P(o exists) via the cached
+// network (DAG-capable).
+func (e *Engine) ProbObject(ctx context.Context, o model.ObjectID) (pr float64, err error) {
+	start := time.Now()
+	e.queries.Inc()
+	defer func() { e.finish(start, err) }()
+	pr, err = e.objectProb(ctx, o)
+	return pr, err
+}
+
+// Uninstrumented primitives: the Prob* wrappers and the pxql backend share
+// these so each statement is metered exactly once.
+
+func (e *Engine) pointProb(ctx context.Context, p pathexpr.Path, o model.ObjectID) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if e.IsTree() {
+		return query.PointQueryIndexed(e.pi, e.Index(), p, o)
+	}
+	net, err := e.Network()
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return bayes.PathProbWith(net, e.pi, p, o)
+}
+
+func (e *Engine) existsProb(ctx context.Context, p pathexpr.Path) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if e.IsTree() {
+		return query.ExistsQueryIndexed(e.pi, e.Index(), p)
+	}
+	net, err := e.Network()
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return bayes.PathProbWith(net, e.pi, p, "")
+}
+
+func (e *Engine) objectProb(ctx context.Context, o model.ObjectID) (float64, error) {
+	net, err := e.Network()
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return net.ProbExists(o)
+}
+
+// backend adapts the engine's cached primitives to the pxql.Backend seam,
+// carrying the caller's context into each sub-evaluation.
+type backend struct {
+	e   *Engine
+	ctx context.Context
+}
+
+func (b backend) PointProb(p pathexpr.Path, o model.ObjectID) (float64, error) {
+	return b.e.pointProb(b.ctx, p, o)
+}
+
+func (b backend) ExistsProb(p pathexpr.Path) (float64, error) {
+	return b.e.existsProb(b.ctx, p)
+}
+
+func (b backend) ValueExistsProb(p pathexpr.Path, v model.Value) (float64, error) {
+	if err := b.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if b.e.IsTree() {
+		return query.ValueExistsQueryIndexed(b.e.pi, b.e.Index(), p, v)
+	}
+	// Parity with the direct backend: no DAG route exists for
+	// value-existence over multiple leaves.
+	return query.ValueExistsQuery(b.e.pi, p, v)
+}
+
+func (b backend) ObjectProb(o model.ObjectID) (float64, error) {
+	return b.e.objectProb(b.ctx, o)
+}
+
+func (b backend) Marginals() (map[model.ObjectID]float64, error) {
+	if err := b.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.e.Marginals()
+}
+
+func (b backend) Estimate(op string, p pathexpr.Path, o model.ObjectID, n int) (enumerate.Estimate, error) {
+	return b.e.estimate(b.ctx, op, p, o, n)
+}

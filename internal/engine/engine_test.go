@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pxml/internal/algebra"
+	"pxml/internal/core"
+	"pxml/internal/fixtures"
+	"pxml/internal/metrics"
+	"pxml/internal/model"
+	"pxml/internal/pathexpr"
+	"pxml/internal/prob"
+	"pxml/internal/pxql"
+	"pxml/internal/sets"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// treeBib builds the tree bibliography the pxql tests use, so engine
+// results can be cross-checked against the direct evaluation route.
+func treeBib(t testing.TB) *core.ProbInstance {
+	t.Helper()
+	pi := core.NewProbInstance("R")
+	if err := pi.RegisterType(model.NewType("title-type", "VQDB", "Lore")); err != nil {
+		t.Fatal(err)
+	}
+	pi.SetLCh("R", "book", "B1", "B2")
+	w := prob.NewOPF()
+	w.Put(sets.NewSet("B1"), 0.3)
+	w.Put(sets.NewSet("B2"), 0.2)
+	w.Put(sets.NewSet("B1", "B2"), 0.5)
+	pi.SetOPF("R", w)
+	pi.SetLCh("B1", "author", "A1")
+	pi.SetLCh("B1", "title", "T1")
+	w1 := prob.NewOPF()
+	w1.Put(sets.NewSet(), 0.1)
+	w1.Put(sets.NewSet("A1"), 0.3)
+	w1.Put(sets.NewSet("T1"), 0.2)
+	w1.Put(sets.NewSet("A1", "T1"), 0.4)
+	pi.SetOPF("B1", w1)
+	pi.SetLCh("B2", "author", "A2")
+	w2 := prob.NewOPF()
+	w2.Put(sets.NewSet("A2"), 1)
+	pi.SetOPF("B2", w2)
+	if err := pi.SetLeafType("T1", "title-type"); err != nil {
+		t.Fatal(err)
+	}
+	v := prob.NewVPF()
+	v.Put("VQDB", 0.6)
+	v.Put("Lore", 0.4)
+	pi.SetVPF("T1", v)
+	return pi
+}
+
+// statements every instance kind should answer identically through the
+// engine and through the direct pxql route.
+var parityStatements = []string{
+	"PROB R.book = B1",
+	"PROB R.book.author = A1",
+	"PROB EXISTS R.book.author",
+	"PROB OBJECT A1",
+	"CHAIN R.B1.A1",
+	"STATS",
+	"WORLDS 3",
+	"TOPK 2",
+}
+
+func TestEngineMatchesDirectEvaluation(t *testing.T) {
+	cases := []struct {
+		name  string
+		pi    *core.ProbInstance
+		extra []string
+	}{
+		{"tree", treeBib(t), []string{
+			"PROB VAL(R.book.title) = Lore",
+			"MARGINALS",
+			"COUNT R.book.author",
+			"SELECT R.book = B1",
+			"PROJECT R.book.author",
+		}},
+		{"dag", fixtures.Figure2(), nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := New(tc.pi)
+			ctx := context.Background()
+			for _, stmt := range append(append([]string(nil), parityStatements...), tc.extra...) {
+				want, werr := pxql.Eval(tc.pi, stmt)
+				got, gerr := eng.Run(ctx, stmt)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("%s: direct err=%v engine err=%v", stmt, werr, gerr)
+				}
+				if werr != nil {
+					continue
+				}
+				if (want.Prob == nil) != (got.Prob == nil) {
+					t.Fatalf("%s: prob presence mismatch", stmt)
+				}
+				if want.Prob != nil && !approx(*want.Prob, *got.Prob) {
+					t.Errorf("%s: engine %v, direct %v", stmt, *got.Prob, *want.Prob)
+				}
+				if want.Text != got.Text {
+					t.Errorf("%s: text mismatch\nengine: %s\ndirect: %s", stmt, got.Text, want.Text)
+				}
+			}
+		})
+	}
+}
+
+func TestProbValueFactorsOnDAG(t *testing.T) {
+	pi := fixtures.Figure2VariedLeaves()
+	eng := New(pi)
+	ctx := context.Background()
+	p := pathexpr.MustParse("R.book.title")
+	// P(T1 ∈ R.book.title ∧ val(T1) = VQDB) should equal
+	// P(T1 ∈ R.book.title) · VPF(T1)(VQDB).
+	point, err := eng.ProbPoint(ctx, p, "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.ProbValue(ctx, p, "T1", "VQDB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, point*0.7) {
+		t.Errorf("ProbValue = %v, want %v", got, point*0.7)
+	}
+	// Unvalued object → 0.
+	if pr, err := eng.ProbValue(ctx, pathexpr.MustParse("R.book"), "B1", "x"); err != nil || pr != 0 {
+		t.Errorf("ProbValue on non-leaf = %v, %v", pr, err)
+	}
+}
+
+func TestEngineCaches(t *testing.T) {
+	eng := New(fixtures.Figure2())
+	n1, err := eng.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := eng.Network()
+	if n1 != n2 {
+		t.Error("network not cached")
+	}
+	if eng.Index() != eng.Index() {
+		t.Error("index not cached")
+	}
+	m := eng.Metrics()
+	if m["cache_hits"].(int64) == 0 || m["cache_misses"].(int64) == 0 {
+		t.Errorf("cache counters not moving: %v", m)
+	}
+	// Marginals returns a caller-owned copy.
+	tree := New(treeBib(t))
+	m1, err := tree.Marginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1["R"] = -1
+	m2, _ := tree.Marginals()
+	if m2["R"] == -1 {
+		t.Error("Marginals aliases the cache")
+	}
+}
+
+func TestEngineMetricsCount(t *testing.T) {
+	eng := New(treeBib(t))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Run(ctx, "PROB R.book = B1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(ctx, "NOT A STATEMENT"); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+	m := eng.Metrics()
+	if q := m["queries"].(int64); q != 6 {
+		t.Errorf("queries = %d, want 6", q)
+	}
+	if e := m["errors"].(int64); e != 1 {
+		t.Errorf("errors = %d, want 1", e)
+	}
+	lat := m["latency"].(metrics.HistogramSnapshot)
+	if lat.Count != 6 {
+		t.Errorf("latency count = %d, want 6", lat.Count)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	eng := New(fixtures.Figure2())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Run(ctx, "PROB OBJECT A1"); err != context.Canceled {
+		t.Errorf("Run on cancelled ctx: %v", err)
+	}
+	if _, err := eng.ProbPoint(ctx, pathexpr.MustParse("R.book"), "B1"); err != context.Canceled {
+		t.Errorf("ProbPoint on cancelled ctx: %v", err)
+	}
+	if err := eng.Warm(ctx); err != context.Canceled {
+		t.Errorf("Warm on cancelled ctx: %v", err)
+	}
+	if _, err := eng.BatchPoint(ctx, pathexpr.MustParse("R.book"), []model.ObjectID{"B1", "B2"}); err == nil {
+		t.Error("BatchPoint on cancelled ctx succeeded")
+	}
+	deadline, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := eng.Run(deadline, "STATS"); err != context.DeadlineExceeded {
+		t.Errorf("expired deadline: %v", err)
+	}
+}
+
+func TestBatchPointMatchesSingles(t *testing.T) {
+	for _, pi := range []*core.ProbInstance{treeBib(t), fixtures.Figure2()} {
+		eng := New(pi, WithWorkers(3))
+		ctx := context.Background()
+		p := pathexpr.MustParse("R.book.author")
+		objs := []model.ObjectID{"A1", "A2", "A3", "nope"}
+		got, err := eng.BatchPoint(ctx, p, objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range objs {
+			want, err := eng.ProbPoint(ctx, p, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !approx(got[i], want) {
+				t.Errorf("BatchPoint[%s] = %v, want %v", o, got[i], want)
+			}
+		}
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	eng := New(treeBib(t), WithWorkers(2))
+	stmts := []string{"PROB R.book = B1", "STATS", "BOGUS", "PROB EXISTS R.book.author"}
+	out := eng.RunBatch(context.Background(), stmts)
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0].Err != nil || out[0].Result.Prob == nil || !approx(*out[0].Result.Prob, 0.8) {
+		t.Errorf("batch[0] = %+v", out[0])
+	}
+	if out[1].Err != nil || !strings.Contains(out[1].Result.Text, "objects=") {
+		t.Errorf("batch[1] = %+v", out[1])
+	}
+	if out[2].Err == nil {
+		t.Error("batch[2] should fail")
+	}
+	if out[3].Err != nil {
+		t.Errorf("batch[3] = %v", out[3].Err)
+	}
+}
+
+func TestEstimateSharded(t *testing.T) {
+	pi := treeBib(t)
+	eng := New(pi)
+	ctx := context.Background()
+	exact, err := eng.ProbExists(ctx, pathexpr.MustParse("R.book.author"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(ctx, "ESTIMATE 4000 EXISTS R.book.author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prob == nil || math.Abs(*res.Prob-exact) > 0.05 {
+		t.Errorf("sharded estimate %v too far from exact %v", res.Prob, exact)
+	}
+	// Determinism: the sharded seed sequence is fixed.
+	res2, err := eng.Run(ctx, "ESTIMATE 4000 EXISTS R.book.author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res.Prob != *res2.Prob {
+		t.Errorf("sharded estimate not deterministic: %v vs %v", *res.Prob, *res2.Prob)
+	}
+	// Below the shard threshold the sequential route is used.
+	if _, err := eng.Run(ctx, "ESTIMATE 5 EXISTS R.book.author"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinAndProductEngines(t *testing.T) {
+	ctx := context.Background()
+	a := New(treeBib(t))
+	b := New(treeBib(t))
+	prodEng, renames, err := Product(ctx, a, b, "ROOT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProd, wantRenames, err := algebra.CartesianProduct(a.Instance(), b.Instance(), "ROOT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Equal(prodEng.Instance(), wantProd, 1e-12) {
+		t.Error("Product instance differs from algebra.CartesianProduct")
+	}
+	if len(renames) != len(wantRenames) {
+		t.Errorf("renames = %v, want %v", renames, wantRenames)
+	}
+
+	cond := algebra.ObjectCondition{Path: pathexpr.MustParse("ROOT.book"), Object: "B1"}
+	joinEng, res, err := Join(ctx, a, b, "ROOT", cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJoin, err := algebra.Join(a.Instance(), b.Instance(), "ROOT", cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Prob, wantJoin.Prob) {
+		t.Errorf("join prob %v, want %v", res.Prob, wantJoin.Prob)
+	}
+	if !core.Equal(joinEng.Instance(), wantJoin.Instance, 1e-12) {
+		t.Error("Join instance differs from algebra.Join")
+	}
+}
+
+// TestEngineConcurrentHammer drives one engine from many goroutines with a
+// mix of point, existence, object, batch and pxql statement queries.
+// Run with -race; it is the engine's concurrency-safety witness.
+func TestEngineConcurrentHammer(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pi   *core.ProbInstance
+	}{
+		{"tree", treeBib(t)},
+		{"dag", fixtures.Figure2()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := New(tc.pi, WithWorkers(4))
+			ctx := context.Background()
+			// Reference answers computed through the direct route.
+			wantPoint, err := pxql.Eval(tc.pi, "PROB R.book.author = A1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantExists, err := pxql.Eval(tc.pi, "PROB EXISTS R.book.author")
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 16
+			const iters = 25
+			var wg sync.WaitGroup
+			errCh := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					p := pathexpr.MustParse("R.book.author")
+					for i := 0; i < iters; i++ {
+						switch (g + i) % 5 {
+						case 0:
+							pr, err := eng.ProbPoint(ctx, p, "A1")
+							if err != nil || !approx(pr, *wantPoint.Prob) {
+								errCh <- err
+								return
+							}
+						case 1:
+							pr, err := eng.ProbExists(ctx, p)
+							if err != nil || !approx(pr, *wantExists.Prob) {
+								errCh <- err
+								return
+							}
+						case 2:
+							if _, err := eng.Run(ctx, "PROB OBJECT A1"); err != nil {
+								errCh <- err
+								return
+							}
+						case 3:
+							if _, err := eng.Run(ctx, "STATS"); err != nil {
+								errCh <- err
+								return
+							}
+						case 4:
+							if _, err := eng.BatchPoint(ctx, p, []model.ObjectID{"A1", "A2"}); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Errorf("hammer worker failed: %v", err)
+			}
+			m := eng.Metrics()
+			if m["queries"].(int64) == 0 || m["cache_hits"].(int64) == 0 {
+				t.Errorf("metrics after hammer: %v", m)
+			}
+		})
+	}
+}

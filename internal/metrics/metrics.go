@@ -1,0 +1,182 @@
+// Package metrics provides the small, dependency-free instrumentation
+// primitives the query engine and HTTP server use: monotonic counters,
+// fixed-bucket latency histograms, and a named registry whose Snapshot is
+// directly JSON-encodable (the expvar-style payload behind GET /metrics).
+//
+// All types are safe for concurrent use. Counters are lock-free;
+// histograms take a short mutex per observation, which is negligible next
+// to the inference work they time.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// bucketBounds are the histogram's inclusive upper bounds; observations
+// above the last bound land in the overflow bucket. The spacing is
+// decade-exponential, matching the spread between an index-hit point query
+// (microseconds) and a cold DAG inference (potentially seconds).
+var bucketBounds = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// numBuckets is len(bucketBounds) + 1 (the overflow bucket).
+const numBuckets = 7
+
+// bucketLabels mirror bucketBounds for snapshots, plus the overflow.
+var bucketLabels = [numBuckets]string{
+	"le_100us", "le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "inf",
+}
+
+// Histogram accumulates durations into fixed exponential buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	buckets [numBuckets]int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(bucketBounds) && d > bucketBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time, JSON-encodable histogram view.
+// Durations are reported in milliseconds.
+type HistogramSnapshot struct {
+	Count  int64            `json:"count"`
+	SumMS  float64          `json:"sum_ms"`
+	MeanMS float64          `json:"mean_ms"`
+	MaxMS  float64          `json:"max_ms"`
+	Bucket map[string]int64 `json:"buckets"`
+}
+
+// Snapshot returns the current histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:  h.count,
+		SumMS:  float64(h.sum) / float64(time.Millisecond),
+		MaxMS:  float64(h.max) / float64(time.Millisecond),
+		Bucket: make(map[string]int64, len(h.buckets)),
+	}
+	if h.count > 0 {
+		s.MeanMS = s.SumMS / float64(h.count)
+	}
+	for i, n := range h.buckets {
+		if n > 0 {
+			s.Bucket[bucketLabels[i]] = n
+		}
+	}
+	return s
+}
+
+// Registry is a named collection of counters and histograms.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a JSON-encodable view of every registered metric:
+// counters as integers, histograms as HistogramSnapshot values. Names are
+// deterministic (map iteration order does not leak into encoded output
+// because encoding/json sorts keys).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Names returns the registered metric names, sorted (for tests and
+// human-readable dumps).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

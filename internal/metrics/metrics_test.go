@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(50 * time.Microsecond)  // le_100us
+	h.Observe(500 * time.Microsecond) // le_1ms
+	h.Observe(2 * time.Millisecond)   // le_10ms
+	h.Observe(time.Minute)            // inf
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	for _, b := range []string{"le_100us", "le_1ms", "le_10ms", "inf"} {
+		if s.Bucket[b] != 1 {
+			t.Errorf("bucket %s = %d, want 1 (%v)", b, s.Bucket[b], s.Bucket)
+		}
+	}
+	if s.MaxMS < 59_000 {
+		t.Errorf("max_ms = %v", s.MaxMS)
+	}
+	if s.MeanMS <= 0 {
+		t.Errorf("mean_ms = %v", s.MeanMS)
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries").Add(3)
+	r.Histogram("latency").Observe(time.Millisecond)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["queries"].(float64) != 3 {
+		t.Errorf("queries = %v", back["queries"])
+	}
+	lat := back["latency"].(map[string]any)
+	if lat["count"].(float64) != 1 {
+		t.Errorf("latency count = %v", lat["count"])
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "latency" || names[1] != "queries" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d", got)
+	}
+}

@@ -331,10 +331,93 @@ func splitCaseInsensitive(s, sep string) []string {
 	}
 }
 
+// Backend supplies the probabilistic primitives Exec relies on, so that a
+// caching query engine (internal/engine) can substitute precomputed
+// structures — path indexes, compiled Bayesian networks, memoized
+// marginals — without duplicating statement dispatch or answer rendering.
+// The direct (uncached) backend re-derives everything per call, exactly as
+// Exec always did.
+type Backend interface {
+	// PointProb returns P(o ∈ p), falling back to BN inference on DAGs.
+	PointProb(p pathexpr.Path, o model.ObjectID) (float64, error)
+	// ExistsProb returns P(∃o. o ∈ p), falling back to BN inference on DAGs.
+	ExistsProb(p pathexpr.Path) (float64, error)
+	// ValueExistsProb returns P(∃ leaf o ∈ p with val(o) = v) (tree only).
+	ValueExistsProb(p pathexpr.Path, v model.Value) (float64, error)
+	// ObjectProb returns the existence marginal P(o exists) (DAG-capable).
+	ObjectProb(o model.ObjectID) (float64, error)
+	// Marginals returns P(o exists) for every object (tree only).
+	Marginals() (map[model.ObjectID]float64, error)
+	// Estimate Monte-Carlo-estimates P(∃o. o ∈ p) (op "exists") or
+	// P(o ∈ p) (op "point") from n forward samples.
+	Estimate(op string, p pathexpr.Path, o model.ObjectID, n int) (enumerate.Estimate, error)
+}
+
+// directBackend is the uncached Backend: every call re-derives its support
+// structures from the instance.
+type directBackend struct{ pi *core.ProbInstance }
+
+func (d directBackend) PointProb(p pathexpr.Path, o model.ObjectID) (float64, error) {
+	pr, err := query.PointQuery(d.pi, p, o)
+	if errors.Is(err, query.ErrNotTree) {
+		pr, err = bayes.PathProb(d.pi, p, o)
+	}
+	return pr, err
+}
+
+func (d directBackend) ExistsProb(p pathexpr.Path) (float64, error) {
+	pr, err := query.ExistsQuery(d.pi, p)
+	if errors.Is(err, query.ErrNotTree) {
+		pr, err = bayes.PathProb(d.pi, p, "")
+	}
+	return pr, err
+}
+
+func (d directBackend) ValueExistsProb(p pathexpr.Path, v model.Value) (float64, error) {
+	return query.ValueExistsQuery(d.pi, p, v)
+}
+
+func (d directBackend) ObjectProb(o model.ObjectID) (float64, error) {
+	net, err := bayes.Compile(d.pi)
+	if err != nil {
+		return 0, err
+	}
+	return net.ProbExists(o)
+}
+
+func (d directBackend) Marginals() (map[model.ObjectID]float64, error) {
+	return query.ExistenceMarginals(d.pi)
+}
+
+func (d directBackend) Estimate(op string, p pathexpr.Path, o model.ObjectID, n int) (enumerate.Estimate, error) {
+	r := rand.New(rand.NewSource(1)) // fixed seed: reproducible estimates
+	pred := EstimatePred(op, p, o)
+	return enumerate.EstimateProb(d.pi, pred, n, r)
+}
+
+// EstimatePred builds the possible-world predicate of an ESTIMATE
+// statement: op is "exists" or "point". Shared with backends that sample
+// in parallel.
+func EstimatePred(op string, p pathexpr.Path, o model.ObjectID) func(*model.Instance) bool {
+	return func(s *model.Instance) bool {
+		if op == "exists" {
+			return len(p.Targets(s.Graph())) > 0
+		}
+		return p.Matches(s.Graph(), o)
+	}
+}
+
 // Exec runs a parsed query against an instance. Tree-only fast paths fall
 // back to exact DAG routes where one exists (BN inference for point and
 // existence queries); otherwise the tree requirement surfaces as an error.
 func Exec(pi *core.ProbInstance, q Query) (*Result, error) {
+	return ExecWith(pi, q, directBackend{pi})
+}
+
+// ExecWith is Exec with the probabilistic primitives supplied by b; the
+// algebra, enumeration and stats statements still evaluate against pi
+// directly (they produce fresh instances, which caching cannot amortize).
+func ExecWith(pi *core.ProbInstance, q Query, b Backend) (*Result, error) {
 	switch q.Op {
 	case "project":
 		out, err := algebra.AncestorProject(pi, q.Path)
@@ -361,35 +444,25 @@ func Exec(pi *core.ProbInstance, q Query) (*Result, error) {
 		}
 		return &Result{Instance: out, Prob: &p, Text: fmt.Sprintf("σ(%s): P = %.9f", q.Cond, p)}, nil
 	case "prob-point":
-		p, err := query.PointQuery(pi, q.Path, q.Object)
-		if errors.Is(err, query.ErrNotTree) {
-			p, err = bayes.PathProb(pi, q.Path, q.Object)
-		}
+		p, err := b.PointProb(q.Path, q.Object)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Prob: &p, Text: fmt.Sprintf("P(%s ∈ %s) = %.9f", q.Object, q.Path, p)}, nil
 	case "prob-exists":
-		p, err := query.ExistsQuery(pi, q.Path)
-		if errors.Is(err, query.ErrNotTree) {
-			p, err = bayes.PathProb(pi, q.Path, "")
-		}
+		p, err := b.ExistsProb(q.Path)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Prob: &p, Text: fmt.Sprintf("P(∃ %s) = %.9f", q.Path, p)}, nil
 	case "prob-value":
-		p, err := query.ValueExistsQuery(pi, q.Path, q.Value)
+		p, err := b.ValueExistsProb(q.Path, q.Value)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Prob: &p, Text: fmt.Sprintf("P(val(%s) = %s) = %.9f", q.Path, q.Value, p)}, nil
 	case "prob-object":
-		net, err := bayes.Compile(pi)
-		if err != nil {
-			return nil, err
-		}
-		p, err := net.ProbExists(q.Object)
+		p, err := b.ObjectProb(q.Object)
 		if err != nil {
 			return nil, err
 		}
@@ -424,7 +497,7 @@ func Exec(pi *core.ProbInstance, q Query) (*Result, error) {
 		}
 		return &Result{Prob: &e, Text: strings.TrimRight(b.String(), "\n")}, nil
 	case "marginals":
-		marg, err := query.ExistenceMarginals(pi)
+		marg, err := b.Marginals()
 		if err != nil {
 			return nil, err
 		}
@@ -450,14 +523,7 @@ func Exec(pi *core.ProbInstance, q Query) (*Result, error) {
 		}
 		return &Result{Text: strings.TrimRight(b.String(), "\n")}, nil
 	case "estimate-exists", "estimate-point":
-		r := rand.New(rand.NewSource(1)) // fixed seed: reproducible estimates
-		pred := func(s *model.Instance) bool {
-			if q.Op == "estimate-exists" {
-				return len(q.Path.Targets(s.Graph())) > 0
-			}
-			return q.Path.Matches(s.Graph(), q.Object)
-		}
-		est, err := enumerate.EstimateProb(pi, pred, q.Top, r)
+		est, err := b.Estimate(strings.TrimPrefix(q.Op, "estimate-"), q.Path, q.Object, q.Top)
 		if err != nil {
 			return nil, err
 		}

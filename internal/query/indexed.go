@@ -1,0 +1,49 @@
+package query
+
+import (
+	"pxml/internal/core"
+	"pxml/internal/model"
+	"pxml/internal/pathexpr"
+)
+
+// The *Indexed variants below answer the same Section 6.2 queries as their
+// namesakes but build the path plan through a prebuilt pathexpr.Index, so
+// only the edges of the queried labels are touched. They are the amortized
+// route for callers (the engine package) that run many queries against one
+// immutable instance.
+//
+// Precondition: the instance's weak graph must be a tree. The caller is
+// expected to have verified that once (and cached the answer); the
+// variants do not repeat the O(V+E) check that dominates small queries.
+
+// PointQueryIndexed is PointQuery through a prebuilt index.
+func PointQueryIndexed(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, o model.ObjectID) (float64, error) {
+	return epsilonRoot(pi, idx, p, map[model.ObjectID]bool{o: true}, nil)
+}
+
+// ExistsQueryIndexed is ExistsQuery through a prebuilt index.
+func ExistsQueryIndexed(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path) (float64, error) {
+	return epsilonRoot(pi, idx, p, nil, nil)
+}
+
+// ValueExistsQueryIndexed is ValueExistsQuery through a prebuilt index.
+func ValueExistsQueryIndexed(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, v model.Value) (float64, error) {
+	success := func(o model.ObjectID) float64 {
+		if vpf := pi.VPF(o); vpf != nil {
+			return vpf.Prob(v)
+		}
+		return 0
+	}
+	return epsilonRoot(pi, idx, p, nil, success)
+}
+
+// ValuePointQueryIndexed is ValuePointQuery through a prebuilt index.
+func ValuePointQueryIndexed(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, o model.ObjectID, v model.Value) (float64, error) {
+	success := func(m model.ObjectID) float64 {
+		if vpf := pi.VPF(m); vpf != nil {
+			return vpf.Prob(v)
+		}
+		return 0
+	}
+	return epsilonRoot(pi, idx, p, map[model.ObjectID]bool{o: true}, success)
+}

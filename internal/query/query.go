@@ -64,7 +64,7 @@ func PointQuery(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float
 	if !pi.IsTree() {
 		return 0, ErrNotTree
 	}
-	return epsilonRoot(pi, p, map[model.ObjectID]bool{o: true}, nil)
+	return epsilonRoot(pi, nil, p, map[model.ObjectID]bool{o: true}, nil)
 }
 
 // ExistsQuery computes the extension the paper describes at the end of
@@ -75,7 +75,7 @@ func ExistsQuery(pi *core.ProbInstance, p pathexpr.Path) (float64, error) {
 	if !pi.IsTree() {
 		return 0, ErrNotTree
 	}
-	return epsilonRoot(pi, p, nil, nil)
+	return epsilonRoot(pi, nil, p, nil, nil)
 }
 
 // ValueExistsQuery computes the probability that some leaf satisfying p
@@ -92,7 +92,7 @@ func ValueExistsQuery(pi *core.ProbInstance, p pathexpr.Path, v model.Value) (fl
 		}
 		return 0
 	}
-	return epsilonRoot(pi, p, nil, success)
+	return epsilonRoot(pi, nil, p, nil, success)
 }
 
 // ValuePointQuery computes P(o ∈ p ∧ val(o) = v) for a specific leaf o.
@@ -106,7 +106,7 @@ func ValuePointQuery(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID, v
 		}
 		return 0
 	}
-	return epsilonRoot(pi, p, map[model.ObjectID]bool{o: true}, success)
+	return epsilonRoot(pi, nil, p, map[model.ObjectID]bool{o: true}, success)
 }
 
 // epsilonRoot runs the ε recursion of Section 6.1/6.2 over the plan of p
@@ -117,8 +117,9 @@ func ValuePointQuery(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID, v
 // with matched objects assigned success probability 1 (or success(o) when a
 // success function is supplied, e.g. a VPF lookup for value queries). ε_r
 // is the probability that a compatible instance contains a successful
-// match.
-func epsilonRoot(pi *core.ProbInstance, p pathexpr.Path, targets map[model.ObjectID]bool, success func(model.ObjectID) float64) (float64, error) {
+// match. When idx is non-nil the plan is built through the label index
+// (touching only same-label edges) instead of the full graph.
+func epsilonRoot(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, targets map[model.ObjectID]bool, success func(model.ObjectID) float64) (float64, error) {
 	if p.Root != pi.Root() {
 		return 0, nil
 	}
@@ -133,8 +134,12 @@ func epsilonRoot(pi *core.ProbInstance, p pathexpr.Path, targets map[model.Objec
 		}
 		return 1, nil
 	}
-	g := pi.WeakInstance.Graph()
-	plan := pathexpr.NewPlan(g, p, targets)
+	var plan pathexpr.Plan
+	if idx != nil {
+		plan = pathexpr.NewPlanIndexed(idx, p, targets)
+	} else {
+		plan = pathexpr.NewPlan(pi.WeakInstance.Graph(), p, targets)
+	}
 	if plan.IsEmpty() {
 		return 0, nil
 	}

@@ -10,74 +10,133 @@
 //	POST   /instances/{name}/query    execute one pxql statement (text body);
 //	                                  ?store=<new> keeps an instance-valued
 //	                                  result in the catalog under that name
+//	POST   /instances/{name}/batch    execute many statements (one per line)
+//	                                  concurrently over the engine's pool
+//	GET    /metrics                   JSON snapshot: server counters plus
+//	                                  per-instance engine metrics
 //
 // Query responses are JSON: {"text": ..., "prob": ..., "stored": ...}.
-// The catalog is safe for concurrent use; instances are immutable once
-// stored (queries never mutate their input — algebra results are fresh
-// instances).
+// Errors are structured JSON: {"error": ...} with the matching status code
+// (400 malformed, 404 unknown, 413 oversized body, 422 invalid instance or
+// failing statement).
+//
+// Each stored instance is wrapped in an engine.Engine, so repeated queries
+// against the same instance reuse its cached path index, compiled Bayesian
+// network, and marginals, and every request is counted in that engine's
+// metrics. The catalog is safe for concurrent use; instances are immutable
+// once stored (queries never mutate their input — algebra results are
+// fresh instances).
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"pxml/internal/codec"
 	"pxml/internal/core"
 	"pxml/internal/dot"
-	"pxml/internal/pxql"
+	"pxml/internal/engine"
+	"pxml/internal/metrics"
 )
 
-// maxBodyBytes bounds request bodies (instances and statements).
-const maxBodyBytes = 64 << 20
+// defaultMaxBody bounds instance-upload bodies unless SetMaxBody overrides.
+const defaultMaxBody = 64 << 20
 
-// Server is a concurrency-safe catalog of named probabilistic instances,
-// optionally backed by a directory (see NewPersistent).
+// maxStatementBytes bounds a single pxql statement (or batch) body.
+const maxStatementBytes = 1 << 20
+
+// Server is a concurrency-safe catalog of named query engines, optionally
+// backed by a directory (see NewPersistent).
 type Server struct {
-	mu        sync.RWMutex
-	instances map[string]*core.ProbInstance
-	dir       string
+	mu      sync.RWMutex
+	engines map[string]*engine.Engine
+	dir     string
+	maxBody int64
+	log     *slog.Logger
+
+	reg      *metrics.Registry
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	latency  *metrics.Histogram
 }
 
-// New returns an empty catalog.
+// New returns an empty catalog. Request logging is off until SetLogger.
 func New() *Server {
-	return &Server{instances: make(map[string]*core.ProbInstance)}
+	s := &Server{
+		engines: make(map[string]*engine.Engine),
+		maxBody: defaultMaxBody,
+		reg:     metrics.NewRegistry(),
+	}
+	s.requests = s.reg.Counter("http_requests")
+	s.errors = s.reg.Counter("http_errors")
+	s.latency = s.reg.Histogram("http_latency")
+	return s
 }
 
-// Put stores an instance under a name, replacing any previous one,
-// ignoring any persistence error (the in-memory store is always updated).
-// Use PutErr when the disk write outcome matters.
-func (s *Server) Put(name string, pi *core.ProbInstance) {
-	_ = s.PutErr(name, pi)
+// SetLogger enables structured request logging through l (nil disables).
+func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
+
+// SetMaxBody overrides the instance-upload size limit (bytes). Intended
+// for tests and memory-constrained deployments.
+func (s *Server) SetMaxBody(n int64) {
+	if n > 0 {
+		s.maxBody = n
+	}
 }
 
-// PutErr is Put with the persistence error surfaced.
-func (s *Server) PutErr(name string, pi *core.ProbInstance) error {
+// Put stores an instance under a name, replacing any previous one. The
+// instance must not be mutated afterwards. The returned error is the
+// persistence outcome; the in-memory store is always updated first, so on
+// error the instance is served but not durable.
+func (s *Server) Put(name string, pi *core.ProbInstance) error {
+	eng := engine.New(pi)
 	s.mu.Lock()
-	s.instances[name] = pi
+	s.engines[name] = eng
 	s.mu.Unlock()
 	return s.persist(name, pi)
 }
 
+// PutErr stores an instance and surfaces the persistence error.
+//
+// Deprecated: Put now returns the error itself; PutErr remains only so the
+// old split API keeps compiling.
+func (s *Server) PutErr(name string, pi *core.ProbInstance) error {
+	return s.Put(name, pi)
+}
+
 // Get returns the named instance.
 func (s *Server) Get(name string) (*core.ProbInstance, bool) {
+	eng, ok := s.Engine(name)
+	if !ok {
+		return nil, false
+	}
+	return eng.Instance(), true
+}
+
+// Engine returns the named instance's query engine.
+func (s *Server) Engine(name string) (*engine.Engine, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	pi, ok := s.instances[name]
-	return pi, ok
+	eng, ok := s.engines[name]
+	return eng, ok
 }
 
 // Delete removes the named instance, reporting whether it existed.
 func (s *Server) Delete(name string) bool {
 	s.mu.Lock()
-	_, ok := s.instances[name]
-	delete(s.instances, name)
+	_, ok := s.engines[name]
+	delete(s.engines, name)
 	s.mu.Unlock()
 	if ok {
 		s.unpersist(name)
@@ -89,15 +148,17 @@ func (s *Server) Delete(name string) bool {
 func (s *Server) Names() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.instances))
-	for n := range s.instances {
+	out := make([]string, 0, len(s.engines))
+	for n := range s.engines {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Handler returns the HTTP handler for the catalog.
+// Handler returns the HTTP handler for the catalog, with request metrics
+// and (when SetLogger was called) structured logging applied to every
+// route.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /instances", s.handleList)
@@ -106,7 +167,53 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /instances/{name}", s.handleDelete)
 	mux.HandleFunc("GET /instances/{name}/dot", s.handleDot)
 	mux.HandleFunc("POST /instances/{name}/query", s.handleQuery)
-	return mux
+	mux.HandleFunc("POST /instances/{name}/batch", s.handleBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// statusRecorder captures the status code and body size a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps the mux with request counting, latency observation and
+// optional structured logging.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		d := time.Since(start)
+		s.requests.Inc()
+		s.latency.Observe(d)
+		if rec.status >= 400 {
+			s.errors.Inc()
+		}
+		if s.log != nil {
+			s.log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"bytes", rec.bytes,
+				"duration_ms", float64(d)/float64(time.Millisecond),
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
 }
 
 type listEntry struct {
@@ -120,29 +227,62 @@ type listEntry struct {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	entries := make([]listEntry, 0, len(s.instances))
-	for name, pi := range s.instances {
+	engines := make(map[string]*engine.Engine, len(s.engines))
+	for name, eng := range s.engines {
+		engines[name] = eng
+	}
+	s.mu.RUnlock()
+	entries := make([]listEntry, 0, len(engines))
+	for name, eng := range engines {
+		pi := eng.Instance()
 		st := pi.ComputeStats()
 		entries = append(entries, listEntry{
 			Name: name, Root: pi.Root(),
 			Objects: st.Objects, Edges: st.Edges, Depth: st.Depth,
-			Tree: pi.IsTree(),
+			Tree: eng.IsTree(),
 		})
 	}
-	s.mu.RUnlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
 	writeJSON(w, http.StatusOK, entries)
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	insts := make(map[string]any, len(s.engines))
+	for name, eng := range s.engines {
+		insts[name] = eng.Metrics()
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"server":    s.reg.Snapshot(),
+		"instances": insts,
+	})
+}
+
+// decodeStatus maps a body-read/decode error to its HTTP status: oversized
+// bodies (cut off by MaxBytesReader) are 413, anything else 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	// Read fully before decoding so an oversized body is always reported
+	// as 413 rather than as whatever parse error the truncation causes.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
 	var pi *core.ProbInstance
-	var err error
 	if strings.Contains(r.Header.Get("Content-Type"), "json") {
-		pi, err = codec.DecodeJSON(body)
+		pi, err = codec.DecodeJSON(bytes.NewReader(raw))
 	} else {
-		pi, err = codec.DecodeText(body)
+		pi, err = codec.DecodeText(bytes.NewReader(raw))
 	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -156,7 +296,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", name))
 		return
 	}
-	if err := s.PutErr(name, pi); err != nil {
+	if err := s.Put(name, pi); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -207,17 +347,17 @@ type queryResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	pi, ok := s.Get(r.PathValue("name"))
+	eng, ok := s.Engine(r.PathValue("name"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
 		return
 	}
-	stmt, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	stmt, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStatementBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, decodeStatus(err), err)
 		return
 	}
-	res, err := pxql.Eval(pi, string(stmt))
+	res, err := eng.Run(r.Context(), string(stmt))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -228,10 +368,63 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("statement produced no instance to store"))
 			return
 		}
-		s.Put(store, res.Instance)
+		if s.dir != "" && !validName(store) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", store))
+			return
+		}
+		if err := s.Put(store, res.Instance); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
 		resp.Stored = store
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+type batchEntry struct {
+	Statement string   `json:"statement"`
+	Text      string   `json:"text,omitempty"`
+	Prob      *float64 `json:"prob,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// handleBatch evaluates many statements (one per non-blank line) against
+// one instance, fanning them out over the engine's bounded worker pool.
+// Per-statement failures are reported inline so one bad statement doesn't
+// void the rest.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.Engine(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStatementBytes))
+	if err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	var stmts []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			stmts = append(stmts, line)
+		}
+	}
+	if len(stmts) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	results := eng.RunBatch(r.Context(), stmts)
+	out := make([]batchEntry, len(results))
+	for i, br := range results {
+		out[i].Statement = stmts[i]
+		if br.Err != nil {
+			out[i].Error = br.Err.Error()
+			continue
+		}
+		out[i].Text = br.Result.Text
+		out[i].Prob = br.Result.Prob
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -273,7 +466,7 @@ func NewPersistent(dir string) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: loading %s: %w", e.Name(), err)
 		}
-		s.instances[name] = pi
+		s.engines[name] = engine.New(pi)
 	}
 	return s, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -294,4 +295,160 @@ func TestPersistentHTTPRejectsBadNames(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad name status %d: %s", resp.StatusCode, body)
 	}
+}
+
+func TestPutOversizedBodyGets413(t *testing.T) {
+	s := New()
+	s.SetMaxBody(512)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A syntactically valid prefix padded past the limit, so the only
+	// possible failure is the size cap.
+	var b strings.Builder
+	b.WriteString("pxml/1\nroot r\n")
+	for b.Len() < 2048 {
+		b.WriteString("obj filler\n")
+	}
+	resp, body := do(t, "PUT", ts.URL+"/instances/big", b.String(), "text/plain")
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"error"`) {
+		t.Errorf("413 body not structured JSON: %s", body)
+	}
+	// Within the limit the same shape is accepted.
+	resp, body = do(t, "PUT", ts.URL+"/instances/ok", "pxml/1\nroot r\n", "text/plain")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small PUT status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/instances/bib", figure2Text(t), "text/plain")
+	for i := 0; i < 5; i++ {
+		resp, body := do(t, "POST", ts.URL+"/instances/bib/query", "PROB OBJECT A1", "text/plain")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	resp, body := do(t, "GET", ts.URL+"/metrics", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var m struct {
+		Server struct {
+			Requests int64 `json:"http_requests"`
+			Errors   int64 `json:"http_errors"`
+			Latency  struct {
+				Count int64 `json:"count"`
+			} `json:"http_latency"`
+		} `json:"server"`
+		Instances map[string]struct {
+			Queries   int64 `json:"queries"`
+			CacheHits int64 `json:"cache_hits"`
+		} `json:"instances"`
+	}
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if m.Server.Requests < 6 || m.Server.Latency.Count < 6 {
+		t.Errorf("server counters too low: %+v", m.Server)
+	}
+	bib := m.Instances["bib"]
+	if bib.Queries != 5 {
+		t.Errorf("bib queries = %d, want 5", bib.Queries)
+	}
+	if bib.CacheHits == 0 {
+		t.Errorf("bib cache hits = 0 after repeated queries\n%s", body)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/instances/bib", figure2Text(t), "text/plain")
+
+	batch := "PROB OBJECT A1\n\nSTATS\nFROBNICATE\n"
+	resp, body := do(t, "POST", ts.URL+"/instances/bib/batch", batch, "text/plain")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var out []struct {
+		Statement string   `json:"statement"`
+		Text      string   `json:"text"`
+		Prob      *float64 `json:"prob"`
+		Error     string   `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("batch results = %d, want 3 (blank line skipped)", len(out))
+	}
+	if out[0].Prob == nil || *out[0].Prob < 0.879 || *out[0].Prob > 0.881 {
+		t.Errorf("batch P(A1) = %v", out[0].Prob)
+	}
+	if !strings.Contains(out[1].Text, "objects=11") {
+		t.Errorf("batch STATS = %q", out[1].Text)
+	}
+	if out[2].Error == "" {
+		t.Error("bad statement in batch should carry an error")
+	}
+
+	// Empty batch is a 400.
+	resp, _ = do(t, "POST", ts.URL+"/instances/bib/batch", "\n\n", "text/plain")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch status %d", resp.StatusCode)
+	}
+	// Unknown instance is a 404.
+	resp, _ = do(t, "POST", ts.URL+"/instances/nope/batch", "STATS", "text/plain")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown instance batch status %d", resp.StatusCode)
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	s := New()
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	s.SetLogger(slog.New(slog.NewJSONHandler(syncWriter{&mu, &buf}, nil)))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	do(t, "GET", ts.URL+"/instances", "", "")
+	do(t, "GET", ts.URL+"/instances/none", "", "")
+
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(logged), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("log lines = %d:\n%s", len(lines), logged)
+	}
+	var entry struct {
+		Msg    string `json:"msg"`
+		Method string `json:"method"`
+		Path   string `json:"path"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Msg != "request" || entry.Method != "GET" || entry.Path != "/instances/none" || entry.Status != 404 {
+		t.Errorf("logged entry = %+v", entry)
+	}
+}
+
+// syncWriter serializes writes from concurrent request goroutines.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }

@@ -37,6 +37,7 @@
 package pxml
 
 import (
+	"errors"
 	"io"
 	"math/rand"
 
@@ -45,6 +46,7 @@ import (
 	"pxml/internal/bench"
 	"pxml/internal/codec"
 	"pxml/internal/core"
+	"pxml/internal/engine"
 	"pxml/internal/enumerate"
 	"pxml/internal/gen"
 	"pxml/internal/ingest"
@@ -312,13 +314,60 @@ func Ingest(s *Instance, opts IngestOptions) (*ProbInstance, error) {
 	return ingest.FromInstance(s, opts)
 }
 
+// Prob returns P(∃o. o ∈ p) on any acyclic instance: it tries the
+// Section 6 tree fast path first and transparently falls back to
+// Bayesian-network inference when the instance is a DAG. Use ExistsQuery
+// (tree route) or PathProb (network route) to pick the route explicitly.
+func Prob(pi *ProbInstance, p Path) (float64, error) {
+	pr, err := query.ExistsQuery(pi, p)
+	if errors.Is(err, ErrNotTree) {
+		return bayes.PathProb(pi, p, "")
+	}
+	return pr, err
+}
+
+// ProbPoint returns P(o ∈ p) on any acyclic instance, routing like Prob.
+// Use PointQuery (tree route) or PathProb (network route) to pick the
+// route explicitly.
+func ProbPoint(pi *ProbInstance, p Path, o string) (float64, error) {
+	pr, err := query.PointQuery(pi, p, o)
+	if errors.Is(err, ErrNotTree) {
+		return bayes.PathProb(pi, p, o)
+	}
+	return pr, err
+}
+
+// ProbValue returns P(o ∈ p ∧ val(o) = v) on any acyclic instance. Trees
+// run the ε recursion with the VPF as success probability; DAGs factor the
+// probability into P(o ∈ p) · VPF(o)(v) over the network route (the value
+// draw is independent of the structure choice given that o occurs). Use
+// ValuePointQuery to demand the tree route explicitly.
+func ProbValue(pi *ProbInstance, p Path, o, v string) (float64, error) {
+	pr, err := query.ValuePointQuery(pi, p, o, v)
+	if !errors.Is(err, ErrNotTree) {
+		return pr, err
+	}
+	vpf := pi.VPF(o)
+	if vpf == nil {
+		return 0, nil
+	}
+	pp, err := bayes.PathProb(pi, p, o)
+	if err != nil {
+		return 0, err
+	}
+	return pp * vpf.Prob(v), nil
+}
+
 // PointQuery returns P(o ∈ p) on a tree-structured instance (Definition
-// 6.1 / Section 6.2); use PathProb for DAGs.
+// 6.1 / Section 6.2) — the explicit tree-route variant of ProbPoint; it
+// returns ErrNotTree on DAGs (use PathProb there, or ProbPoint to route
+// automatically).
 func PointQuery(pi *ProbInstance, p Path, o string) (float64, error) {
 	return query.PointQuery(pi, p, o)
 }
 
-// ExistsQuery returns P(∃o. o ∈ p) on a tree-structured instance.
+// ExistsQuery returns P(∃o. o ∈ p) on a tree-structured instance — the
+// explicit tree-route variant of Prob.
 func ExistsQuery(pi *ProbInstance, p Path) (float64, error) {
 	return query.ExistsQuery(pi, p)
 }
@@ -334,7 +383,8 @@ func ValueExistsQuery(pi *ProbInstance, p Path, v string) (float64, error) {
 	return query.ValueExistsQuery(pi, p, v)
 }
 
-// ValuePointQuery returns P(o ∈ p ∧ val(o) = v) on a tree.
+// ValuePointQuery returns P(o ∈ p ∧ val(o) = v) on a tree — the explicit
+// tree-route variant of ProbValue.
 func ValuePointQuery(pi *ProbInstance, p Path, o, v string) (float64, error) {
 	return query.ValuePointQuery(pi, p, o, v)
 }
@@ -384,7 +434,9 @@ func ProbExists(pi *ProbInstance, o string) (float64, error) {
 }
 
 // PathProb answers a point query (o != "") or existence query (o == "")
-// on an arbitrary acyclic instance via the augmented Bayesian network.
+// on an arbitrary acyclic instance via the augmented Bayesian network —
+// the explicit network-route variant of ProbPoint / Prob (it compiles the
+// network even when the instance is a tree).
 func PathProb(pi *ProbInstance, p Path, o string) (float64, error) {
 	return bayes.PathProb(pi, p, o)
 }
@@ -447,9 +499,33 @@ func IntervalValueExistsBound(in *IntervalInstance, p Path, v string) (Bound, er
 }
 
 // EvalPXQL parses and executes one pxql statement against an instance.
+// For repeated statements against the same instance, prefer an Engine,
+// which caches the support structures between queries.
 func EvalPXQL(pi *ProbInstance, statement string) (*PXQLResult, error) {
 	return pxql.Eval(pi, statement)
 }
 
 // ParsePXQL parses one pxql statement.
 func ParsePXQL(statement string) (PXQLQuery, error) { return pxql.Parse(statement) }
+
+// Engine executes queries against one immutable instance while caching
+// the derived structures (tree classification, path index, compiled
+// Bayesian network, existence marginals) across queries. It is safe for
+// concurrent use, context-aware, and keeps per-engine metrics.
+type Engine = engine.Engine
+
+// EngineOption configures NewEngine.
+type EngineOption = engine.Option
+
+// WithWorkers bounds an engine's batch worker pool.
+func WithWorkers(n int) EngineOption { return engine.WithWorkers(n) }
+
+// NewEngine wraps an instance in a query engine. The instance must not be
+// mutated afterwards.
+func NewEngine(pi *ProbInstance, opts ...EngineOption) *Engine {
+	return engine.New(pi, opts...)
+}
+
+// EngineBatchResult pairs one statement of an Engine.RunBatch with its
+// outcome.
+type EngineBatchResult = engine.BatchResult

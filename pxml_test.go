@@ -2,6 +2,7 @@ package pxml_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -444,5 +445,131 @@ func TestPathIndexPublicAPI(t *testing.T) {
 	got := pxml.TargetsIndexed(idx, p)
 	if len(got) != 2 || got[0] != "A1" || got[1] != "A2" {
 		t.Errorf("indexed targets = %v", got)
+	}
+}
+
+// probDAG builds a small DAG with a probabilistic shared child and a
+// valued leaf, for exercising the facade's network fallback.
+func probDAG(t testing.TB) *pxml.ProbInstance {
+	t.Helper()
+	dag := pxml.New("r")
+	if err := dag.RegisterType(pxml.NewType("vt", "u", "w")); err != nil {
+		t.Fatal(err)
+	}
+	dag.SetLCh("r", "a", "x", "y")
+	dag.SetLCh("x", "b", "s")
+	dag.SetLCh("y", "b", "s") // s has two parents
+	w := pxml.NewOPF()
+	w.Put(pxml.NewSet("x"), 0.5)
+	w.Put(pxml.NewSet("x", "y"), 0.5)
+	dag.SetOPF("r", w)
+	wx := pxml.NewOPF()
+	wx.Put(pxml.NewSet(), 0.4)
+	wx.Put(pxml.NewSet("s"), 0.6)
+	dag.SetOPF("x", wx)
+	wy := pxml.NewOPF()
+	wy.Put(pxml.NewSet("s"), 1)
+	dag.SetOPF("y", wy)
+	if err := dag.SetLeafType("s", "vt"); err != nil {
+		t.Fatal(err)
+	}
+	v := pxml.NewVPF()
+	v.Put("u", 0.3)
+	v.Put("w", 0.7)
+	dag.SetVPF("s", v)
+	return dag
+}
+
+func TestProbFacadeTree(t *testing.T) {
+	pi := bibliography(t)
+	p := pxml.MustParsePath("R.book.author")
+	want, err := pxml.ExistsQuery(pi, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pxml.Prob(pi, p)
+	if err != nil || !approx(got, want) {
+		t.Errorf("Prob = %v, %v; want %v", got, err, want)
+	}
+	wantPt, err := pxml.PointQuery(pi, p, "A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPt, err := pxml.ProbPoint(pi, p, "A1")
+	if err != nil || !approx(gotPt, wantPt) {
+		t.Errorf("ProbPoint = %v, %v; want %v", gotPt, err, wantPt)
+	}
+	tp := pxml.MustParsePath("R.book.title")
+	wantV, err := pxml.ValuePointQuery(pi, tp, "T1", "Lore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV, err := pxml.ProbValue(pi, tp, "T1", "Lore")
+	if err != nil || !approx(gotV, wantV) {
+		t.Errorf("ProbValue = %v, %v; want %v", gotV, err, wantV)
+	}
+}
+
+func TestProbFacadeDAGFallback(t *testing.T) {
+	dag := probDAG(t)
+	p := pxml.MustParsePath("r.a.b")
+	// The explicit tree route refuses...
+	if _, err := pxml.ExistsQuery(dag, p); !errors.Is(err, pxml.ErrNotTree) {
+		t.Fatalf("tree route err = %v", err)
+	}
+	// ...but the facade falls back to the network route transparently.
+	want, err := pxml.PathProb(dag, p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pxml.Prob(dag, p)
+	if err != nil || !approx(got, want) {
+		t.Errorf("Prob on DAG = %v, %v; want %v", got, err, want)
+	}
+	wantPt, err := pxml.PathProb(dag, p, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPt, err := pxml.ProbPoint(dag, p, "s")
+	if err != nil || !approx(gotPt, wantPt) {
+		t.Errorf("ProbPoint on DAG = %v, %v; want %v", gotPt, err, wantPt)
+	}
+	// ProbValue factors into P(s ∈ p) · VPF(s)(w) on the DAG route.
+	gotV, err := pxml.ProbValue(dag, p, "s", "w")
+	if err != nil || !approx(gotV, wantPt*0.7) {
+		t.Errorf("ProbValue on DAG = %v, %v; want %v", gotV, err, wantPt*0.7)
+	}
+	// An unvalued object yields probability zero, not an error.
+	if pr, err := pxml.ProbValue(dag, pxml.MustParsePath("r.a"), "x", "u"); err != nil || pr != 0 {
+		t.Errorf("ProbValue on unvalued object = %v, %v", pr, err)
+	}
+}
+
+func TestEnginePublicAPI(t *testing.T) {
+	eng := pxml.NewEngine(bibliography(t), pxml.WithWorkers(2))
+	ctx := context.Background()
+	res, err := eng.Run(ctx, "PROB R.book.author = A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pxml.EvalPXQL(eng.Instance(), "PROB R.book.author = A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prob == nil || want.Prob == nil || !approx(*res.Prob, *want.Prob) {
+		t.Errorf("engine %v vs direct %v", res.Prob, want.Prob)
+	}
+	if _, err := eng.Run(ctx, "PROB R.book.author = A1"); err != nil {
+		t.Fatal(err)
+	}
+	m := eng.Metrics()
+	if m["queries"].(int64) != 2 || m["cache_hits"].(int64) == 0 {
+		t.Errorf("engine metrics = %v", m)
+	}
+	batch := eng.RunBatch(ctx, []string{"STATS", "PROB EXISTS R.book"})
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Errorf("batch[%d]: %v", i, br.Err)
+		}
 	}
 }
