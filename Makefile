@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench fig7 fuzz vet cover clean
+.PHONY: all build check test test-short race bench bench-store fig7 fuzz vet cover clean
 
 all: check
 
@@ -29,6 +29,12 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Storage-engine benchmarks: WAL append under each fsync policy,
+# recovery replay, compaction, and the binary-vs-text codec pair.
+bench-store:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/store
+	$(GO) test -run '^$$' -bench 'Binary|Text' -benchmem ./internal/codec
+
 # Reproduce the paper's Figure 7 panels into results/.
 fig7:
 	$(GO) run ./cmd/pxmlbench -panel a -instances 2 -queries 4 -csv results/fig7a.csv | tee results/fig7a.txt
@@ -39,6 +45,7 @@ fig7:
 fuzz:
 	$(GO) test ./internal/codec -fuzz FuzzDecodeText -fuzztime 30s
 	$(GO) test ./internal/codec -fuzz FuzzDecodeJSON -fuzztime 30s
+	$(GO) test ./internal/codec -fuzz FuzzDecodeBinary -fuzztime 30s
 	$(GO) test ./internal/pathexpr -fuzz FuzzParse -fuzztime 30s
 
 cover:

@@ -4,7 +4,13 @@
 // query results can be stored back into the catalog.
 //
 //	pxmld -addr :8080
+//	pxmld -addr :8080 -data /var/lib/pxmld -fsync always
 //	pxmld -addr :8080 -load bib=inst.pxml -load web=crawl.json
+//
+// With -data, the catalog is durable: writes go through a write-ahead
+// log with periodic snapshots (see internal/store), startup runs crash
+// recovery, and -fsync/-snapshot-interval tune the durability/latency
+// trade-off.
 //
 // Endpoints (see internal/server):
 //
@@ -24,15 +30,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"pxml"
 	"pxml/internal/server"
+	"pxml/internal/store"
 )
 
 // loadFlags collects repeated -load name=file flags.
@@ -46,21 +59,36 @@ func (l *loadFlags) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	dataDir := flag.String("datadir", "", "persist the catalog to this directory (instances survive restarts)")
+	dataDir := flag.String("data", "", "persist the catalog to this directory via the WAL+snapshot store (instances survive restarts and crashes)")
+	dataDirAlias := flag.String("datadir", "", "alias for -data (kept for compatibility)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL flush policy: always, interval, or never")
+	snapshotEvery := flag.Duration("snapshot-interval", 0, "snapshot the catalog and reset the WAL on this period (0 = size-triggered only)")
 	quiet := flag.Bool("quiet", false, "disable structured request logging")
 	maxBody := flag.Int64("maxbody", 0, "instance upload size limit in bytes (0 = default 64MiB)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload an instance: name=file (repeatable)")
 	flag.Parse()
 
+	if *dataDir == "" {
+		*dataDir = *dataDirAlias
+	}
 	var srv *server.Server
 	if *dataDir != "" {
-		var err error
-		srv, err = server.NewPersistent(*dataDir)
+		policy, err := store.ParseFsyncPolicy(*fsyncPolicy)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "catalog persisted in %s (%d instances loaded)\n", *dataDir, len(srv.Names()))
+		opts := store.Options{
+			Fsync:            policy,
+			SnapshotInterval: *snapshotEvery,
+			Logger:           log.New(os.Stderr, "pxmld: ", 0),
+		}
+		var report *store.RecoveryReport
+		srv, report, err = server.NewWithStore(*dataDir, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "catalog persisted in %s (fsync=%s): %s\n", *dataDir, policy, report)
 	} else {
 		srv = server.New()
 	}
@@ -94,8 +122,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loaded %s from %s (%d objects)\n", name, file, pi.NumObjects())
 	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// On SIGINT/SIGTERM, stop accepting requests, then close the store so
+	// the WAL is flushed before exit.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "pxmld: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		close(idle)
+	}()
 	fmt.Fprintf(os.Stderr, "pxmld listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-idle
+	if err := srv.Close(); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,78 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"pxml/internal/core"
+	"pxml/internal/gen"
+)
+
+// depth9 returns the generated depth-9, branch-2 fixture the repo's
+// Figure 7 benchmarks use (1023 objects, 2^2-entry OPFs), memoized so
+// every codec benchmark serializes the identical instance.
+var depth9 = sync.OnceValue(func() *core.ProbInstance {
+	in, err := gen.Generate(gen.Config{Depth: 9, Branch: 2, Labeling: gen.FR, Seed: 8, LeafDomainSize: 2, LabelsPerLevel: 4})
+	if err != nil {
+		panic(err)
+	}
+	return in.PI
+})
+
+func BenchmarkEncodeText(b *testing.B) {
+	pi := depth9()
+	var buf bytes.Buffer
+	if err := EncodeText(&buf, pi); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := EncodeText(io.Discard, pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBinary(b *testing.B) {
+	pi := depth9()
+	b.SetBytes(int64(len(AppendBinary(nil, pi))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := EncodeBinary(io.Discard, pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeText(b *testing.B) {
+	var buf bytes.Buffer
+	if err := EncodeText(&buf, depth9()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeText(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	data := AppendBinary(nil, depth9())
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBinaryBytes(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pxml/internal/core"
+	"pxml/internal/fixtures"
+)
+
+func roundTripBinary(t testing.TB, pi *core.ProbInstance) *core.ProbInstance {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, pi); err != nil {
+		t.Fatalf("EncodeBinary: %v", err)
+	}
+	out, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	return out
+}
+
+func TestBinaryRoundTripFigure2(t *testing.T) {
+	pi := fixtures.Figure2VariedLeaves()
+	out := roundTripBinary(t, pi)
+	if !core.Equal(pi, out, 1e-12) {
+		t.Fatal("binary round trip changed the instance")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("decoded instance invalid: %v", err)
+	}
+}
+
+func TestBinaryRoundTripDefaults(t *testing.T) {
+	pi := fixtures.Figure2()
+	if err := pi.SetDefaultValue("T1", "VQDB"); err != nil {
+		t.Fatal(err)
+	}
+	out := roundTripBinary(t, pi)
+	if v, ok := out.DefaultValue("T1"); !ok || v != "VQDB" {
+		t.Errorf("default value lost: %q %v", v, ok)
+	}
+}
+
+func TestBinaryIsolatedObjectSurvives(t *testing.T) {
+	pi := core.NewProbInstance("r")
+	pi.AddObject("island")
+	out := roundTripBinary(t, pi)
+	if !out.HasObject("island") {
+		t.Error("isolated object lost in binary round trip")
+	}
+}
+
+// TestBinaryParityWithText asserts the three codecs describe the same
+// instance space: text→binary→text is byte-identical, and random
+// instances survive a binary round trip exactly like a text one.
+func TestBinaryParityWithText(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var pi *core.ProbInstance
+		if seed%2 == 0 {
+			pi = fixtures.RandomTree(r)
+		} else {
+			pi = fixtures.RandomDAG(r)
+		}
+		if !core.Equal(pi, roundTripBinary(t, pi), 1e-12) {
+			return false
+		}
+		viaBinary := roundTripBinary(t, pi)
+		var a, b bytes.Buffer
+		if err := EncodeText(&a, pi); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeText(&b, viaBinary); err != nil {
+			t.Fatal(err)
+		}
+		return a.String() == b.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(20260806))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	pi := fixtures.Figure2VariedLeaves()
+	var a, b bytes.Buffer
+	if err := EncodeBinary(&a, pi); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBinary(&b, pi); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("binary encoding not deterministic")
+	}
+	if !bytes.HasPrefix(a.Bytes(), binaryMagic[:]) {
+		t.Error("missing magic")
+	}
+}
+
+func TestBinaryDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, fixtures.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Flip one bit in every byte position; every mutation must be rejected
+	// (magic, length, body and CRC are all covered).
+	for i := range good {
+		bad := bytes.Clone(good)
+		bad[i] ^= 0x40
+		if pi, err := DecodeBinaryBytes(bad); err == nil {
+			// A length-prefix mutation could in principle still frame a
+			// valid record; it must then at least decode to the same
+			// instance. Anything else is silent corruption.
+			if !core.Equal(pi, fixtures.Figure2(), 1e-12) {
+				t.Fatalf("bit flip at byte %d silently decoded to a different instance", i)
+			}
+		}
+	}
+	// Truncations at every prefix length are rejected too.
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeBinaryBytes(good[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage is rejected (the frame is exact).
+	if _, err := DecodeBinaryBytes(append(bytes.Clone(good), 'x')); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("nope")},
+		{"magic only", []byte("PXB1")},
+		{"huge length", append([]byte("PXB1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)},
+	}
+	for _, c := range cases {
+		if _, err := DecodeBinaryBytes(c.in); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestBinarySmallerThanText documents the compactness win the format
+// exists for: interned strings and varints beat repeated ASCII tokens.
+func TestBinarySmallerThanText(t *testing.T) {
+	pi := fixtures.Figure2VariedLeaves()
+	var text, bin bytes.Buffer
+	if err := EncodeText(&text, pi); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBinary(&bin, pi); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Errorf("binary (%d bytes) not smaller than text (%d bytes)", bin.Len(), text.Len())
+	}
+}

@@ -44,6 +44,95 @@ func FuzzDecodeText(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBinary asserts the binary decoder never panics on arbitrary
+// bytes and that anything it accepts round-trips stably through both the
+// binary and the text codec (format parity).
+func FuzzDecodeBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeBinary(&seed, fixtures.Figure2VariedLeaves()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	var tiny bytes.Buffer
+	if err := EncodeBinary(&tiny, core.NewProbInstance("r")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tiny.Bytes())
+	f.Add([]byte("PXB1"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		pi, err := DecodeBinaryBytes(in)
+		if err != nil {
+			return
+		}
+		again := roundTripBinary(t, pi)
+		if !core.Equal(pi, again, 1e-9) {
+			t.Fatalf("binary round trip unstable:\nfirst:  %v\nsecond: %v", pi.Objects(), again.Objects())
+		}
+		// Parity: a binary-accepted instance must survive the text codec,
+		// provided every token is text-representable (binary permits
+		// whitespace and empty strings the line format cannot carry).
+		if !textRepresentable(pi) {
+			return
+		}
+		var txt bytes.Buffer
+		if err := EncodeText(&txt, pi); err != nil {
+			t.Fatalf("text encode of clean instance failed: %v", err)
+		}
+		viaText, err := DecodeText(&txt)
+		if err != nil {
+			t.Fatalf("text re-decode failed: %v\n%s", err, txt.String())
+		}
+		if !core.Equal(pi, viaText, 1e-9) {
+			t.Fatal("binary/text parity violated")
+		}
+	})
+}
+
+// textRepresentable reports whether every token of the instance survives
+// the whitespace-delimited text format, including the OPF set members and
+// VPF values the text encoder does not itself re-check.
+func textRepresentable(pi *core.ProbInstance) bool {
+	clean := func(s string) bool { return checkToken(s) == nil }
+	for name, typ := range pi.Types() {
+		if !clean(name) {
+			return false
+		}
+		for _, v := range typ.Domain {
+			if !clean(v) {
+				return false
+			}
+		}
+	}
+	for _, o := range pi.Objects() {
+		if !clean(o) {
+			return false
+		}
+		for _, l := range pi.Labels(o) {
+			if !clean(l) {
+				return false
+			}
+		}
+		if w := pi.OPF(o); w != nil {
+			for _, e := range w.Entries() {
+				for _, m := range e.Set {
+					if !clean(m) {
+						return false
+					}
+				}
+			}
+		}
+		if v := pi.VPF(o); v != nil {
+			for _, e := range v.Entries() {
+				if !clean(e.Value) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
 // FuzzDecodeJSON asserts the JSON decoder never panics and accepted inputs
 // round-trip stably.
 func FuzzDecodeJSON(f *testing.F) {

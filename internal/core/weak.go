@@ -413,11 +413,18 @@ func (w *WeakInstance) Validate() error {
 	if _, ok := w.objects[w.root]; !ok {
 		return fmt.Errorf("core: root %s not in V", w.root)
 	}
+	seen := make(map[model.ObjectID]model.Label)
 	for o, m := range w.lch {
 		if _, ok := w.objects[o]; !ok {
 			return fmt.Errorf("core: lch parent %s not in V", o)
 		}
-		seen := make(map[model.ObjectID]model.Label)
+		// Cross-label duplicates need the seen map; within one label the
+		// canonical Set is already duplicate-free, so single-label objects
+		// (the common case) skip the bookkeeping entirely.
+		multi := len(m) > 1
+		if multi {
+			clear(seen)
+		}
 		for l, cs := range m {
 			for _, c := range cs {
 				if _, ok := w.objects[c]; !ok {
@@ -426,10 +433,12 @@ func (w *WeakInstance) Validate() error {
 				if c == w.root {
 					return fmt.Errorf("core: root %s appears in lch(%s,%s)", w.root, o, l)
 				}
-				if prev, dup := seen[c]; dup {
-					return fmt.Errorf("core: object %s is a potential child of %s under labels %q and %q", c, o, prev, l)
+				if multi {
+					if prev, dup := seen[c]; dup {
+						return fmt.Errorf("core: object %s is a potential child of %s under labels %q and %q", c, o, prev, l)
+					}
+					seen[c] = l
 				}
-				seen[c] = l
 			}
 		}
 	}

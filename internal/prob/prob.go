@@ -24,13 +24,18 @@ const Tolerance = 1e-9
 // Σ_c ω(c) = 1 (Definition 3.8). Entries with probability zero may be
 // stored explicitly; Prob returns 0 for absent sets.
 type OPF struct {
-	probs map[string]float64
-	sets  map[string]sets.Set
+	entries map[string]OPFEntry
 }
 
 // NewOPF returns an empty OPF.
 func NewOPF() *OPF {
-	return &OPF{probs: make(map[string]float64), sets: make(map[string]sets.Set)}
+	return &OPF{entries: make(map[string]OPFEntry)}
+}
+
+// NewOPFSized returns an empty OPF with capacity for n entries, for
+// loaders that know the entry count upfront.
+func NewOPFSized(n int) *OPF {
+	return &OPF{entries: make(map[string]OPFEntry, n)}
 }
 
 // OPFEntry is one (child set, probability) pair of an OPF.
@@ -42,32 +47,32 @@ type OPFEntry struct {
 // Put assigns probability p to the child set c, replacing any previous
 // assignment for the same set.
 func (w *OPF) Put(c sets.Set, p float64) {
-	k := c.Key()
-	w.probs[k] = p
-	w.sets[k] = c
+	w.entries[c.Key()] = OPFEntry{Set: c, Prob: p}
 }
 
 // Add accumulates probability p onto the child set c.
 func (w *OPF) Add(c sets.Set, p float64) {
 	k := c.Key()
-	if _, ok := w.probs[k]; !ok {
-		w.sets[k] = c
+	e, ok := w.entries[k]
+	if !ok {
+		e.Set = c
 	}
-	w.probs[k] += p
+	e.Prob += p
+	w.entries[k] = e
 }
 
 // Prob returns ω(c), zero when c has no entry.
-func (w *OPF) Prob(c sets.Set) float64 { return w.probs[c.Key()] }
+func (w *OPF) Prob(c sets.Set) float64 { return w.entries[c.Key()].Prob }
 
 // Len returns the number of stored entries.
-func (w *OPF) Len() int { return len(w.probs) }
+func (w *OPF) Len() int { return len(w.entries) }
 
 // Entries returns all stored entries in canonical order (set size, then
 // lexicographic).
 func (w *OPF) Entries() []OPFEntry {
-	es := make([]OPFEntry, 0, len(w.probs))
-	for k, p := range w.probs {
-		es = append(es, OPFEntry{Set: w.sets[k], Prob: p})
+	es := make([]OPFEntry, 0, len(w.entries))
+	for _, e := range w.entries {
+		es = append(es, e)
 	}
 	sort.Slice(es, func(i, j int) bool { return lessEntry(es[i].Set, es[j].Set) })
 	return es
@@ -76,16 +81,16 @@ func (w *OPF) Entries() []OPFEntry {
 // Each calls fn for every stored entry in unspecified order; it avoids the
 // sort and allocation of Entries on hot paths.
 func (w *OPF) Each(fn func(c sets.Set, p float64)) {
-	for k, p := range w.probs {
-		fn(w.sets[k], p)
+	for _, e := range w.entries {
+		fn(e.Set, e.Prob)
 	}
 }
 
 // Mass returns the total stored probability Σ_c ω(c).
 func (w *OPF) Mass() float64 {
 	total := 0.0
-	for _, p := range w.probs {
-		total += p
+	for _, e := range w.entries {
+		total += e.Prob
 	}
 	return total
 }
@@ -94,11 +99,11 @@ func (w *OPF) Mass() float64 {
 // total mass is 1 within Tolerance.
 func (w *OPF) Validate() error {
 	total := 0.0
-	for k, p := range w.probs {
-		if p < -Tolerance || p > 1+Tolerance || math.IsNaN(p) {
-			return fmt.Errorf("prob: OPF entry %s has probability %v outside [0,1]", w.sets[k], p)
+	for _, e := range w.entries {
+		if e.Prob < -Tolerance || e.Prob > 1+Tolerance || math.IsNaN(e.Prob) {
+			return fmt.Errorf("prob: OPF entry %s has probability %v outside [0,1]", e.Set, e.Prob)
 		}
-		total += p
+		total += e.Prob
 	}
 	if math.Abs(total-1) > Tolerance {
 		return fmt.Errorf("prob: OPF mass %v != 1", total)
@@ -114,8 +119,9 @@ func (w *OPF) Normalize() error {
 	if total <= 0 {
 		return fmt.Errorf("prob: cannot normalize OPF with mass %v", total)
 	}
-	for k := range w.probs {
-		w.probs[k] /= total
+	for k, e := range w.entries {
+		e.Prob /= total
+		w.entries[k] = e
 	}
 	return nil
 }
@@ -123,10 +129,9 @@ func (w *OPF) Normalize() error {
 // Clone returns a deep copy of the OPF. Child sets are shared (they are
 // immutable by convention).
 func (w *OPF) Clone() *OPF {
-	c := NewOPF()
-	for k, p := range w.probs {
-		c.probs[k] = p
-		c.sets[k] = w.sets[k]
+	c := &OPF{entries: make(map[string]OPFEntry, len(w.entries))}
+	for k, e := range w.entries {
+		c.entries[k] = e
 	}
 	return c
 }
@@ -135,9 +140,9 @@ func (w *OPF) Clone() *OPF {
 // block of the chain-probability formula in Section 6.2.
 func (w *OPF) ProbContains(member string) float64 {
 	total := 0.0
-	for k, p := range w.probs {
-		if w.sets[k].Contains(member) {
-			total += p
+	for _, e := range w.entries {
+		if e.Set.Contains(member) {
+			total += e.Prob
 		}
 	}
 	return total
@@ -149,22 +154,7 @@ func (w *OPF) ProbContains(member string) float64 {
 // algorithm: ω'(c) = ω(c)·1[member ∈ c] / P(member ∈ c). The second result
 // is false when the event has probability zero.
 func (w *OPF) ConditionContains(member string) (*OPF, float64, bool) {
-	out := NewOPF()
-	norm := 0.0
-	for k, p := range w.probs {
-		if w.sets[k].Contains(member) {
-			out.probs[k] = p
-			out.sets[k] = w.sets[k]
-			norm += p
-		}
-	}
-	if norm <= 0 {
-		return nil, 0, false
-	}
-	for k := range out.probs {
-		out.probs[k] /= norm
-	}
-	return out, norm, true
+	return w.Condition(func(c sets.Set) bool { return c.Contains(member) })
 }
 
 // Condition returns the OPF conditioned on an arbitrary predicate over
@@ -173,18 +163,18 @@ func (w *OPF) ConditionContains(member string) (*OPF, float64, bool) {
 func (w *OPF) Condition(pred func(sets.Set) bool) (*OPF, float64, bool) {
 	out := NewOPF()
 	norm := 0.0
-	for k, p := range w.probs {
-		if pred(w.sets[k]) {
-			out.probs[k] = p
-			out.sets[k] = w.sets[k]
-			norm += p
+	for k, e := range w.entries {
+		if pred(e.Set) {
+			out.entries[k] = e
+			norm += e.Prob
 		}
 	}
 	if norm <= 0 {
 		return nil, 0, false
 	}
-	for k := range out.probs {
-		out.probs[k] /= norm
+	for k, e := range out.entries {
+		e.Prob /= norm
+		out.entries[k] = e
 	}
 	return out, norm, true
 }
@@ -195,8 +185,8 @@ func (w *OPF) Condition(pred func(sets.Set) bool) (*OPF, float64, bool) {
 // ω'(c') = Σ_{d ⊆ dropped, c'∪d ∈ PC(o)} ω(c'∪d).
 func (w *OPF) MarginalizeDrop(dropped sets.Set) *OPF {
 	out := NewOPF()
-	for k, p := range w.probs {
-		out.Add(w.sets[k].Minus(dropped), p)
+	for _, e := range w.entries {
+		out.Add(e.Set.Minus(dropped), e.Prob)
 	}
 	return out
 }
@@ -209,9 +199,9 @@ func (w *OPF) MarginalizeDrop(dropped sets.Set) *OPF {
 // Cartesian product guarantees by renaming.
 func (w *OPF) Product(v *OPF) *OPF {
 	out := NewOPF()
-	for k1, p1 := range w.probs {
-		for k2, p2 := range v.probs {
-			out.Add(w.sets[k1].Union(v.sets[k2]), p1*p2)
+	for _, e1 := range w.entries {
+		for _, e2 := range v.entries {
+			out.Add(e1.Set.Union(e2.Set), e1.Prob*e2.Prob)
 		}
 	}
 	return out
@@ -221,9 +211,9 @@ func (w *OPF) Product(v *OPF) *OPF {
 // canonical order.
 func (w *OPF) Support() []sets.Set {
 	var ss []sets.Set
-	for k, p := range w.probs {
-		if p > 0 {
-			ss = append(ss, w.sets[k])
+	for _, e := range w.entries {
+		if e.Prob > 0 {
+			ss = append(ss, e.Set)
 		}
 	}
 	sort.Slice(ss, func(i, j int) bool { return lessEntry(ss[i], ss[j]) })
@@ -259,6 +249,9 @@ type VPF struct {
 
 // NewVPF returns an empty VPF.
 func NewVPF() *VPF { return &VPF{probs: make(map[string]float64)} }
+
+// NewVPFSized returns an empty VPF with capacity for n entries.
+func NewVPFSized(n int) *VPF { return &VPF{probs: make(map[string]float64, n)} }
 
 // VPFEntry is one (value, probability) pair of a VPF.
 type VPFEntry struct {

@@ -48,6 +48,7 @@ import (
 	"pxml/internal/dot"
 	"pxml/internal/engine"
 	"pxml/internal/metrics"
+	"pxml/internal/store"
 )
 
 // defaultMaxBody bounds instance-upload bodies unless SetMaxBody overrides.
@@ -57,11 +58,13 @@ const defaultMaxBody = 64 << 20
 const maxStatementBytes = 1 << 20
 
 // Server is a concurrency-safe catalog of named query engines, optionally
-// backed by a directory (see NewPersistent).
+// backed by the durable storage engine (see NewPersistent) or, for the
+// legacy layout, by a directory of flat text files (NewPersistentFiles).
 type Server struct {
 	mu      sync.RWMutex
 	engines map[string]*engine.Engine
-	dir     string
+	store   *store.Store // log-structured persistence; nil unless NewPersistent/NewWithStore
+	dir     string       // legacy flat-file persistence; "" unless NewPersistentFiles
 	maxBody int64
 	log     *slog.Logger
 
@@ -100,19 +103,17 @@ func (s *Server) SetMaxBody(n int64) {
 // persistence outcome; the in-memory store is always updated first, so on
 // error the instance is served but not durable.
 func (s *Server) Put(name string, pi *core.ProbInstance) error {
+	if s.persistent() && !validName(name) {
+		return fmt.Errorf("server: name %q not storable (use [A-Za-z0-9_-])", name)
+	}
 	eng := engine.New(pi)
 	s.mu.Lock()
 	s.engines[name] = eng
 	s.mu.Unlock()
+	if s.store != nil {
+		return s.store.Put(name, pi)
+	}
 	return s.persist(name, pi)
-}
-
-// PutErr stores an instance and surfaces the persistence error.
-//
-// Deprecated: Put now returns the error itself; PutErr remains only so the
-// old split API keeps compiling.
-func (s *Server) PutErr(name string, pi *core.ProbInstance) error {
-	return s.Put(name, pi)
 }
 
 // Get returns the named instance.
@@ -139,10 +140,30 @@ func (s *Server) Delete(name string) bool {
 	delete(s.engines, name)
 	s.mu.Unlock()
 	if ok {
-		s.unpersist(name)
+		if s.store != nil {
+			if err := s.store.Delete(name); err != nil && s.log != nil {
+				s.log.Error("delete not persisted", "name", name, "error", err)
+			}
+		} else {
+			s.unpersist(name)
+		}
 	}
 	return ok
 }
+
+// Close releases the persistence backend (flushing the WAL when the
+// store is in use). The catalog keeps serving from memory afterwards, but
+// further writes are no longer durable.
+func (s *Server) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}
+
+// persistent reports whether stored names must map to durable artifacts,
+// and hence are restricted to [A-Za-z0-9_-]+.
+func (s *Server) persistent() bool { return s.store != nil || s.dir != "" }
 
 // Names returns the stored names, sorted.
 func (s *Server) Names() []string {
@@ -253,10 +274,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		insts[name] = eng.Metrics()
 	}
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"server":    s.reg.Snapshot(),
 		"instances": insts,
-	})
+	}
+	if s.store != nil {
+		payload["store"] = map[string]any{
+			"dir":       s.store.Dir(),
+			"wal_bytes": s.store.WALSize(),
+			"instances": s.store.Len(),
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // decodeStatus maps a body-read/decode error to its HTTP status: oversized
@@ -292,7 +321,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("instance invalid: %w", err))
 		return
 	}
-	if s.dir != "" && !validName(name) {
+	if s.persistent() && !validName(name) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", name))
 		return
 	}
@@ -368,7 +397,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("statement produced no instance to store"))
 			return
 		}
-		if s.dir != "" && !validName(store) {
+		if s.persistent() && !validName(store) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", store))
 			return
 		}
@@ -437,12 +466,44 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// NewPersistent returns a catalog backed by a directory: every stored
-// instance is written to <dir>/<name>.pxml (text encoding, atomically via
-// rename), deletes remove the file, and all existing files are loaded at
-// startup. Names are restricted to [A-Za-z0-9_-]+ to keep the file mapping
-// unambiguous.
+// NewPersistent returns a catalog backed by the durable storage engine
+// in dir: writes go through a write-ahead log with periodic snapshots,
+// and startup runs crash recovery (replaying snapshot-then-WAL,
+// quarantining corrupt records, truncating torn tails). A directory in
+// the legacy flat-file layout is migrated on first open. Names are
+// restricted to [A-Za-z0-9_-]+ to keep durable artifacts unambiguous.
 func NewPersistent(dir string) (*Server, error) {
+	s, _, err := NewWithStore(dir, store.Options{})
+	return s, err
+}
+
+// NewWithStore is NewPersistent with explicit store options, also
+// returning the crash-recovery report. The server's metrics registry is
+// installed into the options so store counters surface under /metrics.
+func NewWithStore(dir string, opts store.Options) (*Server, *store.RecoveryReport, error) {
+	s := New()
+	if opts.Registry == nil {
+		opts.Registry = s.reg
+	}
+	st, report, err := store.Open(dir, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: opening store: %w", err)
+	}
+	s.store = st
+	for name, pi := range st.All() {
+		s.engines[name] = engine.New(pi)
+	}
+	return s, report, nil
+}
+
+// NewPersistentFiles returns a catalog backed by the legacy flat-file
+// layout: every stored instance is written to <dir>/<name>.pxml (text
+// encoding, fsynced and atomically renamed), deletes remove the file,
+// and all existing files are loaded at startup. A file that fails to
+// decode does not abort startup: it is logged and quarantined to
+// <name>.pxml.corrupt. Names are restricted to [A-Za-z0-9_-]+ to keep
+// the file mapping unambiguous.
+func NewPersistentFiles(dir string) (*Server, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating data dir: %w", err)
 	}
@@ -457,14 +518,23 @@ func NewPersistent(dir string) (*Server, error) {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), ".pxml")
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
 		pi, err := codec.DecodeText(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("server: loading %s: %w", e.Name(), err)
+			// One damaged file must not take the whole catalog down:
+			// set it aside for inspection and keep loading the rest.
+			corrupt := path + ".corrupt"
+			if rerr := os.Rename(path, corrupt); rerr != nil {
+				return nil, fmt.Errorf("server: quarantining corrupt %s: %w", e.Name(), rerr)
+			}
+			slog.Warn("corrupt instance file quarantined",
+				"file", path, "quarantined_to", corrupt, "error", err)
+			continue
 		}
 		s.engines[name] = engine.New(pi)
 	}
@@ -486,7 +556,11 @@ func validName(name string) bool {
 	return true
 }
 
-// persist writes the named instance to disk when persistence is enabled.
+// persist writes the named instance to disk when legacy flat-file
+// persistence is enabled. The temp file is fsynced before the rename and
+// the directory entry after it; without both, a crash shortly after Put
+// could leave a zero-length or unlinked file despite the rename being
+// "atomic".
 func (s *Server) persist(name string, pi *core.ProbInstance) error {
 	if s.dir == "" {
 		return nil
@@ -503,10 +577,22 @@ func (s *Server) persist(name string, pi *core.ProbInstance) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(s.dir, name+".pxml"))
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name+".pxml")); err != nil {
+		return err
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // unpersist removes the named instance's file when persistence is enabled.

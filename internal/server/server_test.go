@@ -7,6 +7,8 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -16,6 +18,7 @@ import (
 	"pxml/internal/fixtures"
 	"pxml/internal/prob"
 	"pxml/internal/sets"
+	"pxml/internal/store"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -247,15 +250,18 @@ func TestPersistentCatalog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.PutErr("tree", smallTree()); err != nil {
+	if err := s.Put("tree", smallTree()); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.PutErr("bib", fixtures.Figure2()); err != nil {
+	if err := s.Put("bib", fixtures.Figure2()); err != nil {
 		t.Fatal(err)
 	}
 	// Invalid name for disk storage.
-	if err := s.PutErr("../evil", smallTree()); err == nil {
+	if err := s.Put("../evil", smallTree()); err == nil {
 		t.Error("path-escaping name accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
 	}
 
 	// A fresh catalog over the same directory sees both instances.
@@ -272,12 +278,16 @@ func TestPersistentCatalog(t *testing.T) {
 		t.Fatalf("restored bib = %v", pi)
 	}
 
-	// Delete removes the file too.
+	// Delete is durable too.
 	s2.Delete("tree")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
 	s3, err := NewPersistent(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s3.Close()
 	if len(s3.Names()) != 1 {
 		t.Errorf("names after delete = %v", s3.Names())
 	}
@@ -451,4 +461,103 @@ func (s syncWriter) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.w.Write(p)
+}
+
+// TestPersistentFilesCatalog exercises the legacy flat-file backend:
+// stores and deletes survive a reopen, and a corrupt file is quarantined
+// to <name>.pxml.corrupt instead of failing startup.
+func TestPersistentFilesCatalog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewPersistentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("tree", smallTree()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bib", fixtures.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("../evil", smallTree()); err == nil {
+		t.Error("path-escaping name accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "mangled.pxml"), []byte("pxml/1\nnot an instance\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewPersistentFiles(dir)
+	if err != nil {
+		t.Fatalf("corrupt file aborted startup: %v", err)
+	}
+	names := s2.Names()
+	if len(names) != 2 || names[0] != "bib" || names[1] != "tree" {
+		t.Fatalf("restored names = %v", names)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mangled.pxml.corrupt")); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mangled.pxml")); !os.IsNotExist(err) {
+		t.Fatal("corrupt file still in place")
+	}
+
+	s2.Delete("tree")
+	s3, err := NewPersistentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3.Names()) != 1 {
+		t.Errorf("names after delete = %v", s3.Names())
+	}
+}
+
+// TestNewWithStoreReportAndMetrics checks that the store-backed catalog
+// surfaces the recovery report and a "store" section under /metrics.
+func TestNewWithStoreReportAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s, rep, err := NewWithStore(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Recovered != 0 {
+		t.Fatalf("fresh dir recovery report = %+v", rep)
+	}
+	if err := s.Put("tree", smallTree()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep2, err := NewWithStore(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep2.Recovered != 1 {
+		t.Fatalf("reopen recovered %d, want 1 (%s)", rep2.Recovered, rep2)
+	}
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	resp, body := do(t, "GET", ts.URL+"/metrics", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := payload["store"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics payload missing store section: %s", body)
+	}
+	if st["instances"].(float64) != 1 {
+		t.Fatalf("store section = %v", st)
+	}
+	srvMetrics, ok := payload["server"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics payload missing server section: %s", body)
+	}
+	if _, ok := srvMetrics["store_wal_appends"]; !ok {
+		t.Fatalf("server metrics missing store counters: %v", srvMetrics)
+	}
 }

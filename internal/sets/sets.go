@@ -34,6 +34,23 @@ func NewSet(ids ...string) Set {
 	return s[:w]
 }
 
+// FromSorted returns the canonical set over ids when they are already
+// strictly ascending, adopting the slice without copying; otherwise it
+// falls back to NewSet. Bulk loaders that decode members in canonical
+// order use it to skip the sort and the defensive copy — the caller must
+// not reuse the slice afterwards.
+func FromSorted(ids []string) Set {
+	if len(ids) == 0 {
+		return nil
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return NewSet(ids...)
+		}
+	}
+	return Set(ids)
+}
+
 // Key returns a canonical string key for the set, usable as a map key.
 func (s Set) Key() string {
 	return strings.Join(s, "\x1f")

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"pxml/internal/fixtures"
+)
+
+// benchOpen opens a throwaway store for benchmarking.
+func benchOpen(b *testing.B, dir string, opts Options) *Store {
+	b.Helper()
+	s, _, err := Open(dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchmarkWALAppend(b *testing.B, policy FsyncPolicy) {
+	s := benchOpen(b, b.TempDir(), Options{Fsync: policy, CompactThreshold: -1})
+	defer s.Close()
+	pi := fixtures.Figure2()
+	frame := appendFrame(nil, appendPutRecord(nil, "bench", pi))
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put("bench", pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendFsyncAlways(b *testing.B) { benchmarkWALAppend(b, FsyncAlways) }
+func BenchmarkWALAppendFsyncNever(b *testing.B)  { benchmarkWALAppend(b, FsyncNever) }
+
+// BenchmarkOpenReplay measures recovery over a WAL of put records.
+func BenchmarkOpenReplay(b *testing.B) {
+	dir := b.TempDir()
+	s := benchOpen(b, dir, Options{Fsync: FsyncNever, CompactThreshold: -1})
+	pi := fixtures.Figure2()
+	const records = 500
+	for i := 0; i < records; i++ {
+		if err := s.Put(fmt.Sprintf("inst-%03d", i%50), pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+	walBytes := s.WALSize()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(walBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, rep, err := Open(dir, Options{CompactThreshold: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.WALRecords != records {
+			b.Fatalf("replayed %d records, want %d", rep.WALRecords, records)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompact measures snapshotting a 50-instance catalog.
+func BenchmarkCompact(b *testing.B) {
+	s := benchOpen(b, b.TempDir(), Options{Fsync: FsyncNever, CompactThreshold: -1})
+	defer s.Close()
+	pi := fixtures.Figure2()
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("inst-%03d", i), pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

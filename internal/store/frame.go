@@ -1,0 +1,119 @@
+// Package store is the durable storage engine behind the instance
+// catalog: a write-ahead log of binary-encoded PUT/DELETE records plus
+// periodic snapshots, with crash recovery that replays snapshot-then-WAL,
+// truncates torn tails, and quarantines (rather than fails on) corrupt
+// records.
+//
+// Both the WAL and the snapshot file are sequences of self-delimiting
+// frames:
+//
+//	magic "PXR1" (4 bytes) | payload length (uint32 LE) | CRC32-IEEE of
+//	payload (uint32 LE) | payload
+//
+// The per-frame magic makes resynchronization possible after corruption:
+// a scanner that hits a bad frame searches forward for the next magic and
+// resumes there, so one damaged record does not take down the rest of the
+// log. A frame payload is one catalog record (see record.go).
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+var frameMagic = [4]byte{'P', 'X', 'R', '1'}
+
+const (
+	frameHeaderSize = 12      // magic + length + crc
+	maxFramePayload = 1 << 30 // sanity bound against corrupt length fields
+)
+
+// appendFrame appends one framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = append(buf, frameMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// badRegion describes a byte range a frame scan could not decode: bytes
+// [Off, Off+len(Data)) of the scanned input, with the reason.
+type badRegion struct {
+	Off  int64
+	Data []byte
+	Err  error
+}
+
+// scanResult is the outcome of scanning a frame file.
+type scanResult struct {
+	// CleanLen is the length of the longest prefix ending at a frame
+	// boundary with no trailing garbage: everything at or past CleanLen
+	// is either a quarantined region or the torn tail.
+	CleanLen int64
+	// Bad holds mid-file regions that were skipped by resynchronizing on
+	// a later frame magic. These are quarantined by the caller.
+	Bad []badRegion
+	// TornTail is the length of a trailing region after the last
+	// decodable frame with no later magic to resync on — the signature
+	// of a write cut short by a crash. The caller truncates it.
+	TornTail int64
+}
+
+// scanFrames walks data frame by frame, calling fn for every frame whose
+// header and checksum verify. On a bad frame it searches forward for the
+// next magic; skipped bytes become Bad regions, and an unresyncable tail
+// becomes TornTail. fn errors abort the scan.
+func scanFrames(data []byte, fn func(off int64, payload []byte) error) (scanResult, error) {
+	var res scanResult
+	off := 0
+	for off < len(data) {
+		payload, size, err := parseFrame(data[off:])
+		if err == nil {
+			if ferr := fn(int64(off), payload); ferr != nil {
+				return res, ferr
+			}
+			off += size
+			res.CleanLen = int64(off)
+			continue
+		}
+		// Resynchronize: look for the next magic strictly after off.
+		idx := bytes.Index(data[off+1:], frameMagic[:])
+		if idx < 0 {
+			res.TornTail = int64(len(data) - off)
+			return res, nil
+		}
+		next := off + 1 + idx
+		res.Bad = append(res.Bad, badRegion{
+			Off:  int64(off),
+			Data: data[off:next],
+			Err:  err,
+		})
+		off = next
+	}
+	return res, nil
+}
+
+// parseFrame decodes the frame at the start of data, returning its
+// payload and total encoded size.
+func parseFrame(data []byte) (payload []byte, size int, err error) {
+	if len(data) < frameHeaderSize {
+		return nil, 0, fmt.Errorf("store: truncated frame header (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != frameMagic {
+		return nil, 0, fmt.Errorf("store: bad frame magic %q", data[:4])
+	}
+	n := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxFramePayload {
+		return nil, 0, fmt.Errorf("store: frame payload length %d exceeds limit", n)
+	}
+	if uint64(len(data)-frameHeaderSize) < uint64(n) {
+		return nil, 0, fmt.Errorf("store: frame payload truncated (want %d bytes, have %d)", n, len(data)-frameHeaderSize)
+	}
+	payload = data[frameHeaderSize : frameHeaderSize+int(n)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[8:12]); got != want {
+		return nil, 0, fmt.Errorf("store: frame checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return payload, frameHeaderSize + int(n), nil
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pxml/internal/codec"
+	"pxml/internal/core"
+)
+
+// Record operations. A frame payload is:
+//
+//	op (1 byte) | name length (uvarint) | name | body
+//
+// where body is the pxml-bin/1 encoding of the instance for opPut and
+// empty for opDelete. Snapshot files contain only opPut records; the WAL
+// contains both.
+const (
+	opPut    = byte(1)
+	opDelete = byte(2)
+)
+
+// record is one decoded catalog mutation.
+type record struct {
+	op   byte
+	name string
+	inst *core.ProbInstance
+}
+
+// appendPutRecord appends an opPut payload for (name, pi) to buf.
+func appendPutRecord(buf []byte, name string, pi *core.ProbInstance) []byte {
+	buf = append(buf, opPut)
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	return codec.AppendBinary(buf, pi)
+}
+
+// appendDeleteRecord appends an opDelete payload for name to buf.
+func appendDeleteRecord(buf []byte, name string) []byte {
+	buf = append(buf, opDelete)
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	return append(buf, name...)
+}
+
+// decodeRecord parses one frame payload. The instance is fully decoded
+// and validated, so a record that survives the frame checksum can still
+// be rejected here (e.g. a writer bug produced an invalid instance); the
+// caller quarantines such records like any other corruption.
+func decodeRecord(payload []byte) (record, error) {
+	if len(payload) < 1 {
+		return record{}, fmt.Errorf("store: empty record payload")
+	}
+	op := payload[0]
+	n, k := binary.Uvarint(payload[1:])
+	if k <= 0 || n > uint64(len(payload)-1-k) {
+		return record{}, fmt.Errorf("store: malformed record name length")
+	}
+	name := string(payload[1+k : 1+k+int(n)])
+	if name == "" {
+		return record{}, fmt.Errorf("store: record with empty name")
+	}
+	body := payload[1+k+int(n):]
+	switch op {
+	case opPut:
+		pi, err := codec.DecodeBinaryBytes(body)
+		if err != nil {
+			return record{}, fmt.Errorf("store: record %q: %w", name, err)
+		}
+		return record{op: opPut, name: name, inst: pi}, nil
+	case opDelete:
+		if len(body) != 0 {
+			return record{}, fmt.Errorf("store: delete record %q carries %d stray bytes", name, len(body))
+		}
+		return record{op: opDelete, name: name}, nil
+	default:
+		return record{}, fmt.Errorf("store: unknown record op %d", op)
+	}
+}

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pxml/internal/codec"
+)
+
+// QuarantinedRecord describes one corrupt region recovery set aside
+// instead of failing on.
+type QuarantinedRecord struct {
+	// Source is "snapshot", "wal", or the legacy file name the bytes
+	// came from.
+	Source string `json:"source"`
+	// Offset is the byte offset of the region within its source file
+	// (zero for legacy files, which are quarantined whole).
+	Offset int64 `json:"offset"`
+	// Path is where the bytes were preserved for inspection.
+	Path string `json:"path"`
+	// Err is the decode error that condemned the region.
+	Err string `json:"error"`
+}
+
+// RecoveryReport summarizes what Open found while rebuilding the catalog.
+type RecoveryReport struct {
+	// SnapshotRecords and WALRecords count the decodable records
+	// replayed from each file.
+	SnapshotRecords int `json:"snapshot_records"`
+	WALRecords      int `json:"wal_records"`
+	// Recovered is the number of live instances after replay.
+	Recovered int `json:"recovered"`
+	// Quarantined lists corrupt regions preserved under quarantine/.
+	Quarantined []QuarantinedRecord `json:"quarantined,omitempty"`
+	// TruncatedBytes is the length of the torn WAL tail dropped (an
+	// append cut short by a crash).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// MigratedLegacy counts legacy .pxml text files folded into the
+	// log-structured layout.
+	MigratedLegacy int `json:"migrated_legacy,omitempty"`
+}
+
+// dirty reports whether recovery changed or repaired on-disk state, which
+// Open follows with an immediate compaction.
+func (r *RecoveryReport) dirty() bool {
+	return len(r.Quarantined) > 0 || r.TruncatedBytes > 0 || r.MigratedLegacy > 0
+}
+
+// String renders a one-line summary for startup logs.
+func (r *RecoveryReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recovered %d instances (%d snapshot records, %d wal records)",
+		r.Recovered, r.SnapshotRecords, r.WALRecords)
+	if len(r.Quarantined) > 0 {
+		fmt.Fprintf(&b, ", quarantined %d corrupt records", len(r.Quarantined))
+	}
+	if r.TruncatedBytes > 0 {
+		fmt.Fprintf(&b, ", truncated %d-byte torn wal tail", r.TruncatedBytes)
+	}
+	if r.MigratedLegacy > 0 {
+		fmt.Fprintf(&b, ", migrated %d legacy files", r.MigratedLegacy)
+	}
+	return b.String()
+}
+
+// recover rebuilds the in-memory catalog: snapshot first, then the WAL
+// replayed over it. Corrupt records are quarantined, a torn WAL tail is
+// truncated, and a legacy flat-file directory is migrated. Only I/O
+// failures (not data corruption) abort recovery.
+func (s *Store) recover() (*RecoveryReport, error) {
+	report := &RecoveryReport{}
+	if err := s.recoverFile(snapshotName, "snapshot", &report.SnapshotRecords, report); err != nil {
+		return nil, err
+	}
+	if err := s.recoverFile(walName, "wal", &report.WALRecords, report); err != nil {
+		return nil, err
+	}
+	if report.SnapshotRecords == 0 && report.WALRecords == 0 && len(report.Quarantined) == 0 {
+		if err := s.migrateLegacy(report); err != nil {
+			return nil, err
+		}
+	}
+	report.Recovered = len(s.instances)
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf("store: %s", report)
+	}
+	return report, nil
+}
+
+// recoverFile replays one frame file into the catalog. For the WAL it
+// also truncates a torn tail in place; for the snapshot a torn tail is
+// quarantined like any other corruption (snapshots are written through a
+// temp file, so a short snapshot means real damage, not a mid-append
+// crash).
+func (s *Store) recoverFile(fileName, source string, nRecords *int, report *RecoveryReport) error {
+	data, err := os.ReadFile(s.path(fileName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	res, err := scanFrames(data, func(off int64, payload []byte) error {
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return s.quarantine(source, off, payload, derr, report)
+		}
+		*nRecords++
+		switch rec.op {
+		case opPut:
+			s.instances[rec.name] = rec.inst
+		case opDelete:
+			delete(s.instances, rec.name)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, bad := range res.Bad {
+		if err := s.quarantine(source, bad.Off, bad.Data, bad.Err, report); err != nil {
+			return err
+		}
+	}
+	if res.TornTail > 0 {
+		if source == "wal" {
+			// A tail with no later frame to resync on is the signature
+			// of an append cut short by a crash: drop it.
+			if err := os.Truncate(s.path(fileName), res.CleanLen); err != nil {
+				return fmt.Errorf("store: truncate torn wal tail: %w", err)
+			}
+			report.TruncatedBytes += res.TornTail
+		} else {
+			tailOff := int64(len(data)) - res.TornTail
+			if err := s.quarantine(source, tailOff, data[tailOff:], fmt.Errorf("store: undecodable snapshot tail"), report); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// quarantine preserves a corrupt byte region under quarantine/ and logs
+// it in the report. The file name encodes source and offset, so repeated
+// recoveries of the same damage overwrite rather than accumulate.
+func (s *Store) quarantine(source string, off int64, data []byte, cause error, report *RecoveryReport) error {
+	qdir := s.path(quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(qdir, fmt.Sprintf("%s-%08d.bin", source, off))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("store: quarantine: %w", err)
+	}
+	report.Quarantined = append(report.Quarantined, QuarantinedRecord{
+		Source: source,
+		Offset: off,
+		Path:   path,
+		Err:    cause.Error(),
+	})
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf("store: quarantined %d corrupt bytes from %s@%d to %s: %v", len(data), source, off, path, cause)
+	}
+	return nil
+}
+
+// migrateLegacy folds a pre-WAL data directory of per-instance .pxml
+// text files into the store. Decodable files are loaded (and later
+// snapshotted by Open's post-recovery compaction) and removed; corrupt
+// files are renamed to <name>.pxml.corrupt and reported.
+func (s *Store) migrateLegacy(report *RecoveryReport) error {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "*.pxml"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var migrated []string
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".pxml")
+		f, err := os.Open(p)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		pi, derr := codec.DecodeText(f)
+		f.Close()
+		if derr != nil {
+			corrupt := p + ".corrupt"
+			if err := os.Rename(p, corrupt); err != nil {
+				return fmt.Errorf("store: quarantine legacy file: %w", err)
+			}
+			report.Quarantined = append(report.Quarantined, QuarantinedRecord{
+				Source: filepath.Base(p),
+				Path:   corrupt,
+				Err:    derr.Error(),
+			})
+			if s.opts.Logger != nil {
+				s.opts.Logger.Printf("store: legacy file %s is corrupt, renamed to %s: %v", p, corrupt, derr)
+			}
+			continue
+		}
+		s.instances[name] = pi
+		migrated = append(migrated, p)
+		report.MigratedLegacy++
+	}
+	// Removal is deferred until Open has written a durable snapshot
+	// containing the migrated instances; deleting the sources first
+	// would lose them to a crash in between.
+	s.legacyMigrated = migrated
+	return nil
+}
+
+// removeMigratedLegacy deletes legacy source files once their contents
+// are snapshot-durable.
+func (s *Store) removeMigratedLegacy() error {
+	if len(s.legacyMigrated) == 0 {
+		return nil
+	}
+	for _, p := range s.legacyMigrated {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("store: remove migrated legacy file: %w", err)
+		}
+	}
+	s.legacyMigrated = nil
+	return fsyncDir(s.dir)
+}

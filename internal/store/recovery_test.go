@@ -1,0 +1,267 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pxml/internal/codec"
+	"pxml/internal/fixtures"
+)
+
+func appendToFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryTruncatesTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	mustPut(t, s, "a", fixtures.Figure2())
+	mustPut(t, s, "b", fixtures.Figure2VariedLeaves())
+	s.Close()
+
+	// A crash mid-append leaves a frame prefix with no later magic to
+	// resync on: the tail must be dropped, not quarantined.
+	torn := appendFrame(nil, appendPutRecord(nil, "c", fixtures.Figure2()))
+	appendToFile(t, filepath.Join(dir, walName), torn[:len(torn)-7])
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if rep.Recovered != 2 {
+		t.Fatalf("recovered %d instances, want 2 (%s)", rep.Recovered, rep)
+	}
+	if rep.TruncatedBytes != int64(len(torn)-7) {
+		t.Fatalf("TruncatedBytes = %d, want %d", rep.TruncatedBytes, len(torn)-7)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("torn tail was quarantined: %s", rep)
+	}
+	if _, ok := s2.Get("c"); ok {
+		t.Fatal("instance from torn (unacknowledged-durable) append reappeared")
+	}
+	// The repaired store must accept new writes and reopen cleanly.
+	mustPut(t, s2, "c", fixtures.Figure2())
+	s2.Close()
+	s3, rep3 := open(t, dir, Options{})
+	defer s3.Close()
+	if rep3.Recovered != 3 || rep3.dirty() {
+		t.Fatalf("post-repair reopen not clean: %s", rep3)
+	}
+}
+
+func TestRecoveryQuarantinesCorruptSnapshotRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{CompactThreshold: -1})
+	fig := fixtures.Figure2()
+	mustPut(t, s, "a", fig)
+	mustPut(t, s, "b", fig)
+	mustPut(t, s, "c", fig)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one payload byte of the first snapshot record ("a"): its CRC
+	// fails, the scanner resyncs on record "b"'s magic, and only the
+	// damaged record is lost.
+	snap := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderSize+1] ^= 0xff
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if rep.Recovered != 2 {
+		t.Fatalf("recovered %d instances, want 2 (%s)", rep.Recovered, rep)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Source != "snapshot" {
+		t.Fatalf("quarantine report = %+v", rep.Quarantined)
+	}
+	if _, err := os.Stat(rep.Quarantined[0].Path); err != nil {
+		t.Fatalf("quarantined bytes not preserved: %v", err)
+	}
+	if _, ok := s2.Get("a"); ok {
+		t.Fatal("corrupt record decoded anyway")
+	}
+	wantInstance(t, s2, "b", fig)
+	wantInstance(t, s2, "c", fig)
+}
+
+// TestKillAndReopen is the acceptance scenario: a data directory bearing
+// a snapshot, live WAL records, a corrupt mid-WAL region, and a torn
+// tail. Reopening must recover every committed instance, quarantine the
+// bad region, truncate the tail, and leave a store that serves reads and
+// reopens cleanly.
+func TestKillAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	fig := fixtures.Figure2()
+	varied := fixtures.Figure2VariedLeaves()
+
+	s, _ := open(t, dir, Options{CompactThreshold: -1})
+	mustPut(t, s, "a", fig)
+	mustPut(t, s, "b", fig)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "c", varied)
+	if err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	wal := filepath.Join(dir, walName)
+	// A scribbled region that still contains a frame magic, followed by
+	// a valid committed record, followed by a mid-append torn tail.
+	appendToFile(t, wal, []byte("garbage-then-magic-PXR1-more-garbage"))
+	appendToFile(t, wal, appendFrame(nil, appendPutRecord(nil, "d", varied)))
+	tail := appendFrame(nil, appendPutRecord(nil, "e", fig))
+	appendToFile(t, wal, tail[:len(tail)/2])
+
+	s2, rep := open(t, dir, Options{})
+	if rep.Recovered != 3 {
+		t.Fatalf("recovered %d instances, want 3 (%s)", rep.Recovered, rep)
+	}
+	wantInstance(t, s2, "a", fig)
+	wantInstance(t, s2, "c", varied)
+	wantInstance(t, s2, "d", varied)
+	if _, ok := s2.Get("b"); ok {
+		t.Fatal("deleted instance resurrected")
+	}
+	if _, ok := s2.Get("e"); ok {
+		t.Fatal("torn-tail instance resurrected")
+	}
+	if len(rep.Quarantined) == 0 {
+		t.Fatalf("corrupt WAL region not quarantined: %s", rep)
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatalf("torn tail not truncated: %s", rep)
+	}
+	qdir := filepath.Join(dir, quarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("quarantine dir empty (err=%v)", err)
+	}
+	// The damaged region must not hide the committed record behind it.
+	if _, ok := s2.Get("d"); !ok {
+		t.Fatal("record after corrupt region lost")
+	}
+	s2.Close()
+
+	// Recovery compacts the repaired state, so the next open is clean.
+	s3, rep3 := open(t, dir, Options{})
+	defer s3.Close()
+	if rep3.dirty() {
+		t.Fatalf("second reopen still dirty: %s", rep3)
+	}
+	if rep3.Recovered != 3 {
+		t.Fatalf("second reopen recovered %d, want 3", rep3.Recovered)
+	}
+}
+
+func TestRecoveryGarbageOnlyWAL(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walName), []byte("not a wal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rep := open(t, dir, Options{})
+	defer s.Close()
+	if rep.Recovered != 0 || rep.TruncatedBytes == 0 {
+		t.Fatalf("garbage WAL: %s", rep)
+	}
+	mustPut(t, s, "a", fixtures.Figure2())
+}
+
+func TestLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	fig := fixtures.Figure2()
+	varied := fixtures.Figure2VariedLeaves()
+	writeLegacy := func(name string, enc func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeLegacy("good.pxml", func(f *os.File) error { return codec.EncodeText(f, fig) })
+	writeLegacy("other.pxml", func(f *os.File) error { return codec.EncodeText(f, varied) })
+	writeLegacy("broken.pxml", func(f *os.File) error {
+		_, err := f.WriteString("pxml/1\nthis is not a valid instance\n")
+		return err
+	})
+
+	s, rep := open(t, dir, Options{})
+	if rep.MigratedLegacy != 2 || rep.Recovered != 2 {
+		t.Fatalf("migration report: %s", rep)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Source != "broken.pxml" {
+		t.Fatalf("corrupt legacy file not reported: %+v", rep.Quarantined)
+	}
+	wantInstance(t, s, "good", fig)
+	wantInstance(t, s, "other", varied)
+	if _, err := os.Stat(filepath.Join(dir, "broken.pxml.corrupt")); err != nil {
+		t.Fatalf("corrupt legacy file not renamed: %v", err)
+	}
+	for _, gone := range []string{"good.pxml", "other.pxml"} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); !os.IsNotExist(err) {
+			t.Fatalf("migrated legacy file %s still present", gone)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("migration did not snapshot: %v", err)
+	}
+	s.Close()
+
+	s2, rep2 := open(t, dir, Options{})
+	defer s2.Close()
+	if rep2.MigratedLegacy != 0 || rep2.Recovered != 2 {
+		t.Fatalf("post-migration reopen: %s", rep2)
+	}
+}
+
+func TestScanFramesRoundTrip(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte("one"), []byte(""), []byte(strings.Repeat("x", 4096))}
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	var got [][]byte
+	res, err := scanFrames(buf, func(off int64, payload []byte) error {
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TornTail != 0 || len(res.Bad) != 0 || res.CleanLen != int64(len(buf)) {
+		t.Fatalf("clean scan reported damage: %+v", res)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("scanned %d frames, want %d", len(got), len(payloads))
+	}
+	for i := range got {
+		if string(got[i]) != string(payloads[i]) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+	}
+}

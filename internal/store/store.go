@@ -1,0 +1,486 @@
+package store
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"pxml/internal/core"
+	"pxml/internal/metrics"
+)
+
+// FsyncPolicy controls when the WAL is flushed to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: no acknowledged write is
+	// ever lost, at the cost of one fsync per mutation.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs from a background ticker (Options.FsyncEvery):
+	// a crash loses at most one interval of writes.
+	FsyncInterval
+	// FsyncNever leaves flushing to the operating system. Snapshots are
+	// still fsynced — the policy only governs the WAL.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// Options configure a Store. The zero value is usable: fsync on every
+// append, compaction when the WAL passes DefaultCompactThreshold, no
+// periodic snapshots.
+type Options struct {
+	// Fsync is the WAL flush policy.
+	Fsync FsyncPolicy
+	// FsyncEvery is the flush period under FsyncInterval; defaults to
+	// 100ms.
+	FsyncEvery time.Duration
+	// SnapshotInterval, when positive, snapshots the catalog and resets
+	// the WAL on this period even if the size threshold is not reached.
+	SnapshotInterval time.Duration
+	// CompactThreshold is the WAL size in bytes that triggers a
+	// background compaction; 0 means DefaultCompactThreshold, negative
+	// disables size-triggered compaction.
+	CompactThreshold int64
+	// Registry, when non-nil, receives the store_* counters.
+	Registry *metrics.Registry
+	// Logger, when non-nil, receives recovery and compaction reports.
+	Logger *log.Logger
+}
+
+// DefaultCompactThreshold is the WAL size that triggers compaction when
+// Options.CompactThreshold is zero.
+const DefaultCompactThreshold = 4 << 20
+
+const defaultFsyncEvery = 100 * time.Millisecond
+
+// Store names inside the data directory.
+const (
+	walName      = "wal.log"
+	snapshotName = "snapshot.pxs"
+	quarantineDir = "quarantine"
+)
+
+// Store is a durable catalog of named probabilistic instances. All
+// methods are safe for concurrent use. Instances handed to Put (and
+// returned by Get/All) are shared, not copied: callers must treat them as
+// immutable, which is the convention across the codebase.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu         sync.RWMutex
+	instances  map[string]*core.ProbInstance
+	wal        *os.File
+	walBytes   int64
+	walRecords int64
+	walDirty   bool // appended since last fsync
+	closed     bool
+
+	// legacyMigrated holds .pxml paths folded in by recovery, removed
+	// once the post-recovery snapshot is durable.
+	legacyMigrated []string
+
+	walAppends     *metrics.Counter
+	walAppendBytes *metrics.Counter
+	walFsyncs      *metrics.Counter
+	compactions    *metrics.Counter
+
+	stop chan struct{}
+	done chan struct{}
+	kick chan struct{}
+}
+
+// Open opens (creating if necessary) the store in dir, runs crash
+// recovery, and starts the background maintenance goroutine. The returned
+// report describes what recovery found; it is never nil when the error is
+// nil. A directory holding legacy per-instance .pxml text files is
+// migrated into the log-structured layout on first open.
+func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
+	if dir == "" {
+		return nil, nil, fmt.Errorf("store: empty directory")
+	}
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = defaultFsyncEvery
+	}
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = DefaultCompactThreshold
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		instances: make(map[string]*core.ProbInstance),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		kick:      make(chan struct{}, 1),
+	}
+	if reg := opts.Registry; reg != nil {
+		s.walAppends = reg.Counter("store_wal_appends")
+		s.walAppendBytes = reg.Counter("store_wal_append_bytes")
+		s.walFsyncs = reg.Counter("store_wal_fsyncs")
+		s.compactions = reg.Counter("store_compactions")
+	}
+	report, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	wal, err := os.OpenFile(s.path(walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	st, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = wal
+	s.walBytes = st.Size()
+	// A recovery that had to quarantine, truncate, or migrate leaves the
+	// on-disk state it repaired around; compact immediately so the next
+	// open starts from a clean snapshot and an empty WAL.
+	if report.dirty() {
+		if err := s.Compact(); err != nil {
+			wal.Close()
+			return nil, nil, err
+		}
+		if err := s.removeMigratedLegacy(); err != nil {
+			wal.Close()
+			return nil, nil, err
+		}
+	}
+	if reg := opts.Registry; reg != nil {
+		reg.Counter("store_recovered_instances").Add(int64(len(s.instances)))
+		reg.Counter("store_recovery_quarantined").Add(int64(len(report.Quarantined)))
+		reg.Counter("store_recovery_truncated_bytes").Add(report.TruncatedBytes)
+	}
+	go s.background()
+	return s, report, nil
+}
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Put durably records name → pi and installs it in the catalog. The
+// instance is acknowledged once the WAL append returns (and, under
+// FsyncAlways, is on stable storage).
+func (s *Store) Put(name string, pi *core.ProbInstance) error {
+	if name == "" {
+		return fmt.Errorf("store: empty instance name")
+	}
+	if pi == nil {
+		return fmt.Errorf("store: nil instance %q", name)
+	}
+	payload := appendPutRecord(nil, name, pi)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	s.instances[name] = pi
+	s.maybeKickLocked()
+	return nil
+}
+
+// Delete durably removes name from the catalog. Deleting an absent name
+// is a no-op (and writes nothing).
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.instances[name]; !ok {
+		return nil
+	}
+	if err := s.appendLocked(appendDeleteRecord(nil, name)); err != nil {
+		return err
+	}
+	delete(s.instances, name)
+	s.maybeKickLocked()
+	return nil
+}
+
+// Get returns the named instance.
+func (s *Store) Get(name string) (*core.ProbInstance, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pi, ok := s.instances[name]
+	return pi, ok
+}
+
+// Names returns the catalog names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.instances))
+	for n := range s.instances {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns a copy of the catalog map (the instances themselves are
+// shared).
+func (s *Store) All() map[string]*core.ProbInstance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]*core.ProbInstance, len(s.instances))
+	for n, pi := range s.instances {
+		out[n] = pi
+	}
+	return out
+}
+
+// Len returns the number of catalogued instances.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.instances)
+}
+
+// WALSize returns the current WAL length in bytes.
+func (s *Store) WALSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walBytes
+}
+
+// appendLocked frames payload onto the WAL, honoring the fsync policy.
+// Callers hold s.mu.
+func (s *Store) appendLocked(payload []byte) error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	s.walBytes += int64(len(frame))
+	s.walRecords++
+	s.walDirty = true
+	if s.walAppends != nil {
+		s.walAppends.Inc()
+		s.walAppendBytes.Add(int64(len(frame)))
+	}
+	if s.opts.Fsync == FsyncAlways {
+		return s.syncLocked()
+	}
+	return nil
+}
+
+func (s *Store) syncLocked() error {
+	if !s.walDirty {
+		return nil
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal fsync: %w", err)
+	}
+	s.walDirty = false
+	if s.walFsyncs != nil {
+		s.walFsyncs.Inc()
+	}
+	return nil
+}
+
+// Sync forces the WAL to stable storage regardless of policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.syncLocked()
+}
+
+// maybeKickLocked nudges the background goroutine when the WAL has grown
+// past the compaction threshold.
+func (s *Store) maybeKickLocked() {
+	if s.opts.CompactThreshold < 0 || s.walBytes < s.opts.CompactThreshold {
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Compact writes a fresh snapshot of the catalog and resets the WAL. The
+// write protocol is crash-safe at every step: the snapshot is staged in a
+// temp file, fsynced, atomically renamed over the old snapshot, the
+// directory entry is fsynced, and only then is the WAL truncated. A crash
+// between the rename and the truncate merely replays the whole WAL over
+// the new snapshot, which is idempotent because records carry full
+// instance values.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if err := s.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	// The WAL handle is O_APPEND; truncating through it is safe because
+	// we hold the write lock, so no append can interleave.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal reset: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal reset fsync: %w", err)
+	}
+	s.walBytes = 0
+	s.walRecords = 0
+	s.walDirty = false
+	if s.compactions != nil {
+		s.compactions.Inc()
+	}
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf("store: compacted %d instances into %s", len(s.instances), snapshotName)
+	}
+	return nil
+}
+
+// writeSnapshotLocked stages and atomically installs snapshot.pxs.
+func (s *Store) writeSnapshotLocked() error {
+	names := make([]string, 0, len(s.instances))
+	for n := range s.instances {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	for _, n := range names {
+		buf = appendFrame(buf, appendPutRecord(nil, n, s.instances[n]))
+	}
+	tmp, err := os.CreateTemp(s.dir, snapshotName+".tmp-")
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(snapshotName)); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	return fsyncDir(s.dir)
+}
+
+// Close stops background maintenance, flushes the WAL, and closes it.
+// The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	err := s.wal.Sync()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}
+
+// background runs interval fsyncs, periodic snapshots, and threshold
+// compactions until Close.
+func (s *Store) background() {
+	defer close(s.done)
+	var fsyncC, snapC <-chan time.Time
+	if s.opts.Fsync == FsyncInterval {
+		t := time.NewTicker(s.opts.FsyncEvery)
+		defer t.Stop()
+		fsyncC = t.C
+	}
+	if s.opts.SnapshotInterval > 0 {
+		t := time.NewTicker(s.opts.SnapshotInterval)
+		defer t.Stop()
+		snapC = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-fsyncC:
+			if err := s.Sync(); err != nil && s.opts.Logger != nil {
+				s.opts.Logger.Printf("%v", err)
+			}
+		case <-snapC:
+			s.compactIfDirty()
+		case <-s.kick:
+			s.compactIfDirty()
+		}
+	}
+}
+
+// compactIfDirty compacts unless the WAL is already empty.
+func (s *Store) compactIfDirty() {
+	s.mu.RLock()
+	skip := s.walBytes == 0 || s.closed
+	s.mu.RUnlock()
+	if skip {
+		return
+	}
+	if err := s.Compact(); err != nil && s.opts.Logger != nil {
+		s.opts.Logger.Printf("%v", err)
+	}
+}
+
+// fsyncDir flushes a directory entry so a rename survives power loss.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: dir fsync: %w", err)
+	}
+	return nil
+}

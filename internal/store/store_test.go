@@ -1,0 +1,271 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pxml/internal/core"
+	"pxml/internal/fixtures"
+	"pxml/internal/metrics"
+)
+
+// open opens a store in dir with test-friendly defaults, failing the test
+// on error.
+func open(t *testing.T, dir string, opts Options) (*Store, *RecoveryReport) {
+	t.Helper()
+	s, rep, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rep
+}
+
+func mustPut(t *testing.T, s *Store, name string, pi *core.ProbInstance) {
+	t.Helper()
+	if err := s.Put(name, pi); err != nil {
+		t.Fatalf("Put(%s): %v", name, err)
+	}
+}
+
+func wantInstance(t *testing.T, s *Store, name string, want *core.ProbInstance) {
+	t.Helper()
+	got, ok := s.Get(name)
+	if !ok {
+		t.Fatalf("instance %q missing", name)
+	}
+	if !core.Equal(got, want, 1e-12) {
+		t.Fatalf("instance %q differs after reopen", name)
+	}
+}
+
+func TestPutGetDeleteReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, rep := open(t, dir, Options{})
+	if rep.Recovered != 0 {
+		t.Fatalf("fresh store recovered %d instances", rep.Recovered)
+	}
+	fig := fixtures.Figure2()
+	varied := fixtures.Figure2VariedLeaves()
+	mustPut(t, s, "fig2", fig)
+	mustPut(t, s, "varied", varied)
+	mustPut(t, s, "doomed", fig)
+	if err := s.Delete("doomed"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete of absent name: %v", err)
+	}
+	if got, want := s.Names(), []string{"fig2", "varied"}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rep2 := open(t, dir, Options{})
+	defer s2.Close()
+	if rep2.Recovered != 2 {
+		t.Fatalf("reopen recovered %d instances, want 2 (%s)", rep2.Recovered, rep2)
+	}
+	if len(rep2.Quarantined) != 0 || rep2.TruncatedBytes != 0 {
+		t.Fatalf("clean reopen reported damage: %s", rep2)
+	}
+	wantInstance(t, s2, "fig2", fig)
+	wantInstance(t, s2, "varied", varied)
+	if _, ok := s2.Get("doomed"); ok {
+		t.Fatal("deleted instance resurrected by replay")
+	}
+}
+
+func TestPutOverwriteLastWins(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	mustPut(t, s, "x", fixtures.Figure2())
+	want := fixtures.Figure2VariedLeaves()
+	mustPut(t, s, "x", want)
+	s.Close()
+
+	s2, _ := open(t, dir, Options{})
+	defer s2.Close()
+	wantInstance(t, s2, "x", want)
+}
+
+func TestPutRejectsBadArgs(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.Put("", fixtures.Figure2()); err == nil {
+		t.Fatal("Put with empty name succeeded")
+	}
+	if err := s.Put("x", nil); err == nil {
+		t.Fatal("Put with nil instance succeeded")
+	}
+}
+
+func TestCompactShrinksWALAndPreservesCatalog(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{CompactThreshold: -1})
+	fig := fixtures.Figure2()
+	for i := 0; i < 20; i++ {
+		mustPut(t, s, fmt.Sprintf("inst-%02d", i%5), fig)
+	}
+	if s.WALSize() == 0 {
+		t.Fatal("WAL empty after 20 puts")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := s.WALSize(); got != 0 {
+		t.Fatalf("WAL size after compact = %d, want 0", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("snapshot missing after compact: %v", err)
+	}
+	s.Close()
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if rep.SnapshotRecords != 5 || rep.WALRecords != 0 || rep.Recovered != 5 {
+		t.Fatalf("post-compact reopen: %s", rep)
+	}
+	wantInstance(t, s2, "inst-03", fig)
+}
+
+func TestThresholdTriggersBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{CompactThreshold: 1}) // every append crosses it
+	mustPut(t, s, "a", fixtures.Figure2())
+	deadline := time.Now().Add(5 * time.Second)
+	for s.WALSize() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background compaction never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	s.Close()
+}
+
+func TestSnapshotInterval(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{CompactThreshold: -1, SnapshotInterval: 20 * time.Millisecond})
+	mustPut(t, s, "a", fixtures.Figure2())
+	deadline := time.Now().Add(5 * time.Second)
+	for s.WALSize() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Close()
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := open(t, dir, Options{Fsync: policy, FsyncEvery: 10 * time.Millisecond})
+			mustPut(t, s, "a", fixtures.Figure2())
+			s.Close()
+			s2, rep := open(t, dir, Options{})
+			defer s2.Close()
+			if rep.Recovered != 1 {
+				t.Fatalf("policy %s lost the instance across clean close", policy)
+			}
+		})
+	}
+}
+
+func TestFsyncMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, _ := open(t, t.TempDir(), Options{Fsync: FsyncAlways, Registry: reg})
+	mustPut(t, s, "a", fixtures.Figure2())
+	mustPut(t, s, "b", fixtures.Figure2())
+	s.Close()
+	snap := reg.Snapshot()
+	if got := snap["store_wal_appends"].(int64); got != 2 {
+		t.Fatalf("store_wal_appends = %d, want 2", got)
+	}
+	if got := snap["store_wal_fsyncs"].(int64); got < 2 {
+		t.Fatalf("store_wal_fsyncs = %d, want >= 2 under FsyncAlways", got)
+	}
+	if got := snap["store_wal_append_bytes"].(int64); got <= 0 {
+		t.Fatalf("store_wal_append_bytes = %d, want > 0", got)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("bogus"); err == nil {
+		t.Fatal("ParseFsyncPolicy accepted bogus policy")
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Put("a", fixtures.Figure2()); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("Compact after Close succeeded")
+	}
+}
+
+// TestConcurrentMutation exercises the store under -race: concurrent
+// writers, readers, and explicit compactions.
+func TestConcurrentMutation(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{Fsync: FsyncNever, CompactThreshold: 1 << 12})
+	defer s.Close()
+	fig := fixtures.Figure2()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("inst-%d", r.Intn(10))
+				switch r.Intn(3) {
+				case 0:
+					if err := s.Delete(name); err != nil {
+						t.Errorf("Delete: %v", err)
+					}
+				default:
+					if err := s.Put(name, fig); err != nil {
+						t.Errorf("Put: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			s.Names()
+			s.All()
+			s.Len()
+			if err := s.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+}
