@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench bench-store fig7 fuzz vet cover clean
+.PHONY: all build check test test-short race bench bench-store fig7 fuzz fuzz-smoke faults vet staticcheck cover clean
 
 all: check
 
@@ -11,6 +11,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is optional locally; CI
+# installs it. Skips quietly when the binary is absent.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping"
 
 # The default verification path: compile, vet, full test suite.
 check: build vet test
@@ -40,6 +45,18 @@ fig7:
 	$(GO) run ./cmd/pxmlbench -panel a -instances 2 -queries 4 -csv results/fig7a.csv | tee results/fig7a.txt
 	$(GO) run ./cmd/pxmlbench -panel b -instances 2 -queries 4 -csv results/fig7b.csv | tee results/fig7b.txt
 	$(GO) run ./cmd/pxmlbench -panel c -instances 2 -queries 4 -csv results/fig7c.csv | tee results/fig7c.txt
+
+# Fault-injection suite: the FaultFS matrix over the store (torn WAL
+# writes, failed fsyncs, snapshot rename failures, degraded mode) and
+# the hardened serving path, all under the race detector.
+faults:
+	$(GO) test -race -run 'Fault|Torn|Degrad|Injected|Retries|Healthz|Limiter|Bypass|Panic|Deadline|CloseReports' ./internal/vfs ./internal/store ./internal/server
+
+# Quick fuzz smoke for CI: a few seconds per fuzzer, catching gross
+# decoder/parser regressions without the cost of a long campaign.
+fuzz-smoke:
+	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzDecodeBinary -fuzztime 10s
+	$(GO) test ./internal/pathexpr -run '^$$' -fuzz FuzzParse -fuzztime 10s
 
 # Short fuzz passes over the codecs and the path-expression parser.
 fuzz:

@@ -6,11 +6,20 @@
 //	pxmld -addr :8080
 //	pxmld -addr :8080 -data /var/lib/pxmld -fsync always
 //	pxmld -addr :8080 -load bib=inst.pxml -load web=crawl.json
+//	pxmld -addr :8080 -request-timeout 5s -max-inflight 256
 //
 // With -data, the catalog is durable: writes go through a write-ahead
 // log with periodic snapshots (see internal/store), startup runs crash
 // recovery, and -fsync/-snapshot-interval tune the durability/latency
 // trade-off.
+//
+// The serving path is hardened: GET /healthz answers liveness, GET
+// /readyz readiness (503 while draining or once the store degrades to
+// read-only), -request-timeout bounds each API request, -max-inflight
+// sheds excess load with 429 + Retry-After, and panics in handlers are
+// turned into 500s without killing the process. On SIGINT/SIGTERM the
+// daemon flips /readyz to 503, drains in-flight requests, then closes
+// the store so the WAL is flushed before exit.
 //
 // Endpoints (see internal/server):
 //
@@ -22,6 +31,8 @@
 //	POST   /instances/{name}/query[?store=name]
 //	POST   /instances/{name}/batch
 //	GET    /metrics
+//	GET    /healthz
+//	GET    /readyz
 //
 // Each instance is served through a query engine that caches its derived
 // structures across queries; GET /metrics exposes per-instance query and
@@ -65,6 +76,8 @@ func main() {
 	snapshotEvery := flag.Duration("snapshot-interval", 0, "snapshot the catalog and reset the WAL on this period (0 = size-triggered only)")
 	quiet := flag.Bool("quiet", false, "disable structured request logging")
 	maxBody := flag.Int64("maxbody", 0, "instance upload size limit in bytes (0 = default 64MiB)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline for API requests; expired requests answer 503 (0 = no deadline)")
+	maxInflight := flag.Int("max-inflight", 0, "maximum concurrent API requests before shedding with 429 (0 = unlimited)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload an instance: name=file (repeatable)")
 	flag.Parse()
@@ -98,6 +111,8 @@ func main() {
 	if *maxBody > 0 {
 		srv.SetMaxBody(*maxBody)
 	}
+	srv.SetRequestTimeout(*reqTimeout)
+	srv.SetMaxInflight(*maxInflight)
 	for _, spec := range loads {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -122,18 +137,35 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loaded %s from %s (%d objects)\n", name, file, pi.NumObjects())
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	// On SIGINT/SIGTERM, stop accepting requests, then close the store so
-	// the WAL is flushed before exit.
+	// WriteTimeout must outlast the per-request deadline so slow requests
+	// are answered with a 503 body instead of a snapped connection.
+	writeTimeout := 5 * time.Minute
+	if *reqTimeout > 0 {
+		writeTimeout = *reqTimeout + 30*time.Second
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	// On SIGINT/SIGTERM: flip /readyz to 503 so load balancers stop
+	// routing here, drain in-flight requests, and only then close the
+	// store so the WAL is flushed before exit.
 	idle := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintln(os.Stderr, "pxmld: shutting down")
+		srv.SetDraining(true)
+		fmt.Fprintln(os.Stderr, "pxmld: draining (readyz now 503)")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		_ = httpSrv.Shutdown(ctx)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pxmld: drain incomplete: %v\n", err)
+		}
 		close(idle)
 	}()
 	fmt.Fprintf(os.Stderr, "pxmld listening on %s\n", *addr)

@@ -24,6 +24,15 @@
 //	pxmlquery -op select  -path R.book -object B1 inst.pxml
 //	pxmlquery -op point   -path R.book.author -object A1 inst.pxml
 //	pxmlquery -op probex  -object A1 inst.pxml
+//
+// With -server, the positional argument names an instance in a running
+// pxmld catalog instead of a file; it is fetched over HTTP and the
+// operation runs locally. Transient failures — load shedding (429),
+// overload or a degraded store (503), dropped connections — are retried
+// with exponential backoff and jitter, honoring the server's
+// Retry-After; -retries caps the attempts:
+//
+//	pxmlquery -server http://127.0.0.1:8080 -op exists -path R.book bib
 package main
 
 import (
@@ -31,10 +40,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"pxml"
+	"pxml/internal/retry"
 )
 
 func main() {
@@ -48,12 +61,21 @@ func main() {
 	limit := flag.Int("limit", 0, "world-enumeration cap for -op worlds (0 = default)")
 	top := flag.Int("top", 10, "print at most this many worlds for -op worlds (0 = all)")
 	timeout := flag.Duration("timeout", 0, "abort probabilistic queries after this long (0 = no limit)")
+	serverURL := flag.String("server", "", "fetch the instance from this pxmld base URL; the positional argument becomes an instance name")
+	retries := flag.Int("retries", 3, "with -server: retries on 429/503 and transient network errors (exponential backoff + jitter, honors Retry-After)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pxmlquery [flags] <instance-file>")
+		fmt.Fprintln(os.Stderr, "       pxmlquery -server URL [flags] <instance-name>")
 		os.Exit(2)
 	}
-	pi, err := load(flag.Arg(0), *format)
+	var pi *pxml.ProbInstance
+	var err error
+	if *serverURL != "" {
+		pi, err = fetch(*serverURL, flag.Arg(0), *retries)
+	} else {
+		pi, err = load(flag.Arg(0), *format)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -218,6 +240,30 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown op %q", *op))
 	}
+}
+
+// fetch pulls an instance out of a pxmld catalog, retrying transient
+// failures (shed load, degraded/draining server, dropped connections)
+// with backoff so a briefly overloaded daemon doesn't fail the query.
+func fetch(base, name string, retries int) (*pxml.ProbInstance, error) {
+	policy := retry.Default.WithAttempts(retries + 1)
+	policy.OnRetry = func(attempt int, wait time.Duration, cause error) {
+		fmt.Fprintf(os.Stderr, "pxmlquery: fetch attempt %d failed (%v); retrying in %v\n", attempt, cause, wait)
+	}
+	url := strings.TrimRight(base, "/") + "/instances/" + name
+	resp, err := policy.Get(context.Background(), nil, url)
+	if err != nil {
+		return nil, fmt.Errorf("fetching %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fetching %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if strings.Contains(resp.Header.Get("Content-Type"), "json") {
+		return pxml.DecodeJSON(resp.Body)
+	}
+	return pxml.DecodeText(resp.Body)
 }
 
 func load(path, format string) (*pxml.ProbInstance, error) {

@@ -1,11 +1,12 @@
 // Package metrics provides the small, dependency-free instrumentation
 // primitives the query engine and HTTP server use: monotonic counters,
-// fixed-bucket latency histograms, and a named registry whose Snapshot is
-// directly JSON-encodable (the expvar-style payload behind GET /metrics).
+// up-down gauges, fixed-bucket latency histograms, and a named registry
+// whose Snapshot is directly JSON-encodable (the expvar-style payload
+// behind GET /metrics).
 //
-// All types are safe for concurrent use. Counters are lock-free;
-// histograms take a short mutex per observation, which is negligible next
-// to the inference work they time.
+// All types are safe for concurrent use. Counters and gauges are
+// lock-free; histograms take a short mutex per observation, which is
+// negligible next to the inference work they time.
 package metrics
 
 import (
@@ -28,6 +29,27 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level that can move both ways — in-flight
+// requests, queue depths, on/off health flags.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the current level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // bucketBounds are the histogram's inclusive upper bounds; observations
 // above the last bound land in the overflow bucket. The spacing is
@@ -109,10 +131,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Registry is a named collection of counters and histograms.
+// Registry is a named collection of counters, gauges, and histograms.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -120,6 +143,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -134,6 +158,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -155,9 +191,12 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.hists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name, c := range r.counters {
 		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
 	}
 	for name, h := range r.hists {
 		out[name] = h.Snapshot()
@@ -170,8 +209,11 @@ func (r *Registry) Snapshot() map[string]any {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.counters)+len(r.hists))
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
 		out = append(out, n)
 	}
 	for n := range r.hists {

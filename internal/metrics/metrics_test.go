@@ -16,6 +16,21 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge = %d, want 11", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	var h Histogram
 	h.Observe(50 * time.Microsecond)  // le_100us
@@ -42,6 +57,7 @@ func TestHistogramBuckets(t *testing.T) {
 func TestRegistrySnapshotJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("queries").Add(3)
+	r.Gauge("inflight").Set(2)
 	r.Histogram("latency").Observe(time.Millisecond)
 	b, err := json.Marshal(r.Snapshot())
 	if err != nil {
@@ -54,12 +70,15 @@ func TestRegistrySnapshotJSON(t *testing.T) {
 	if back["queries"].(float64) != 3 {
 		t.Errorf("queries = %v", back["queries"])
 	}
+	if back["inflight"].(float64) != 2 {
+		t.Errorf("inflight = %v", back["inflight"])
+	}
 	lat := back["latency"].(map[string]any)
 	if lat["count"].(float64) != 1 {
 		t.Errorf("latency count = %v", lat["count"])
 	}
 	names := r.Names()
-	if len(names) != 2 || names[0] != "latency" || names[1] != "queries" {
+	if len(names) != 3 || names[0] != "inflight" || names[1] != "latency" || names[2] != "queries" {
 		t.Errorf("names = %v", names)
 	}
 }

@@ -1,0 +1,156 @@
+// Package retry implements capped exponential backoff with jitter for
+// HTTP requests against a pxmld server.
+//
+// The serving path sheds load with 429 + Retry-After and answers 503
+// while overloaded, draining, or degraded; clients are expected to back
+// off and try again rather than hammer the server. Policy.Do implements
+// that contract: transient network errors and retryable statuses (429,
+// 502, 503, 504) are retried with exponential backoff, jittered over
+// [d/2, d] to avoid retry synchronization, and a server-provided
+// Retry-After raises the floor of the wait.
+package retry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Policy tunes the retry loop. The zero value retries nothing; Default
+// is the recommended starting point.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// Values below 1 mean a single attempt (no retries).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each subsequent
+	// retry doubles it up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means no cap.
+	MaxDelay time.Duration
+	// OnRetry, when set, observes each scheduled retry: the attempt that
+	// failed (1-based), the wait before the next one, and the cause.
+	OnRetry func(attempt int, wait time.Duration, cause error)
+}
+
+// Default is a sensible client policy: 4 attempts, 250ms base, 5s cap.
+var Default = Policy{MaxAttempts: 4, BaseDelay: 250 * time.Millisecond, MaxDelay: 5 * time.Second}
+
+// WithAttempts returns a copy of p with MaxAttempts set to n.
+func (p Policy) WithAttempts(n int) Policy {
+	p.MaxAttempts = n
+	return p
+}
+
+// RetryableStatus reports whether an HTTP status signals a transient
+// server condition worth retrying: load shedding (429), an intermediary
+// failure (502, 504), or an overloaded/draining/degraded backend (503).
+func RetryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// RetryAfter parses a Retry-After header as delay seconds or an HTTP
+// date, reporting whether a usable value was present. Past dates and
+// negative values come back as 0 (retry immediately).
+func RetryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			secs = 0
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := time.Until(at)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// Do runs attempt until it yields a non-retryable outcome or the policy
+// is exhausted. attempt must return a fresh response each call; Do owns
+// and closes the bodies of retried responses, while the final response
+// (if any) is the caller's to close. Network errors from attempt are
+// treated as transient. ctx cancellation aborts the backoff wait.
+func (p Policy) Do(ctx context.Context, attempt func() (*http.Response, error)) (*http.Response, error) {
+	max := p.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	backoff := p.BaseDelay
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	var lastErr error
+	for n := 1; ; n++ {
+		resp, err := attempt()
+		if err == nil && !RetryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		var cause error
+		var floor time.Duration
+		if err != nil {
+			cause = err
+		} else {
+			cause = fmt.Errorf("server answered %s", resp.Status)
+			if d, ok := RetryAfter(resp.Header); ok {
+				floor = d
+			}
+			// Drain so the connection can be reused for the retry.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+		}
+		lastErr = cause
+		if n >= max {
+			return nil, fmt.Errorf("after %d attempt(s): %w", n, lastErr)
+		}
+		// Jitter over [backoff/2, backoff], but never below the
+		// server-requested Retry-After.
+		wait := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		if wait < floor {
+			wait = floor
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(n, wait, cause)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("retry aborted: %w (last error: %w)", ctx.Err(), lastErr)
+		case <-time.After(wait):
+		}
+		if backoff *= 2; p.MaxDelay > 0 && backoff > p.MaxDelay {
+			backoff = p.MaxDelay
+		}
+	}
+}
+
+// Get fetches url with the policy applied, using client (nil means
+// http.DefaultClient). The caller closes the returned body.
+func (p Policy) Get(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return p.Do(ctx, func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		return client.Do(req)
+	})
+}

@@ -1,0 +1,185 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fast is a policy quick enough for tests but with real backoff logic.
+var fast = Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+
+func TestRetryableStatus(t *testing.T) {
+	for _, code := range []int{429, 502, 503, 504} {
+		if !RetryableStatus(code) {
+			t.Errorf("RetryableStatus(%d) = false, want true", code)
+		}
+	}
+	for _, code := range []int{200, 201, 400, 404, 422, 500} {
+		if RetryableStatus(code) {
+			t.Errorf("RetryableStatus(%d) = true, want false", code)
+		}
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if _, ok := RetryAfter(h); ok {
+		t.Fatal("missing header parsed as present")
+	}
+	h.Set("Retry-After", "3")
+	if d, ok := RetryAfter(h); !ok || d != 3*time.Second {
+		t.Fatalf("seconds form = %v, %v", d, ok)
+	}
+	h.Set("Retry-After", "-5")
+	if d, ok := RetryAfter(h); !ok || d != 0 {
+		t.Fatalf("negative seconds = %v, %v; want 0, true", d, ok)
+	}
+	h.Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+	if d, ok := RetryAfter(h); !ok || d <= 0 || d > 2*time.Second {
+		t.Fatalf("http-date form = %v, %v", d, ok)
+	}
+	h.Set("Retry-After", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat))
+	if d, ok := RetryAfter(h); !ok || d != 0 {
+		t.Fatalf("past http-date = %v, %v; want 0, true", d, ok)
+	}
+	h.Set("Retry-After", "soon")
+	if _, ok := RetryAfter(h); ok {
+		t.Fatal("garbage header parsed as present")
+	}
+}
+
+func TestDoRecoversAfterShedding(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	var retries int
+	p := fast
+	p.OnRetry = func(attempt int, wait time.Duration, cause error) { retries++ }
+	resp, err := p.Get(context.Background(), ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" || hits.Load() != 3 || retries != 2 {
+		t.Fatalf("body=%q hits=%d retries=%d", body, hits.Load(), retries)
+	}
+}
+
+func TestDoGivesUpAfterMaxAttempts(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	_, err := fast.Get(context.Background(), ts.Client(), ts.URL)
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	if hits.Load() != int64(fast.MaxAttempts) {
+		t.Fatalf("hits = %d, want %d", hits.Load(), fast.MaxAttempts)
+	}
+}
+
+func TestDoDoesNotRetryPermanentStatus(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	resp, err := fast.Get(context.Background(), ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || hits.Load() != 1 {
+		t.Fatalf("status=%d hits=%d, want one 404", resp.StatusCode, hits.Load())
+	}
+}
+
+func TestDoRetriesNetworkErrors(t *testing.T) {
+	// A server that dies after the first connection: the retry loop must
+	// treat the resulting network errors as transient.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	url := ts.URL
+	first := true
+	var attempts int
+	_, err := fast.Do(context.Background(), func() (*http.Response, error) {
+		attempts++
+		if first {
+			first = false
+			resp, err := http.Get(url)
+			ts.Close() // connection refused from now on
+			return resp, err
+		}
+		return http.Get(url)
+	})
+	if err == nil {
+		t.Fatal("want error once the server is gone")
+	}
+	if attempts != fast.MaxAttempts {
+		t.Fatalf("attempts = %d, want %d", attempts, fast.MaxAttempts)
+	}
+}
+
+func TestDoHonorsContextDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fast.Get(ctx, ts.Client(), ts.URL)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	// The 30s Retry-After floor must not be slept out.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("waited %v despite cancelled context", elapsed)
+	}
+}
+
+func TestDoSingleAttemptPolicies(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	for _, p := range []Policy{{}, {MaxAttempts: -3}, Default.WithAttempts(1)} {
+		hits.Store(0)
+		if _, err := p.Get(context.Background(), ts.Client(), ts.URL); err == nil {
+			t.Fatal("want error")
+		}
+		if hits.Load() != 1 {
+			t.Fatalf("policy %+v made %d attempts, want 1", p, hits.Load())
+		}
+	}
+}

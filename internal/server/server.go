@@ -14,11 +14,24 @@
 //	                                  concurrently over the engine's pool
 //	GET    /metrics                   JSON snapshot: server counters plus
 //	                                  per-instance engine metrics
+//	GET    /healthz                   liveness: 200 while the process runs
+//	GET    /readyz                    readiness: 503 while draining or the
+//	                                  store is degraded
 //
 // Query responses are JSON: {"text": ..., "prob": ..., "stored": ...}.
 // Errors are structured JSON: {"error": ...} with the matching status code
 // (400 malformed, 404 unknown, 413 oversized body, 422 invalid instance or
-// failing statement).
+// failing statement, 429 shed under overload with Retry-After, 503 for
+// expired request deadlines and writes against a degraded store).
+//
+// The handler stack is hardened for production traffic: a panic in any
+// handler is recovered to a 500 (and counted), SetRequestTimeout bounds
+// each request with a context deadline, and SetMaxInflight sheds excess
+// concurrent requests with 429 + Retry-After instead of queueing without
+// bound. Health probes bypass the limiter so liveness checks still answer
+// under overload. When the backing store degrades (unrecoverable disk
+// errors), writes fail fast with 503 while reads and queries keep serving
+// from memory — the catalog never silently diverges from disk.
 //
 // Each stored instance is wrapped in an engine.Engine, so repeated queries
 // against the same instance reuse its cached path index, compiled Bayesian
@@ -30,6 +43,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,9 +52,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pxml/internal/codec"
@@ -68,9 +84,17 @@ type Server struct {
 	maxBody int64
 	log     *slog.Logger
 
+	started    time.Time
+	draining   atomic.Bool
+	reqTimeout time.Duration // per-request deadline; 0 = none
+	sem        chan struct{} // in-flight limiter; nil = unlimited
+
 	reg      *metrics.Registry
 	requests *metrics.Counter
 	errors   *metrics.Counter
+	shed     *metrics.Counter
+	panics   *metrics.Counter
+	inflight *metrics.Gauge
 	latency  *metrics.Histogram
 }
 
@@ -79,10 +103,14 @@ func New() *Server {
 	s := &Server{
 		engines: make(map[string]*engine.Engine),
 		maxBody: defaultMaxBody,
+		started: time.Now(),
 		reg:     metrics.NewRegistry(),
 	}
 	s.requests = s.reg.Counter("http_requests")
 	s.errors = s.reg.Counter("http_errors")
+	s.shed = s.reg.Counter("http_shed")
+	s.panics = s.reg.Counter("http_panics")
+	s.inflight = s.reg.Gauge("http_inflight")
 	s.latency = s.reg.Histogram("http_latency")
 	return s
 }
@@ -98,21 +126,60 @@ func (s *Server) SetMaxBody(n int64) {
 	}
 }
 
+// SetRequestTimeout bounds every API request with a context deadline;
+// handlers that outlive it answer 503. Zero disables. Like the other
+// Set* knobs, call it before the handler starts serving.
+func (s *Server) SetRequestTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.reqTimeout = d
+}
+
+// SetMaxInflight caps concurrently served API requests; excess requests
+// are shed immediately with 429 + Retry-After rather than queued. Health
+// probes are exempt. Zero disables. Call before serving.
+func (s *Server) SetMaxInflight(n int) {
+	if n > 0 {
+		s.sem = make(chan struct{}, n)
+	} else {
+		s.sem = nil
+	}
+}
+
+// SetDraining flips the readiness probe: a draining server answers 503
+// on /readyz so load balancers stop routing to it, while in-flight and
+// new requests still complete. Safe to call at any time.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Put stores an instance under a name, replacing any previous one. The
-// instance must not be mutated afterwards. The returned error is the
-// persistence outcome; the in-memory store is always updated first, so on
-// error the instance is served but not durable.
+// instance must not be mutated afterwards. With the durable store
+// backing the catalog, durability gates acceptance: a write the store
+// rejects (degraded read-only mode, append failure) is not installed in
+// memory either, so the served catalog never silently diverges from
+// disk — the error matches store.ErrDegraded when the store has flipped
+// read-only. In legacy flat-file mode the in-memory catalog is updated
+// first and the error reports the persistence outcome.
 func (s *Server) Put(name string, pi *core.ProbInstance) error {
 	if s.persistent() && !validName(name) {
 		return fmt.Errorf("server: name %q not storable (use [A-Za-z0-9_-])", name)
+	}
+	if s.store != nil {
+		if err := s.store.Put(name, pi); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.engines[name] = engine.New(pi)
+		s.mu.Unlock()
+		return nil
 	}
 	eng := engine.New(pi)
 	s.mu.Lock()
 	s.engines[name] = eng
 	s.mu.Unlock()
-	if s.store != nil {
-		return s.store.Put(name, pi)
-	}
 	return s.persist(name, pi)
 }
 
@@ -133,22 +200,25 @@ func (s *Server) Engine(name string) (*engine.Engine, bool) {
 	return eng, ok
 }
 
-// Delete removes the named instance, reporting whether it existed.
-func (s *Server) Delete(name string) bool {
+// Delete removes the named instance, reporting whether it existed. Like
+// Put, the durable store is consulted first: a degraded store rejects
+// the delete (error matching store.ErrDegraded) and the instance stays
+// served, rather than vanishing from memory only to resurrect from disk
+// on the next restart.
+func (s *Server) Delete(name string) (bool, error) {
+	if s.store != nil {
+		if err := s.store.Delete(name); err != nil {
+			return false, err
+		}
+	}
 	s.mu.Lock()
 	_, ok := s.engines[name]
 	delete(s.engines, name)
 	s.mu.Unlock()
-	if ok {
-		if s.store != nil {
-			if err := s.store.Delete(name); err != nil && s.log != nil {
-				s.log.Error("delete not persisted", "name", name, "error", err)
-			}
-		} else {
-			s.unpersist(name)
-		}
+	if ok && s.store == nil {
+		s.unpersist(name)
 	}
-	return ok
+	return ok, nil
 }
 
 // Close releases the persistence backend (flushing the WAL when the
@@ -177,20 +247,27 @@ func (s *Server) Names() []string {
 	return out
 }
 
-// Handler returns the HTTP handler for the catalog, with request metrics
-// and (when SetLogger was called) structured logging applied to every
-// route.
+// Handler returns the HTTP handler for the catalog. API routes run under
+// the full hardening stack — request metrics, optional structured
+// logging, panic recovery, the in-flight limiter, and the per-request
+// deadline. The /healthz and /readyz probes sit outside the limiter and
+// deadline so they keep answering when the API is saturated.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /instances", s.handleList)
-	mux.HandleFunc("PUT /instances/{name}", s.handlePut)
-	mux.HandleFunc("GET /instances/{name}", s.handleGet)
-	mux.HandleFunc("DELETE /instances/{name}", s.handleDelete)
-	mux.HandleFunc("GET /instances/{name}/dot", s.handleDot)
-	mux.HandleFunc("POST /instances/{name}/query", s.handleQuery)
-	mux.HandleFunc("POST /instances/{name}/batch", s.handleBatch)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.instrument(mux)
+	api := http.NewServeMux()
+	api.HandleFunc("GET /instances", s.handleList)
+	api.HandleFunc("PUT /instances/{name}", s.handlePut)
+	api.HandleFunc("GET /instances/{name}", s.handleGet)
+	api.HandleFunc("DELETE /instances/{name}", s.handleDelete)
+	api.HandleFunc("GET /instances/{name}/dot", s.handleDot)
+	api.HandleFunc("POST /instances/{name}/query", s.handleQuery)
+	api.HandleFunc("POST /instances/{name}/batch", s.handleBatch)
+	api.HandleFunc("GET /metrics", s.handleMetrics)
+
+	root := http.NewServeMux()
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /readyz", s.handleReadyz)
+	root.Handle("/", s.limitInflight(s.withDeadline(api)))
+	return s.instrument(s.recoverPanics(root))
 }
 
 // statusRecorder captures the status code and body size a handler wrote.
@@ -198,17 +275,110 @@ type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
 func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += n
 	return n, err
+}
+
+// recoverPanics converts a handler panic into a 500 (when the response
+// has not started) plus a counter and a log line, so one bad request
+// cannot take down the daemon. http.ErrAbortHandler keeps its meaning.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.panics.Inc()
+			if s.log != nil {
+				s.log.Error("handler panic",
+					"method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(v), "stack", string(debug.Stack()))
+			}
+			if rec, ok := w.(*statusRecorder); !ok || !rec.wrote {
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitInflight sheds requests beyond the SetMaxInflight cap with 429 +
+// Retry-After instead of queueing without bound: under overload it is
+// better to fail a few requests fast than to slow every request down.
+func (s *Server) limitInflight(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.sem == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			s.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, fmt.Errorf("server overloaded (%d requests in flight), retry later", cap(s.sem)))
+		}
+	})
+}
+
+// withDeadline bounds the request with SetRequestTimeout via the context
+// every engine call already honors; an expired deadline surfaces as 503
+// through overloadStatus.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.reqTimeout <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+// handleReadyz reports whether this server should receive traffic: not
+// while draining for shutdown, and not ready for writes once the store
+// has degraded (readiness is the operator's signal to fail over).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	if s.store != nil {
+		if h := s.store.Health(); h.Degraded {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded",
+				"reason": h.Reason,
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // instrument wraps the mux with request counting, latency observation and
@@ -217,6 +387,8 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.inflight.Inc()
+		defer s.inflight.Dec()
 		next.ServeHTTP(rec, r)
 		d := time.Since(start)
 		s.requests.Inc()
@@ -276,6 +448,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	payload := map[string]any{
 		"server":    s.reg.Snapshot(),
+		"uptime_s":  time.Since(s.started).Seconds(),
 		"instances": insts,
 	}
 	if s.store != nil {
@@ -283,9 +456,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"dir":       s.store.Dir(),
 			"wal_bytes": s.store.WALSize(),
 			"instances": s.store.Len(),
+			"health":    s.store.Health(),
 		}
 	}
 	writeJSON(w, http.StatusOK, payload)
+}
+
+// writeErrStatus maps a persistence-write failure to its HTTP status:
+// writes against a degraded (read-only) store are 503 — the condition is
+// the server's, not the request's — anything else stays a 500.
+func writeErrStatus(err error) int {
+	if errors.Is(err, store.ErrDegraded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// overloadStatus maps a query failure to its HTTP status: an expired
+// per-request deadline (or a caller that went away) is 503 so clients
+// and load balancers treat it as server pressure, not statement error.
+func overloadStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // decodeStatus maps a body-read/decode error to its HTTP status: oversized
@@ -326,7 +520,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Put(name, pi); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, writeErrStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "objects": pi.NumObjects()})
@@ -352,7 +546,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.Delete(r.PathValue("name")) {
+	ok, err := s.Delete(r.PathValue("name"))
+	if err != nil {
+		httpError(w, writeErrStatus(err), err)
+		return
+	}
+	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
 		return
 	}
@@ -388,7 +587,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := eng.Run(r.Context(), string(stmt))
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		httpError(w, overloadStatus(err), err)
 		return
 	}
 	resp := queryResponse{Text: res.Text, Prob: res.Prob}
@@ -402,7 +601,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := s.Put(store, res.Instance); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, writeErrStatus(err), err)
 			return
 		}
 		resp.Stored = store

@@ -9,6 +9,11 @@ import (
 	"pxml/internal/codec"
 )
 
+// Recovery runs before the WAL is opened, so all its I/O goes through
+// s.fs as well — a FaultFS can therefore exercise recovery-time failure
+// paths (unreadable files, failing truncates, failing quarantine writes)
+// in addition to runtime ones.
+
 // QuarantinedRecord describes one corrupt region recovery set aside
 // instead of failing on.
 type QuarantinedRecord struct {
@@ -95,7 +100,7 @@ func (s *Store) recover() (*RecoveryReport, error) {
 // temp file, so a short snapshot means real damage, not a mid-append
 // crash).
 func (s *Store) recoverFile(fileName, source string, nRecords *int, report *RecoveryReport) error {
-	data, err := os.ReadFile(s.path(fileName))
+	data, err := s.fs.ReadFile(s.path(fileName))
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -128,7 +133,7 @@ func (s *Store) recoverFile(fileName, source string, nRecords *int, report *Reco
 		if source == "wal" {
 			// A tail with no later frame to resync on is the signature
 			// of an append cut short by a crash: drop it.
-			if err := os.Truncate(s.path(fileName), res.CleanLen); err != nil {
+			if err := s.fs.Truncate(s.path(fileName), res.CleanLen); err != nil {
 				return fmt.Errorf("store: truncate torn wal tail: %w", err)
 			}
 			report.TruncatedBytes += res.TornTail
@@ -147,11 +152,11 @@ func (s *Store) recoverFile(fileName, source string, nRecords *int, report *Reco
 // recoveries of the same damage overwrite rather than accumulate.
 func (s *Store) quarantine(source string, off int64, data []byte, cause error, report *RecoveryReport) error {
 	qdir := s.path(quarantineDir)
-	if err := os.MkdirAll(qdir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(qdir); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	path := filepath.Join(qdir, fmt.Sprintf("%s-%08d.bin", source, off))
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := s.fs.WriteFile(path, data); err != nil {
 		return fmt.Errorf("store: quarantine: %w", err)
 	}
 	report.Quarantined = append(report.Quarantined, QuarantinedRecord{
@@ -171,14 +176,14 @@ func (s *Store) quarantine(source string, off int64, data []byte, cause error, r
 // snapshotted by Open's post-recovery compaction) and removed; corrupt
 // files are renamed to <name>.pxml.corrupt and reported.
 func (s *Store) migrateLegacy(report *RecoveryReport) error {
-	paths, err := filepath.Glob(filepath.Join(s.dir, "*.pxml"))
+	paths, err := s.fs.Glob(filepath.Join(s.dir, "*.pxml"))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	var migrated []string
 	for _, p := range paths {
 		name := strings.TrimSuffix(filepath.Base(p), ".pxml")
-		f, err := os.Open(p)
+		f, err := s.fs.Open(p)
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -186,7 +191,7 @@ func (s *Store) migrateLegacy(report *RecoveryReport) error {
 		f.Close()
 		if derr != nil {
 			corrupt := p + ".corrupt"
-			if err := os.Rename(p, corrupt); err != nil {
+			if err := s.fs.Rename(p, corrupt); err != nil {
 				return fmt.Errorf("store: quarantine legacy file: %w", err)
 			}
 			report.Quarantined = append(report.Quarantined, QuarantinedRecord{
@@ -217,10 +222,13 @@ func (s *Store) removeMigratedLegacy() error {
 		return nil
 	}
 	for _, p := range s.legacyMigrated {
-		if err := os.Remove(p); err != nil {
+		if err := s.fs.Remove(p); err != nil {
 			return fmt.Errorf("store: remove migrated legacy file: %w", err)
 		}
 	}
 	s.legacyMigrated = nil
-	return fsyncDir(s.dir)
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("store: dir fsync: %w", err)
+	}
+	return nil
 }

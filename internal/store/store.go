@@ -3,7 +3,6 @@ package store
 import (
 	"fmt"
 	"log"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -11,6 +10,7 @@ import (
 
 	"pxml/internal/core"
 	"pxml/internal/metrics"
+	"pxml/internal/vfs"
 )
 
 // FsyncPolicy controls when the WAL is flushed to stable storage.
@@ -73,6 +73,10 @@ type Options struct {
 	Registry *metrics.Registry
 	// Logger, when non-nil, receives recovery and compaction reports.
 	Logger *log.Logger
+	// FS is the filesystem the store runs on; nil means the real one
+	// (vfs.OS). Tests substitute a vfs.FaultFS to exercise failure
+	// paths deterministically.
+	FS vfs.FS
 }
 
 // DefaultCompactThreshold is the WAL size that triggers compaction when
@@ -92,17 +96,34 @@ const (
 // methods are safe for concurrent use. Instances handed to Put (and
 // returned by Get/All) are shared, not copied: callers must treat them as
 // immutable, which is the convention across the codebase.
+//
+// An unrecoverable write error (failed WAL append, failed foreground
+// fsync, or background maintenance that keeps failing after retries)
+// flips the store into a sticky read-only degraded state: reads keep
+// serving from memory, writes return ErrDegraded, and Health reports the
+// cause. Degradation is cleared only by reopening the store.
 type Store struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu         sync.RWMutex
 	instances  map[string]*core.ProbInstance
-	wal        *os.File
+	wal        vfs.File
 	walBytes   int64
 	walRecords int64
 	walDirty   bool // appended since last fsync
+	closing    bool // Close has begun (background loop draining)
 	closed     bool
+
+	// Degraded-mode and health state (see health.go).
+	degraded     bool
+	degradedAt   time.Time
+	degradeCause string
+	fsyncErrs    int64
+	compactErrs  int64
+	lastErr      string
+	lastErrAt    time.Time
 
 	// legacyMigrated holds .pxml paths folded in by recovery, removed
 	// once the post-recovery snapshot is durable.
@@ -112,6 +133,10 @@ type Store struct {
 	walAppendBytes *metrics.Counter
 	walFsyncs      *metrics.Counter
 	compactions    *metrics.Counter
+	fsyncErrsC     *metrics.Counter
+	compactErrsC   *metrics.Counter
+	bgRetries      *metrics.Counter
+	degradedG      *metrics.Gauge
 
 	stop chan struct{}
 	done chan struct{}
@@ -133,12 +158,16 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	if opts.CompactThreshold == 0 {
 		opts.CompactThreshold = DefaultCompactThreshold
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = vfs.OS
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
 		dir:       dir,
 		opts:      opts,
+		fs:        opts.FS,
 		instances: make(map[string]*core.ProbInstance),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -149,22 +178,26 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		s.walAppendBytes = reg.Counter("store_wal_append_bytes")
 		s.walFsyncs = reg.Counter("store_wal_fsyncs")
 		s.compactions = reg.Counter("store_compactions")
+		s.fsyncErrsC = reg.Counter("store_fsync_errors")
+		s.compactErrsC = reg.Counter("store_compact_errors")
+		s.bgRetries = reg.Counter("store_bg_retries")
+		s.degradedG = reg.Gauge("store_degraded")
 	}
 	report, err := s.recover()
 	if err != nil {
 		return nil, nil, err
 	}
-	wal, err := os.OpenFile(s.path(walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := s.fs.OpenAppend(s.path(walName))
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
-	st, err := wal.Stat()
+	size, err := wal.Size()
 	if err != nil {
 		wal.Close()
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
 	s.wal = wal
-	s.walBytes = st.Size()
+	s.walBytes = size
 	// A recovery that had to quarantine, truncate, or migrate leaves the
 	// on-disk state it repaired around; compact immediately so the next
 	// open starts from a clean snapshot and an empty WAL.
@@ -194,7 +227,8 @@ func (s *Store) Dir() string { return s.dir }
 
 // Put durably records name → pi and installs it in the catalog. The
 // instance is acknowledged once the WAL append returns (and, under
-// FsyncAlways, is on stable storage).
+// FsyncAlways, is on stable storage). A degraded store rejects Put with
+// an error matching ErrDegraded and leaves the catalog untouched.
 func (s *Store) Put(name string, pi *core.ProbInstance) error {
 	if name == "" {
 		return fmt.Errorf("store: empty instance name")
@@ -214,10 +248,14 @@ func (s *Store) Put(name string, pi *core.ProbInstance) error {
 }
 
 // Delete durably removes name from the catalog. Deleting an absent name
-// is a no-op (and writes nothing).
+// is a no-op (and writes nothing). A degraded store rejects Delete with
+// an error matching ErrDegraded.
 func (s *Store) Delete(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.degraded {
+		return s.degradedErrLocked()
+	}
 	if _, ok := s.instances[name]; !ok {
 		return nil
 	}
@@ -276,14 +314,21 @@ func (s *Store) WALSize() int64 {
 }
 
 // appendLocked frames payload onto the WAL, honoring the fsync policy.
-// Callers hold s.mu.
+// Callers hold s.mu. An append or foreground-fsync failure degrades the
+// store: a short write can leave a torn frame at the tail, and after a
+// failed fsync the kernel may silently drop the dirty pages, so no later
+// append can be trusted — recovery on the next open truncates whatever
+// tail actually landed.
 func (s *Store) appendLocked(payload []byte) error {
-	if s.closed {
+	if s.closed || s.closing {
 		return fmt.Errorf("store: closed")
+	}
+	if s.degraded {
+		return s.degradedErrLocked()
 	}
 	frame := appendFrame(nil, payload)
 	if _, err := s.wal.Write(frame); err != nil {
-		return fmt.Errorf("store: wal append: %w", err)
+		return s.degradeLocked(fmt.Errorf("wal append: %w", err))
 	}
 	s.walBytes += int64(len(frame))
 	s.walRecords++
@@ -293,7 +338,9 @@ func (s *Store) appendLocked(payload []byte) error {
 		s.walAppendBytes.Add(int64(len(frame)))
 	}
 	if s.opts.Fsync == FsyncAlways {
-		return s.syncLocked()
+		if err := s.syncLocked(); err != nil {
+			return s.degradeLocked(err)
+		}
 	}
 	return nil
 }
@@ -303,7 +350,9 @@ func (s *Store) syncLocked() error {
 		return nil
 	}
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("store: wal fsync: %w", err)
+		err = fmt.Errorf("wal fsync: %w", err)
+		s.noteErrLocked(&s.fsyncErrs, s.fsyncErrsC, err)
+		return fmt.Errorf("store: %w", err)
 	}
 	s.walDirty = false
 	if s.walFsyncs != nil {
@@ -318,6 +367,9 @@ func (s *Store) Sync() error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
+	}
+	if s.degraded {
+		return s.degradedErrLocked()
 	}
 	return s.syncLocked()
 }
@@ -347,16 +399,29 @@ func (s *Store) Compact() error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
+	if s.degraded {
+		return s.degradedErrLocked()
+	}
+	// Compaction failures are retryable, not degrading by themselves:
+	// the snapshot protocol never touches live state until the rename
+	// lands, and a WAL left un-truncated merely replays over the fresh
+	// snapshot (idempotently) on the next open. The background loop
+	// retries with backoff and degrades only when the errors persist.
 	if err := s.writeSnapshotLocked(); err != nil {
+		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
 		return err
 	}
 	// The WAL handle is O_APPEND; truncating through it is safe because
 	// we hold the write lock, so no append can interleave.
 	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("store: wal reset: %w", err)
+		err = fmt.Errorf("store: wal reset: %w", err)
+		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
+		return err
 	}
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("store: wal reset fsync: %w", err)
+		err = fmt.Errorf("store: wal reset fsync: %w", err)
+		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
+		return err
 	}
 	s.walBytes = 0
 	s.walRecords = 0
@@ -381,11 +446,11 @@ func (s *Store) writeSnapshotLocked() error {
 	for _, n := range names {
 		buf = appendFrame(buf, appendPutRecord(nil, n, s.instances[n]))
 	}
-	tmp, err := os.CreateTemp(s.dir, snapshotName+".tmp-")
+	tmp, err := s.fs.CreateTemp(s.dir, snapshotName+".tmp-")
 	if err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fs.Remove(tmp.Name())
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: snapshot write: %w", err)
@@ -397,20 +462,27 @@ func (s *Store) writeSnapshotLocked() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: snapshot close: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(snapshotName)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), s.path(snapshotName)); err != nil {
 		return fmt.Errorf("store: snapshot rename: %w", err)
 	}
-	return fsyncDir(s.dir)
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("store: dir fsync: %w", err)
+	}
+	return nil
 }
 
 // Close stops background maintenance, flushes the WAL, and closes it.
-// The store is unusable afterwards.
+// The store is unusable afterwards. Close is idempotent and safe for
+// concurrent use; on a degraded store the final flush is skipped (the
+// WAL tail is already suspect — recovery cleans it up on the next open)
+// and only the close error, if any, is reported.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closing {
 		s.mu.Unlock()
 		return nil
 	}
+	s.closing = true
 	s.mu.Unlock()
 	close(s.stop)
 	<-s.done
@@ -418,7 +490,10 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
-	err := s.wal.Sync()
+	var err error
+	if !s.degraded {
+		err = s.wal.Sync()
+	}
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
 	}
@@ -448,39 +523,23 @@ func (s *Store) background() {
 		case <-s.stop:
 			return
 		case <-fsyncC:
-			if err := s.Sync(); err != nil && s.opts.Logger != nil {
-				s.opts.Logger.Printf("%v", err)
-			}
+			s.retrying("interval wal fsync", s.Sync)
 		case <-snapC:
-			s.compactIfDirty()
+			s.retrying("periodic snapshot", s.compactIfDirty)
 		case <-s.kick:
-			s.compactIfDirty()
+			s.retrying("threshold compaction", s.compactIfDirty)
 		}
 	}
 }
 
-// compactIfDirty compacts unless the WAL is already empty.
-func (s *Store) compactIfDirty() {
+// compactIfDirty compacts unless the WAL is already empty (or the store
+// is closing or degraded).
+func (s *Store) compactIfDirty() error {
 	s.mu.RLock()
-	skip := s.walBytes == 0 || s.closed
+	skip := s.walBytes == 0 || s.closed || s.closing || s.degraded
 	s.mu.RUnlock()
 	if skip {
-		return
+		return nil
 	}
-	if err := s.Compact(); err != nil && s.opts.Logger != nil {
-		s.opts.Logger.Printf("%v", err)
-	}
-}
-
-// fsyncDir flushes a directory entry so a rename survives power loss.
-func fsyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: open dir for fsync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: dir fsync: %w", err)
-	}
-	return nil
+	return s.Compact()
 }
