@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench bench-store fig7 fuzz fuzz-smoke faults vet staticcheck cover clean
+.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults vet staticcheck cover clean
 
 all: check
 
@@ -39,6 +39,25 @@ bench:
 bench-store:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/store
 	$(GO) test -run '^$$' -bench 'Binary|Text' -benchmem ./internal/codec
+
+# Benchmark trajectory baseline: run the Fig7/store/engine/codec suites
+# and record ns/op, B/op, allocs/op per benchmark as JSON (schema in
+# EXPERIMENTS.md) so future PRs can diff against this PR's numbers.
+#
+# For statistically sound before/after comparisons use benchstat
+# (golang.org/x/perf/cmd/benchstat) on raw `go test -bench` output:
+#   go test -run '^$$' -bench ConcurrentPut -count 10 ./internal/store > old.txt
+#   ... apply the change ...
+#   go test -run '^$$' -bench ConcurrentPut -count 10 ./internal/store > new.txt
+#   benchstat old.txt new.txt
+bench-json:
+	$(GO) run ./cmd/benchjson -out results/BENCH_pr4.json
+
+# Quick benchmark smoke for CI: a handful of iterations per benchmark,
+# enough to catch perf-critical paths that stop compiling or start
+# failing, without CI-grade timing noise pretending to be data.
+bench-smoke:
+	$(GO) run ./cmd/benchjson -benchtime 5x -out /tmp/pxml_bench_smoke.json
 
 # Reproduce the paper's Figure 7 panels into results/.
 fig7:

@@ -1,0 +1,186 @@
+// benchjson runs the repo's benchmark suites (`go test -bench`) and
+// records the results as machine-readable JSON, so each PR can leave a
+// baseline behind (results/BENCH_pr4.json) and later PRs can diff
+// against it without re-parsing test output.
+//
+//	go run ./cmd/benchjson -out results/BENCH_pr4.json
+//	go run ./cmd/benchjson -benchtime 10x -out /tmp/smoke.json
+//
+// The output schema is documented in EXPERIMENTS.md. Besides the raw
+// per-benchmark numbers (iterations, ns/op, B/op, allocs/op), the tool
+// derives the two headline ratios this PR is accountable for: the
+// group-commit speedup on concurrent Puts and the result-cache speedup
+// on repeated point queries.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite is one `go test -bench` invocation: a package and the benchmark
+// name pattern to run inside it.
+type suite struct {
+	Pkg     string
+	Pattern string
+}
+
+var suites = []suite{
+	{".", "Fig7"},
+	{"./internal/store", "WALAppend|ConcurrentPut|OpenReplay|Compact"},
+	{"./internal/engine", "QueryPoint"},
+	{"./internal/codec", "Encode|Decode"},
+}
+
+// result is one benchmark line, parsed.
+type result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+type report struct {
+	Schema     string             `json:"schema"`
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchtime  string             `json:"benchtime"`
+	Benchmarks []result           `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+// benchLine matches go test benchmark output. The -N GOMAXPROCS suffix
+// is optional: single-CPU machines emit bare names.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "results/BENCH_pr4.json", "where to write the JSON report")
+	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime (e.g. 1s, 10x)")
+	flag.Parse()
+
+	rep := report{
+		Schema:     "pxml-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  *benchtime,
+		Derived:    map[string]float64{},
+	}
+	for _, s := range suites {
+		rs, err := runSuite(s, *benchtime)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rs...)
+	}
+	derive(&rep)
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	for k, v := range rep.Derived {
+		fmt.Printf("  %s: %.2fx\n", k, v)
+	}
+}
+
+func runSuite(s suite, benchtime string) ([]result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", s.Pattern, "-benchmem", "-benchtime", benchtime, s.Pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go test -bench '%s' %s\n", s.Pattern, s.Pkg)
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Pkg, err)
+	}
+	var out []result
+	pkg := s.Pkg
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := result{
+			Package:    pkg,
+			Name:       strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations: atoi(m[2]),
+			NsPerOp:    atof(m[3]),
+		}
+		if m[4] != "" {
+			r.MBPerS = atof(m[4])
+		}
+		if m[5] != "" {
+			r.BytesPerOp = atoi(m[5])
+		}
+		if m[6] != "" {
+			r.AllocsPerOp = atoi(m[6])
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines matched pattern %q", s.Pkg, s.Pattern)
+	}
+	return out, nil
+}
+
+// derive records the headline before/after ratios when both sides ran.
+func derive(rep *report) {
+	ns := map[string]float64{}
+	for _, r := range rep.Benchmarks {
+		ns[r.Name] = r.NsPerOp
+	}
+	if slow, fast := ns["ConcurrentPutNoBatch"], ns["ConcurrentPutGroupCommit"]; slow > 0 && fast > 0 {
+		rep.Derived["concurrent_put_speedup"] = slow / fast
+	}
+	if slow, fast := ns["QueryPointUncached"], ns["QueryPointCached"]; slow > 0 && fast > 0 {
+		rep.Derived["cached_query_speedup"] = slow / fast
+	}
+}
+
+func atoi(s string) int64 {
+	n, _ := strconv.ParseInt(s, 10, 64)
+	return n
+}
+
+func atof(s string) float64 {
+	f, _ := strconv.ParseFloat(s, 64)
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

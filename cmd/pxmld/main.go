@@ -11,7 +11,16 @@
 // With -data, the catalog is durable: writes go through a write-ahead
 // log with periodic snapshots (see internal/store), startup runs crash
 // recovery, and -fsync/-snapshot-interval tune the durability/latency
-// trade-off.
+// trade-off. Concurrent writes are group-committed: -commit-batch bounds
+// how many mutations share one WAL write + fsync and -commit-delay lets
+// the committer linger to fill a batch.
+//
+// Performance knobs: -query-workers bounds each engine's batch worker
+// pool (default GOMAXPROCS), and -pprof serves net/http/pprof on a
+// separate loopback listener (off by default) for live profiling:
+//
+//	pxmld -addr :8080 -pprof 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
 //
 // The serving path is hardened: GET /healthz answers liveness, GET
 // /readyz readiness (503 while draining or once the store degrades to
@@ -47,7 +56,9 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -78,6 +89,10 @@ func main() {
 	maxBody := flag.Int64("maxbody", 0, "instance upload size limit in bytes (0 = default 64MiB)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline for API requests; expired requests answer 503 (0 = no deadline)")
 	maxInflight := flag.Int("max-inflight", 0, "maximum concurrent API requests before shedding with 429 (0 = unlimited)")
+	queryWorkers := flag.Int("query-workers", 0, "per-engine batch query worker bound (0 = GOMAXPROCS)")
+	commitBatch := flag.Int("commit-batch", 0, "max mutations coalesced into one WAL write+fsync (0 = default, 1 = no batching)")
+	commitDelay := flag.Duration("commit-delay", 0, "how long the committer lingers to fill a batch (0 = commit as soon as the queue drains)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = off)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload an instance: name=file (repeatable)")
 	flag.Parse()
@@ -94,6 +109,8 @@ func main() {
 		opts := store.Options{
 			Fsync:            policy,
 			SnapshotInterval: *snapshotEvery,
+			CommitBatch:      *commitBatch,
+			CommitDelay:      *commitDelay,
 			Logger:           log.New(os.Stderr, "pxmld: ", 0),
 		}
 		var report *store.RecoveryReport
@@ -113,6 +130,12 @@ func main() {
 	}
 	srv.SetRequestTimeout(*reqTimeout)
 	srv.SetMaxInflight(*maxInflight)
+	srv.SetQueryWorkers(*queryWorkers)
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			fatal(err)
+		}
+	}
 	for _, spec := range loads {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -176,6 +199,38 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// servePprof starts the debug profiling listener on addr, which must be
+// loopback: the pprof endpoints expose heap contents and must never ride
+// on the public API listener or an external interface.
+func servePprof(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %q: %w", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return fmt.Errorf("-pprof %q: refusing non-loopback address", addr)
+	}
+	// A private mux with explicit routes keeps the profiler off the API
+	// handler (importing net/http/pprof only registers on the default mux).
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %q: %w", addr, err)
+	}
+	fmt.Fprintf(os.Stderr, "pxmld: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "pxmld: pprof listener: %v\n", err)
+		}
+	}()
+	return nil
 }
 
 func fatal(err error) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"pxml/internal/core"
 	"pxml/internal/model"
@@ -53,30 +54,60 @@ var binaryMagic = [4]byte{'P', 'X', 'B', '1'}
 // against absurd length prefixes on corrupt input.
 const maxBinaryBody = 1 << 30
 
+// encodeBufPool recycles record-sized scratch buffers across encodes, so
+// steady-state serialization (the WAL framing path re-encodes on every
+// Put) allocates nothing per record beyond the caller's destination.
+var encodeBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// maxPooledEncodeBuf caps what goes back in the pool: one enormous
+// instance must not pin its scratch buffer forever.
+const maxPooledEncodeBuf = 4 << 20
+
+// recycleEncodeBuf returns a scratch buffer to the pool unless it grew
+// past the retention cap.
+func recycleEncodeBuf(bp *[]byte, b []byte) {
+	if cap(b) <= maxPooledEncodeBuf {
+		*bp = b[:0]
+		encodeBufPool.Put(bp)
+	}
+}
+
 // AppendBinary appends the binary encoding of pi to buf and returns the
 // extended slice. It is the allocation-friendly core of EncodeBinary,
 // usable directly by storage layers that frame records themselves.
 func AppendBinary(buf []byte, pi *core.ProbInstance) []byte {
 	buf = append(buf, binaryMagic[:]...)
-	// The body is built separately so its uvarint length can precede it.
-	body := appendBinaryBody(nil, pi)
+	// The body is built separately (in pooled scratch) so its uvarint
+	// length can precede it.
+	bp := encodeBufPool.Get().(*[]byte)
+	body := appendBinaryBody((*bp)[:0], pi)
 	buf = binary.AppendUvarint(buf, uint64(len(body)))
 	buf = append(buf, body...)
-	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	recycleEncodeBuf(bp, body)
+	return buf
 }
 
 // EncodeBinary writes the instance in the framed binary encoding.
 func EncodeBinary(w io.Writer, pi *core.ProbInstance) error {
-	_, err := w.Write(AppendBinary(nil, pi))
+	bp := encodeBufPool.Get().(*[]byte)
+	rec := AppendBinary((*bp)[:0], pi)
+	_, err := w.Write(rec)
+	recycleEncodeBuf(bp, rec)
 	return err
 }
 
 // appendBinaryBody serializes the instance structure (everything between
 // the length prefix and the CRC).
 func appendBinaryBody(buf []byte, pi *core.ProbInstance) []byte {
-	// Intern every string the instance mentions.
-	seen := make(map[string]struct{})
-	var strs []string
+	// Intern every string the instance mentions. Sizing by object count
+	// (ids dominate the table; labels and values add a fraction) avoids
+	// rehash churn on large instances.
+	est := pi.NumObjects()*2 + 16
+	seen := make(map[string]struct{}, est)
+	strs := make([]string, 0, est)
 	intern := func(s string) {
 		if _, ok := seen[s]; !ok {
 			seen[s] = struct{}{}

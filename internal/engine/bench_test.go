@@ -1,0 +1,41 @@
+package engine
+
+// Benchmarks for the warm-query path: the same point query repeated
+// against one engine, with and without the shared result cache. The
+// uncached run still benefits from the engine's structure caches (plan,
+// weak-instance graph), so the pair isolates exactly what the result
+// cache adds.
+
+import (
+	"context"
+	"testing"
+
+	"pxml/internal/fixtures"
+	"pxml/internal/rescache"
+)
+
+const benchStmt = "PROB OBJECT A1"
+
+func benchmarkRepeatedQuery(b *testing.B, eng *Engine) {
+	b.Helper()
+	ctx := context.Background()
+	if _, err := eng.Run(ctx, benchStmt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, benchStmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryPointUncached(b *testing.B) {
+	benchmarkRepeatedQuery(b, New(fixtures.Figure2()))
+}
+
+func BenchmarkQueryPointCached(b *testing.B) {
+	c := rescache.New(1 << 20)
+	benchmarkRepeatedQuery(b, New(fixtures.Figure2(), WithResultCache(c, "bench@1\x00")))
+}

@@ -34,6 +34,7 @@ import (
 	"pxml/internal/pathexpr"
 	"pxml/internal/pxql"
 	"pxml/internal/query"
+	"pxml/internal/rescache"
 )
 
 // lazy is a build-once cache slot. ready is set (with release semantics)
@@ -70,11 +71,19 @@ type Engine struct {
 	net  lazy[*bayes.Network]
 	marg lazy[map[model.ObjectID]float64]
 
+	// Optional memoization of whole statement results (see
+	// WithResultCache). rkey namespaces this engine's entries inside the
+	// shared cache; the owner bumps the prefix to invalidate.
+	rcache *rescache.Cache
+	rkey   string
+
 	reg     *metrics.Registry
 	queries *metrics.Counter
 	errs    *metrics.Counter
 	hits    *metrics.Counter
 	misses  *metrics.Counter
+	rhits   *metrics.Counter
+	rmisses *metrics.Counter
 	latency *metrics.Histogram
 }
 
@@ -89,6 +98,21 @@ func WithWorkers(n int) Option {
 			n = 1
 		}
 		e.sem = make(chan struct{}, n)
+	}
+}
+
+// WithResultCache memoizes successful Run results in a shared cache,
+// keyed by keyPrefix + the statement text. Concurrent identical
+// statements collapse to one evaluation (singleflight). Instance-valued
+// results are never cached — they can be arbitrarily large and are handed
+// to callers who may store them. The cache holds no reference back to the
+// engine, so invalidation is the owner's job: replace the engine (or the
+// prefix) whenever the underlying instance changes, and the old entries
+// become unreachable and age out of the LRU.
+func WithResultCache(c *rescache.Cache, keyPrefix string) Option {
+	return func(e *Engine) {
+		e.rcache = c
+		e.rkey = keyPrefix
 	}
 }
 
@@ -108,6 +132,8 @@ func New(pi *core.ProbInstance, opts ...Option) *Engine {
 	e.errs = e.reg.Counter("errors")
 	e.hits = e.reg.Counter("cache_hits")
 	e.misses = e.reg.Counter("cache_misses")
+	e.rhits = e.reg.Counter("result_cache_hits")
+	e.rmisses = e.reg.Counter("result_cache_misses")
 	e.latency = e.reg.Histogram("latency")
 	for _, o := range opts {
 		o(e)
@@ -206,7 +232,10 @@ func (e *Engine) finish(start time.Time, err error) {
 
 // Run parses and executes one pxql statement. Cancellation and deadlines
 // on ctx are checked between the parse, structure-build and inference
-// phases (a phase already in flight runs to completion).
+// phases (a phase already in flight runs to completion). With a result
+// cache attached (WithResultCache), a repeated statement is answered from
+// the cache and concurrent identical statements share one evaluation;
+// hits still count toward queries and latency.
 func (e *Engine) Run(ctx context.Context, statement string) (res *pxql.Result, err error) {
 	start := time.Now()
 	e.queries.Inc()
@@ -214,12 +243,64 @@ func (e *Engine) Run(ctx context.Context, statement string) (res *pxql.Result, e
 	if err = ctx.Err(); err != nil {
 		return nil, err
 	}
-	var q pxql.Query
-	if q, err = pxql.Parse(statement); err != nil {
+	if e.rcache == nil {
+		res, err = e.runParsed(ctx, statement)
+		return res, err
+	}
+	computed := false
+	v, err := e.rcache.Do(e.rkey+statement, func() (any, int64, error) {
+		computed = true
+		r, rerr := e.runParsed(ctx, statement)
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		if r.Instance != nil {
+			return r, -1, nil // share with concurrent waiters, don't retain
+		}
+		return r, resultCost(statement, r), nil
+	})
+	if computed {
+		e.rmisses.Inc()
+	} else {
+		e.rhits.Inc()
+	}
+	if err != nil {
 		return nil, err
 	}
-	res, err = e.exec(ctx, q)
-	return res, err
+	r := v.(*pxql.Result)
+	if r.Instance != nil {
+		return r, nil
+	}
+	// Hand out a copy so no caller aliases the cached value (the cached
+	// result must stay byte-identical to a fresh evaluation).
+	res = copyResult(r)
+	return res, nil
+}
+
+// runParsed is the uncached parse+execute path behind Run.
+func (e *Engine) runParsed(ctx context.Context, statement string) (*pxql.Result, error) {
+	q, err := pxql.Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	return e.exec(ctx, q)
+}
+
+// resultCost estimates the bytes a cached result pins: key text plus the
+// rendered answer plus the fixed struct overhead.
+func resultCost(statement string, r *pxql.Result) int64 {
+	return int64(len(statement)) + int64(len(r.Text)) + 64
+}
+
+// copyResult clones a scalar result (Instance is nil by construction on
+// every cached entry).
+func copyResult(r *pxql.Result) *pxql.Result {
+	out := &pxql.Result{Text: r.Text}
+	if r.Prob != nil {
+		p := *r.Prob
+		out.Prob = &p
+	}
+	return out
 }
 
 // Exec executes a parsed statement (see Run for the context contract).

@@ -131,12 +131,84 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// intBucketBounds are the IntHistogram's inclusive upper bounds;
+// observations above the last bound land in the overflow bucket. Powers
+// of two match the natural spread of batch sizes and queue depths.
+var intBucketBounds = [...]int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// numIntBuckets is len(intBucketBounds) + 1 (the overflow bucket).
+const numIntBuckets = 9
+
+var intBucketLabels = [numIntBuckets]string{
+	"le_1", "le_2", "le_4", "le_8", "le_16", "le_32", "le_64", "le_128", "inf",
+}
+
+// IntHistogram accumulates dimensionless integer observations — batch
+// sizes, queue depths — into fixed power-of-two buckets.
+type IntHistogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	max     int64
+	buckets [numIntBuckets]int64
+}
+
+// Observe records one value (negatives are clamped to zero).
+func (h *IntHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	for i < len(intBucketBounds) && v > intBucketBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// IntHistogramSnapshot is a point-in-time, JSON-encodable view.
+type IntHistogramSnapshot struct {
+	Count  int64            `json:"count"`
+	Sum    int64            `json:"sum"`
+	Mean   float64          `json:"mean"`
+	Max    int64            `json:"max"`
+	Bucket map[string]int64 `json:"buckets"`
+}
+
+// Snapshot returns the current histogram state.
+func (h *IntHistogram) Snapshot() IntHistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := IntHistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Max:    h.max,
+		Bucket: make(map[string]int64, len(h.buckets)),
+	}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+	}
+	for i, n := range h.buckets {
+		if n > 0 {
+			s.Bucket[intBucketLabels[i]] = n
+		}
+	}
+	return s
+}
+
 // Registry is a named collection of counters, gauges, and histograms.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	intHists map[string]*IntHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -145,6 +217,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		intHists: make(map[string]*IntHistogram),
 	}
 }
 
@@ -184,6 +257,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// IntHistogram returns the named integer histogram, creating it on first
+// use.
+func (r *Registry) IntHistogram(name string) *IntHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.intHists[name]
+	if h == nil {
+		h = &IntHistogram{}
+		r.intHists[name] = h
+	}
+	return h
+}
+
 // Snapshot returns a JSON-encodable view of every registered metric:
 // counters as integers, histograms as HistogramSnapshot values. Names are
 // deterministic (map iteration order does not leak into encoded output
@@ -191,7 +277,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.intHists))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
@@ -199,6 +285,9 @@ func (r *Registry) Snapshot() map[string]any {
 		out[name] = g.Value()
 	}
 	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	for name, h := range r.intHists {
 		out[name] = h.Snapshot()
 	}
 	return out
@@ -209,7 +298,7 @@ func (r *Registry) Snapshot() map[string]any {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.intHists))
 	for n := range r.counters {
 		out = append(out, n)
 	}
@@ -217,6 +306,9 @@ func (r *Registry) Names() []string {
 		out = append(out, n)
 	}
 	for n := range r.hists {
+		out = append(out, n)
+	}
+	for n := range r.intHists {
 		out = append(out, n)
 	}
 	sort.Strings(out)

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"pxml/internal/sets"
 )
@@ -25,6 +26,13 @@ const Tolerance = 1e-9
 // stored explicitly; Prob returns 0 for absent sets.
 type OPF struct {
 	entries map[string]OPFEntry
+	// sorted caches the canonical-order entry slice behind Each/Entries.
+	// Built lazily on first iteration and dropped on mutation, it makes
+	// every OPF traversal deterministic — floating-point sums come out
+	// bit-identical across runs, which result caching relies on — and
+	// replaces map iteration with a slice walk on the query hot paths.
+	// Concurrent builders may race benignly: both compute the same slice.
+	sorted atomic.Pointer[[]OPFEntry]
 }
 
 // NewOPF returns an empty OPF.
@@ -48,6 +56,7 @@ type OPFEntry struct {
 // assignment for the same set.
 func (w *OPF) Put(c sets.Set, p float64) {
 	w.entries[c.Key()] = OPFEntry{Set: c, Prob: p}
+	w.sorted.Store(nil)
 }
 
 // Add accumulates probability p onto the child set c.
@@ -59,6 +68,7 @@ func (w *OPF) Add(c sets.Set, p float64) {
 	}
 	e.Prob += p
 	w.entries[k] = e
+	w.sorted.Store(nil)
 }
 
 // Prob returns ω(c), zero when c has no entry.
@@ -67,21 +77,35 @@ func (w *OPF) Prob(c sets.Set) float64 { return w.entries[c.Key()].Prob }
 // Len returns the number of stored entries.
 func (w *OPF) Len() int { return len(w.entries) }
 
-// Entries returns all stored entries in canonical order (set size, then
-// lexicographic).
-func (w *OPF) Entries() []OPFEntry {
+// sortedEntries returns the cached canonical-order slice, building it on
+// first use. Callers must not mutate the result.
+func (w *OPF) sortedEntries() []OPFEntry {
+	if p := w.sorted.Load(); p != nil {
+		return *p
+	}
 	es := make([]OPFEntry, 0, len(w.entries))
 	for _, e := range w.entries {
 		es = append(es, e)
 	}
 	sort.Slice(es, func(i, j int) bool { return lessEntry(es[i].Set, es[j].Set) })
+	w.sorted.Store(&es)
 	return es
 }
 
-// Each calls fn for every stored entry in unspecified order; it avoids the
-// sort and allocation of Entries on hot paths.
+// Entries returns all stored entries in canonical order (set size, then
+// lexicographic). The returned slice is the caller's to keep.
+func (w *OPF) Entries() []OPFEntry {
+	es := w.sortedEntries()
+	out := make([]OPFEntry, len(es))
+	copy(out, es)
+	return out
+}
+
+// Each calls fn for every stored entry in canonical order; it avoids the
+// allocation of Entries on hot paths, and its deterministic order keeps
+// floating-point accumulations reproducible run to run.
 func (w *OPF) Each(fn func(c sets.Set, p float64)) {
-	for _, e := range w.entries {
+	for _, e := range w.sortedEntries() {
 		fn(e.Set, e.Prob)
 	}
 }
@@ -123,6 +147,7 @@ func (w *OPF) Normalize() error {
 		e.Prob /= total
 		w.entries[k] = e
 	}
+	w.sorted.Store(nil)
 	return nil
 }
 
@@ -140,7 +165,7 @@ func (w *OPF) Clone() *OPF {
 // block of the chain-probability formula in Section 6.2.
 func (w *OPF) ProbContains(member string) float64 {
 	total := 0.0
-	for _, e := range w.entries {
+	for _, e := range w.sortedEntries() {
 		if e.Set.Contains(member) {
 			total += e.Prob
 		}

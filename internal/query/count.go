@@ -33,13 +33,10 @@ func CountDistribution(pi *core.ProbInstance, p pathexpr.Path) (map[int]float64,
 	if plan.IsEmpty() {
 		return map[int]float64{0: 1}, nil
 	}
-	keptChildren := make(map[model.ObjectID][]model.ObjectID)
-	for _, e := range plan.Edges {
-		keptChildren[e.From] = append(keptChildren[e.From], e.To)
-	}
+	keptChildren := groupPlanChildren(plan.Edges)
 	// dist[o] is the distribution of the number of matches in o's kept
 	// subtree given o exists.
-	dist := make(map[model.ObjectID]map[int]float64)
+	dist := make(map[model.ObjectID]map[int]float64, planSize(plan))
 	n := p.Len()
 	for o := range plan.Keep[n] {
 		dist[o] = map[int]float64{1: 1}

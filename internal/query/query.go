@@ -15,6 +15,7 @@ import (
 
 	"pxml/internal/algebra"
 	"pxml/internal/core"
+	"pxml/internal/graph"
 	"pxml/internal/model"
 	"pxml/internal/pathexpr"
 	"pxml/internal/sets"
@@ -143,11 +144,8 @@ func epsilonRoot(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, ta
 	if plan.IsEmpty() {
 		return 0, nil
 	}
-	keptChildren := make(map[model.ObjectID][]model.ObjectID)
-	for _, e := range plan.Edges {
-		keptChildren[e.From] = append(keptChildren[e.From], e.To)
-	}
-	eps := make(map[model.ObjectID]float64)
+	keptChildren := groupPlanChildren(plan.Edges)
+	eps := make(map[model.ObjectID]float64, planSize(plan))
 	n := p.Len()
 	for o := range plan.Keep[n] {
 		if success != nil {
@@ -192,4 +190,38 @@ func epsilonRoot(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, ta
 		e = 0
 	}
 	return e, nil
+}
+
+// groupPlanChildren groups a plan's kept edges by parent, carving every
+// per-parent slice out of one shared backing array: a counting pass sizes
+// each group, a placement pass fills it. The append-per-edge pattern this
+// replaces reallocated each parent's slice O(log fan-out) times, which
+// dominated the ε recursion's allocation profile on wide instances.
+func groupPlanChildren(edges []graph.Edge) map[model.ObjectID][]model.ObjectID {
+	counts := make(map[model.ObjectID]int, len(edges))
+	for _, e := range edges {
+		counts[e.From]++
+	}
+	backing := make([]model.ObjectID, 0, len(edges))
+	out := make(map[model.ObjectID][]model.ObjectID, len(counts))
+	for _, e := range edges {
+		s, ok := out[e.From]
+		if !ok {
+			n := counts[e.From]
+			s = backing[len(backing) : len(backing) : len(backing)+n]
+			backing = backing[:len(backing)+n]
+		}
+		out[e.From] = append(s, e.To)
+	}
+	return out
+}
+
+// planSize counts the kept objects across all plan levels (an upper bound
+// on how many ε values the recursion stores).
+func planSize(plan pathexpr.Plan) int {
+	n := 0
+	for _, level := range plan.Keep {
+		n += len(level)
+	}
+	return n
 }

@@ -1,0 +1,282 @@
+// Package rescache is a sharded, size-bounded LRU result cache with
+// singleflight collapse, built for memoizing query results keyed by
+// (instance version, query fingerprint). Concurrent lookups of the same
+// missing key share one computation: the first caller becomes the leader
+// and runs the compute function, later callers block until the leader
+// finishes and receive the same value (or error). Errors are never
+// cached — the next caller retries.
+//
+// The cache never returns a stale entry for a key it was given; staleness
+// is the caller's concern and is handled by versioned keys: embed a
+// monotonically increasing instance version in the key and bump it on
+// every mutation, so entries for the old version become unreachable and
+// age out of the LRU naturally.
+//
+// Sharding bounds lock contention: a key is hashed (FNV-1a) to one of a
+// power-of-two number of shards, each with its own mutex, LRU list, and
+// byte budget. All methods are safe for concurrent use.
+package rescache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used by New. Must be a power of two.
+const DefaultShards = 16
+
+// entryOverhead is the bookkeeping cost charged to every entry on top of
+// the caller-supplied cost, so a flood of tiny entries cannot blow the
+// budget through map/list overhead alone.
+const entryOverhead = 96
+
+// Cache is a sharded LRU byte-budgeted cache with singleflight collapse.
+type Cache struct {
+	shards []shard
+	mask   uint32
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	collapsed atomic.Int64 // lookups served by joining an in-flight compute
+}
+
+type shard struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	lru     *list.List // front = most recent
+	items   map[string]*list.Element
+	flights map[string]*flight
+}
+
+type entry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+// flight is one in-progress compute that concurrent callers share.
+type flight struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// New returns a cache bounded to roughly maxBytes across DefaultShards
+// shards. maxBytes < 1 yields a cache that stores nothing but still
+// collapses concurrent identical computes.
+func New(maxBytes int64) *Cache {
+	return NewSharded(maxBytes, DefaultShards)
+}
+
+// NewSharded is New with an explicit shard count, rounded up to the next
+// power of two (minimum 1). The byte budget is split evenly per shard.
+func NewSharded(maxBytes int64, shards int) *Cache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint32(n - 1)}
+	per := maxBytes / int64(n)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.budget = per
+		s.lru = list.New()
+		s.items = make(map[string]*list.Element)
+		s.flights = make(map[string]*flight)
+	}
+	return c
+}
+
+// fnv32a hashes the key for shard selection.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[fnv32a(key)&c.mask]
+}
+
+// Get returns the cached value for key, if present, promoting it to
+// most-recently-used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	v := el.Value.(*entry).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts (or replaces) key with the given value and cost. A cost
+// exceeding the shard budget is accepted and immediately evicted along
+// with everything else, so callers should skip storing oversized values
+// themselves when they can tell.
+func (c *Cache) Put(key string, v any, cost int64) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.insertLocked(c, key, v, cost)
+	s.mu.Unlock()
+}
+
+// Do returns the cached value for key, or computes it exactly once across
+// concurrent callers. compute returns (value, cost, err): on err the value
+// is handed to every waiting caller but never cached; on success the value
+// is cached unless cost is negative (the caller's "do not cache" signal —
+// still shared with concurrent waiters).
+func (c *Cache) Do(key string, compute func() (v any, cost int64, err error)) (any, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+		v := el.Value.(*entry).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		f.wg.Wait()
+		c.collapsed.Add(1)
+		c.hits.Add(1)
+		return f.val, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	s.flights[key] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	v, cost, err := compute()
+	f.val, f.err = v, err
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if err == nil && cost >= 0 {
+		s.insertLocked(c, key, v, cost)
+	}
+	s.mu.Unlock()
+	f.wg.Done()
+	return v, err
+}
+
+// insertLocked adds or replaces an entry and evicts LRU entries until the
+// shard is back under budget. Caller holds s.mu.
+func (s *shard) insertLocked(c *Cache, key string, v any, cost int64) {
+	if cost < 0 {
+		cost = 0
+	}
+	cost += entryOverhead
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		s.bytes += cost - e.cost
+		e.val, e.cost = v, cost
+		s.lru.MoveToFront(el)
+	} else {
+		e := &entry{key: key, val: v, cost: cost}
+		s.items[key] = s.lru.PushFront(e)
+		s.bytes += cost
+	}
+	for s.bytes > s.budget && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.items, e.key)
+		s.bytes -= e.cost
+		c.evictions.Add(1)
+	}
+}
+
+// Remove drops key from the cache, reporting whether it was present.
+// In-flight computes for the key are unaffected.
+func (c *Cache) Remove(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	s.lru.Remove(el)
+	delete(s.items, key)
+	s.bytes -= e.cost
+	return true
+}
+
+// Purge drops every cached entry (in-flight computes are unaffected).
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.lru.Init()
+		clear(s.items)
+		s.bytes = 0
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the total charged cost of cached entries (including the
+// per-entry overhead).
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time, JSON-encodable counter snapshot.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Collapsed int64 `json:"collapsed"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// Stats returns the cache's cumulative counters and current occupancy.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Collapsed: c.collapsed.Load(),
+		Entries:   c.Len(),
+		Bytes:     c.Bytes(),
+	}
+}

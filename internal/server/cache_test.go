@@ -1,0 +1,235 @@
+package server
+
+// Result-cache suite: the server memoizes scalar query answers keyed by
+// (instance version, statement), so the properties that matter are
+// invalidation — a Put or Delete must make stale answers unreachable
+// immediately — and transparency — a cached answer must be byte-identical
+// to a fresh evaluation, under any interleaving of mutations and queries,
+// and even when the backing store has degraded to read-only.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pxml/internal/core"
+	"pxml/internal/engine"
+	"pxml/internal/fixtures"
+	"pxml/internal/model"
+	"pxml/internal/prob"
+	"pxml/internal/sets"
+	"pxml/internal/store"
+	"pxml/internal/vfs"
+)
+
+// cacheStmts are scalar statements (no instance-valued results), so every
+// one of them is eligible for the result cache. They include tree-only
+// fast paths (VAL, COUNT, MARGINALS), so the fixtures below are trees.
+var cacheStmts = []string{
+	"PROB OBJECT A1",
+	"PROB EXISTS R.book.author",
+	"PROB VAL(R.book.title) = VQDB",
+	"PROB R.book = B1",
+	"COUNT R.book.author",
+	"STATS",
+	"MARGINALS",
+}
+
+// treeBib builds a tree-shaped bibliography whose T1 value distribution
+// puts vqdbP on "VQDB" — two different vqdbP values give two instances
+// whose cached answers must never be confused.
+func treeBib(t *testing.T, vqdbP float64) *core.ProbInstance {
+	t.Helper()
+	pi := core.NewProbInstance("R")
+	if err := pi.RegisterType(model.NewType("title-type", "VQDB", "Lore")); err != nil {
+		t.Fatal(err)
+	}
+	pi.SetLCh("R", "book", "B1", "B2")
+	w := prob.NewOPF()
+	w.Put(sets.NewSet("B1"), 0.3)
+	w.Put(sets.NewSet("B2"), 0.2)
+	w.Put(sets.NewSet("B1", "B2"), 0.5)
+	pi.SetOPF("R", w)
+	pi.SetLCh("B1", "author", "A1")
+	pi.SetLCh("B1", "title", "T1")
+	w1 := prob.NewOPF()
+	w1.Put(sets.NewSet(), 0.1)
+	w1.Put(sets.NewSet("A1"), 0.3)
+	w1.Put(sets.NewSet("T1"), 0.2)
+	w1.Put(sets.NewSet("A1", "T1"), 0.4)
+	pi.SetOPF("B1", w1)
+	pi.SetLCh("B2", "author", "A2")
+	w2 := prob.NewOPF()
+	w2.Put(sets.NewSet("A2"), 1)
+	pi.SetOPF("B2", w2)
+	if err := pi.SetLeafType("T1", "title-type"); err != nil {
+		t.Fatal(err)
+	}
+	v := prob.NewVPF()
+	v.Put("VQDB", vqdbP)
+	v.Put("Lore", 1-vqdbP)
+	pi.SetVPF("T1", v)
+	if err := pi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return pi
+}
+
+// runJSON executes one statement and returns the marshaled result, so
+// tests compare answers byte-for-byte rather than field-by-field.
+func runJSON(t *testing.T, eng *engine.Engine, stmt string) []byte {
+	t.Helper()
+	res, err := eng.Run(context.Background(), stmt)
+	if err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func TestResultCacheInvalidationOnPut(t *testing.T) {
+	s := New()
+	fig := treeBib(t, 0.6)
+	varied := treeBib(t, 0.9)
+	if err := s.Put("x", fig); err != nil {
+		t.Fatal(err)
+	}
+	const stmt = "PROB VAL(R.book.title) = VQDB" // answer differs between the two fixtures
+	eng, _ := s.Engine("x")
+	first := runJSON(t, eng, stmt)
+	if again := runJSON(t, eng, stmt); !bytes.Equal(first, again) {
+		t.Fatalf("cached answer diverged: %s vs %s", first, again)
+	}
+
+	if err := s.Put("x", varied); err != nil {
+		t.Fatal(err)
+	}
+	eng2, _ := s.Engine("x")
+	got := runJSON(t, eng2, stmt)
+	want := runJSON(t, engine.New(varied), stmt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after Put: got %s, want fresh %s", got, want)
+	}
+	if bytes.Equal(got, first) {
+		t.Fatalf("stale answer served after Put: %s", got)
+	}
+}
+
+func TestResultCacheInvalidationOnDelete(t *testing.T) {
+	s := New()
+	fig := treeBib(t, 0.6)
+	varied := treeBib(t, 0.9)
+	if err := s.Put("x", fig); err != nil {
+		t.Fatal(err)
+	}
+	const stmt = "PROB VAL(R.book.title) = VQDB"
+	eng, _ := s.Engine("x")
+	stale := runJSON(t, eng, stmt)
+
+	if ok, err := s.Delete("x"); !ok || err != nil {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, ok := s.Engine("x"); ok {
+		t.Fatal("engine survived Delete")
+	}
+	if err := s.Put("x", varied); err != nil {
+		t.Fatal(err)
+	}
+	eng2, _ := s.Engine("x")
+	got := runJSON(t, eng2, stmt)
+	want := runJSON(t, engine.New(varied), stmt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after Delete+Put: got %s, want %s", got, want)
+	}
+	if bytes.Equal(got, stale) {
+		t.Fatalf("stale answer served after Delete+Put: %s", got)
+	}
+}
+
+func TestResultCacheServesDegradedStore(t *testing.T) {
+	ffs := vfs.NewFaultFS(nil)
+	s, _, err := NewWithStore(t.TempDir(), store.Options{Fsync: store.FsyncAlways, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fig := fixtures.Figure2()
+	if err := s.Put("bib", fig); err != nil {
+		t.Fatal(err)
+	}
+	const stmt = "PROB OBJECT A1"
+	eng, _ := s.Engine("bib")
+	before := runJSON(t, eng, stmt)
+
+	// Degrade the store: writes fail, the served catalog must not change,
+	// and queries keep answering — from cache where possible.
+	ffs.FailAll(vfs.OpSync, "wal")
+	if err := s.Put("bib", fixtures.Figure2VariedLeaves()); !errors.Is(err, store.ErrDegraded) {
+		t.Fatalf("Put on degraded store = %v, want ErrDegraded", err)
+	}
+	eng2, _ := s.Engine("bib")
+	if eng2 != eng {
+		t.Fatal("rejected Put replaced the engine")
+	}
+	hitsBefore := eng.Metrics()["result_cache_hits"].(int64)
+	after := runJSON(t, eng, stmt)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("degraded store changed a query answer: %s vs %s", before, after)
+	}
+	if hits := eng.Metrics()["result_cache_hits"].(int64); hits <= hitsBefore {
+		t.Fatalf("query on degraded store missed the cache (hits %d -> %d)", hitsBefore, hits)
+	}
+	if !bytes.Equal(after, runJSON(t, engine.New(fig), stmt)) {
+		t.Fatal("cached answer diverged from fresh evaluation")
+	}
+}
+
+// TestResultCacheRandomizedInterleaving drives a random sequence of
+// Put/query/Delete operations and checks, at every query, that the
+// (possibly cached) answer is byte-identical to a fresh, uncached
+// evaluation against the instance currently installed.
+func TestResultCacheRandomizedInterleaving(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	s := New()
+	instances := []*core.ProbInstance{treeBib(t, 0.6), treeBib(t, 0.9)}
+	var cur *core.ProbInstance
+	queries := 0
+	for i := 0; i < 300; i++ {
+		switch op := r.Intn(10); {
+		case op < 2: // Put (replace or install)
+			cur = instances[r.Intn(len(instances))]
+			if err := s.Put("x", cur); err != nil {
+				t.Fatal(err)
+			}
+		case op == 2: // Delete
+			if _, err := s.Delete("x"); err != nil {
+				t.Fatal(err)
+			}
+			cur = nil
+		default: // Query
+			if cur == nil {
+				continue
+			}
+			eng, ok := s.Engine("x")
+			if !ok {
+				t.Fatal("instance missing")
+			}
+			stmt := cacheStmts[r.Intn(len(cacheStmts))]
+			got := runJSON(t, eng, stmt)
+			want := runJSON(t, engine.New(cur), stmt)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: %s: cached %s != fresh %s", i, stmt, got, want)
+			}
+			queries++
+		}
+	}
+	if queries < 100 {
+		t.Fatalf("only %d queries exercised; interleaving too thin", queries)
+	}
+}

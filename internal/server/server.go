@@ -52,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -64,11 +65,15 @@ import (
 	"pxml/internal/dot"
 	"pxml/internal/engine"
 	"pxml/internal/metrics"
+	"pxml/internal/rescache"
 	"pxml/internal/store"
 )
 
 // defaultMaxBody bounds instance-upload bodies unless SetMaxBody overrides.
 const defaultMaxBody = 64 << 20
+
+// defaultResultCacheBytes bounds the shared query-result cache.
+const defaultResultCacheBytes = 32 << 20
 
 // maxStatementBytes bounds a single pxql statement (or batch) body.
 const maxStatementBytes = 1 << 20
@@ -83,6 +88,13 @@ type Server struct {
 	dir     string       // legacy flat-file persistence; "" unless NewPersistentFiles
 	maxBody int64
 	log     *slog.Logger
+
+	// results memoizes scalar query answers across all instances; version
+	// feeds each engine's cache-key prefix so entries for a replaced
+	// instance become unreachable the moment Put installs the new engine.
+	results      *rescache.Cache
+	version      atomic.Uint64
+	queryWorkers int // batch worker bound per engine; 0 = engine default
 
 	started    time.Time
 	draining   atomic.Bool
@@ -105,6 +117,7 @@ func New() *Server {
 		maxBody: defaultMaxBody,
 		started: time.Now(),
 		reg:     metrics.NewRegistry(),
+		results: rescache.New(defaultResultCacheBytes),
 	}
 	s.requests = s.reg.Counter("http_requests")
 	s.errors = s.reg.Counter("http_errors")
@@ -147,6 +160,43 @@ func (s *Server) SetMaxInflight(n int) {
 	}
 }
 
+// SetQueryWorkers bounds each engine's batch worker pool; n < 1 selects
+// GOMAXPROCS. Existing engines are rebuilt with the new bound (their
+// derived-structure caches restart cold). Like the other Set* knobs,
+// call it before the handler starts serving.
+func (s *Server) SetQueryWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queryWorkers = n
+	for name, eng := range s.engines {
+		s.engines[name] = s.newEngine(name, eng.Instance())
+	}
+}
+
+// QueryWorkers returns the configured per-engine batch worker bound
+// (0 until SetQueryWorkers is called — the engine default applies).
+func (s *Server) QueryWorkers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queryWorkers
+}
+
+// newEngine wraps an instance in an engine wired to the shared result
+// cache under a fresh version prefix (the \x00 separator keeps any
+// name/statement pair from colliding with another prefix). Callers hold
+// s.mu or have exclusive access during construction.
+func (s *Server) newEngine(name string, pi *core.ProbInstance) *engine.Engine {
+	prefix := fmt.Sprintf("%s@%d\x00", name, s.version.Add(1))
+	opts := []engine.Option{engine.WithResultCache(s.results, prefix)}
+	if s.queryWorkers > 0 {
+		opts = append(opts, engine.WithWorkers(s.queryWorkers))
+	}
+	return engine.New(pi, opts...)
+}
+
 // SetDraining flips the readiness probe: a draining server answers 503
 // on /readyz so load balancers stop routing to it, while in-flight and
 // new requests still complete. Safe to call at any time.
@@ -172,13 +222,12 @@ func (s *Server) Put(name string, pi *core.ProbInstance) error {
 			return err
 		}
 		s.mu.Lock()
-		s.engines[name] = engine.New(pi)
+		s.engines[name] = s.newEngine(name, pi)
 		s.mu.Unlock()
 		return nil
 	}
-	eng := engine.New(pi)
 	s.mu.Lock()
-	s.engines[name] = eng
+	s.engines[name] = s.newEngine(name, pi)
 	s.mu.Unlock()
 	return s.persist(name, pi)
 }
@@ -215,6 +264,10 @@ func (s *Server) Delete(name string) (bool, error) {
 	_, ok := s.engines[name]
 	delete(s.engines, name)
 	s.mu.Unlock()
+	// Bump the version so any future engine for this name starts under a
+	// fresh cache prefix; the dropped engine's entries are already
+	// unreachable and will age out of the LRU.
+	s.version.Add(1)
 	if ok && s.store == nil {
 		s.unpersist(name)
 	}
@@ -439,7 +492,21 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, entries)
 }
 
+// updateRuntimeGauges refreshes the Go runtime gauges in the server
+// registry — heap occupancy, cumulative GC pause time, goroutine count —
+// so /metrics always reports a current reading.
+func (s *Server) updateRuntimeGauges() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("runtime_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	s.reg.Gauge("runtime_heap_sys_bytes").Set(int64(ms.HeapSys))
+	s.reg.Gauge("runtime_gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	s.reg.Gauge("runtime_num_gc").Set(int64(ms.NumGC))
+	s.reg.Gauge("runtime_goroutines").Set(int64(runtime.NumGoroutine()))
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.updateRuntimeGauges()
 	s.mu.RLock()
 	insts := make(map[string]any, len(s.engines))
 	for name, eng := range s.engines {
@@ -447,9 +514,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	payload := map[string]any{
-		"server":    s.reg.Snapshot(),
-		"uptime_s":  time.Since(s.started).Seconds(),
-		"instances": insts,
+		"server":       s.reg.Snapshot(),
+		"uptime_s":     time.Since(s.started).Seconds(),
+		"instances":    insts,
+		"result_cache": s.results.Stats(),
 	}
 	if s.store != nil {
 		payload["store"] = map[string]any{
@@ -690,7 +758,7 @@ func NewWithStore(dir string, opts store.Options) (*Server, *store.RecoveryRepor
 	}
 	s.store = st
 	for name, pi := range st.All() {
-		s.engines[name] = engine.New(pi)
+		s.engines[name] = s.newEngine(name, pi)
 	}
 	return s, report, nil
 }
@@ -735,7 +803,7 @@ func NewPersistentFiles(dir string) (*Server, error) {
 				"file", path, "quarantined_to", corrupt, "error", err)
 			continue
 		}
-		s.engines[name] = engine.New(pi)
+		s.engines[name] = s.newEngine(name, pi)
 	}
 	return s, nil
 }

@@ -357,12 +357,24 @@ func TestMetricsEndpoint(t *testing.T) {
 			} `json:"http_latency"`
 		} `json:"server"`
 		Instances map[string]struct {
-			Queries   int64 `json:"queries"`
-			CacheHits int64 `json:"cache_hits"`
+			Queries         int64 `json:"queries"`
+			CacheHits       int64 `json:"cache_hits"`
+			ResultCacheHits int64 `json:"result_cache_hits"`
 		} `json:"instances"`
+		ResultCache struct {
+			Hits    int64 `json:"hits"`
+			Entries int   `json:"entries"`
+		} `json:"result_cache"`
 	}
 	if err := json.Unmarshal([]byte(body), &m); err != nil {
 		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	// The runtime gauges land inside the server registry snapshot.
+	var raw struct {
+		Server map[string]json.RawMessage `json:"server"`
+	}
+	if err := json.Unmarshal([]byte(body), &raw); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
 	}
 	if m.Server.Requests < 6 || m.Server.Latency.Count < 6 {
 		t.Errorf("server counters too low: %+v", m.Server)
@@ -371,8 +383,21 @@ func TestMetricsEndpoint(t *testing.T) {
 	if bib.Queries != 5 {
 		t.Errorf("bib queries = %d, want 5", bib.Queries)
 	}
-	if bib.CacheHits == 0 {
-		t.Errorf("bib cache hits = 0 after repeated queries\n%s", body)
+	// Repeated identical statements are answered from some cache layer:
+	// the result cache short-circuits all but the first evaluation.
+	if bib.CacheHits+bib.ResultCacheHits == 0 {
+		t.Errorf("no cache hits after repeated queries\n%s", body)
+	}
+	if bib.ResultCacheHits != 4 {
+		t.Errorf("bib result cache hits = %d, want 4", bib.ResultCacheHits)
+	}
+	if m.ResultCache.Hits != 4 || m.ResultCache.Entries != 1 {
+		t.Errorf("result_cache = %+v, want 4 hits / 1 entry", m.ResultCache)
+	}
+	for _, gauge := range []string{"runtime_heap_alloc_bytes", "runtime_goroutines"} {
+		if _, ok := raw.Server[gauge]; !ok {
+			t.Errorf("metrics missing runtime gauge %s", gauge)
+		}
 	}
 }
 

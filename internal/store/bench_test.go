@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"pxml/internal/fixtures"
@@ -34,6 +35,35 @@ func benchmarkWALAppend(b *testing.B, policy FsyncPolicy) {
 
 func BenchmarkWALAppendFsyncAlways(b *testing.B) { benchmarkWALAppend(b, FsyncAlways) }
 func BenchmarkWALAppendFsyncNever(b *testing.B)  { benchmarkWALAppend(b, FsyncNever) }
+
+// benchmarkConcurrentPut is the workload group commit exists for: 16
+// writers hammering Put under fsync=always. With batching the writers'
+// records share WAL writes and fsyncs; with CommitBatch=1 every record
+// pays for its own.
+func benchmarkConcurrentPut(b *testing.B, opts Options) {
+	opts.Fsync = FsyncAlways
+	opts.CompactThreshold = -1
+	s := benchOpen(b, b.TempDir(), opts)
+	defer s.Close()
+	pi := fixtures.Figure2()
+	var id atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		name := fmt.Sprintf("w%d", id.Add(1))
+		for pb.Next() {
+			if err := s.Put(name, pi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkConcurrentPutGroupCommit(b *testing.B) { benchmarkConcurrentPut(b, Options{}) }
+func BenchmarkConcurrentPutNoBatch(b *testing.B) {
+	benchmarkConcurrentPut(b, Options{CommitBatch: 1})
+}
 
 // BenchmarkOpenReplay measures recovery over a WAL of put records.
 func BenchmarkOpenReplay(b *testing.B) {

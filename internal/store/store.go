@@ -69,6 +69,18 @@ type Options struct {
 	// background compaction; 0 means DefaultCompactThreshold, negative
 	// disables size-triggered compaction.
 	CompactThreshold int64
+	// CommitBatch bounds how many mutations one group commit may
+	// coalesce into a single WAL write + fsync. 0 means
+	// DefaultCommitBatch; 1 (or negative) disables batching — every
+	// mutation commits alone, the pre-group-commit behavior.
+	CommitBatch int
+	// CommitDelay is how long the committer waits for more mutations to
+	// join a batch after the first one arrives. 0 (the default) commits
+	// as soon as the already-queued mutations are drained, so batches
+	// form from concurrency alone and an uncontended write never stalls.
+	// Positive delays trade single-writer latency for bigger batches
+	// under light concurrency.
+	CommitDelay time.Duration
 	// Registry, when non-nil, receives the store_* counters.
 	Registry *metrics.Registry
 	// Logger, when non-nil, receives recovery and compaction reports.
@@ -83,12 +95,26 @@ type Options struct {
 // Options.CompactThreshold is zero.
 const DefaultCompactThreshold = 4 << 20
 
+// DefaultCommitBatch is the group-commit batch bound when
+// Options.CommitBatch is zero: how many queued mutations one WAL write +
+// fsync may absorb.
+const DefaultCommitBatch = 128
+
 const defaultFsyncEvery = 100 * time.Millisecond
+
+// commitQueueDepth is the committer's submission-channel capacity. It
+// only bounds how many waiting writers can queue without blocking on the
+// channel itself; correctness does not depend on it.
+const commitQueueDepth = 256
+
+// maxCommitScratch caps the committer's reusable frame buffer: a batch
+// that grew it past this is not kept around pinning memory.
+const maxCommitScratch = 4 << 20
 
 // Store names inside the data directory.
 const (
-	walName      = "wal.log"
-	snapshotName = "snapshot.pxs"
+	walName       = "wal.log"
+	snapshotName  = "snapshot.pxs"
 	quarantineDir = "quarantine"
 )
 
@@ -137,10 +163,48 @@ type Store struct {
 	compactErrsC   *metrics.Counter
 	bgRetries      *metrics.Counter
 	degradedG      *metrics.Gauge
+	commitBatches  *metrics.Counter
+	commitBatchSz  *metrics.IntHistogram
+
+	// Group commit: Put/Delete enqueue framed records on commits and a
+	// single committer goroutine coalesces them into one WAL write + one
+	// fsync per batch. submitWG tracks in-flight submissions so Close can
+	// wait for them before stopping the committer.
+	commits    chan *commitReq
+	commitDone chan struct{}
+	submitWG   sync.WaitGroup
+
+	// Committer-owned scratch (single goroutine, no locking).
+	commitBuf   []byte
+	commitBatch []*commitReq
 
 	stop chan struct{}
 	done chan struct{}
 	kick chan struct{}
+}
+
+// commitReq is one mutation waiting for its group commit. The payload is
+// the encoded record (not yet framed); done carries the batch outcome
+// back to the submitting goroutine. Requests and their payload buffers
+// are pooled — the submitter returns them after reading done.
+type commitReq struct {
+	op      byte
+	name    string
+	inst    *core.ProbInstance
+	payload []byte
+	done    chan error
+}
+
+var commitReqPool = sync.Pool{
+	New: func() any { return &commitReq{done: make(chan error, 1)} },
+}
+
+// freeCommitReq recycles a request once its submitter has the outcome.
+func freeCommitReq(req *commitReq) {
+	req.inst = nil
+	req.name = ""
+	req.payload = req.payload[:0]
+	commitReqPool.Put(req)
 }
 
 // Open opens (creating if necessary) the store in dir, runs crash
@@ -158,6 +222,12 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	if opts.CompactThreshold == 0 {
 		opts.CompactThreshold = DefaultCompactThreshold
 	}
+	if opts.CommitBatch == 0 {
+		opts.CommitBatch = DefaultCommitBatch
+	}
+	if opts.CommitBatch < 1 {
+		opts.CommitBatch = 1
+	}
 	if opts.FS == nil {
 		opts.FS = vfs.OS
 	}
@@ -165,13 +235,15 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir:       dir,
-		opts:      opts,
-		fs:        opts.FS,
-		instances: make(map[string]*core.ProbInstance),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		kick:      make(chan struct{}, 1),
+		dir:        dir,
+		opts:       opts,
+		fs:         opts.FS,
+		instances:  make(map[string]*core.ProbInstance),
+		commits:    make(chan *commitReq, commitQueueDepth),
+		commitDone: make(chan struct{}),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		kick:       make(chan struct{}, 1),
 	}
 	if reg := opts.Registry; reg != nil {
 		s.walAppends = reg.Counter("store_wal_appends")
@@ -182,6 +254,8 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		s.compactErrsC = reg.Counter("store_compact_errors")
 		s.bgRetries = reg.Counter("store_bg_retries")
 		s.degradedG = reg.Gauge("store_degraded")
+		s.commitBatches = reg.Counter("store_commit_batches")
+		s.commitBatchSz = reg.IntHistogram("store_commit_batch_size")
 	}
 	report, err := s.recover()
 	if err != nil {
@@ -216,6 +290,7 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		reg.Counter("store_recovery_quarantined").Add(int64(len(report.Quarantined)))
 		reg.Counter("store_recovery_truncated_bytes").Add(report.TruncatedBytes)
 	}
+	go s.committer()
 	go s.background()
 	return s, report, nil
 }
@@ -226,8 +301,10 @@ func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
 func (s *Store) Dir() string { return s.dir }
 
 // Put durably records name → pi and installs it in the catalog. The
-// instance is acknowledged once the WAL append returns (and, under
-// FsyncAlways, is on stable storage). A degraded store rejects Put with
+// write joins the next group commit: the committer goroutine coalesces
+// concurrent mutations into one WAL write + one fsync, and Put returns
+// only after its batch is appended (and, under FsyncAlways, on stable
+// storage) and the instance installed. A degraded store rejects Put with
 // an error matching ErrDegraded and leaves the catalog untouched.
 func (s *Store) Put(name string, pi *core.ProbInstance) error {
 	if name == "" {
@@ -236,35 +313,58 @@ func (s *Store) Put(name string, pi *core.ProbInstance) error {
 	if pi == nil {
 		return fmt.Errorf("store: nil instance %q", name)
 	}
-	payload := appendPutRecord(nil, name, pi)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.appendLocked(payload); err != nil {
-		return err
-	}
-	s.instances[name] = pi
-	s.maybeKickLocked()
-	return nil
+	req := commitReqPool.Get().(*commitReq)
+	req.op, req.name, req.inst = opPut, name, pi
+	req.payload = appendPutRecord(req.payload[:0], name, pi)
+	return s.submit(req)
 }
 
-// Delete durably removes name from the catalog. Deleting an absent name
-// is a no-op (and writes nothing). A degraded store rejects Delete with
-// an error matching ErrDegraded.
+// Delete durably removes name from the catalog via the same group-commit
+// path as Put. Deleting an absent name is a no-op (and writes nothing).
+// A degraded store rejects Delete with an error matching ErrDegraded.
 func (s *Store) Delete(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	if s.degraded {
-		return s.degradedErrLocked()
-	}
-	if _, ok := s.instances[name]; !ok {
-		return nil
-	}
-	if err := s.appendLocked(appendDeleteRecord(nil, name)); err != nil {
+		err := s.degradedErrLocked()
+		s.mu.RUnlock()
 		return err
 	}
-	delete(s.instances, name)
-	s.maybeKickLocked()
-	return nil
+	_, ok := s.instances[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	req := commitReqPool.Get().(*commitReq)
+	req.op, req.name, req.inst = opDelete, name, nil
+	req.payload = appendDeleteRecord(req.payload[:0], name)
+	return s.submit(req)
+}
+
+// submit hands one mutation to the committer and waits for its batch's
+// outcome. The closing check and the WaitGroup increment happen under
+// the same read lock Close writes `closing` under, so Close observes
+// every accepted submission before it stops the committer — a submitted
+// request is never abandoned.
+func (s *Store) submit(req *commitReq) error {
+	s.mu.RLock()
+	if s.closed || s.closing {
+		s.mu.RUnlock()
+		freeCommitReq(req)
+		return fmt.Errorf("store: closed")
+	}
+	if s.degraded {
+		err := s.degradedErrLocked()
+		s.mu.RUnlock()
+		freeCommitReq(req)
+		return err
+	}
+	s.submitWG.Add(1)
+	s.mu.RUnlock()
+	s.commits <- req
+	err := <-req.done
+	s.submitWG.Done()
+	freeCommitReq(req)
+	return err
 }
 
 // Get returns the named instance.
@@ -313,35 +413,129 @@ func (s *Store) WALSize() int64 {
 	return s.walBytes
 }
 
-// appendLocked frames payload onto the WAL, honoring the fsync policy.
-// Callers hold s.mu. An append or foreground-fsync failure degrades the
-// store: a short write can leave a torn frame at the tail, and after a
-// failed fsync the kernel may silently drop the dirty pages, so no later
-// append can be trusted — recovery on the next open truncates whatever
-// tail actually landed.
-func (s *Store) appendLocked(payload []byte) error {
-	if s.closed || s.closing {
+// committer is the single goroutine that drains the submission channel,
+// forms batches, and commits them. It exits on s.stop — Close waits for
+// in-flight submissions first, so the final drain below only mops up
+// requests that were already queued.
+func (s *Store) committer() {
+	defer close(s.commitDone)
+	for {
+		select {
+		case req := <-s.commits:
+			s.commitGroup(s.collectBatch(req))
+		case <-s.stop:
+			for {
+				select {
+				case req := <-s.commits:
+					s.commitGroup(s.collectBatch(req))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collectBatch grows a batch around the first request: it always drains
+// whatever is already queued, and with CommitDelay set it keeps waiting
+// for late joiners until the delay expires or the batch is full.
+func (s *Store) collectBatch(first *commitReq) []*commitReq {
+	batch := append(s.commitBatch[:0], first)
+	max := s.opts.CommitBatch
+	var timeout <-chan time.Time
+	if d := s.opts.CommitDelay; d > 0 && max > 1 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+collect:
+	for len(batch) < max {
+		select {
+		case req := <-s.commits:
+			batch = append(batch, req)
+			continue
+		default:
+		}
+		if timeout == nil {
+			break
+		}
+		select {
+		case req := <-s.commits:
+			batch = append(batch, req)
+		case <-timeout:
+			break collect
+		case <-s.stop:
+			break collect
+		}
+	}
+	return batch
+}
+
+// commitGroup frames the batch into one buffer, appends and (per policy)
+// fsyncs it as a single WAL write, installs the mutations, and fans the
+// outcome out to every waiter. An append or foreground-fsync failure
+// degrades the store and fails the whole batch: a short write can leave
+// a torn frame at the tail, and after a failed fsync the kernel may
+// silently drop the dirty pages, so no write in the batch can be trusted
+// — recovery on the next open truncates whatever tail actually landed.
+func (s *Store) commitGroup(batch []*commitReq) {
+	buf := s.commitBuf[:0]
+	for _, r := range batch {
+		buf = appendFrame(buf, r.payload)
+	}
+	s.mu.Lock()
+	err := s.commitLocked(buf, batch)
+	s.mu.Unlock()
+	for i, r := range batch {
+		r.done <- err
+		batch[i] = nil // don't pin pooled requests through the scratch slice
+	}
+	if cap(buf) <= maxCommitScratch {
+		s.commitBuf = buf[:0]
+	} else {
+		s.commitBuf = nil
+	}
+	s.commitBatch = batch[:0]
+}
+
+// commitLocked performs the WAL append + fsync + catalog install for one
+// batch. Callers hold s.mu. Install happens only after the bytes are
+// durable per the fsync policy (persist-before-install).
+func (s *Store) commitLocked(frames []byte, batch []*commitReq) error {
+	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
 	if s.degraded {
 		return s.degradedErrLocked()
 	}
-	frame := appendFrame(nil, payload)
-	if _, err := s.wal.Write(frame); err != nil {
+	if _, err := s.wal.Write(frames); err != nil {
 		return s.degradeLocked(fmt.Errorf("wal append: %w", err))
 	}
-	s.walBytes += int64(len(frame))
-	s.walRecords++
+	s.walBytes += int64(len(frames))
+	s.walRecords += int64(len(batch))
 	s.walDirty = true
 	if s.walAppends != nil {
-		s.walAppends.Inc()
-		s.walAppendBytes.Add(int64(len(frame)))
+		s.walAppends.Add(int64(len(batch)))
+		s.walAppendBytes.Add(int64(len(frames)))
+	}
+	if s.commitBatches != nil {
+		s.commitBatches.Inc()
+		s.commitBatchSz.Observe(int64(len(batch)))
 	}
 	if s.opts.Fsync == FsyncAlways {
 		if err := s.syncLocked(); err != nil {
 			return s.degradeLocked(err)
 		}
 	}
+	for _, r := range batch {
+		switch r.op {
+		case opPut:
+			s.instances[r.name] = r.inst
+		case opDelete:
+			delete(s.instances, r.name)
+		}
+	}
+	s.maybeKickLocked()
 	return nil
 }
 
@@ -471,11 +665,12 @@ func (s *Store) writeSnapshotLocked() error {
 	return nil
 }
 
-// Close stops background maintenance, flushes the WAL, and closes it.
-// The store is unusable afterwards. Close is idempotent and safe for
-// concurrent use; on a degraded store the final flush is skipped (the
-// WAL tail is already suspect — recovery cleans it up on the next open)
-// and only the close error, if any, is reported.
+// Close stops background maintenance, commits every in-flight write,
+// flushes the WAL, and closes it. The store is unusable afterwards.
+// Close is idempotent and safe for concurrent use; on a degraded store
+// the final flush is skipped (the WAL tail is already suspect — recovery
+// cleans it up on the next open) and only the close error, if any, is
+// reported.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closing {
@@ -484,7 +679,12 @@ func (s *Store) Close() error {
 	}
 	s.closing = true
 	s.mu.Unlock()
+	// New submissions are now rejected; wait for accepted ones to get
+	// their commit outcome (the committer is still running), then stop
+	// the committer and the maintenance loop.
+	s.submitWG.Wait()
 	close(s.stop)
+	<-s.commitDone
 	<-s.done
 
 	s.mu.Lock()
