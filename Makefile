@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults vet staticcheck cover clean
+.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke vet staticcheck cover clean
 
 all: check
 
@@ -70,6 +70,17 @@ fig7:
 # the hardened serving path, all under the race detector.
 faults:
 	$(GO) test -race -run 'Fault|Torn|Degrad|Injected|Retries|Healthz|Limiter|Bypass|Panic|Deadline|CloseReports' ./internal/vfs ./internal/store ./internal/server
+
+# Chaos soak: randomized Put/Delete traffic under randomized fault
+# schedules with kill-reopen cycles and online backups, asserting zero
+# acknowledged-write loss and byte-identical backup restores. Replay a
+# failure with PXML_SOAK_SEED=<seed from the log>.
+soak:
+	PXML_SOAK_CYCLES=150 $(GO) test -race -run TestChaosSoak -v -timeout 20m ./internal/store
+
+# Short chaos soak for CI: the same harness at the 25-cycle floor.
+soak-smoke:
+	PXML_SOAK_CYCLES=25 $(GO) test -race -run TestChaosSoak -v ./internal/store
 
 # Quick fuzz smoke for CI: a few seconds per fuzzer, catching gross
 # decoder/parser regressions without the cost of a long campaign.

@@ -1,0 +1,268 @@
+// pxmlbackup manages backups of a pxmld data directory: consistent
+// online backups, integrity verification, and restores — including
+// point-in-time recovery through a WAL segment archive.
+//
+//	pxmlbackup create -data /var/lib/pxmld /backups/monday
+//	pxmlbackup create -server http://127.0.0.1:8080 /backups/monday
+//	pxmlbackup verify /backups/monday
+//	pxmlbackup list /backups
+//	pxmlbackup restore -backup /backups/monday -data /var/lib/pxmld
+//	pxmlbackup restore -backup /backups/monday -data /var/lib/pxmld \
+//	    -archive /backups/wal-archive -to-time 2026-08-06T12:00:00Z -force
+//
+// create cuts a backup either through a running daemon (-server, which
+// issues POST /admin/backup so the daemon's store does the copying) or
+// directly from a data directory (-data; the store must not be open in a
+// daemon at the same time). The backup directory holds the snapshot, the
+// WAL segments, and a MANIFEST.json written last — a backup without a
+// valid manifest never verifies, so a half-written backup cannot be
+// mistaken for a good one.
+//
+// restore verifies the backup, stages the restored tree next to the
+// target, replays optional archived segments up to -to-offset (a seg:off
+// WAL position) or -to-time (RFC3339), proves the staged store opens
+// cleanly, and only then swaps it in. A non-empty target is refused
+// without -force; even with -force the old directory is renamed aside
+// and deleted only after the restored store has opened.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"pxml/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "create":
+		err = cmdCreate(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "restore":
+		err = cmdRestore(os.Args[2:])
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pxmlbackup: unknown command %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pxmlbackup:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  pxmlbackup create  (-data DIR | -server URL) BACKUPDIR
+  pxmlbackup verify  BACKUPDIR
+  pxmlbackup list    DIR
+  pxmlbackup restore -backup BACKUPDIR -data DIR
+                     [-archive DIR] [-to-offset SEG:OFF | -to-time RFC3339] [-force]
+`)
+	os.Exit(2)
+}
+
+func cmdCreate(args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	dataDir := fs.String("data", "", "data directory to back up directly (daemon must not be running)")
+	serverURL := fs.String("server", "", "base URL of a running pxmld; the daemon cuts the backup via POST /admin/backup")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("create needs exactly one backup directory argument")
+	}
+	dest, err := filepath.Abs(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	switch {
+	case (*dataDir == "") == (*serverURL == ""):
+		return errors.New("create needs exactly one of -data or -server")
+	case *serverURL != "":
+		man, err := serverBackup(*serverURL, dest)
+		if err != nil {
+			return err
+		}
+		printManifest(dest, man)
+		return nil
+	default:
+		s, report, err := store.Open(*dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		if report.Recovered == 0 && len(report.Quarantined) == 0 {
+			// Plausibly an empty or wrong directory; still a legal backup.
+			fmt.Fprintf(os.Stderr, "note: %s recovered no instances\n", *dataDir)
+		}
+		man, err := s.Backup(dest)
+		if err != nil {
+			return err
+		}
+		printManifest(dest, man)
+		return nil
+	}
+}
+
+// serverBackup asks a running daemon to back itself up into dest (a path
+// on the daemon's filesystem).
+func serverBackup(base, dest string) (*store.Manifest, error) {
+	u := strings.TrimSuffix(base, "/") + "/admin/backup?dir=" + url.QueryEscape(dest)
+	resp, err := http.Post(u, "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var man store.Manifest
+	if err := json.Unmarshal(body, &man); err != nil {
+		return nil, fmt.Errorf("decoding server manifest: %w", err)
+	}
+	return &man, nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("verify needs exactly one backup directory argument")
+	}
+	dir := fs.Arg(0)
+	man, err := store.VerifyBackup(nil, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: OK\n", dir)
+	printManifest(dir, man)
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("list needs exactly one directory argument")
+	}
+	root := fs.Arg(0)
+	// The directory itself may be a backup; otherwise list its children
+	// that are.
+	if man, err := store.ReadManifest(nil, root); err == nil {
+		listLine(root, man)
+		return nil
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		man, err := store.ReadManifest(nil, dir)
+		if err != nil {
+			continue
+		}
+		listLine(dir, man)
+		found++
+	}
+	if found == 0 {
+		return fmt.Errorf("no backups under %s", root)
+	}
+	return nil
+}
+
+func listLine(dir string, man *store.Manifest) {
+	var bytes int64
+	if man.Snapshot != nil {
+		bytes += man.Snapshot.Size
+	}
+	for _, mf := range man.Segments {
+		bytes += mf.Size
+	}
+	fmt.Printf("%s\t%s\t%d instances\tpos %s\t%d files\t%d bytes\n",
+		dir, man.CreatedAt, man.Instances, man.Pos, len(man.Segments)+boolToInt(man.Snapshot != nil), bytes)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmdRestore(args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	backupDir := fs.String("backup", "", "backup directory to restore from")
+	dataDir := fs.String("data", "", "data directory to restore into")
+	archiveDir := fs.String("archive", "", "WAL archive directory for point-in-time recovery past the backup")
+	toOffset := fs.String("to-offset", "", "stop replay at this WAL position (SEG:OFF, e.g. 3:4096)")
+	toTime := fs.String("to-time", "", "stop replay at this wall-clock instant (RFC3339; needs segments written with archiving on)")
+	force := fs.Bool("force", false, "allow restoring over a non-empty data directory (it is renamed aside and deleted only after the restored store opens cleanly)")
+	fs.Parse(args)
+	if fs.NArg() != 0 || *backupDir == "" || *dataDir == "" {
+		return errors.New("restore needs -backup and -data")
+	}
+	opts := store.RestoreOptions{Force: *force, ArchiveDir: *archiveDir}
+	if *toOffset != "" {
+		pos, err := store.ParsePos(*toOffset)
+		if err != nil {
+			return err
+		}
+		opts.ToPos = &pos
+	}
+	if *toTime != "" {
+		t, err := time.Parse(time.RFC3339, *toTime)
+		if err != nil {
+			return fmt.Errorf("-to-time: %w", err)
+		}
+		opts.ToTime = t
+	}
+	res, err := store.Restore(*backupDir, *dataDir, opts)
+	if err != nil {
+		if errors.Is(err, store.ErrRestoreNonEmpty) {
+			return fmt.Errorf("%w\n(re-run with -force to replace it)", err)
+		}
+		return err
+	}
+	fmt.Printf("restored %d instances into %s (WAL position %s)\n", res.Instances, *dataDir, res.Pos)
+	return nil
+}
+
+func printManifest(dir string, man *store.Manifest) {
+	fmt.Printf("backup %s\n", dir)
+	fmt.Printf("  created   %s\n", man.CreatedAt)
+	fmt.Printf("  position  %s\n", man.Pos)
+	fmt.Printf("  instances %d\n", man.Instances)
+	if man.Snapshot != nil {
+		fmt.Printf("  snapshot  %d bytes (crc32 %08x)\n", man.Snapshot.Size, man.Snapshot.CRC)
+	}
+	for _, mf := range man.Segments {
+		fmt.Printf("  segment   %s  %d bytes (crc32 %08x)\n", mf.Name, mf.Size, mf.CRC)
+	}
+}

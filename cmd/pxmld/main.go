@@ -40,8 +40,17 @@
 //	POST   /instances/{name}/query[?store=name]
 //	POST   /instances/{name}/batch
 //	GET    /metrics
+//	POST   /admin/backup
+//	POST   /admin/scrub
 //	GET    /healthz
 //	GET    /readyz
+//
+// Operational durability: -segment-size rotates the WAL into numbered
+// segments, -archive copies sealed segments into an archive directory
+// (the raw material for point-in-time recovery with pxmlbackup),
+// -scrub-interval re-verifies at-rest checksums in the background, and
+// POST /admin/backup cuts a consistent online backup while writes keep
+// flowing.
 //
 // Each instance is served through a query engine that caches its derived
 // structures across queries; GET /metrics exposes per-instance query and
@@ -92,6 +101,11 @@ func main() {
 	queryWorkers := flag.Int("query-workers", 0, "per-engine batch query worker bound (0 = GOMAXPROCS)")
 	commitBatch := flag.Int("commit-batch", 0, "max mutations coalesced into one WAL write+fsync (0 = default, 1 = no batching)")
 	commitDelay := flag.Duration("commit-delay", 0, "how long the committer lingers to fill a batch (0 = commit as soon as the queue drains)")
+	segmentSize := flag.Int64("segment-size", 0, "WAL segment rotation threshold in bytes (0 = default 1MiB, negative = rotate only on compaction)")
+	archiveDir := flag.String("archive", "", "archive sealed WAL segments into this directory for point-in-time recovery (see pxmlbackup)")
+	archiveRetention := flag.Int("archive-retention", 0, "keep at most this many archived segments, oldest pruned first (0 = keep all)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "verify one at-rest store file's checksums on this cadence; corruption degrades to read-only (0 = off)")
+	quarantineMax := flag.Int("quarantine-max", 0, "keep at most this many quarantined corrupt-region files (0 = default 64, negative = unbounded)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = off)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload an instance: name=file (repeatable)")
@@ -111,6 +125,11 @@ func main() {
 			SnapshotInterval: *snapshotEvery,
 			CommitBatch:      *commitBatch,
 			CommitDelay:      *commitDelay,
+			SegmentSize:      *segmentSize,
+			ArchiveDir:       *archiveDir,
+			ArchiveRetention: *archiveRetention,
+			ScrubInterval:    *scrubInterval,
+			QuarantineMax:    *quarantineMax,
 			Logger:           log.New(os.Stderr, "pxmld: ", 0),
 		}
 		var report *store.RecoveryReport

@@ -10,6 +10,7 @@
 //	SAVE <file>        save the current instance
 //	UNDO               restore the instance before the last algebra op
 //	METRICS            the current engine's query/cache counters
+//	HEALTH             the attached store's health snapshot (needs -data)
 //	HELP               statement summary
 //	QUIT / EXIT        leave
 //
@@ -17,21 +18,29 @@
 // current instance is held in a query engine, so repeated statements reuse
 // its cached path index, Bayesian network and marginals.
 //
+// With -data the shell attaches a durable store directory (the same
+// layout pxmld -data serves); HEALTH then reports degradation, WAL
+// position and size, scrub results, and quarantine counts — the
+// operator's offline view of a store's wellbeing.
+//
 // Usage:
 //
-//	pxmlshell [instance-file]
+//	pxmlshell [-data DIR] [instance-file]
 //	echo "PROB R.book = B1" | pxmlshell inst.pxml
+//	echo "HEALTH" | pxmlshell -data /var/lib/pxmld
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"pxml"
+	"pxml/internal/store"
 )
 
 // shellState is the engine-backed current/previous instance pair; each
@@ -46,19 +55,36 @@ func (st *shellState) setCur(pi *pxml.ProbInstance) {
 }
 
 func main() {
+	dataDir := flag.String("data", "", "attach a durable store directory (enables HEALTH)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pxmlshell [-data DIR] [instance-file]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
 	var st shellState
-	if len(os.Args) > 2 {
-		fmt.Fprintln(os.Stderr, "usage: pxmlshell [instance-file]")
+	if flag.NArg() > 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	if len(os.Args) == 2 {
-		pi, err := load(os.Args[1])
+	var catalog *store.Store
+	if *dataDir != "" {
+		s, report, err := store.Open(*dataDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pxmlshell:", err)
+			os.Exit(1)
+		}
+		catalog = s
+		defer catalog.Close()
+		fmt.Fprintf(os.Stderr, "attached store %s: %s\n", *dataDir, report)
+	}
+	if flag.NArg() == 1 {
+		pi, err := load(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pxmlshell:", err)
 			os.Exit(1)
 		}
 		st.cur = pxml.NewEngine(pi)
-		fmt.Fprintf(os.Stderr, "loaded %s (%d objects)\n", os.Args[1], pi.NumObjects())
+		fmt.Fprintf(os.Stderr, "loaded %s (%d objects)\n", flag.Arg(0), pi.NumObjects())
 	}
 	ctx := context.Background()
 
@@ -131,6 +157,18 @@ func main() {
 			}
 			fmt.Println(string(b))
 			continue
+		case "HEALTH":
+			if catalog == nil {
+				fmt.Fprintln(os.Stderr, "no store attached; run pxmlshell -data DIR")
+				continue
+			}
+			b, err := json.MarshalIndent(catalog.Health(), "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Println(string(b))
+			continue
 		}
 		if st.cur == nil {
 			fmt.Fprintln(os.Stderr, "no instance loaded; use LOAD <file>")
@@ -195,5 +233,5 @@ func printHelp() {
   PROB OBJECT <obj>                    existence marginal (DAG-capable)
   CHAIN <r.o1.o2...>                   chain probability over object ids
   COUNT <path> | MARGINALS | WORLDS [n] | TOPK n | STATS
-shell commands: LOAD <file>, SAVE <file>, UNDO, METRICS, HELP, QUIT`)
+shell commands: LOAD <file>, SAVE <file>, UNDO, METRICS, HEALTH, HELP, QUIT`)
 }

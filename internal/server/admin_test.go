@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"pxml/internal/fixtures"
+	"pxml/internal/store"
+)
+
+func TestAdminBackupEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("bib", fixtures.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// No destination → 400.
+	resp, body := do(t, "POST", ts.URL+"/admin/backup", "", "application/json")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("backup without dir: status %d: %s", resp.StatusCode, body)
+	}
+
+	bdir := filepath.Join(t.TempDir(), "bkup")
+	resp, body = do(t, "POST", ts.URL+"/admin/backup", `{"dir": "`+bdir+`"}`, "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("backup: status %d: %s", resp.StatusCode, body)
+	}
+	var man store.Manifest
+	if err := json.Unmarshal([]byte(body), &man); err != nil {
+		t.Fatalf("backup response not a manifest: %v (%s)", err, body)
+	}
+	if man.Instances != 1 || man.Format != store.ManifestFormat {
+		t.Fatalf("implausible manifest from endpoint: %+v", man)
+	}
+	if _, err := store.VerifyBackup(nil, bdir); err != nil {
+		t.Fatalf("endpoint backup fails verification: %v", err)
+	}
+
+	// The backup restores to a working catalog.
+	target := filepath.Join(t.TempDir(), "restored")
+	if _, err := store.Restore(bdir, target, store.RestoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewPersistent(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if pi, ok := r.Get("bib"); !ok || pi.NumObjects() != 11 {
+		t.Fatalf("restored bib = %v", pi)
+	}
+
+	// Backing up into the same (now non-empty) directory fails cleanly.
+	resp, body = do(t, "POST", ts.URL+"/admin/backup?dir="+bdir, "", "application/json")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("backup into non-empty dir: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestAdminBackupWithoutStore(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := do(t, "POST", ts.URL+"/admin/backup?dir=/tmp/x", "", "application/json")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("backup on memory-only server: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, "POST", ts.URL+"/admin/scrub", "", "application/json")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("scrub on memory-only server: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestAdminScrubEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("bib", fixtures.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := do(t, "POST", ts.URL+"/admin/scrub", "", "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrub: status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -315,6 +315,8 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("POST /instances/{name}/query", s.handleQuery)
 	api.HandleFunc("POST /instances/{name}/batch", s.handleBatch)
 	api.HandleFunc("GET /metrics", s.handleMetrics)
+	api.HandleFunc("POST /admin/backup", s.handleBackup)
+	api.HandleFunc("POST /admin/scrub", s.handleScrub)
 
 	root := http.NewServeMux()
 	root.HandleFunc("GET /healthz", s.handleHealthz)
@@ -624,6 +626,68 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleBackup takes an online backup of the durable store into the
+// directory named by the request. The path is interpreted on the
+// server's filesystem and must be empty or absent; writes keep flowing
+// while the backup is cut (see store.Backup). The response is the
+// backup's manifest — everything a later pxmlbackup verify/restore needs
+// to know about what was captured.
+func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("server has no durable store to back up"))
+		return
+	}
+	var req struct {
+		Dir string `json:"dir"`
+	}
+	req.Dir = r.URL.Query().Get("dir")
+	if r.Body != nil && req.Dir == "" {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStatementBytes))
+		if err != nil {
+			httpError(w, decodeStatus(err), err)
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("decode backup request: %w", err))
+				return
+			}
+		}
+	}
+	if req.Dir == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("backup needs a destination directory (?dir= or JSON {\"dir\": ...})"))
+		return
+	}
+	man, err := s.store.Backup(req.Dir)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if s.log != nil {
+		s.log.Info("backup complete", "dir", req.Dir, "instances", man.Instances, "pos", man.Pos.String())
+	}
+	writeJSON(w, http.StatusOK, man)
+}
+
+// handleScrub runs a synchronous full verification pass over the store's
+// at-rest files. Corruption degrades the store (readyz flips) and comes
+// back as a 500 so the caller knows restoration is now the job at hand.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("server has no durable store to scrub"))
+		return
+	}
+	if err := s.store.Scrub(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	h := s.store.Health()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"scrub_passes": h.ScrubPasses,
+	})
 }
 
 func (s *Server) handleDot(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"pxml/internal/vfs"
+)
+
+// WAL archiving. When Options.ArchiveDir is set, every sealed segment is
+// hard-linked (or, across filesystems, durably copied) into the archive
+// directory under its canonical name before compaction is allowed to
+// delete the local copy. The archive plus a base backup is what
+// point-in-time recovery replays: Restore cuts the archived record
+// stream at a WAL position or a commit-stamp wall-clock time (see
+// backup.go). Archive failures are retried from the background loop and
+// never degrade the store — losing the archive costs recovery points,
+// not acknowledged writes.
+
+// archivePending archives every sealed local segment that is not yet in
+// the archive, then applies retention. Called from the background
+// goroutine on rotation kicks and on the retry ticker.
+func (s *Store) archivePending() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.opts.ArchiveDir == "" {
+		return
+	}
+	if err := s.archiveSealedLocked(); err != nil {
+		s.noteErrLocked(&s.archiveErrs, s.archiveErrsC, fmt.Errorf("store: archive: %w", err))
+		return
+	}
+	if err := s.pruneArchiveLocked(); err != nil {
+		s.noteErrLocked(&s.archiveErrs, s.archiveErrsC, fmt.Errorf("store: archive retention: %w", err))
+	}
+}
+
+// archiveSealedLocked copies every not-yet-archived sealed segment into
+// the archive, oldest first, stopping at the first failure so the
+// archive never has a gap followed by newer segments. A segment already
+// present with the right size (a previous attempt that crashed after the
+// copy, or a sibling store sharing the archive) counts as archived.
+// Callers hold s.mu; a nil return means every sealed segment is safely
+// in the archive.
+func (s *Store) archiveSealedLocked() error {
+	if s.opts.ArchiveDir == "" {
+		return nil
+	}
+	var have map[uint64]int64 // archived sizes, listed lazily
+	for i := range s.sealed {
+		si := &s.sealed[i]
+		if si.archived {
+			continue
+		}
+		if have == nil {
+			have = s.archivedSizes()
+		}
+		if sz, ok := have[si.n]; ok && sz == si.size {
+			si.archived = true
+			continue
+		}
+		src := s.path(segmentFile(si.n))
+		dst := filepath.Join(s.opts.ArchiveDir, segmentFile(si.n))
+		if err := vfs.LinkOrCopy(s.fs, src, dst); err != nil {
+			return fmt.Errorf("segment %d: %w", si.n, err)
+		}
+		si.archived = true
+		if s.archivedSegs != nil {
+			s.archivedSegs.Inc()
+		}
+		if s.opts.Logger != nil {
+			s.opts.Logger.Printf("store: archived %s", segmentFile(si.n))
+		}
+	}
+	return nil
+}
+
+// archivedSizes lists the archive's segment files with their sizes. A
+// listing failure just means nothing can be skipped; the copies below
+// will surface any real I/O problem.
+func (s *Store) archivedSizes() map[uint64]int64 {
+	have := make(map[uint64]int64)
+	entries, err := s.fs.ReadDir(s.opts.ArchiveDir)
+	if err != nil {
+		return have
+	}
+	for _, e := range entries {
+		n, ok := parseSegmentFile(e.Name())
+		if !ok {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue
+		}
+		have[n] = info.Size()
+	}
+	return have
+}
+
+// pruneArchiveLocked enforces Options.ArchiveRetention by deleting the
+// oldest archived segments beyond the cap. Retention bounds disk, at the
+// documented cost of how far back point-in-time recovery can reach.
+func (s *Store) pruneArchiveLocked() error {
+	if s.opts.ArchiveRetention <= 0 {
+		return nil
+	}
+	segs, err := listSegments(s.fs, s.opts.ArchiveDir)
+	if err != nil {
+		return err
+	}
+	for len(segs) > s.opts.ArchiveRetention {
+		victim := segs[0]
+		if err := s.fs.Remove(filepath.Join(s.opts.ArchiveDir, segmentFile(victim))); err != nil {
+			return fmt.Errorf("segment %d: %w", victim, err)
+		}
+		if s.opts.Logger != nil {
+			s.opts.Logger.Printf("store: archive retention dropped %s", segmentFile(victim))
+		}
+		segs = segs[1:]
+	}
+	return nil
+}

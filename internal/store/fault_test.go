@@ -138,7 +138,8 @@ func TestCompactFaultMatrix(t *testing.T) {
 		{"snapshot fsync fails", vfs.Rule{Op: vfs.OpSync, Path: snapshotName + ".tmp-"}},
 		{"snapshot rename fails", vfs.Rule{Op: vfs.OpRename, Path: snapshotName}},
 		{"dir fsync fails", vfs.Rule{Op: vfs.OpSyncDir}},
-		{"wal truncate fails", vfs.Rule{Op: vfs.OpTruncate, Path: walName}},
+		{"sealed segment remove fails", vfs.Rule{Op: vfs.OpRemove, Path: segPrefix}},
+		{"rotation open fails", vfs.Rule{Op: vfs.OpOpenAppend, Path: segPrefix}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -218,7 +219,7 @@ func TestTornWALWriteRecoveryMatrix(t *testing.T) {
 			fig := fixtures.Figure2()
 			mustPut(t, s, "keep", fig)
 
-			ffs.Inject(vfs.Rule{Op: vfs.OpWrite, Path: walName, ShortWrite: cut, Times: 1})
+			ffs.Inject(vfs.Rule{Op: vfs.OpWrite, Path: segPrefix, ShortWrite: cut, Times: 1})
 			err := s.Put("torn", fixtures.Figure2VariedLeaves())
 			if !errors.Is(err, ErrDegraded) {
 				t.Fatalf("torn Put = %v, want ErrDegraded", err)
@@ -270,7 +271,7 @@ func TestInjectedWriteLatencyDoesNotCorrupt(t *testing.T) {
 	dir := t.TempDir()
 	ffs := vfs.NewFaultFS(nil)
 	s, _ := open(t, dir, Options{Fsync: FsyncAlways, FS: ffs})
-	ffs.Inject(vfs.Rule{Op: vfs.OpWrite, Path: walName, Delay: 30 * time.Millisecond, Times: 1})
+	ffs.Inject(vfs.Rule{Op: vfs.OpWrite, Path: segPrefix, Delay: 30 * time.Millisecond, Times: 1})
 
 	start := time.Now()
 	mustPut(t, s, "slow", fixtures.Figure2())

@@ -30,11 +30,27 @@ type Health struct {
 	Instances  int   `json:"instances"`
 	WALBytes   int64 `json:"wal_bytes"`
 	WALRecords int64 `json:"wal_records"`
+	// WALSegments counts local segment files (sealed plus active);
+	// WALPos is the current append position ("seg:off").
+	WALSegments int    `json:"wal_segments"`
+	WALPos      string `json:"wal_pos"`
 	// FsyncErrors and CompactErrors count failed WAL flushes and failed
 	// snapshot compactions (including retried transients that later
-	// succeeded).
+	// succeeded); RotateErrors and ArchiveErrors count failed segment
+	// rotations and failed archive copies (both retried, not fatal).
 	FsyncErrors   int64 `json:"fsync_errors"`
 	CompactErrors int64 `json:"compact_errors"`
+	RotateErrors  int64 `json:"rotate_errors,omitempty"`
+	ArchiveErrors int64 `json:"archive_errors,omitempty"`
+	// ScrubPasses counts completed scrub passes over the at-rest files;
+	// ScrubCorruptions counts checksum mismatches the scrubber found (any
+	// nonzero count has also degraded the store). ScrubLastAt is when the
+	// last pass finished.
+	ScrubPasses      int64  `json:"scrub_passes"`
+	ScrubCorruptions int64  `json:"scrub_corruptions"`
+	ScrubLastAt      string `json:"scrub_last_at,omitempty"`
+	// QuarantineFiles is how many corrupt-region files quarantine/ holds.
+	QuarantineFiles int `json:"quarantine_files"`
 	// LastError is the most recent maintenance or write error observed,
 	// degraded or not.
 	LastError   string `json:"last_error,omitempty"`
@@ -46,14 +62,24 @@ func (s *Store) Health() Health {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	h := Health{
-		Degraded:      s.degraded,
-		Reason:        s.degradeCause,
-		Instances:     len(s.instances),
-		WALBytes:      s.walBytes,
-		WALRecords:    s.walRecords,
-		FsyncErrors:   s.fsyncErrs,
-		CompactErrors: s.compactErrs,
-		LastError:     s.lastErr,
+		Degraded:         s.degraded,
+		Reason:           s.degradeCause,
+		Instances:        len(s.instances),
+		WALBytes:         s.walTotal,
+		WALRecords:       s.walRecords,
+		WALSegments:      len(s.sealed) + 1,
+		WALPos:           Pos{Seg: s.seg, Off: s.walBytes}.String(),
+		FsyncErrors:      s.fsyncErrs,
+		CompactErrors:    s.compactErrs,
+		RotateErrors:     s.rotateErrs,
+		ArchiveErrors:    s.archiveErrs,
+		ScrubPasses:      s.scrubPasses,
+		ScrubCorruptions: s.scrubCorruptions,
+		QuarantineFiles:  s.quarantineFiles,
+		LastError:        s.lastErr,
+	}
+	if !s.scrubLastAt.IsZero() {
+		h.ScrubLastAt = s.scrubLastAt.UTC().Format(time.RFC3339Nano)
 	}
 	if !s.degradedAt.IsZero() {
 		h.DegradedSince = s.degradedAt.UTC().Format(time.RFC3339Nano)
@@ -81,6 +107,9 @@ func (s *Store) degradeLocked(cause error) error {
 		if s.degradedG != nil {
 			s.degradedG.Set(1)
 		}
+		// Wake any Compact parked behind an online backup; it will see
+		// the degraded flag and bail out.
+		s.backupsDone.Broadcast()
 		if s.opts.Logger != nil {
 			s.opts.Logger.Printf("store: DEGRADED, serving read-only: %v", cause)
 		}

@@ -14,17 +14,34 @@ import (
 //
 // where body is the pxml-bin/1 encoding of the instance for opPut and
 // empty for opDelete. Snapshot files contain only opPut records; the WAL
-// contains both.
+// contains both, plus — when WAL archiving is enabled — opStamp commit
+// markers:
+//
+//	op (1 byte = 3) | unix nanoseconds (int64 LE)
+//
+// The committer writes one stamp ahead of each group commit so archived
+// segments carry the wall-clock trail point-in-time recovery cuts on.
+// Replay ignores stamps; they never change catalog state.
 const (
 	opPut    = byte(1)
 	opDelete = byte(2)
+	opStamp  = byte(3)
 )
 
-// record is one decoded catalog mutation.
+// record is one decoded catalog mutation (or, for opStamp, a commit-time
+// marker with ts set and no name/instance).
 type record struct {
 	op   byte
 	name string
 	inst *core.ProbInstance
+	ts   int64 // unix nanoseconds; opStamp only
+}
+
+// appendStampRecord appends an opStamp payload for the given unix-nano
+// commit time to buf.
+func appendStampRecord(buf []byte, unixNano int64) []byte {
+	buf = append(buf, opStamp)
+	return binary.LittleEndian.AppendUint64(buf, uint64(unixNano))
 }
 
 // appendPutRecord appends an opPut payload for (name, pi) to buf.
@@ -51,6 +68,12 @@ func decodeRecord(payload []byte) (record, error) {
 		return record{}, fmt.Errorf("store: empty record payload")
 	}
 	op := payload[0]
+	if op == opStamp {
+		if len(payload) != 9 {
+			return record{}, fmt.Errorf("store: stamp record is %d bytes, want 9", len(payload))
+		}
+		return record{op: opStamp, ts: int64(binary.LittleEndian.Uint64(payload[1:]))}, nil
+	}
 	n, k := binary.Uvarint(payload[1:])
 	if k <= 0 || n > uint64(len(payload)-1-k) {
 		return record{}, fmt.Errorf("store: malformed record name length")

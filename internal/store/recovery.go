@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"pxml/internal/codec"
 )
@@ -42,15 +44,19 @@ type RecoveryReport struct {
 	// TruncatedBytes is the length of the torn WAL tail dropped (an
 	// append cut short by a crash).
 	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// Segments is how many WAL segment files recovery replayed.
+	Segments int `json:"segments,omitempty"`
 	// MigratedLegacy counts legacy .pxml text files folded into the
-	// log-structured layout.
-	MigratedLegacy int `json:"migrated_legacy,omitempty"`
+	// log-structured layout; MigratedWAL reports a pre-segmentation
+	// single-file wal.log replayed and retired.
+	MigratedLegacy int  `json:"migrated_legacy,omitempty"`
+	MigratedWAL    bool `json:"migrated_wal,omitempty"`
 }
 
 // dirty reports whether recovery changed or repaired on-disk state, which
 // Open follows with an immediate compaction.
 func (r *RecoveryReport) dirty() bool {
-	return len(r.Quarantined) > 0 || r.TruncatedBytes > 0 || r.MigratedLegacy > 0
+	return len(r.Quarantined) > 0 || r.TruncatedBytes > 0 || r.MigratedLegacy > 0 || r.MigratedWAL
 }
 
 // String renders a one-line summary for startup logs.
@@ -67,26 +73,62 @@ func (r *RecoveryReport) String() string {
 	if r.MigratedLegacy > 0 {
 		fmt.Fprintf(&b, ", migrated %d legacy files", r.MigratedLegacy)
 	}
+	if r.MigratedWAL {
+		b.WriteString(", migrated legacy wal")
+	}
 	return b.String()
 }
 
-// recover rebuilds the in-memory catalog: snapshot first, then the WAL
-// replayed over it. Corrupt records are quarantined, a torn WAL tail is
+// recover rebuilds the in-memory catalog: snapshot first, then a legacy
+// single-file WAL (if one survives from the pre-segmentation layout),
+// then every WAL segment in ascending order. Corrupt records are
+// quarantined, a torn tail on a file that was being appended to is
 // truncated, and a legacy flat-file directory is migrated. Only I/O
 // failures (not data corruption) abort recovery.
 func (s *Store) recover() (*RecoveryReport, error) {
 	report := &RecoveryReport{}
-	if err := s.recoverFile(snapshotName, "snapshot", &report.SnapshotRecords, report); err != nil {
+	if _, _, err := s.recoverFile(snapshotName, "snapshot", false, &report.SnapshotRecords, report); err != nil {
 		return nil, err
 	}
-	if err := s.recoverFile(walName, "wal", &report.WALRecords, report); err != nil {
+	// A pre-segmentation wal.log predates every segment, so it replays
+	// right after the snapshot. It is retired (snapshotted into the new
+	// layout, then deleted) by the post-recovery compaction.
+	if _, found, err := s.recoverFile(legacyWALName, "wal", true, &report.WALRecords, report); err != nil {
 		return nil, err
+	} else if found {
+		report.MigratedWAL = true
+		s.legacyMigrated = append(s.legacyMigrated, s.path(legacyWALName))
 	}
-	if report.SnapshotRecords == 0 && report.WALRecords == 0 && len(report.Quarantined) == 0 {
+	segs, err := listSegments(s.fs, s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for i, n := range segs {
+		// Only the highest-numbered segment was being appended to at the
+		// time of a crash, so only it gets the truncate-the-torn-tail
+		// policy; a torn tail on a sealed segment is real damage and is
+		// quarantined instead.
+		last := i == len(segs)-1
+		source := strings.TrimSuffix(segmentFile(n), segSuffix)
+		size, _, err := s.recoverFile(segmentFile(n), source, last, &report.WALRecords, report)
+		if err != nil {
+			return nil, err
+		}
+		report.Segments++
+		if last {
+			s.seg = n
+		} else {
+			s.sealed = append(s.sealed, segInfo{n: n, size: size})
+		}
+	}
+	if report.SnapshotRecords == 0 && report.WALRecords == 0 && len(report.Quarantined) == 0 && !report.MigratedWAL {
 		if err := s.migrateLegacy(report); err != nil {
 			return nil, err
 		}
 	}
+	// Pick up quarantine files left by earlier runs so the cap and the
+	// gauge reflect the directory, not just this recovery.
+	s.pruneQuarantine()
 	report.Recovered = len(s.instances)
 	if s.opts.Logger != nil {
 		s.opts.Logger.Printf("store: %s", report)
@@ -94,57 +136,62 @@ func (s *Store) recover() (*RecoveryReport, error) {
 	return report, nil
 }
 
-// recoverFile replays one frame file into the catalog. For the WAL it
-// also truncates a torn tail in place; for the snapshot a torn tail is
-// quarantined like any other corruption (snapshots are written through a
-// temp file, so a short snapshot means real damage, not a mid-append
-// crash).
-func (s *Store) recoverFile(fileName, source string, nRecords *int, report *RecoveryReport) error {
+// recoverFile replays one frame file into the catalog, reporting its
+// (post-truncation) size and whether it existed. With truncateTail set —
+// the file was being appended to when the process died — a trailing
+// region with no later frame to resync on is dropped in place: that is
+// the signature of an append cut short by a crash. Otherwise a torn tail
+// is quarantined like any other corruption (snapshots and sealed
+// segments are never appended to, so a short tail means real damage).
+func (s *Store) recoverFile(fileName, source string, truncateTail bool, nRecords *int, report *RecoveryReport) (int64, bool, error) {
 	data, err := s.fs.ReadFile(s.path(fileName))
 	if os.IsNotExist(err) {
-		return nil
+		return 0, false, nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return 0, false, fmt.Errorf("store: %w", err)
 	}
 	res, err := scanFrames(data, func(off int64, payload []byte) error {
 		rec, derr := decodeRecord(payload)
 		if derr != nil {
 			return s.quarantine(source, off, payload, derr, report)
 		}
-		*nRecords++
 		switch rec.op {
 		case opPut:
+			*nRecords++
 			s.instances[rec.name] = rec.inst
 		case opDelete:
+			*nRecords++
 			delete(s.instances, rec.name)
+		case opStamp:
+			// Commit-time wall-clock marker; no catalog effect.
 		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	for _, bad := range res.Bad {
 		if err := s.quarantine(source, bad.Off, bad.Data, bad.Err, report); err != nil {
-			return err
+			return 0, false, err
 		}
 	}
+	size := int64(len(data))
 	if res.TornTail > 0 {
-		if source == "wal" {
-			// A tail with no later frame to resync on is the signature
-			// of an append cut short by a crash: drop it.
+		if truncateTail {
 			if err := s.fs.Truncate(s.path(fileName), res.CleanLen); err != nil {
-				return fmt.Errorf("store: truncate torn wal tail: %w", err)
+				return 0, false, fmt.Errorf("store: truncate torn wal tail: %w", err)
 			}
 			report.TruncatedBytes += res.TornTail
+			size = res.CleanLen
 		} else {
-			tailOff := int64(len(data)) - res.TornTail
-			if err := s.quarantine(source, tailOff, data[tailOff:], fmt.Errorf("store: undecodable snapshot tail"), report); err != nil {
-				return err
+			tailOff := size - res.TornTail
+			if err := s.quarantine(source, tailOff, data[tailOff:], fmt.Errorf("store: undecodable %s tail", source), report); err != nil {
+				return 0, false, err
 			}
 		}
 	}
-	return nil
+	return size, true, nil
 }
 
 // quarantine preserves a corrupt byte region under quarantine/ and logs
@@ -168,7 +215,50 @@ func (s *Store) quarantine(source string, off int64, data []byte, cause error, r
 	if s.opts.Logger != nil {
 		s.opts.Logger.Printf("store: quarantined %d corrupt bytes from %s@%d to %s: %v", len(data), source, off, path, cause)
 	}
+	s.pruneQuarantine()
 	return nil
+}
+
+// pruneQuarantine bounds quarantine/ to Options.QuarantineMax files,
+// evicting oldest-first by modification time, and refreshes the file
+// count the health snapshot and store_quarantine_files gauge report.
+// Keeping evidence of corruption is worth disk space only up to a point:
+// a store that keeps hitting damage must not fill the volume with it.
+// Eviction failures are ignored — the next quarantine retries.
+func (s *Store) pruneQuarantine() {
+	qdir := s.path(quarantineDir)
+	entries, err := s.fs.ReadDir(qdir)
+	if err != nil {
+		return
+	}
+	if max := s.opts.QuarantineMax; max > 0 && len(entries) > max {
+		sort.Slice(entries, func(i, j int) bool {
+			return quarantineModTime(entries[i]).Before(quarantineModTime(entries[j]))
+		})
+		for _, e := range entries[:len(entries)-max] {
+			if rerr := s.fs.Remove(filepath.Join(qdir, e.Name())); rerr != nil {
+				continue
+			}
+			if s.opts.Logger != nil {
+				s.opts.Logger.Printf("store: quarantine over %d-file cap, evicted oldest %s", max, e.Name())
+			}
+		}
+		if entries, err = s.fs.ReadDir(qdir); err != nil {
+			return
+		}
+	}
+	s.quarantineFiles = len(entries)
+	if s.quarantineG != nil {
+		s.quarantineG.Set(int64(len(entries)))
+	}
+}
+
+func quarantineModTime(e os.DirEntry) time.Time {
+	info, err := e.Info()
+	if err != nil {
+		return time.Time{}
+	}
+	return info.ModTime()
 }
 
 // migrateLegacy folds a pre-WAL data directory of per-instance .pxml

@@ -8,7 +8,19 @@ import (
 
 	"pxml/internal/codec"
 	"pxml/internal/fixtures"
+	"pxml/internal/vfs"
 )
+
+// activeSegmentPath returns the highest-numbered WAL segment in dir —
+// the file a crashed store was appending to.
+func activeSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(vfs.OS, dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments in %s (err=%v)", dir, err)
+	}
+	return filepath.Join(dir, segmentFile(segs[len(segs)-1]))
+}
 
 func appendToFile(t *testing.T, path string, data []byte) {
 	t.Helper()
@@ -34,7 +46,7 @@ func TestRecoveryTruncatesTornWALTail(t *testing.T) {
 	// A crash mid-append leaves a frame prefix with no later magic to
 	// resync on: the tail must be dropped, not quarantined.
 	torn := appendFrame(nil, appendPutRecord(nil, "c", fixtures.Figure2()))
-	appendToFile(t, filepath.Join(dir, walName), torn[:len(torn)-7])
+	appendToFile(t, activeSegmentPath(t, dir), torn[:len(torn)-7])
 
 	s2, rep := open(t, dir, Options{})
 	defer s2.Close()
@@ -125,7 +137,7 @@ func TestKillAndReopen(t *testing.T) {
 	}
 	s.Close()
 
-	wal := filepath.Join(dir, walName)
+	wal := activeSegmentPath(t, dir)
 	// A scribbled region that still contains a frame magic, followed by
 	// a valid committed record, followed by a mid-append torn tail.
 	appendToFile(t, wal, []byte("garbage-then-magic-PXR1-more-garbage"))
@@ -176,7 +188,7 @@ func TestKillAndReopen(t *testing.T) {
 
 func TestRecoveryGarbageOnlyWAL(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, walName), []byte("not a wal at all"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, segmentFile(1)), []byte("not a wal at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s, rep := open(t, dir, Options{})
@@ -185,6 +197,48 @@ func TestRecoveryGarbageOnlyWAL(t *testing.T) {
 		t.Fatalf("garbage WAL: %s", rep)
 	}
 	mustPut(t, s, "a", fixtures.Figure2())
+}
+
+// TestLegacyWALMigration covers the pre-segmentation layout: a data
+// directory whose WAL is a single wal.log must replay in full (torn tail
+// truncated) and come out the other side on the segmented layout, with
+// the legacy file retired.
+func TestLegacyWALMigration(t *testing.T) {
+	dir := t.TempDir()
+	fig := fixtures.Figure2()
+	varied := fixtures.Figure2VariedLeaves()
+	var wal []byte
+	wal = appendFrame(wal, appendPutRecord(nil, "a", fig))
+	wal = appendFrame(wal, appendPutRecord(nil, "b", varied))
+	wal = appendFrame(wal, appendDeleteRecord(nil, "a"))
+	torn := appendFrame(nil, appendPutRecord(nil, "c", fig))
+	wal = append(wal, torn[:len(torn)-5]...)
+	if err := os.WriteFile(filepath.Join(dir, legacyWALName), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, rep := open(t, dir, Options{})
+	if !rep.MigratedWAL || rep.Recovered != 1 || rep.TruncatedBytes == 0 {
+		t.Fatalf("legacy wal migration report: %s", rep)
+	}
+	wantInstance(t, s, "b", varied)
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted instance resurrected from legacy wal")
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyWALName)); !os.IsNotExist(err) {
+		t.Fatal("legacy wal.log not retired after migration")
+	}
+	mustPut(t, s, "d", fig)
+	s.Close()
+
+	s2, rep2 := open(t, dir, Options{})
+	defer s2.Close()
+	if rep2.MigratedWAL || rep2.dirty() {
+		t.Fatalf("post-migration reopen not clean: %s", rep2)
+	}
+	if rep2.Recovered != 2 {
+		t.Fatalf("post-migration reopen recovered %d, want 2", rep2.Recovered)
+	}
 }
 
 func TestLegacyMigration(t *testing.T) {

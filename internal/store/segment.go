@@ -1,0 +1,117 @@
+package store
+
+// WAL segmentation. The log is a sequence of monotonically numbered,
+// CRC-framed segment files:
+//
+//	wal-00000001.log, wal-00000002.log, ...
+//
+// Exactly one segment — the highest-numbered — is active (appended to);
+// every lower-numbered segment present is sealed and immutable. The
+// committer rotates to a fresh segment once the active one passes
+// Options.SegmentSize, and compaction always rotates, so segment numbers
+// are never reused: a (segment, offset) pair names a WAL position for the
+// lifetime of the store, which is what backups and point-in-time recovery
+// address records by (see backup.go). Sealed segments are what online
+// backup copies, the scrubber re-reads, and — when Options.ArchiveDir is
+// set — the archiver hard-links or copies into the archive.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pxml/internal/vfs"
+)
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+// segmentFile renders the canonical file name for segment n.
+func segmentFile(n uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix)
+}
+
+// parseSegmentFile extracts the segment number from a base file name,
+// reporting whether the name is a well-formed segment name.
+func parseSegmentFile(base string) (uint64, bool) {
+	if !strings.HasPrefix(base, segPrefix) || !strings.HasSuffix(base, segSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(base, segPrefix), segSuffix)
+	if digits == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment numbers present in dir, sorted
+// ascending. A missing directory lists as empty.
+func listSegments(fsys vfs.FS, dir string) ([]uint64, error) {
+	paths, err := fsys.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]uint64, 0, len(paths))
+	for _, p := range paths {
+		if n, ok := parseSegmentFile(filepath.Base(p)); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// Pos is an LSN-style write-ahead-log position: byte offset Off within
+// segment Seg. Positions are totally ordered and monotone over the life
+// of a store because segment numbers are never reused; every group commit
+// advances the store's position by one batch of frames, so any Pos
+// reported by (*Store).Pos or a backup manifest lies on a frame boundary.
+type Pos struct {
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Less orders positions: earlier segment, or earlier offset within one.
+func (p Pos) Less(q Pos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// IsZero reports an unset position.
+func (p Pos) IsZero() bool { return p.Seg == 0 && p.Off == 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Seg, p.Off) }
+
+// ParsePos parses the "seg:off" rendering used by pxmlbackup -to-offset.
+func ParsePos(s string) (Pos, error) {
+	segStr, offStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return Pos{}, fmt.Errorf("store: bad position %q (want seg:off)", s)
+	}
+	seg, err := strconv.ParseUint(segStr, 10, 64)
+	if err != nil || seg == 0 {
+		return Pos{}, fmt.Errorf("store: bad segment in position %q", s)
+	}
+	off, err := strconv.ParseInt(offStr, 10, 64)
+	if err != nil || off < 0 {
+		return Pos{}, fmt.Errorf("store: bad offset in position %q", s)
+	}
+	return Pos{Seg: seg, Off: off}, nil
+}
+
+// segInfo tracks one sealed, immutable local segment.
+type segInfo struct {
+	n        uint64
+	size     int64
+	archived bool
+}

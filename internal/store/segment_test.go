@@ -1,0 +1,278 @@
+package store
+
+// Segmentation suite: size-based WAL rotation, replay across many
+// segments, segment-number monotonicity through compaction, archiving of
+// sealed segments, and the double-reopen invariant (a dirty first open
+// repairs; the second open is clean).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pxml/internal/fixtures"
+	"pxml/internal/metrics"
+	"pxml/internal/vfs"
+)
+
+func TestSegmentRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	s, _ := open(t, dir, Options{SegmentSize: 256, CompactThreshold: -1, Registry: reg})
+	fig := fixtures.Figure2()
+	const n = 24
+	for i := 0; i < n; i++ {
+		mustPut(t, s, fmt.Sprintf("inst-%02d", i), fig)
+	}
+	segs, err := listSegments(vfs.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("after %d puts with 256-byte segments, %d segment files, want >= 3", n, len(segs))
+	}
+	if got := reg.Counter("store_wal_rotations").Value(); got != int64(len(segs)-1) {
+		t.Fatalf("store_wal_rotations = %d, want %d", got, len(segs)-1)
+	}
+	if got := reg.Gauge("store_wal_segments").Value(); got != int64(len(segs)) {
+		t.Fatalf("store_wal_segments gauge = %d, want %d", got, len(segs))
+	}
+	pos := s.Pos()
+	if pos.Seg != segs[len(segs)-1] {
+		t.Fatalf("Pos().Seg = %d, want active segment %d", pos.Seg, segs[len(segs)-1])
+	}
+	s.Close()
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if rep.Recovered != n || rep.dirty() {
+		t.Fatalf("reopen across %d segments: %s", len(segs), rep)
+	}
+	if rep.Segments != len(segs) {
+		t.Fatalf("report.Segments = %d, want %d", rep.Segments, len(segs))
+	}
+	for i := 0; i < n; i++ {
+		wantInstance(t, s2, fmt.Sprintf("inst-%02d", i), fig)
+	}
+}
+
+func TestCompactionNeverReusesSegmentNumbers(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{SegmentSize: 256, CompactThreshold: -1})
+	defer s.Close()
+	fig := fixtures.Figure2()
+	var lastPos Pos
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 6; i++ {
+			mustPut(t, s, fmt.Sprintf("r%d-%d", round, i), fig)
+		}
+		pos := s.Pos()
+		if !lastPos.Less(pos) {
+			t.Fatalf("round %d: Pos %s did not advance past %s", round, pos, lastPos)
+		}
+		lastPos = pos
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.WALSize(); got != 0 {
+			t.Fatalf("round %d: WALSize after compact = %d, want 0", round, got)
+		}
+		segs, err := listSegments(vfs.OS, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) != 1 {
+			t.Fatalf("round %d: %d local segments after compact, want 1", round, len(segs))
+		}
+		// The active segment after compact is at or past the pre-compact
+		// position (equal only when the active segment was empty, so
+		// there was nothing to seal); it never falls back to a number a
+		// sealed segment once held.
+		if segs[0] < lastPos.Seg || (lastPos.Off > 0 && segs[0] == lastPos.Seg) {
+			t.Fatalf("round %d: active segment %d reuses a sealed number (pre-compact %s)", round, segs[0], lastPos)
+		}
+	}
+}
+
+// TestDoubleReopenRecovery is the repair-then-clean invariant across the
+// segmented layout: a directory bearing a corrupt sealed segment and a
+// torn active tail recovers (dirty) on the first open, and the very next
+// open finds nothing left to repair.
+func TestDoubleReopenRecovery(t *testing.T) {
+	dir := t.TempDir()
+	fig := fixtures.Figure2()
+	s, _ := open(t, dir, Options{SegmentSize: 256, CompactThreshold: -1})
+	const n = 12
+	for i := 0; i < n; i++ {
+		mustPut(t, s, fmt.Sprintf("inst-%02d", i), fig)
+	}
+	s.Close()
+	segs, err := listSegments(vfs.OS, dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want >= 2 segments to damage (got %d, err=%v)", len(segs), err)
+	}
+	// Flip a payload byte mid-way through the first sealed segment and
+	// tear the active segment's tail.
+	sealed := filepath.Join(dir, segmentFile(segs[0]))
+	data, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(sealed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn := appendFrame(nil, appendPutRecord(nil, "torn", fig))
+	appendToFile(t, activeSegmentPath(t, dir), torn[:len(torn)-3])
+
+	s2, rep := open(t, dir, Options{})
+	if !rep.dirty() || len(rep.Quarantined) == 0 || rep.TruncatedBytes == 0 {
+		t.Fatalf("first reopen should repair damage: %s", rep)
+	}
+	if _, ok := s2.Get("torn"); ok {
+		t.Fatal("torn-tail instance resurrected")
+	}
+	survivors := s2.Len()
+	if survivors == 0 || survivors > n {
+		t.Fatalf("implausible survivor count %d", survivors)
+	}
+	h := s2.Health()
+	if h.QuarantineFiles == 0 {
+		t.Fatalf("health should count quarantine files: %+v", h)
+	}
+	s2.Close()
+
+	s3, rep3 := open(t, dir, Options{})
+	defer s3.Close()
+	if rep3.dirty() {
+		t.Fatalf("second reopen still dirty: %s", rep3)
+	}
+	if rep3.Recovered != survivors {
+		t.Fatalf("second reopen recovered %d, want %d", rep3.Recovered, survivors)
+	}
+}
+
+// TestGroupCommitAcrossRotation drives concurrent batched writers with a
+// segment size small enough that batches land on both sides of many
+// rotations, then proves replay sees every acknowledged write.
+func TestGroupCommitAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	s, _ := open(t, dir, Options{
+		SegmentSize:      512,
+		CompactThreshold: -1,
+		CommitBatch:      16,
+		CommitDelay:      2 * time.Millisecond,
+		Registry:         reg,
+	})
+	const writers, each = 4, 12
+	fig := fixtures.Figure2()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				mustPut(t, s, fmt.Sprintf("w%d-%02d", w, i), fig)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("store_wal_rotations").Value(); got == 0 {
+		t.Fatal("no rotation under 512-byte segments — the test exercised nothing")
+	}
+	if hist := reg.IntHistogram("store_commit_batch_size").Snapshot(); hist.Max < 2 {
+		t.Fatalf("max batch size %d — batches never formed", hist.Max)
+	}
+	s.Close()
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if rep.dirty() {
+		t.Fatalf("reopen after rotated group commits not clean: %s", rep)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < each; i++ {
+			wantInstance(t, s2, fmt.Sprintf("w%d-%02d", w, i), fig)
+		}
+	}
+}
+
+func TestArchiveSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	arch := t.TempDir()
+	reg := metrics.NewRegistry()
+	s, _ := open(t, dir, Options{SegmentSize: 256, CompactThreshold: -1, ArchiveDir: arch, Registry: reg})
+	fig := fixtures.Figure2()
+	for i := 0; i < 16; i++ {
+		mustPut(t, s, fmt.Sprintf("inst-%02d", i), fig)
+	}
+	pos := s.Pos()
+	waitFor(t, 15*time.Second, "sealed segments to archive", func() bool {
+		segs, err := listSegments(vfs.OS, arch)
+		return err == nil && len(segs) >= int(pos.Seg)-1
+	})
+	// Compaction archives the freshly sealed active segment too, then
+	// deletes every local sealed copy — the archive keeps them all.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	local, _ := listSegments(vfs.OS, dir)
+	if len(local) != 1 {
+		t.Fatalf("%d local segments after compact, want 1", len(local))
+	}
+	archived, _ := listSegments(vfs.OS, arch)
+	wantArchived := int(pos.Seg) - 1 // every segment below the active one
+	if pos.Off > 0 {
+		wantArchived++ // compact sealed and archived the active one too
+	}
+	if len(archived) < wantArchived {
+		t.Fatalf("archive holds %d segments, want >= %d (all sealed)", len(archived), wantArchived)
+	}
+	if got := reg.Counter("store_archived_segments").Value(); got == 0 {
+		t.Fatal("store_archived_segments not incremented")
+	}
+	s.Close()
+}
+
+func TestArchiveRetention(t *testing.T) {
+	dir := t.TempDir()
+	arch := t.TempDir()
+	s, _ := open(t, dir, Options{SegmentSize: 256, CompactThreshold: -1, ArchiveDir: arch, ArchiveRetention: 2})
+	defer s.Close()
+	fig := fixtures.Figure2()
+	for i := 0; i < 20; i++ {
+		mustPut(t, s, fmt.Sprintf("inst-%02d", i), fig)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "archive retention to prune", func() bool {
+		segs, err := listSegments(vfs.OS, arch)
+		return err == nil && len(segs) <= 2 && len(segs) > 0
+	})
+	segs, _ := listSegments(vfs.OS, arch)
+	// Retention keeps the newest segments.
+	if segs[len(segs)-1] < s.Pos().Seg-1 {
+		t.Fatalf("retention kept stale segments: %v (pos %s)", segs, s.Pos())
+	}
+}
+
+// TestFreshStoreSkipsArchivedSegmentNumbers: a data directory rebuilt
+// next to a surviving archive must start numbering past the archive's
+// highest segment, or it would overwrite history.
+func TestFreshStoreSkipsArchivedSegmentNumbers(t *testing.T) {
+	arch := t.TempDir()
+	if err := os.WriteFile(filepath.Join(arch, segmentFile(7)), appendFrame(nil, appendPutRecord(nil, "x", fixtures.Figure2())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{ArchiveDir: arch})
+	defer s.Close()
+	if pos := s.Pos(); pos.Seg != 8 {
+		t.Fatalf("fresh store next to archive-max 7 started at segment %d, want 8", pos.Seg)
+	}
+}

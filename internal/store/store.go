@@ -81,6 +81,30 @@ type Options struct {
 	// Positive delays trade single-writer latency for bigger batches
 	// under light concurrency.
 	CommitDelay time.Duration
+	// SegmentSize is the active WAL segment length that triggers rotation
+	// to a fresh, monotonically numbered segment; 0 means
+	// DefaultSegmentSize, negative disables size-based rotation
+	// (compaction still rotates).
+	SegmentSize int64
+	// ArchiveDir, when non-empty, is a directory sealed WAL segments are
+	// hard-linked or copied into as they rotate. Together with a base
+	// backup the archive supports point-in-time recovery (see backup.go).
+	// Archiving also makes the committer stamp each group commit with a
+	// wall-clock marker so Restore can cut by time.
+	ArchiveDir string
+	// ArchiveRetention caps how many archived segments are kept; once
+	// exceeded, the oldest are deleted. 0 keeps everything.
+	ArchiveRetention int
+	// ScrubInterval, when positive, re-reads one at-rest file (the
+	// snapshot or a sealed segment) on this cadence, verifying every
+	// frame CRC. A mismatch degrades the store: what fsync acknowledged
+	// is no longer readable, and serving writes against rotting storage
+	// only widens the blast radius.
+	ScrubInterval time.Duration
+	// QuarantineMax caps how many files quarantine/ retains; the oldest
+	// are evicted first. 0 means DefaultQuarantineMax, negative disables
+	// the cap.
+	QuarantineMax int
 	// Registry, when non-nil, receives the store_* counters.
 	Registry *metrics.Registry
 	// Logger, when non-nil, receives recovery and compaction reports.
@@ -100,7 +124,22 @@ const DefaultCompactThreshold = 4 << 20
 // fsync may absorb.
 const DefaultCommitBatch = 128
 
+// DefaultSegmentSize is the WAL segment rotation threshold when
+// Options.SegmentSize is zero. It sits below DefaultCompactThreshold so a
+// store under steady write load seals (and, when configured, archives) a
+// few segments per compaction cycle.
+const DefaultSegmentSize = 1 << 20
+
+// DefaultQuarantineMax bounds quarantine/ when Options.QuarantineMax is
+// zero: corrupt regions are kept for inspection, but a store that keeps
+// hitting damage must not fill the disk with evidence.
+const DefaultQuarantineMax = 64
+
 const defaultFsyncEvery = 100 * time.Millisecond
+
+// archiveRetryEvery is how often the background loop retries archiving
+// sealed segments whose copy previously failed.
+const archiveRetryEvery = time.Second
 
 // commitQueueDepth is the committer's submission-channel capacity. It
 // only bounds how many waiting writers can queue without blocking on the
@@ -111,9 +150,11 @@ const commitQueueDepth = 256
 // that grew it past this is not kept around pinning memory.
 const maxCommitScratch = 4 << 20
 
-// Store names inside the data directory.
+// Store names inside the data directory. The WAL itself lives in
+// numbered segment files (see segment.go); legacyWALName is the
+// pre-segmentation single-file WAL, replayed and retired on first open.
 const (
-	walName       = "wal.log"
+	legacyWALName = "wal.log"
 	snapshotName  = "snapshot.pxs"
 	quarantineDir = "quarantine"
 )
@@ -135,12 +176,31 @@ type Store struct {
 
 	mu         sync.RWMutex
 	instances  map[string]*core.ProbInstance
-	wal        vfs.File
-	walBytes   int64
+	wal        vfs.File  // active segment, open for append
+	seg        uint64    // active segment number
+	sealed     []segInfo // sealed local segments, ascending by number
+	walBytes   int64     // bytes in the active segment
+	walTotal   int64     // bytes across active + sealed local segments
 	walRecords int64
 	walDirty   bool // appended since last fsync
 	closing    bool // Close has begun (background loop draining)
 	closed     bool
+
+	// backups counts in-progress online backups. While positive,
+	// compaction waits (it would delete or replace the very files a
+	// backup is copying); rotation and appends continue freely because
+	// they only ever add bytes and files. backupsDone is signalled when
+	// the count returns to zero.
+	backups     int
+	backupsDone *sync.Cond
+
+	// Scrub state (see scrub.go).
+	scrubPasses      int64
+	scrubCorruptions int64
+	scrubLastAt      time.Time
+	scrubCursor      int
+
+	quarantineFiles int // files currently under quarantine/
 
 	// Degraded-mode and health state (see health.go).
 	degraded     bool
@@ -148,6 +208,8 @@ type Store struct {
 	degradeCause string
 	fsyncErrs    int64
 	compactErrs  int64
+	rotateErrs   int64
+	archiveErrs  int64
 	lastErr      string
 	lastErrAt    time.Time
 
@@ -165,6 +227,16 @@ type Store struct {
 	degradedG      *metrics.Gauge
 	commitBatches  *metrics.Counter
 	commitBatchSz  *metrics.IntHistogram
+	rotations      *metrics.Counter
+	rotateErrsC    *metrics.Counter
+	archivedSegs   *metrics.Counter
+	archiveErrsC   *metrics.Counter
+	backupsC       *metrics.Counter
+	scrubPassesC   *metrics.Counter
+	scrubBytesC    *metrics.Counter
+	scrubCorruptC  *metrics.Counter
+	quarantineG    *metrics.Gauge
+	segmentsG      *metrics.Gauge
 
 	// Group commit: Put/Delete enqueue framed records on commits and a
 	// single committer goroutine coalesces them into one WAL write + one
@@ -177,10 +249,12 @@ type Store struct {
 	// Committer-owned scratch (single goroutine, no locking).
 	commitBuf   []byte
 	commitBatch []*commitReq
+	stampBuf    []byte
 
-	stop chan struct{}
-	done chan struct{}
-	kick chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	kick    chan struct{}
+	archKick chan struct{}
 }
 
 // commitReq is one mutation waiting for its group commit. The payload is
@@ -228,11 +302,22 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	if opts.CommitBatch < 1 {
 		opts.CommitBatch = 1
 	}
+	if opts.SegmentSize == 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if opts.QuarantineMax == 0 {
+		opts.QuarantineMax = DefaultQuarantineMax
+	}
 	if opts.FS == nil {
 		opts.FS = vfs.OS
 	}
 	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	if opts.ArchiveDir != "" {
+		if err := opts.FS.MkdirAll(opts.ArchiveDir); err != nil {
+			return nil, nil, fmt.Errorf("store: archive dir: %w", err)
+		}
 	}
 	s := &Store{
 		dir:        dir,
@@ -244,7 +329,9 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		kick:       make(chan struct{}, 1),
+		archKick:   make(chan struct{}, 1),
 	}
+	s.backupsDone = sync.NewCond(&s.mu)
 	if reg := opts.Registry; reg != nil {
 		s.walAppends = reg.Counter("store_wal_appends")
 		s.walAppendBytes = reg.Counter("store_wal_append_bytes")
@@ -256,12 +343,33 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		s.degradedG = reg.Gauge("store_degraded")
 		s.commitBatches = reg.Counter("store_commit_batches")
 		s.commitBatchSz = reg.IntHistogram("store_commit_batch_size")
+		s.rotations = reg.Counter("store_wal_rotations")
+		s.rotateErrsC = reg.Counter("store_rotate_errors")
+		s.archivedSegs = reg.Counter("store_archived_segments")
+		s.archiveErrsC = reg.Counter("store_archive_errors")
+		s.backupsC = reg.Counter("store_backups")
+		s.scrubPassesC = reg.Counter("store_scrub_passes")
+		s.scrubBytesC = reg.Counter("store_scrub_bytes")
+		s.scrubCorruptC = reg.Counter("store_scrub_corruptions")
+		s.quarantineG = reg.Gauge("store_quarantine_files")
+		s.segmentsG = reg.Gauge("store_wal_segments")
 	}
 	report, err := s.recover()
 	if err != nil {
 		return nil, nil, err
 	}
-	wal, err := s.fs.OpenAppend(s.path(walName))
+	if s.seg == 0 {
+		// Fresh store. Segment numbers must never be reused, including
+		// against an archive that outlived a rebuilt data directory — a
+		// collision would overwrite history the archive is keeping.
+		s.seg = 1
+		if opts.ArchiveDir != "" {
+			if archived, aerr := listSegments(s.fs, opts.ArchiveDir); aerr == nil && len(archived) > 0 {
+				s.seg = archived[len(archived)-1] + 1
+			}
+		}
+	}
+	wal, err := s.fs.OpenAppend(s.path(segmentFile(s.seg)))
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
@@ -272,6 +380,13 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	}
 	s.wal = wal
 	s.walBytes = size
+	s.walTotal = size
+	for _, si := range s.sealed {
+		s.walTotal += si.size
+	}
+	if s.segmentsG != nil {
+		s.segmentsG.Set(int64(len(s.sealed) + 1))
+	}
 	// A recovery that had to quarantine, truncate, or migrate leaves the
 	// on-disk state it repaired around; compact immediately so the next
 	// open starts from a clean snapshot and an empty WAL.
@@ -406,11 +521,24 @@ func (s *Store) Len() int {
 	return len(s.instances)
 }
 
-// WALSize returns the current WAL length in bytes.
+// WALSize returns the current WAL length in bytes, summed across the
+// active segment and any sealed segments not yet superseded by a
+// snapshot.
 func (s *Store) WALSize() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.walBytes
+	return s.walTotal
+}
+
+// Pos returns the store's current WAL position — the append offset in
+// the active segment. Positions advance monotonically for the life of
+// the data directory (segment numbers are never reused) and always lie
+// on a frame boundary, so a Pos is a valid point-in-time recovery
+// target.
+func (s *Store) Pos() Pos {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Pos{Seg: s.seg, Off: s.walBytes}
 }
 
 // committer is the single goroutine that drains the submission channel,
@@ -480,6 +608,13 @@ collect:
 // — recovery on the next open truncates whatever tail actually landed.
 func (s *Store) commitGroup(batch []*commitReq) {
 	buf := s.commitBuf[:0]
+	if s.opts.ArchiveDir != "" {
+		// One wall-clock stamp ahead of each batch gives archived
+		// segments the timeline point-in-time restore cuts on. Only
+		// archiving stores pay for it; replay ignores the marker.
+		s.stampBuf = appendStampRecord(s.stampBuf[:0], time.Now().UnixNano())
+		buf = appendFrame(buf, s.stampBuf)
+	}
 	for _, r := range batch {
 		buf = appendFrame(buf, r.payload)
 	}
@@ -512,6 +647,7 @@ func (s *Store) commitLocked(frames []byte, batch []*commitReq) error {
 		return s.degradeLocked(fmt.Errorf("wal append: %w", err))
 	}
 	s.walBytes += int64(len(frames))
+	s.walTotal += int64(len(frames))
 	s.walRecords += int64(len(batch))
 	s.walDirty = true
 	if s.walAppends != nil {
@@ -535,8 +671,66 @@ func (s *Store) commitLocked(frames []byte, batch []*commitReq) error {
 			delete(s.instances, r.name)
 		}
 	}
+	if s.opts.SegmentSize > 0 && s.walBytes >= s.opts.SegmentSize {
+		if err := s.rotateLocked(); err != nil {
+			// The batch is already durable in the (oversized) active
+			// segment; a failed rotation is a maintenance problem, not a
+			// commit failure.
+			s.noteErrLocked(&s.rotateErrs, s.rotateErrsC, fmt.Errorf("wal rotate: %w", err))
+		}
+	}
 	s.maybeKickLocked()
 	return nil
+}
+
+// rotateLocked seals the active segment and switches appends to the next
+// numbered one. The outgoing segment is fsynced first, so a sealed file
+// is complete and immutable from the moment it stops being active —
+// that invariant is what lets backup, archive, and scrub read sealed
+// segments without coordination. On any failure the store keeps writing
+// to the old active segment, exactly as before. Callers hold s.mu.
+func (s *Store) rotateLocked() error {
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	next := s.seg + 1
+	nf, err := s.fs.OpenAppend(s.path(segmentFile(next)))
+	if err != nil {
+		return fmt.Errorf("open segment %d: %w", next, err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		nf.Close()
+		s.fs.Remove(s.path(segmentFile(next)))
+		return fmt.Errorf("dir fsync: %w", err)
+	}
+	old := s.wal
+	s.sealed = append(s.sealed, segInfo{n: s.seg, size: s.walBytes})
+	s.wal = nf
+	s.seg = next
+	s.walBytes = 0
+	s.walDirty = false
+	if cerr := old.Close(); cerr != nil && s.opts.Logger != nil {
+		s.opts.Logger.Printf("store: close sealed segment: %v", cerr)
+	}
+	if s.rotations != nil {
+		s.rotations.Inc()
+	}
+	if s.segmentsG != nil {
+		s.segmentsG.Set(int64(len(s.sealed) + 1))
+	}
+	s.archKickLocked()
+	return nil
+}
+
+// archKickLocked nudges the background archiver after a rotation.
+func (s *Store) archKickLocked() {
+	if s.opts.ArchiveDir == "" {
+		return
+	}
+	select {
+	case s.archKick <- struct{}{}:
+	default:
+	}
 }
 
 func (s *Store) syncLocked() error {
@@ -568,10 +762,10 @@ func (s *Store) Sync() error {
 	return s.syncLocked()
 }
 
-// maybeKickLocked nudges the background goroutine when the WAL has grown
-// past the compaction threshold.
+// maybeKickLocked nudges the background goroutine when the WAL (active
+// plus sealed segments) has grown past the compaction threshold.
 func (s *Store) maybeKickLocked() {
-	if s.opts.CompactThreshold < 0 || s.walBytes < s.opts.CompactThreshold {
+	if s.opts.CompactThreshold < 0 || s.walTotal < s.opts.CompactThreshold {
 		return
 	}
 	select {
@@ -580,16 +774,27 @@ func (s *Store) maybeKickLocked() {
 	}
 }
 
-// Compact writes a fresh snapshot of the catalog and resets the WAL. The
-// write protocol is crash-safe at every step: the snapshot is staged in a
-// temp file, fsynced, atomically renamed over the old snapshot, the
-// directory entry is fsynced, and only then is the WAL truncated. A crash
-// between the rename and the truncate merely replays the whole WAL over
+// Compact writes a fresh snapshot of the catalog and retires the WAL
+// segments it supersedes. The write protocol is crash-safe at every
+// step: the active segment is sealed by rotation, every sealed segment
+// is archived (when archiving is on), the snapshot is staged in a temp
+// file, fsynced, atomically renamed, the directory entry is fsynced, and
+// only then are the superseded local segments deleted. A crash between
+// the rename and the deletions merely replays the sealed segments over
 // the new snapshot, which is idempotent because records carry full
-// instance values.
+// instance values and replay order (snapshot, then segments ascending)
+// matches commit order.
+//
+// Compaction waits while an online backup is in progress: a backup is
+// copying exactly the files compaction would replace or delete.
+// Rotation and appends continue freely under a backup — they only ever
+// add bytes and files.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for s.backups > 0 && !s.closed && !s.degraded {
+		s.backupsDone.Wait()
+	}
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
@@ -597,29 +802,64 @@ func (s *Store) Compact() error {
 		return s.degradedErrLocked()
 	}
 	// Compaction failures are retryable, not degrading by themselves:
-	// the snapshot protocol never touches live state until the rename
-	// lands, and a WAL left un-truncated merely replays over the fresh
-	// snapshot (idempotently) on the next open. The background loop
-	// retries with backoff and degrades only when the errors persist.
+	// nothing below touches live state until the snapshot rename lands,
+	// and segments left undeleted merely replay over the fresh snapshot
+	// (idempotently) on the next open. The background loop retries with
+	// backoff and degrades only when the errors persist.
+	if s.walBytes > 0 {
+		// Seal the active segment so the snapshot supersedes whole
+		// segments only; a failed rotation leaves the store exactly as it
+		// was.
+		if err := s.rotateLocked(); err != nil {
+			err = fmt.Errorf("store: compact rotate: %w", err)
+			s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
+			return err
+		}
+	}
+	// Archive before delete: once a sealed segment is gone locally, the
+	// archive is the only place the point-in-time recovery chain can
+	// read it from, so compaction refuses to destroy what it could not
+	// archive.
+	if err := s.archiveSealedLocked(); err != nil {
+		err = fmt.Errorf("store: archive before compact: %w", err)
+		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
+		return err
+	}
 	if err := s.writeSnapshotLocked(); err != nil {
 		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
 		return err
 	}
-	// The WAL handle is O_APPEND; truncating through it is safe because
-	// we hold the write lock, so no append can interleave.
-	if err := s.wal.Truncate(0); err != nil {
-		err = fmt.Errorf("store: wal reset: %w", err)
+	// The snapshot now carries everything the sealed segments did.
+	keep := s.sealed[:0]
+	var rmErr error
+	for i := range s.sealed {
+		si := s.sealed[i]
+		if rmErr != nil {
+			keep = append(keep, si)
+			continue
+		}
+		if err := s.fs.Remove(s.path(segmentFile(si.n))); err != nil {
+			rmErr = err
+			keep = append(keep, si)
+			continue
+		}
+		s.walTotal -= si.size
+	}
+	s.sealed = keep
+	if s.segmentsG != nil {
+		s.segmentsG.Set(int64(len(s.sealed) + 1))
+	}
+	if rmErr != nil {
+		err := fmt.Errorf("store: remove sealed segment: %w", rmErr)
 		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
 		return err
 	}
-	if err := s.wal.Sync(); err != nil {
-		err = fmt.Errorf("store: wal reset fsync: %w", err)
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		err = fmt.Errorf("store: dir fsync: %w", err)
 		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
 		return err
 	}
-	s.walBytes = 0
 	s.walRecords = 0
-	s.walDirty = false
 	if s.compactions != nil {
 		s.compactions.Inc()
 	}
@@ -690,6 +930,9 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	// Wake any Compact parked behind an online backup so it can observe
+	// the close and bail out.
+	s.backupsDone.Broadcast()
 	var err error
 	if !s.degraded {
 		err = s.wal.Sync()
@@ -703,11 +946,11 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// background runs interval fsyncs, periodic snapshots, and threshold
-// compactions until Close.
+// background runs interval fsyncs, periodic snapshots, threshold
+// compactions, segment archiving, and the at-rest scrubber until Close.
 func (s *Store) background() {
 	defer close(s.done)
-	var fsyncC, snapC <-chan time.Time
+	var fsyncC, snapC, archC, scrubC <-chan time.Time
 	if s.opts.Fsync == FsyncInterval {
 		t := time.NewTicker(s.opts.FsyncEvery)
 		defer t.Stop()
@@ -717,6 +960,18 @@ func (s *Store) background() {
 		t := time.NewTicker(s.opts.SnapshotInterval)
 		defer t.Stop()
 		snapC = t.C
+	}
+	if s.opts.ArchiveDir != "" {
+		// The retry ticker picks up segments whose archive copy failed
+		// (the kick channel only fires on rotation).
+		t := time.NewTicker(archiveRetryEvery)
+		defer t.Stop()
+		archC = t.C
+	}
+	if s.opts.ScrubInterval > 0 {
+		t := time.NewTicker(s.opts.ScrubInterval)
+		defer t.Stop()
+		scrubC = t.C
 	}
 	for {
 		select {
@@ -728,6 +983,12 @@ func (s *Store) background() {
 			s.retrying("periodic snapshot", s.compactIfDirty)
 		case <-s.kick:
 			s.retrying("threshold compaction", s.compactIfDirty)
+		case <-s.archKick:
+			s.archivePending()
+		case <-archC:
+			s.archivePending()
+		case <-scrubC:
+			s.scrubStep()
 		}
 	}
 }
@@ -736,7 +997,7 @@ func (s *Store) background() {
 // is closing or degraded).
 func (s *Store) compactIfDirty() error {
 	s.mu.RLock()
-	skip := s.walBytes == 0 || s.closed || s.closing || s.degraded
+	skip := s.walTotal == 0 || s.closed || s.closing || s.degraded
 	s.mu.RUnlock()
 	if skip {
 		return nil

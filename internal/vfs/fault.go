@@ -27,6 +27,7 @@ const (
 	OpSync       Op = "sync"  // File.Sync and FS.Sync
 	OpSyncDir    Op = "sync-dir"
 	OpRename     Op = "rename"
+	OpLink       Op = "link"
 	OpRemove     Op = "remove"
 	OpTruncate   Op = "truncate" // File.Truncate and FS.Truncate
 	OpGlob       Op = "glob"
@@ -240,6 +241,13 @@ func (f *FaultFS) Rename(oldname, newname string) error {
 		return err
 	}
 	return f.base.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Link(oldname, newname string) error {
+	if err := f.apply(OpLink, newname); err != nil {
+		return err
+	}
+	return f.base.Link(oldname, newname)
 }
 
 func (f *FaultFS) Remove(name string) error {

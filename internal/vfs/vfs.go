@@ -46,6 +46,10 @@ type FS interface {
 	WriteFile(name string, data []byte) error
 	// Rename atomically replaces newname with oldname.
 	Rename(oldname, newname string) error
+	// Link creates newname as a hard link to oldname. Implementations
+	// backed by filesystems without hard links return an error; callers
+	// that only need the bytes duplicated should use LinkOrCopy.
+	Link(oldname, newname string) error
 	// Remove deletes name.
 	Remove(name string) error
 	// Truncate resizes the named file.
@@ -103,6 +107,8 @@ func (osFS) WriteFile(name string, data []byte) error {
 
 func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
 
+func (osFS) Link(oldname, newname string) error { return os.Link(oldname, newname) }
+
 func (osFS) Remove(name string) error { return os.Remove(name) }
 
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
@@ -128,3 +134,29 @@ func (osFS) SyncDir(dir string) error {
 func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
 
 func (osFS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+
+// CopyFile duplicates src to dst through fsys and fsyncs the copy, so
+// backup and archive copies are durable before anyone records their
+// existence. Every step goes through fsys, which lets a FaultFS fail or
+// tear the copy deterministically.
+func CopyFile(fsys FS, src, dst string) error {
+	data, err := fsys.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	if err := fsys.WriteFile(dst, data); err != nil {
+		return err
+	}
+	return fsys.Sync(dst)
+}
+
+// LinkOrCopy hard-links src to dst when the filesystem supports it and
+// falls back to a durable copy otherwise (cross-device archives, FAT,
+// object-store shims). The link path is cheap and shares storage with the
+// immutable source; the copy path fsyncs like CopyFile.
+func LinkOrCopy(fsys FS, src, dst string) error {
+	if err := fsys.Link(src, dst); err == nil {
+		return nil
+	}
+	return CopyFile(fsys, src, dst)
+}
