@@ -3,7 +3,7 @@
 // point-in-time recovery through a WAL segment archive.
 //
 //	pxmlbackup create -data /var/lib/pxmld /backups/monday
-//	pxmlbackup create -server http://127.0.0.1:8080 /backups/monday
+//	pxmlbackup create -server http://127.0.0.1:8080 monday
 //	pxmlbackup verify /backups/monday
 //	pxmlbackup list /backups
 //	pxmlbackup restore -backup /backups/monday -data /var/lib/pxmld
@@ -13,7 +13,10 @@
 // create cuts a backup either through a running daemon (-server, which
 // issues POST /admin/backup so the daemon's store does the copying) or
 // directly from a data directory (-data; the store must not be open in a
-// daemon at the same time). The backup directory holds the snapshot, the
+// daemon at the same time). With -server the destination is a name
+// relative to the daemon's configured backup root (pxmld -backup-dir) —
+// the daemon never accepts absolute paths over HTTP; with -data it is a
+// local directory path. The backup directory holds the snapshot, the
 // WAL segments, and a MANIFEST.json written last — a backup without a
 // valid manifest never verifies, so a half-written backup cannot be
 // mistaken for a good one.
@@ -71,7 +74,8 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  pxmlbackup create  (-data DIR | -server URL) BACKUPDIR
+  pxmlbackup create  -data DIR BACKUPDIR
+  pxmlbackup create  -server URL NAME      (NAME is relative to the daemon's -backup-dir)
   pxmlbackup verify  BACKUPDIR
   pxmlbackup list    DIR
   pxmlbackup restore -backup BACKUPDIR -data DIR
@@ -86,23 +90,26 @@ func cmdCreate(args []string) error {
 	serverURL := fs.String("server", "", "base URL of a running pxmld; the daemon cuts the backup via POST /admin/backup")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return errors.New("create needs exactly one backup directory argument")
-	}
-	dest, err := filepath.Abs(fs.Arg(0))
-	if err != nil {
-		return err
+		return errors.New("create needs exactly one backup destination argument")
 	}
 	switch {
 	case (*dataDir == "") == (*serverURL == ""):
 		return errors.New("create needs exactly one of -data or -server")
 	case *serverURL != "":
-		man, err := serverBackup(*serverURL, dest)
+		// The destination is a name under the daemon's backup root, not a
+		// path on this machine — send it verbatim; the daemon resolves it.
+		name := fs.Arg(0)
+		man, err := serverBackup(*serverURL, name)
 		if err != nil {
 			return err
 		}
-		printManifest(dest, man)
+		printManifest(name, man)
 		return nil
 	default:
+		dest, err := filepath.Abs(fs.Arg(0))
+		if err != nil {
+			return err
+		}
 		s, report, err := store.Open(*dataDir, store.Options{})
 		if err != nil {
 			return err
@@ -121,10 +128,10 @@ func cmdCreate(args []string) error {
 	}
 }
 
-// serverBackup asks a running daemon to back itself up into dest (a path
-// on the daemon's filesystem).
-func serverBackup(base, dest string) (*store.Manifest, error) {
-	u := strings.TrimSuffix(base, "/") + "/admin/backup?dir=" + url.QueryEscape(dest)
+// serverBackup asks a running daemon to back itself up under name, a
+// destination relative to the daemon's configured backup root.
+func serverBackup(base, name string) (*store.Manifest, error) {
+	u := strings.TrimSuffix(base, "/") + "/admin/backup?dir=" + url.QueryEscape(name)
 	resp, err := http.Post(u, "application/json", nil)
 	if err != nil {
 		return nil, err

@@ -50,7 +50,10 @@
 // (the raw material for point-in-time recovery with pxmlbackup),
 // -scrub-interval re-verifies at-rest checksums in the background, and
 // POST /admin/backup cuts a consistent online backup while writes keep
-// flowing.
+// flowing. The backup endpoint is disabled unless -backup-dir names a
+// directory; clients then request backups by name and the daemon places
+// them in subdirectories of that root, so the HTTP API never accepts
+// arbitrary server-side filesystem paths.
 //
 // Each instance is served through a query engine that caches its derived
 // structures across queries; GET /metrics exposes per-instance query and
@@ -104,6 +107,7 @@ func main() {
 	segmentSize := flag.Int64("segment-size", 0, "WAL segment rotation threshold in bytes (0 = default 1MiB, negative = rotate only on compaction)")
 	archiveDir := flag.String("archive", "", "archive sealed WAL segments into this directory for point-in-time recovery (see pxmlbackup)")
 	archiveRetention := flag.Int("archive-retention", 0, "keep at most this many archived segments, oldest pruned first (0 = keep all)")
+	backupDir := flag.String("backup-dir", "", "enable POST /admin/backup and confine its destinations to subdirectories of this directory (empty = endpoint disabled)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "verify one at-rest store file's checksums on this cadence; corruption degrades to read-only (0 = off)")
 	quarantineMax := flag.Int("quarantine-max", 0, "keep at most this many quarantined corrupt-region files (0 = default 64, negative = unbounded)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = off)")
@@ -150,6 +154,9 @@ func main() {
 	srv.SetRequestTimeout(*reqTimeout)
 	srv.SetMaxInflight(*maxInflight)
 	srv.SetQueryWorkers(*queryWorkers)
+	if *backupDir != "" {
+		srv.SetBackupRoot(*backupDir)
+	}
 	if *pprofAddr != "" {
 		if err := servePprof(*pprofAddr); err != nil {
 			fatal(err)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"path/filepath"
 	"testing"
 
@@ -21,6 +22,8 @@ func TestAdminBackupEndpoint(t *testing.T) {
 	if err := s.Put("bib", fixtures.Figure2()); err != nil {
 		t.Fatal(err)
 	}
+	root := t.TempDir()
+	s.SetBackupRoot(root)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -30,8 +33,7 @@ func TestAdminBackupEndpoint(t *testing.T) {
 		t.Fatalf("backup without dir: status %d: %s", resp.StatusCode, body)
 	}
 
-	bdir := filepath.Join(t.TempDir(), "bkup")
-	resp, body = do(t, "POST", ts.URL+"/admin/backup", `{"dir": "`+bdir+`"}`, "application/json")
+	resp, body = do(t, "POST", ts.URL+"/admin/backup", `{"dir": "bkup"}`, "application/json")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("backup: status %d: %s", resp.StatusCode, body)
 	}
@@ -42,6 +44,7 @@ func TestAdminBackupEndpoint(t *testing.T) {
 	if man.Instances != 1 || man.Format != store.ManifestFormat {
 		t.Fatalf("implausible manifest from endpoint: %+v", man)
 	}
+	bdir := filepath.Join(root, "bkup")
 	if _, err := store.VerifyBackup(nil, bdir); err != nil {
 		t.Fatalf("endpoint backup fails verification: %v", err)
 	}
@@ -60,10 +63,41 @@ func TestAdminBackupEndpoint(t *testing.T) {
 		t.Fatalf("restored bib = %v", pi)
 	}
 
-	// Backing up into the same (now non-empty) directory fails cleanly.
-	resp, body = do(t, "POST", ts.URL+"/admin/backup?dir="+bdir, "", "application/json")
+	// Backing up into the same (now non-empty) destination fails cleanly.
+	resp, body = do(t, "POST", ts.URL+"/admin/backup?dir=bkup", "", "application/json")
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("backup into non-empty dir: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestAdminBackupConfinedToRoot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Without a configured backup root the endpoint is disabled outright.
+	resp, body := do(t, "POST", ts.URL+"/admin/backup?dir=x", "", "application/json")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("backup without root: status %d: %s", resp.StatusCode, body)
+	}
+
+	s.SetBackupRoot(t.TempDir())
+	for _, dest := range []string{"/etc/pxml-pwned", "../escape", "a/../../escape", ".", "sub/.."} {
+		resp, body := do(t, "POST", ts.URL+"/admin/backup?dir="+url.QueryEscape(dest), "", "application/json")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("backup dir=%q: status %d (want 400): %s", dest, resp.StatusCode, body)
+		}
+	}
+
+	// Nested relative names are fine — still under the root.
+	resp, body = do(t, "POST", ts.URL+"/admin/backup?dir="+url.QueryEscape("nightly/mon"), "", "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("backup dir=nightly/mon: status %d: %s", resp.StatusCode, body)
 	}
 }
 

@@ -14,6 +14,12 @@
 //	                                  concurrently over the engine's pool
 //	GET    /metrics                   JSON snapshot: server counters plus
 //	                                  per-instance engine metrics
+//	POST   /admin/backup              cut an online backup of the durable
+//	                                  store into a subdirectory of the
+//	                                  configured backup root (403 until
+//	                                  SetBackupRoot / pxmld -backup-dir)
+//	POST   /admin/scrub               synchronous checksum scrub of the
+//	                                  store's at-rest files
 //	GET    /healthz                   liveness: 200 while the process runs
 //	GET    /readyz                    readiness: 503 while draining or the
 //	                                  store is degraded
@@ -82,12 +88,13 @@ const maxStatementBytes = 1 << 20
 // backed by the durable storage engine (see NewPersistent) or, for the
 // legacy layout, by a directory of flat text files (NewPersistentFiles).
 type Server struct {
-	mu      sync.RWMutex
-	engines map[string]*engine.Engine
-	store   *store.Store // log-structured persistence; nil unless NewPersistent/NewWithStore
-	dir     string       // legacy flat-file persistence; "" unless NewPersistentFiles
-	maxBody int64
-	log     *slog.Logger
+	mu         sync.RWMutex
+	engines    map[string]*engine.Engine
+	store      *store.Store // log-structured persistence; nil unless NewPersistent/NewWithStore
+	dir        string       // legacy flat-file persistence; "" unless NewPersistentFiles
+	backupRoot string       // /admin/backup destination root; "" = endpoint disabled
+	maxBody    int64
+	log        *slog.Logger
 
 	// results memoizes scalar query answers across all instances; version
 	// feeds each engine's cache-key prefix so entries for a replaced
@@ -196,6 +203,14 @@ func (s *Server) newEngine(name string, pi *core.ProbInstance) *engine.Engine {
 	}
 	return engine.New(pi, opts...)
 }
+
+// SetBackupRoot enables POST /admin/backup and confines its destinations
+// to subdirectories of root. Until it is called the endpoint answers 403:
+// accepting arbitrary server-side paths would let any client that can
+// reach the API create directories and write store-content files anywhere
+// the process can. Like the other Set* knobs, call it before the handler
+// starts serving (pxmld wires it to -backup-dir).
+func (s *Server) SetBackupRoot(root string) { s.backupRoot = root }
 
 // SetDraining flips the readiness probe: a draining server answers 503
 // on /readyz so load balancers stop routing to it, while in-flight and
@@ -628,15 +643,22 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleBackup takes an online backup of the durable store into the
-// directory named by the request. The path is interpreted on the
-// server's filesystem and must be empty or absent; writes keep flowing
-// while the backup is cut (see store.Backup). The response is the
-// backup's manifest — everything a later pxmlbackup verify/restore needs
-// to know about what was captured.
+// handleBackup takes an online backup of the durable store into a
+// subdirectory of the configured backup root named by the request. The
+// client chooses only the name; the server chooses the filesystem
+// location, and the endpoint is disabled entirely until SetBackupRoot —
+// an unrestricted destination would be a filesystem-write primitive for
+// anyone who can reach the API. The destination must be empty or absent;
+// writes keep flowing while the backup is cut (see store.Backup). The
+// response is the backup's manifest — everything a later pxmlbackup
+// verify/restore needs to know about what was captured.
 func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
 		httpError(w, http.StatusConflict, fmt.Errorf("server has no durable store to back up"))
+		return
+	}
+	if s.backupRoot == "" {
+		httpError(w, http.StatusForbidden, fmt.Errorf("backup endpoint disabled: no backup root configured (start pxmld with -backup-dir)"))
 		return
 	}
 	var req struct {
@@ -657,18 +679,37 @@ func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Dir == "" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("backup needs a destination directory (?dir= or JSON {\"dir\": ...})"))
+		httpError(w, http.StatusBadRequest, fmt.Errorf("backup needs a destination name (?dir= or JSON {\"dir\": ...}) relative to the server's backup root"))
 		return
 	}
-	man, err := s.store.Backup(req.Dir)
+	dest, err := resolveBackupDir(s.backupRoot, req.Dir)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	man, err := s.store.Backup(dest)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	if s.log != nil {
-		s.log.Info("backup complete", "dir", req.Dir, "instances", man.Instances, "pos", man.Pos.String())
+		s.log.Info("backup complete", "dir", dest, "instances", man.Instances, "pos", man.Pos.String())
 	}
 	writeJSON(w, http.StatusOK, man)
+}
+
+// resolveBackupDir maps a client-supplied backup name onto a directory
+// under root, rejecting anything that could land outside it: absolute
+// paths, any ".." component, or a name that resolves to the root itself.
+func resolveBackupDir(root, name string) (string, error) {
+	if filepath.IsAbs(name) {
+		return "", fmt.Errorf("backup destination %q must be relative to the server's backup root", name)
+	}
+	clean := filepath.Clean(name)
+	if clean == "." || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("backup destination %q escapes the server's backup root", name)
+	}
+	return filepath.Join(root, clean), nil
 }
 
 // handleScrub runs a synchronous full verification pass over the store's

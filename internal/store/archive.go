@@ -1,10 +1,10 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
-
-	"pxml/internal/vfs"
 )
 
 // WAL archiving. When Options.ArchiveDir is set, every sealed segment is
@@ -16,92 +16,165 @@ import (
 // backup.go). Archive failures are retried from the background loop and
 // never degrade the store — losing the archive costs recovery points,
 // not acknowledged writes.
+//
+// The archive is append-only history. An archived segment is never
+// overwritten with different bytes: a torn previous copy (a byte-prefix
+// of the local segment) is repaired atomically, a longer archived copy
+// that has the local segment as a prefix is left alone (every local byte
+// is already archived — the archive kept a longer timeline this store was
+// restored away from), and any other mismatch is an error. Overwriting
+// would destroy exactly the history a point-in-time restore exists to
+// replay.
+//
+// Locking: s.archMu serializes the background archiver with compaction —
+// both copy sealed segments into the archive, and compaction is the only
+// deleter of the local copies the archiver reads. The copies themselves
+// run without s.mu (sealed segments are immutable), so reads and writes
+// never stall behind archive I/O; s.mu is taken only to snapshot the
+// pending list and to mark segments archived.
 
 // archivePending archives every sealed local segment that is not yet in
 // the archive, then applies retention. Called from the background
 // goroutine on rotation kicks and on the retry ticker.
 func (s *Store) archivePending() {
+	s.archMu.Lock()
+	defer s.archMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed || s.opts.ArchiveDir == "" {
+		s.mu.Unlock()
 		return
 	}
-	if err := s.archiveSealedLocked(); err != nil {
+	pending := s.pendingArchiveLocked()
+	s.mu.Unlock()
+	if err := s.archiveSegments(pending); err != nil {
+		s.mu.Lock()
 		s.noteErrLocked(&s.archiveErrs, s.archiveErrsC, fmt.Errorf("store: archive: %w", err))
+		s.mu.Unlock()
 		return
 	}
-	if err := s.pruneArchiveLocked(); err != nil {
+	if err := s.pruneArchive(); err != nil {
+		s.mu.Lock()
 		s.noteErrLocked(&s.archiveErrs, s.archiveErrsC, fmt.Errorf("store: archive retention: %w", err))
+		s.mu.Unlock()
 	}
 }
 
-// archiveSealedLocked copies every not-yet-archived sealed segment into
-// the archive, oldest first, stopping at the first failure so the
-// archive never has a gap followed by newer segments. A segment already
-// present with the right size (a previous attempt that crashed after the
-// copy, or a sibling store sharing the archive) counts as archived.
-// Callers hold s.mu; a nil return means every sealed segment is safely
-// in the archive.
-func (s *Store) archiveSealedLocked() error {
-	if s.opts.ArchiveDir == "" {
-		return nil
+// pendingArchiveLocked snapshots the sealed segments not yet archived,
+// oldest first. Callers hold s.mu.
+func (s *Store) pendingArchiveLocked() []segInfo {
+	var pending []segInfo
+	for _, si := range s.sealed {
+		if !si.archived {
+			pending = append(pending, si)
+		}
 	}
-	var have map[uint64]int64 // archived sizes, listed lazily
-	for i := range s.sealed {
-		si := &s.sealed[i]
-		if si.archived {
-			continue
-		}
-		if have == nil {
-			have = s.archivedSizes()
-		}
-		if sz, ok := have[si.n]; ok && sz == si.size {
-			si.archived = true
-			continue
-		}
-		src := s.path(segmentFile(si.n))
-		dst := filepath.Join(s.opts.ArchiveDir, segmentFile(si.n))
-		if err := vfs.LinkOrCopy(s.fs, src, dst); err != nil {
+	return pending
+}
+
+// archiveSegments lands the given sealed segments in the archive, oldest
+// first, stopping at the first failure so the archive never has a gap
+// followed by newer segments, and marks each one archived as it lands.
+// Callers hold s.archMu but never s.mu: the segments are sealed and
+// immutable, and archMu keeps compaction from deleting them mid-copy. A
+// nil return means every listed segment is safely in the archive.
+func (s *Store) archiveSegments(pending []segInfo) error {
+	for _, si := range pending {
+		copied, err := s.archiveOne(si)
+		if err != nil {
 			return fmt.Errorf("segment %d: %w", si.n, err)
 		}
-		si.archived = true
-		if s.archivedSegs != nil {
-			s.archivedSegs.Inc()
+		s.mu.Lock()
+		for i := range s.sealed {
+			if s.sealed[i].n == si.n {
+				s.sealed[i].archived = true
+			}
 		}
-		if s.opts.Logger != nil {
-			s.opts.Logger.Printf("store: archived %s", segmentFile(si.n))
+		s.mu.Unlock()
+		if copied {
+			if s.archivedSegs != nil {
+				s.archivedSegs.Inc()
+			}
+			if s.opts.Logger != nil {
+				s.opts.Logger.Printf("store: archived %s", segmentFile(si.n))
+			}
 		}
 	}
 	return nil
 }
 
-// archivedSizes lists the archive's segment files with their sizes. A
-// listing failure just means nothing can be skipped; the copies below
-// will surface any real I/O problem.
-func (s *Store) archivedSizes() map[uint64]int64 {
-	have := make(map[uint64]int64)
-	entries, err := s.fs.ReadDir(s.opts.ArchiveDir)
+// archiveOne puts one sealed segment's bytes in the archive, reporting
+// whether a copy was actually performed (false when the bytes were
+// already there). An existing archived file under the same name is
+// compared byte for byte and never overwritten with different history —
+// see the package comment above for the three tolerated cases.
+func (s *Store) archiveOne(si segInfo) (bool, error) {
+	src := s.path(segmentFile(si.n))
+	dst := filepath.Join(s.opts.ArchiveDir, segmentFile(si.n))
+	existing, err := s.fs.ReadFile(dst)
+	if os.IsNotExist(err) {
+		// Fresh name: hard-link when the filesystem allows it (cheap, and
+		// shares storage with the immutable source), else stage a durable
+		// copy through a temp name.
+		if lerr := s.fs.Link(src, dst); lerr == nil {
+			return true, nil
+		}
+		local, rerr := s.fs.ReadFile(src)
+		if rerr != nil {
+			return false, rerr
+		}
+		return true, s.writeArchive(local, dst)
+	}
 	if err != nil {
-		return have
+		return false, err
 	}
-	for _, e := range entries {
-		n, ok := parseSegmentFile(e.Name())
-		if !ok {
-			continue
-		}
-		info, ierr := e.Info()
-		if ierr != nil {
-			continue
-		}
-		have[n] = info.Size()
+	local, err := s.fs.ReadFile(src)
+	if err != nil {
+		return false, err
 	}
-	return have
+	switch {
+	case bytes.Equal(existing, local):
+		// A previous attempt that crashed after the copy, or a restore
+		// staged this exact segment: the bytes are already archived.
+		return false, nil
+	case len(existing) < len(local) && bytes.Equal(existing, local[:len(existing)]):
+		// A previous copy torn by a crash; replace it atomically with the
+		// complete segment.
+		return true, s.writeArchive(local, dst)
+	case len(existing) > len(local) && bytes.Equal(existing[:len(local)], local):
+		// The archived copy is longer and this segment is its prefix: the
+		// archive kept the original of a timeline this store was restored
+		// away from. Every local byte is already archived; truncating
+		// archived history is never acceptable.
+		return false, nil
+	default:
+		return false, fmt.Errorf("local segment diverges from archived %s; refusing to overwrite archive history", segmentFile(si.n))
+	}
 }
 
-// pruneArchiveLocked enforces Options.ArchiveRetention by deleting the
-// oldest archived segments beyond the cap. Retention bounds disk, at the
+// writeArchive stages data under a temp name, fsyncs it, and renames it
+// into place, so a crash can never leave a torn segment file in the
+// archive masquerading as a sealed one.
+func (s *Store) writeArchive(data []byte, dst string) error {
+	tmp := dst + ".tmp"
+	if err := s.fs.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	if err := s.fs.Sync(tmp); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Rename(tmp, dst); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	return s.fs.SyncDir(s.opts.ArchiveDir)
+}
+
+// pruneArchive enforces Options.ArchiveRetention by deleting the oldest
+// archived segments beyond the cap. Retention bounds disk, at the
 // documented cost of how far back point-in-time recovery can reach.
-func (s *Store) pruneArchiveLocked() error {
+// Callers hold s.archMu.
+func (s *Store) pruneArchive() error {
 	if s.opts.ArchiveRetention <= 0 {
 		return nil
 	}

@@ -114,6 +114,10 @@ func (s *Store) Backup(destDir string) (*Manifest, error) {
 		s.backups--
 		if s.backups == 0 {
 			s.backupsDone.Broadcast()
+			// The background loop skips compaction while a backup runs
+			// (see compactIfDirty); nudge it now in case the WAL crossed
+			// the threshold in the meantime.
+			s.maybeKickLocked()
 		}
 		s.mu.Unlock()
 	}()
@@ -293,7 +297,10 @@ type RestoreOptions struct {
 type RestoreResult struct {
 	// Manifest is the verified manifest of the source backup.
 	Manifest *Manifest
-	// Pos is the WAL position of the restored store after any cut.
+	// Pos is the WAL position of the restored store after any cut. When
+	// the restore consulted an archive, the staged segments are
+	// renumbered past the archive's history (see Restore) and Pos is in
+	// that new numbering.
 	Pos Pos
 	// Instances is the live catalog size the restored store recovered.
 	Instances int
@@ -305,6 +312,14 @@ type RestoreResult struct {
 // dataDir and proven to open cleanly before anything existing is
 // touched; an existing dataDir is renamed aside and deleted only after
 // the swap. On failure the previous dataDir is left exactly in place.
+//
+// A restore that consulted an archive (RestoreOptions.ArchiveDir)
+// renumbers the restored segments past the archive's highest number,
+// leaving a one-number gap: the restored store is a new timeline, and
+// reusing the old numbers would eventually force the archiver to
+// overwrite the archived history this restore just replayed. The cut
+// target (ToPos/ToTime) is still expressed in the original numbering;
+// only the result is renumbered.
 func Restore(backupDir, dataDir string, opts RestoreOptions) (*RestoreResult, error) {
 	fsys := opts.FS
 	if fsys == nil {
@@ -385,6 +400,22 @@ func Restore(backupDir, dataDir string, opts RestoreOptions) (*RestoreResult, er
 	pos, err := applyCut(fsys, stage, staged, man, opts)
 	if err != nil {
 		return nil, err
+	}
+
+	// A restore that consulted an archive renumbers the staged segments
+	// past the archive's highest number. The reopened store would
+	// otherwise resume appending under segment numbers the archive
+	// already holds — with different history beyond the cut — and
+	// archiving could never accept those segments without overwriting
+	// the very history this restore replayed. The renumbering leaves a
+	// permanent one-number gap marking the timeline boundary: archive
+	// overlays stop at the first missing number, so a later restore can
+	// never splice the two histories together.
+	if opts.ArchiveDir != "" {
+		pos, err = renumberPastArchive(fsys, stage, opts.ArchiveDir, pos)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Prove the staged tree opens cleanly before touching anything that
@@ -514,6 +545,49 @@ func applyCut(fsys vfs.FS, stage string, staged []uint64, man *Manifest, opts Re
 	default:
 		return endPos()
 	}
+}
+
+// renumberPastArchive renames the staged segments, in ascending order,
+// to fresh consecutive numbers starting two past everything in the
+// archive (and past their own current numbers), returning pos remapped
+// into the new numbering. A stage whose segments already sit wholly past
+// the archive is left alone — its numbers cannot collide.
+func renumberPastArchive(fsys vfs.FS, stage, archiveDir string, pos Pos) (Pos, error) {
+	archived, err := listSegments(fsys, archiveDir)
+	if err != nil {
+		return Pos{}, fmt.Errorf("store: restore renumber: %w", err)
+	}
+	if len(archived) == 0 {
+		return pos, nil
+	}
+	segs, err := listSegments(fsys, stage)
+	if err != nil {
+		return Pos{}, fmt.Errorf("store: restore renumber: %w", err)
+	}
+	archMax := archived[len(archived)-1]
+	if len(segs) == 0 || segs[0] > archMax {
+		return pos, nil
+	}
+	// base-1 is the gap number: above everything archived and everything
+	// staged, used by neither timeline, ever.
+	base := archMax + 2
+	if top := segs[len(segs)-1]; top+2 > base {
+		base = top + 2
+	}
+	out := pos
+	for i, n := range segs {
+		to := base + uint64(i)
+		if err := fsys.Rename(filepath.Join(stage, segmentFile(n)), filepath.Join(stage, segmentFile(to))); err != nil {
+			return Pos{}, fmt.Errorf("store: restore renumber: %w", err)
+		}
+		if pos.Seg == n {
+			out.Seg = to
+		}
+	}
+	if err := fsys.SyncDir(stage); err != nil {
+		return Pos{}, fmt.Errorf("store: restore renumber: %w", err)
+	}
+	return out, nil
 }
 
 // frameBoundaryAtOrBefore walks frames from the start and returns the

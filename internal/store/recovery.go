@@ -117,6 +117,7 @@ func (s *Store) recover() (*RecoveryReport, error) {
 		report.Segments++
 		if last {
 			s.seg = n
+			s.activeBytes = size // post-truncation; Open may seal it as-is
 		} else {
 			s.sealed = append(s.sealed, segInfo{n: n, size: size})
 		}

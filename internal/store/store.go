@@ -174,17 +174,23 @@ type Store struct {
 	opts Options
 	fs   vfs.FS
 
-	mu         sync.RWMutex
-	instances  map[string]*core.ProbInstance
-	wal        vfs.File  // active segment, open for append
-	seg        uint64    // active segment number
-	sealed     []segInfo // sealed local segments, ascending by number
-	walBytes   int64     // bytes in the active segment
-	walTotal   int64     // bytes across active + sealed local segments
-	walRecords int64
-	walDirty   bool // appended since last fsync
-	closing    bool // Close has begun (background loop draining)
-	closed     bool
+	mu sync.RWMutex
+	// archMu serializes the archive's writers: the background archiver
+	// and compaction (the only deleter of the sealed local segments the
+	// archiver copies). It is always taken before s.mu, never inside it,
+	// so the copies themselves can run without stalling readers/writers.
+	archMu      sync.Mutex
+	instances   map[string]*core.ProbInstance
+	wal         vfs.File  // active segment, open for append
+	seg         uint64    // active segment number
+	activeBytes int64     // recovered size of the active segment (set by recover)
+	sealed      []segInfo // sealed local segments, ascending by number
+	walBytes    int64     // bytes in the active segment
+	walTotal    int64     // bytes across active + sealed local segments
+	walRecords  int64
+	walDirty    bool // appended since last fsync
+	closing     bool // Close has begun (background loop draining)
+	closed      bool
 
 	// backups counts in-progress online backups. While positive,
 	// compaction waits (it would delete or replace the very files a
@@ -251,9 +257,9 @@ type Store struct {
 	commitBatch []*commitReq
 	stampBuf    []byte
 
-	stop    chan struct{}
-	done    chan struct{}
-	kick    chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	kick     chan struct{}
 	archKick chan struct{}
 }
 
@@ -358,16 +364,35 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if s.seg == 0 {
+	var archMax uint64
+	if opts.ArchiveDir != "" {
+		if archived, aerr := listSegments(s.fs, opts.ArchiveDir); aerr == nil && len(archived) > 0 {
+			archMax = archived[len(archived)-1]
+		}
+	}
+	switch {
+	case s.seg == 0:
 		// Fresh store. Segment numbers must never be reused, including
 		// against an archive that outlived a rebuilt data directory — a
 		// collision would overwrite history the archive is keeping.
-		s.seg = 1
-		if opts.ArchiveDir != "" {
-			if archived, aerr := listSegments(s.fs, opts.ArchiveDir); aerr == nil && len(archived) > 0 {
-				s.seg = archived[len(archived)-1] + 1
-			}
+		s.seg = archMax + 1
+	case archMax >= s.seg:
+		// The recovered active segment's number is already archived: this
+		// data directory was restored to an earlier point (or rebuilt)
+		// next to an archive holding different history under the same and
+		// higher numbers. Seal the active segment exactly as recovered and
+		// continue two past the archive. The untouched number in between
+		// is a permanent gap marking the timeline boundary — point-in-time
+		// overlays stop at the first missing number, so they can never
+		// splice the two histories together — and the archiver tolerates
+		// the sealed collisions because their bytes are prefixes of (or
+		// identical to) the archived originals.
+		s.sealed = append(s.sealed, segInfo{n: s.seg, size: s.activeBytes})
+		if opts.Logger != nil {
+			opts.Logger.Printf("store: active segment %d collides with archived history (archive max %d); sealing it and continuing at segment %d",
+				s.seg, archMax, archMax+2)
 		}
+		s.seg = archMax + 2
 	}
 	wal, err := s.fs.OpenAppend(s.path(segmentFile(s.seg)))
 	if err != nil {
@@ -790,16 +815,23 @@ func (s *Store) maybeKickLocked() {
 // Rotation and appends continue freely under a backup — they only ever
 // add bytes and files.
 func (s *Store) Compact() error {
+	// archMu serializes compaction with the background archiver: both
+	// copy sealed segments into the archive, and compaction is the only
+	// deleter of the local copies the archiver reads.
+	s.archMu.Lock()
+	defer s.archMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for s.backups > 0 && !s.closed && !s.degraded {
 		s.backupsDone.Wait()
 	}
 	if s.closed {
+		s.mu.Unlock()
 		return fmt.Errorf("store: closed")
 	}
 	if s.degraded {
-		return s.degradedErrLocked()
+		err := s.degradedErrLocked()
+		s.mu.Unlock()
+		return err
 	}
 	// Compaction failures are retryable, not degrading by themselves:
 	// nothing below touches live state until the snapshot rename lands,
@@ -813,28 +845,55 @@ func (s *Store) Compact() error {
 		if err := s.rotateLocked(); err != nil {
 			err = fmt.Errorf("store: compact rotate: %w", err)
 			s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
+			s.mu.Unlock()
 			return err
 		}
 	}
-	// Archive before delete: once a sealed segment is gone locally, the
-	// archive is the only place the point-in-time recovery chain can
-	// read it from, so compaction refuses to destroy what it could not
-	// archive.
-	if err := s.archiveSealedLocked(); err != nil {
-		err = fmt.Errorf("store: archive before compact: %w", err)
-		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
-		return err
+	pending := s.pendingArchiveLocked()
+	s.mu.Unlock()
+
+	// Archive before delete, copying outside s.mu (sealed segments are
+	// immutable, so writers keep flowing): once a sealed segment is gone
+	// locally, the archive is the only place the point-in-time recovery
+	// chain can read it from, so compaction refuses to destroy what it
+	// could not archive.
+	if s.opts.ArchiveDir != "" {
+		if err := s.archiveSegments(pending); err != nil {
+			err = fmt.Errorf("store: archive before compact: %w", err)
+			s.mu.Lock()
+			s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
+			s.mu.Unlock()
+			return err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A backup may have started while the lock was released for the
+	// archive copies; it is reading the very files deleted below.
+	for s.backups > 0 && !s.closed && !s.degraded {
+		s.backupsDone.Wait()
+	}
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.degraded {
+		return s.degradedErrLocked()
 	}
 	if err := s.writeSnapshotLocked(); err != nil {
 		s.noteErrLocked(&s.compactErrs, s.compactErrsC, err)
 		return err
 	}
-	// The snapshot now carries everything the sealed segments did.
+	// The snapshot now carries everything the sealed segments did. With
+	// archiving on, only archived segments may be deleted — a rotation
+	// that slipped in while the lock was released can have sealed a
+	// segment the archiver has not copied yet; it stays until the next
+	// compaction.
 	keep := s.sealed[:0]
 	var rmErr error
 	for i := range s.sealed {
 		si := s.sealed[i]
-		if rmErr != nil {
+		if rmErr != nil || (s.opts.ArchiveDir != "" && !si.archived) {
 			keep = append(keep, si)
 			continue
 		}
@@ -994,10 +1053,14 @@ func (s *Store) background() {
 }
 
 // compactIfDirty compacts unless the WAL is already empty (or the store
-// is closing or degraded).
+// is closing or degraded). An in-progress online backup defers the
+// compaction instead of waiting for it: Compact would park this — the
+// single background goroutine — in backupsDone.Wait for the backup's
+// whole duration, stalling interval fsyncs, archiving, and scrub ticks
+// with it. Backup re-kicks the compaction when it finishes.
 func (s *Store) compactIfDirty() error {
 	s.mu.RLock()
-	skip := s.walTotal == 0 || s.closed || s.closing || s.degraded
+	skip := s.walTotal == 0 || s.closed || s.closing || s.degraded || s.backups > 0
 	s.mu.RUnlock()
 	if skip {
 		return nil

@@ -1,0 +1,339 @@
+package store
+
+// Timeline separation between a WAL archive and stores restored away
+// from it. The claims under test: a restore that consulted an archive
+// renumbers its segments past the archive with a permanent gap, so the
+// two histories can never be spliced by a later PITR; a store that opens
+// with its active segment colliding with archived history seals it and
+// jumps past the archive; the archiver never overwrites archived bytes
+// with divergent ones (but does repair its own torn copies); and the
+// background loop defers compaction during online backups instead of
+// parking on them.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pxml/internal/fixtures"
+	"pxml/internal/vfs"
+)
+
+// archiveBytes snapshots the content of every segment in an archive
+// directory, keyed by segment number.
+func archiveBytes(t *testing.T, arch string) map[uint64][]byte {
+	t.Helper()
+	segs, err := listSegments(vfs.OS, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[uint64][]byte, len(segs))
+	for _, n := range segs {
+		data, err := os.ReadFile(filepath.Join(arch, segmentFile(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[n] = data
+	}
+	return out
+}
+
+// TestRestoreWithArchiveRenumbersPastIt: a PITR restore must land its
+// segments past the archive's history with a one-number gap, the
+// restored store must archive cleanly under the new numbers, and the
+// original timeline must stay replayable from the same base backup.
+func TestRestoreWithArchiveRenumbersPastIt(t *testing.T) {
+	dir := t.TempDir()
+	arch := t.TempDir()
+	s, _ := open(t, dir, Options{SegmentSize: 256, CompactThreshold: -1, ArchiveDir: arch})
+	fig := fixtures.Figure2()
+	for i := 0; i < 5; i++ {
+		mustPut(t, s, fmt.Sprintf("phase1-%d", i), fig)
+	}
+	bdir := filepath.Join(t.TempDir(), "base")
+	if _, err := s.Backup(bdir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustPut(t, s, fmt.Sprintf("phase2-%d", i), fig)
+	}
+	if err := s.Compact(); err != nil { // seals and archives everything so far
+		t.Fatal(err)
+	}
+	s.Close()
+
+	before := archiveBytes(t, arch)
+	if len(before) == 0 {
+		t.Fatal("compaction archived nothing")
+	}
+	var archMax uint64
+	for n := range before {
+		if n > archMax {
+			archMax = n
+		}
+	}
+
+	// Full roll-forward restore: base backup plus the whole archive.
+	target := filepath.Join(t.TempDir(), "restored")
+	res, err := Restore(bdir, target, RestoreOptions{ArchiveDir: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 10 {
+		t.Fatalf("full PITR recovered %d instances, want 10", res.Instances)
+	}
+	segs, err := listSegments(vfs.OS, target)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("restored dir segments %v (err=%v)", segs, err)
+	}
+	if segs[0] < archMax+2 {
+		t.Fatalf("restored segments %v not renumbered past archive max %d with a gap", segs, archMax)
+	}
+	if res.Pos.Seg < archMax+2 {
+		t.Fatalf("restore pos %s still in the archived numbering (archive max %d)", res.Pos, archMax)
+	}
+
+	// The restored store is a new timeline: writing and compacting with
+	// the same archive must archive the new segments under their new
+	// numbers without touching a byte of the old history.
+	r, _ := open(t, target, Options{SegmentSize: 256, CompactThreshold: -1, ArchiveDir: arch})
+	for i := 0; i < 5; i++ {
+		mustPut(t, r, fmt.Sprintf("fork-%d", i), fig)
+	}
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Health(); h.ArchiveErrors != 0 {
+		t.Fatalf("archiving the restored timeline reported errors: %+v", h)
+	}
+	r.Close()
+	after := archiveBytes(t, arch)
+	for n, data := range before {
+		if !bytes.Equal(after[n], data) {
+			t.Fatalf("archived segment %d changed after restoring and re-archiving", n)
+		}
+	}
+	if len(after) <= len(before) {
+		t.Fatal("restored timeline archived no new segments")
+	}
+	if _, ok := after[archMax+1]; ok {
+		t.Fatalf("gap segment %d appeared in the archive; timelines can now splice", archMax+1)
+	}
+
+	// A second PITR from the same base backup replays the original
+	// timeline only: the gap stops the overlay before the fork.
+	again := filepath.Join(t.TempDir(), "again")
+	res2, err := Restore(bdir, again, RestoreOptions{ArchiveDir: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Instances != 10 {
+		t.Fatalf("re-restore recovered %d instances, want the original 10", res2.Instances)
+	}
+	r2, _ := open(t, again, Options{})
+	defer r2.Close()
+	wantInstance(t, r2, "phase2-4", fig)
+	if _, ok := r2.Get("fork-0"); ok {
+		t.Fatal("re-restore spliced the forked timeline into the original one")
+	}
+}
+
+// TestOpenSealsCollidingActivePastArchive: a store whose recovered
+// active segment number is already claimed by the archive (a restore
+// taken without the archive in reach) must seal it and continue past
+// the archive maximum, leaving the gap.
+func TestOpenSealsCollidingActivePastArchive(t *testing.T) {
+	dir := t.TempDir()
+	fig := fixtures.Figure2()
+	s, _ := open(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		mustPut(t, s, fmt.Sprintf("inst-%d", i), fig)
+	}
+	s.Close()
+
+	// Manufacture an archive that already owns segment numbers 1..7:
+	// number 1 with the same bytes the store just wrote, the rest from a
+	// pruned-away past.
+	arch := t.TempDir()
+	seg1, err := os.ReadFile(filepath.Join(dir, segmentFile(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(arch, segmentFile(1)), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for n := uint64(2); n <= 7; n++ {
+		if err := os.WriteFile(filepath.Join(arch, segmentFile(n)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, _ := open(t, dir, Options{ArchiveDir: arch})
+	defer s2.Close()
+	for i := 0; i < 3; i++ {
+		wantInstance(t, s2, fmt.Sprintf("inst-%d", i), fig)
+	}
+	mustPut(t, s2, "after-collision", fig)
+	if pos := s2.Pos(); pos.Seg != 9 {
+		t.Fatalf("appends resumed at segment %d, want 9 (archive max 7 plus gap)", pos.Seg)
+	}
+	segs, err := listSegments(vfs.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0] != 1 || segs[1] != 9 {
+		t.Fatalf("data dir segments %v, want [1 9]", segs)
+	}
+	// The sealed colliding segment archives cleanly (its bytes are
+	// already there), and compaction retires it without errors.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if h := s2.Health(); h.ArchiveErrors != 0 {
+		t.Fatalf("health after compacting past a collision: %+v", h)
+	}
+	if _, err := os.Stat(filepath.Join(arch, segmentFile(9))); err != nil {
+		t.Fatalf("sealed segment 9 not archived: %v", err)
+	}
+}
+
+// unarchiveAll clears the archived flag on every sealed segment, so the
+// next archive pass re-examines them against the archive's copies.
+func unarchiveAll(s *Store) {
+	s.mu.Lock()
+	for i := range s.sealed {
+		s.sealed[i].archived = false
+	}
+	s.mu.Unlock()
+}
+
+// replaceArchived swaps an archived segment's content through a fresh
+// inode: the archiver may have hard-linked the archive copy to the live
+// segment, and writing through the shared inode would mutate both.
+func replaceArchived(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArchiveNeverOverwritesDivergentHistory drives archiveOne's
+// compare-before-copy cases: identical bytes are left alone, a torn
+// past copy is repaired, a longer archived copy survives, and divergent
+// bytes are refused with an archive error.
+func TestArchiveNeverOverwritesDivergentHistory(t *testing.T) {
+	dir := t.TempDir()
+	arch := t.TempDir()
+	s, _ := open(t, dir, Options{SegmentSize: 256, CompactThreshold: -1, ArchiveDir: arch})
+	defer s.Close()
+	fig := fixtures.Figure2()
+	for i := 0; i < 8; i++ {
+		mustPut(t, s, fmt.Sprintf("inst-%d", i), fig)
+	}
+	waitFor(t, 15*time.Second, "background archiver to land segment 1", func() bool {
+		_, err := os.Stat(filepath.Join(arch, segmentFile(1)))
+		return err == nil
+	})
+	archPath := filepath.Join(arch, segmentFile(1))
+	orig, err := os.ReadFile(archPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical: nothing to do, nothing reported.
+	unarchiveAll(s)
+	s.archivePending()
+	if h := s.Health(); h.ArchiveErrors != 0 {
+		t.Fatalf("re-archiving identical bytes errored: %+v", h)
+	}
+
+	// Torn past copy (archived prefix of local): repaired in place.
+	replaceArchived(t, archPath, orig[:len(orig)/2])
+	unarchiveAll(s)
+	s.archivePending()
+	if got, _ := os.ReadFile(archPath); !bytes.Equal(got, orig) {
+		t.Fatalf("torn archived copy not repaired: %d bytes, want %d (health %+v)", len(got), len(orig), s.Health())
+	}
+	if h := s.Health(); h.ArchiveErrors != 0 {
+		t.Fatalf("repairing a torn copy errored: %+v", h)
+	}
+
+	// Archived copy longer, local a prefix (the archive kept a timeline
+	// this store was restored away from): left untouched, no error.
+	longer := append(append([]byte{}, orig...), "extra history"...)
+	replaceArchived(t, archPath, longer)
+	unarchiveAll(s)
+	s.archivePending()
+	if got, _ := os.ReadFile(archPath); !bytes.Equal(got, longer) {
+		t.Fatal("archiver truncated a longer archived copy")
+	}
+	if h := s.Health(); h.ArchiveErrors != 0 {
+		t.Fatalf("prefix-of-archived case errored: %+v", h)
+	}
+
+	// Divergent bytes: refused, file untouched, error surfaced.
+	diverged := append([]byte{}, orig...)
+	diverged[len(diverged)/2] ^= 0xFF
+	replaceArchived(t, archPath, diverged)
+	unarchiveAll(s)
+	s.archivePending()
+	if got, _ := os.ReadFile(archPath); !bytes.Equal(got, diverged) {
+		t.Fatal("archiver overwrote divergent archived history")
+	}
+	if h := s.Health(); h.ArchiveErrors == 0 {
+		t.Fatal("divergent archive refusal not surfaced in health")
+	}
+}
+
+// TestCompactionDeferredDuringBackup: while an online backup is in
+// flight the background loop must skip compaction (not park on it), and
+// the deferred compaction must run once the backup drains.
+func TestCompactionDeferredDuringBackup(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{CompactThreshold: 1})
+	defer s.Close()
+
+	// Fake an in-progress backup the way Backup itself registers one,
+	// before dirtying the WAL so the background loop cannot win a
+	// compaction race first.
+	s.mu.Lock()
+	s.backups++
+	s.mu.Unlock()
+	mustPut(t, s, "dirty", fixtures.Figure2())
+
+	// compactIfDirty must return promptly instead of blocking on
+	// backupsDone — a parked background goroutine is exactly the bug:
+	// no fsync ticks, no archive retries, no scrubs until the backup
+	// ends.
+	done := make(chan error, 1)
+	go func() { done <- s.compactIfDirty() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("compactIfDirty under a backup: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("compactIfDirty parked behind an in-flight backup")
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); !os.IsNotExist(err) {
+		t.Fatalf("compaction ran during a backup (stat err=%v)", err)
+	}
+
+	// Backup completion: drop the count, wake waiters, and re-kick the
+	// background loop — the deferred compaction must now happen.
+	s.mu.Lock()
+	s.backups--
+	s.backupsDone.Broadcast()
+	s.maybeKickLocked()
+	s.mu.Unlock()
+	waitFor(t, 15*time.Second, "deferred compaction after backup", func() bool {
+		_, err := os.Stat(filepath.Join(dir, snapshotName))
+		return err == nil
+	})
+}

@@ -48,7 +48,7 @@ type FS interface {
 	Rename(oldname, newname string) error
 	// Link creates newname as a hard link to oldname. Implementations
 	// backed by filesystems without hard links return an error; callers
-	// that only need the bytes duplicated should use LinkOrCopy.
+	// that only need the bytes duplicated should fall back to CopyFile.
 	Link(oldname, newname string) error
 	// Remove deletes name.
 	Remove(name string) error
@@ -148,15 +148,4 @@ func CopyFile(fsys FS, src, dst string) error {
 		return err
 	}
 	return fsys.Sync(dst)
-}
-
-// LinkOrCopy hard-links src to dst when the filesystem supports it and
-// falls back to a durable copy otherwise (cross-device archives, FAT,
-// object-store shims). The link path is cheap and shares storage with the
-// immutable source; the copy path fsyncs like CopyFile.
-func LinkOrCopy(fsys FS, src, dst string) error {
-	if err := fsys.Link(src, dst); err == nil {
-		return nil
-	}
-	return CopyFile(fsys, src, dst)
 }
