@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke vet staticcheck cover clean
+.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke telemetry-smoke vet staticcheck cover clean
 
 all: check
 
@@ -81,6 +81,15 @@ soak:
 # Short chaos soak for CI: the same harness at the 25-cycle floor.
 soak-smoke:
 	PXML_SOAK_CYCLES=25 $(GO) test -race -run TestChaosSoak -v ./internal/store
+
+# Telemetry end-to-end smoke: boot the real pxmld with the statsd
+# exporter aimed at an in-process UDP sink, drive traffic, and assert
+# the sink sees counters/gauges/percentile timers and /v1/metrics
+# agrees (schema_version, percentiles). Plus the exporter/admission
+# unit suites under the race detector.
+telemetry-smoke:
+	$(GO) test -race -run TestTelemetrySmoke -v .
+	$(GO) test -race ./internal/telemetry ./internal/admission ./internal/metrics
 
 # Quick fuzz smoke for CI: a few seconds per fuzzer, catching gross
 # decoder/parser regressions without the cost of a long campaign.

@@ -43,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"pxml/internal/apiv1"
 	"pxml/internal/store"
 )
 
@@ -129,9 +130,12 @@ func cmdCreate(args []string) error {
 }
 
 // serverBackup asks a running daemon to back itself up under name, a
-// destination relative to the daemon's configured backup root.
+// destination relative to the daemon's configured backup root. It
+// speaks the v1 API; failures come back as the v1 error envelope and
+// keep their machine code (conflict for a concurrent backup, forbidden
+// for an escaping path, and so on).
 func serverBackup(base, name string) (*store.Manifest, error) {
-	u := strings.TrimSuffix(base, "/") + "/admin/backup?dir=" + url.QueryEscape(name)
+	u := strings.TrimSuffix(base, "/") + apiv1.Prefix + "/admin/backup?dir=" + url.QueryEscape(name)
 	resp, err := http.Post(u, "application/json", nil)
 	if err != nil {
 		return nil, err
@@ -142,7 +146,7 @@ func serverBackup(base, name string) (*store.Manifest, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return nil, fmt.Errorf("server: %w", apiv1.ErrorFromBody(resp.StatusCode, body))
 	}
 	var man store.Manifest
 	if err := json.Unmarshal(body, &man); err != nil {

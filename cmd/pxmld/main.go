@@ -30,20 +30,31 @@
 // daemon flips /readyz to 503, drains in-flight requests, then closes
 // the store so the WAL is flushed before exit.
 //
-// Endpoints (see internal/server):
+// Endpoints (see internal/server and docs/API.md; unversioned legacy
+// paths answer 308 redirects onto /v1):
 //
-//	GET    /instances
-//	PUT    /instances/{name}
-//	GET    /instances/{name}
-//	DELETE /instances/{name}
-//	GET    /instances/{name}/dot
-//	POST   /instances/{name}/query[?store=name]
-//	POST   /instances/{name}/batch
-//	GET    /metrics
-//	POST   /admin/backup
-//	POST   /admin/scrub
+//	GET    /v1/instances
+//	PUT    /v1/instances/{name}
+//	GET    /v1/instances/{name}
+//	DELETE /v1/instances/{name}
+//	GET    /v1/instances/{name}/dot
+//	POST   /v1/instances/{name}/query[?store=name]
+//	POST   /v1/instances/{name}/batch
+//	GET    /v1/metrics
+//	POST   /v1/admin/backup
+//	POST   /v1/admin/scrub
+//	GET    /v1/admin/quotas, PUT /v1/admin/quotas
 //	GET    /healthz
 //	GET    /readyz
+//
+// Telemetry: -statsd-addr pushes counters, gauges, and p50/p95/p99 timer
+// percentiles to a StatsD/Graphite sink every -statsd-interval; a dead
+// sink never blocks the request path (flushes are dropped and counted).
+// Admission control: -quota-default and repeated -quota flags impose
+// per-instance token-bucket rate limits, and under overload the inflight
+// capacity is shared fairly by quota weight; over-quota requests answer
+// 429 with a Retry-After hint. Quotas can be reloaded at runtime via
+// PUT /v1/admin/quotas.
 //
 // Operational durability: -segment-size rotates the WAL into numbered
 // segments, -archive copies sealed segments into an archive directory
@@ -78,6 +89,7 @@ import (
 	"time"
 
 	"pxml"
+	"pxml/internal/admission"
 	"pxml/internal/server"
 	"pxml/internal/store"
 )
@@ -89,6 +101,28 @@ func (l *loadFlags) String() string { return strings.Join(*l, ",") }
 func (l *loadFlags) Set(v string) error {
 	*l = append(*l, v)
 	return nil
+}
+
+// parseQuota parses "rate:burst" or "rate:burst:weight" (requests per
+// second, bucket capacity, fairness weight).
+func parseQuota(spec string) (admission.Quota, error) {
+	var q admission.Quota
+	parts := strings.Split(spec, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return q, fmt.Errorf("quota %q: want rate:burst or rate:burst:weight", spec)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%g", &q.Rate); err != nil {
+		return q, fmt.Errorf("quota %q: bad rate: %w", spec, err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%g", &q.Burst); err != nil {
+		return q, fmt.Errorf("quota %q: bad burst: %w", spec, err)
+	}
+	if len(parts) == 3 {
+		if _, err := fmt.Sscanf(parts[2], "%g", &q.Weight); err != nil {
+			return q, fmt.Errorf("quota %q: bad weight: %w", spec, err)
+		}
+	}
+	return q, q.Validate()
 }
 
 func main() {
@@ -111,6 +145,13 @@ func main() {
 	scrubInterval := flag.Duration("scrub-interval", 0, "verify one at-rest store file's checksums on this cadence; corruption degrades to read-only (0 = off)")
 	quarantineMax := flag.Int("quarantine-max", 0, "keep at most this many quarantined corrupt-region files (0 = default 64, negative = unbounded)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = off)")
+	statsdAddr := flag.String("statsd-addr", "", "push metrics to this StatsD/Graphite sink (host:port; empty = off)")
+	statsdInterval := flag.Duration("statsd-interval", 10*time.Second, "telemetry flush period")
+	statsdNetwork := flag.String("statsd-network", "udp", "telemetry transport: udp or tcp")
+	statsdPrefix := flag.String("statsd-prefix", "", "metric name prefix (empty = pxmld)")
+	quotaDefault := flag.String("quota-default", "", "default per-instance admission quota as rate:burst[:weight] in requests/second (empty = unlimited)")
+	var quotaSpecs loadFlags
+	flag.Var(&quotaSpecs, "quota", "per-instance admission quota: name=rate:burst[:weight] (repeatable)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload an instance: name=file (repeatable)")
 	flag.Parse()
@@ -118,13 +159,50 @@ func main() {
 	if *dataDir == "" {
 		*dataDir = *dataDirAlias
 	}
-	var srv *server.Server
-	if *dataDir != "" {
-		policy, err := store.ParseFsyncPolicy(*fsyncPolicy)
+	cfg := server.Config{
+		MaxBody:        *maxBody,
+		RequestTimeout: *reqTimeout,
+		MaxInflight:    *maxInflight,
+		QueryWorkers:   *queryWorkers,
+		BackupRoot:     *backupDir,
+		StatsdAddr:     *statsdAddr,
+		StatsdNetwork:  *statsdNetwork,
+		StatsdInterval: *statsdInterval,
+		StatsdPrefix:   *statsdPrefix,
+	}
+	if !*quiet {
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if *quotaDefault != "" {
+		q, err := parseQuota(*quotaDefault)
 		if err != nil {
 			fatal(err)
 		}
-		opts := store.Options{
+		cfg.DefaultQuota = q
+	}
+	for _, spec := range quotaSpecs {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -quota %q (want name=rate:burst[:weight])", spec))
+		}
+		q, err := parseQuota(rest)
+		if err != nil {
+			fatal(err)
+		}
+		if cfg.TenantQuotas == nil {
+			cfg.TenantQuotas = make(map[string]admission.Quota)
+		}
+		cfg.TenantQuotas[name] = q
+	}
+	var policy store.FsyncPolicy
+	if *dataDir != "" {
+		var err error
+		policy, err = store.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.StoreDir = *dataDir
+		cfg.StoreOptions = store.Options{
 			Fsync:            policy,
 			SnapshotInterval: *snapshotEvery,
 			CommitBatch:      *commitBatch,
@@ -136,26 +214,16 @@ func main() {
 			QuarantineMax:    *quarantineMax,
 			Logger:           log.New(os.Stderr, "pxmld: ", 0),
 		}
-		var report *store.RecoveryReport
-		srv, report, err = server.NewWithStore(*dataDir, opts)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "catalog persisted in %s (fsync=%s): %s\n", *dataDir, policy, report)
-	} else {
-		srv = server.New()
 	}
-	if !*quiet {
-		srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
 	}
-	if *maxBody > 0 {
-		srv.SetMaxBody(*maxBody)
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "catalog persisted in %s (fsync=%s): %s\n", *dataDir, policy, srv.RecoveryReport())
 	}
-	srv.SetRequestTimeout(*reqTimeout)
-	srv.SetMaxInflight(*maxInflight)
-	srv.SetQueryWorkers(*queryWorkers)
-	if *backupDir != "" {
-		srv.SetBackupRoot(*backupDir)
+	if *statsdAddr != "" {
+		fmt.Fprintf(os.Stderr, "telemetry to %s://%s every %s\n", *statsdNetwork, *statsdAddr, *statsdInterval)
 	}
 	if *pprofAddr != "" {
 		if err := servePprof(*pprofAddr); err != nil {

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"pxml"
+	"pxml/internal/apiv1"
 	"pxml/internal/retry"
 )
 
@@ -242,15 +243,17 @@ func main() {
 	}
 }
 
-// fetch pulls an instance out of a pxmld catalog, retrying transient
-// failures (shed load, degraded/draining server, dropped connections)
-// with backoff so a briefly overloaded daemon doesn't fail the query.
+// fetch pulls an instance out of a pxmld catalog over the v1 API,
+// retrying transient failures (shed load, degraded/draining server,
+// dropped connections) with backoff so a briefly overloaded daemon
+// doesn't fail the query. Server errors arrive as the v1 envelope and
+// are surfaced with their machine code.
 func fetch(base, name string, retries int) (*pxml.ProbInstance, error) {
 	policy := retry.Default.WithAttempts(retries + 1)
 	policy.OnRetry = func(attempt int, wait time.Duration, cause error) {
 		fmt.Fprintf(os.Stderr, "pxmlquery: fetch attempt %d failed (%v); retrying in %v\n", attempt, cause, wait)
 	}
-	url := strings.TrimRight(base, "/") + "/instances/" + name
+	url := strings.TrimRight(base, "/") + apiv1.Prefix + "/instances/" + name
 	resp, err := policy.Get(context.Background(), nil, url)
 	if err != nil {
 		return nil, fmt.Errorf("fetching %s: %w", url, err)
@@ -258,7 +261,7 @@ func fetch(base, name string, retries int) (*pxml.ProbInstance, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("fetching %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+		return nil, fmt.Errorf("fetching %s: %w", url, apiv1.ErrorFromBody(resp.StatusCode, msg))
 	}
 	if strings.Contains(resp.Header.Get("Content-Type"), "json") {
 		return pxml.DecodeJSON(resp.Body)

@@ -23,11 +23,17 @@
 // position and size, scrub results, and quarantine counts — the
 // operator's offline view of a store's wellbeing.
 //
+// With -server the shell talks to a running pxmld over its v1 API:
+// LOAD (and the positional argument) name instances in the daemon's
+// catalog instead of local files, fetched via GET /v1/instances/NAME.
+// Server errors are the v1 envelope and print with their machine code.
+//
 // Usage:
 //
-//	pxmlshell [-data DIR] [instance-file]
+//	pxmlshell [-data DIR | -server URL] [instance-file-or-name]
 //	echo "PROB R.book = B1" | pxmlshell inst.pxml
 //	echo "HEALTH" | pxmlshell -data /var/lib/pxmld
+//	echo "STATS" | pxmlshell -server http://127.0.0.1:8080 bib
 package main
 
 import (
@@ -36,10 +42,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
 	"pxml"
+	"pxml/internal/apiv1"
 	"pxml/internal/store"
 )
 
@@ -56,8 +65,9 @@ func (st *shellState) setCur(pi *pxml.ProbInstance) {
 
 func main() {
 	dataDir := flag.String("data", "", "attach a durable store directory (enables HEALTH)")
+	serverURL := flag.String("server", "", "fetch instances from this pxmld base URL; LOAD takes catalog names")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pxmlshell [-data DIR] [instance-file]")
+		fmt.Fprintln(os.Stderr, "usage: pxmlshell [-data DIR | -server URL] [instance-file-or-name]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +75,16 @@ func main() {
 	if flag.NArg() > 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *dataDir != "" && *serverURL != "" {
+		fmt.Fprintln(os.Stderr, "pxmlshell: -data and -server are mutually exclusive")
+		os.Exit(2)
+	}
+	loadFrom := func(arg string) (*pxml.ProbInstance, error) {
+		if *serverURL != "" {
+			return fetch(*serverURL, arg)
+		}
+		return load(arg)
 	}
 	var catalog *store.Store
 	if *dataDir != "" {
@@ -78,7 +98,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "attached store %s: %s\n", *dataDir, report)
 	}
 	if flag.NArg() == 1 {
-		pi, err := load(flag.Arg(0))
+		pi, err := loadFrom(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pxmlshell:", err)
 			os.Exit(1)
@@ -111,10 +131,10 @@ func main() {
 			continue
 		case "LOAD":
 			if len(fields) != 2 {
-				fmt.Fprintln(os.Stderr, "LOAD needs one file")
+				fmt.Fprintln(os.Stderr, "LOAD needs one file (or instance name with -server)")
 				continue
 			}
-			pi, err := load(fields[1])
+			pi, err := loadFrom(fields[1])
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				continue
@@ -186,6 +206,24 @@ func main() {
 			st.setCur(res.Instance)
 		}
 	}
+}
+
+// fetch pulls a named instance from a pxmld catalog over the v1 API.
+func fetch(base, name string) (*pxml.ProbInstance, error) {
+	url := strings.TrimRight(base, "/") + apiv1.Prefix + "/instances/" + name
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, apiv1.ErrorFromBody(resp.StatusCode, body)
+	}
+	if strings.Contains(resp.Header.Get("Content-Type"), "json") {
+		return pxml.DecodeJSON(resp.Body)
+	}
+	return pxml.DecodeText(resp.Body)
 }
 
 func load(path string) (*pxml.ProbInstance, error) {

@@ -183,7 +183,7 @@ func TestIntegrationDaemon(t *testing.T) {
 		}
 		// Wait for the listener.
 		for i := 0; i < 100; i++ {
-			resp, err := http.Get("http://" + addr + "/instances")
+			resp, err := http.Get("http://" + addr + "/v1/instances")
 			if err == nil {
 				resp.Body.Close()
 				return cmd
@@ -209,7 +209,7 @@ func TestIntegrationDaemon(t *testing.T) {
 	if err := pxml.EncodeText(&buf, w.PI); err != nil {
 		t.Fatal(err)
 	}
-	req, _ := http.NewRequest("PUT", "http://"+addr+"/instances/gen", bytes.NewReader(buf.Bytes()))
+	req, _ := http.NewRequest("PUT", "http://"+addr+"/v1/instances/gen", bytes.NewReader(buf.Bytes()))
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -218,8 +218,9 @@ func TestIntegrationDaemon(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("PUT status %d", resp.StatusCode)
 	}
-	// Query it.
-	qresp, err := http.Post("http://"+addr+"/instances/gen/query", "text/plain", strings.NewReader("STATS"))
+	// Query it — once natively on /v1, once through the legacy path,
+	// which answers 308 and the default client follows transparently.
+	qresp, err := http.Post("http://"+addr+"/v1/instances/gen/query", "text/plain", strings.NewReader("STATS"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,17 +229,26 @@ func TestIntegrationDaemon(t *testing.T) {
 	if qresp.StatusCode != http.StatusOK || !strings.Contains(string(qbody), "objects=7") {
 		t.Fatalf("query: %d %s", qresp.StatusCode, qbody)
 	}
+	lresp, err := http.Post("http://"+addr+"/instances/gen/query", "text/plain", strings.NewReader("STATS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbody0, _ := io.ReadAll(lresp.Body)
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusOK || !strings.Contains(string(lbody0), "objects=7") {
+		t.Fatalf("legacy query via redirect: %d %s", lresp.StatusCode, lbody0)
+	}
 	stop(cmd)
 
 	// Restart: the instance must still be there.
 	cmd = start()
 	defer stop(cmd)
-	lresp, err := http.Get("http://" + addr + "/instances")
+	lresp2, err := http.Get("http://" + addr + "/v1/instances")
 	if err != nil {
 		t.Fatal(err)
 	}
-	lbody, _ := io.ReadAll(lresp.Body)
-	lresp.Body.Close()
+	lbody, _ := io.ReadAll(lresp2.Body)
+	lresp2.Body.Close()
 	if !strings.Contains(string(lbody), `"name":"gen"`) {
 		t.Fatalf("catalog lost after restart: %s", lbody)
 	}

@@ -1,0 +1,60 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestWriteErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, 404, CodeNotFound, "no instance \"x\"")
+	if rec.Code != 404 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var env struct {
+		Error ErrorDetail `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeNotFound || env.Error.Message == "" || env.Error.RetryAfterMS != 0 {
+		t.Errorf("envelope = %+v", env.Error)
+	}
+}
+
+func TestWriteErrorRetrySetsHeaderAndHint(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteErrorRetry(rec, 429, CodeQuotaExceeded, "slow down", 1500*time.Millisecond)
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want rounded-up 2", got)
+	}
+	e := ErrorFromBody(rec.Code, rec.Body.Bytes())
+	if e.Code != CodeQuotaExceeded || e.RetryAfter != 1500*time.Millisecond {
+		t.Errorf("round-tripped error = %+v", e)
+	}
+	if !e.Retryable() {
+		t.Error("quota_exceeded not retryable")
+	}
+
+	// Sub-second hints still promise at least one second in the header.
+	rec = httptest.NewRecorder()
+	WriteErrorRetry(rec, 503, CodeTimeout, "deadline", 10*time.Millisecond)
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want minimum 1", got)
+	}
+}
+
+func TestErrorFromBodyFallback(t *testing.T) {
+	e := ErrorFromBody(500, []byte("<html>gateway exploded</html>"))
+	if e.Code != CodeInternal || e.Message != "<html>gateway exploded</html>" || e.Status != 500 {
+		t.Errorf("fallback error = %+v", e)
+	}
+	if e.Retryable() {
+		t.Error("bare 500 reported retryable")
+	}
+	if ErrorFromBody(503, []byte("nope")).Retryable() != true {
+		t.Error("503 should be retryable even undecoded")
+	}
+}

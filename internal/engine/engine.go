@@ -77,6 +77,11 @@ type Engine struct {
 	rcache *rescache.Cache
 	rkey   string
 
+	// shapeObs, when set (WithShapeObserver), receives every evaluated
+	// statement's shape and latency — the server's per-shape percentile
+	// telemetry hangs off this hook.
+	shapeObs func(shape string, d time.Duration)
+
 	reg     *metrics.Registry
 	queries *metrics.Counter
 	errs    *metrics.Counter
@@ -114,6 +119,15 @@ func WithResultCache(c *rescache.Cache, keyPrefix string) Option {
 		e.rcache = c
 		e.rkey = keyPrefix
 	}
+}
+
+// WithShapeObserver registers f to receive the statement shape (see
+// pxql.ClassifyShape) and wall-clock latency of every Run/Exec/Prob*
+// evaluation, including result-cache hits. f runs on the request
+// goroutine after the result is ready, so it must be fast and must not
+// block — recording into a lock-free metrics.Timer is the intended use.
+func WithShapeObserver(f func(shape string, d time.Duration)) Option {
+	return func(e *Engine) { e.shapeObs = f }
 }
 
 // defaultWorkers bounds batch parallelism when WithWorkers is not given.
@@ -230,6 +244,15 @@ func (e *Engine) finish(start time.Time, err error) {
 	}
 }
 
+// observeShape feeds the shape observer, if any, with the elapsed time
+// since start. Intended as a deferred call in the instrumented entry
+// points so each statement is observed exactly once.
+func (e *Engine) observeShape(shape string, start time.Time) {
+	if e.shapeObs != nil {
+		e.shapeObs(shape, time.Since(start))
+	}
+}
+
 // Run parses and executes one pxql statement. Cancellation and deadlines
 // on ctx are checked between the parse, structure-build and inference
 // phases (a phase already in flight runs to completion). With a result
@@ -240,6 +263,9 @@ func (e *Engine) Run(ctx context.Context, statement string) (res *pxql.Result, e
 	start := time.Now()
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
+	if e.shapeObs != nil {
+		defer e.observeShape(pxql.ClassifyShape(statement), start)
+	}
 	if err = ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -308,6 +334,7 @@ func (e *Engine) Exec(ctx context.Context, q pxql.Query) (res *pxql.Result, err 
 	start := time.Now()
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
+	defer e.observeShape(q.Shape(), start)
 	res, err = e.exec(ctx, q)
 	return res, err
 }
@@ -325,6 +352,7 @@ func (e *Engine) ProbExists(ctx context.Context, p pathexpr.Path) (pr float64, e
 	start := time.Now()
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
+	defer e.observeShape(pxql.ShapeExists, start)
 	pr, err = e.existsProb(ctx, p)
 	return pr, err
 }
@@ -334,6 +362,7 @@ func (e *Engine) ProbPoint(ctx context.Context, p pathexpr.Path, o model.ObjectI
 	start := time.Now()
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
+	defer e.observeShape(pxql.ShapePoint, start)
 	pr, err = e.pointProb(ctx, p, o)
 	return pr, err
 }
@@ -346,6 +375,7 @@ func (e *Engine) ProbValue(ctx context.Context, p pathexpr.Path, o model.ObjectI
 	start := time.Now()
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
+	defer e.observeShape(pxql.ShapeExists, start)
 	if err = ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -371,6 +401,7 @@ func (e *Engine) ProbObject(ctx context.Context, o model.ObjectID) (pr float64, 
 	start := time.Now()
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
+	defer e.observeShape(pxql.ShapePoint, start)
 	pr, err = e.objectProb(ctx, o)
 	return pr, err
 }

@@ -398,3 +398,58 @@ func TestEngineConcurrentHammer(t *testing.T) {
 		})
 	}
 }
+
+// TestShapeObserver: every instrumented entry point must report its
+// statement shape exactly once, with a plausible duration.
+func TestShapeObserver(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	eng := New(treeBib(t), WithShapeObserver(func(shape string, d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative duration for shape %q", shape)
+		}
+		mu.Lock()
+		counts[shape]++
+		mu.Unlock()
+	}))
+	ctx := context.Background()
+	run := func(stmt string) {
+		t.Helper()
+		if _, err := eng.Run(ctx, stmt); err != nil {
+			t.Fatalf("Run(%q): %v", stmt, err)
+		}
+	}
+	run("PROJECT R.book.author")
+	run("SELECT R.book = B1")
+	run("PROB R.book = B1")
+	run("PROB EXISTS R.book")
+	run("WORLDS 2")
+	run("ESTIMATE 50 EXISTS R.book")
+	run("STATS")
+	if _, err := eng.ProbExists(ctx, pathexpr.MustParse("R.book")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ProbPoint(ctx, pathexpr.MustParse("R.book"), "B1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.BatchPoint(ctx, pathexpr.MustParse("R.book"), []model.ObjectID{"B1", "B2"}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		pxql.ShapeProject:  1,
+		pxql.ShapeSelect:   1,
+		pxql.ShapePoint:    2, // PROB point statement + ProbPoint call
+		pxql.ShapeExists:   2, // PROB EXISTS statement + ProbExists call
+		pxql.ShapeEnum:     1,
+		pxql.ShapeEstimate: 1,
+		pxql.ShapeStats:    1,
+		pxql.ShapeBatch:    1,
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for shape, n := range want {
+		if counts[shape] != n {
+			t.Errorf("shape %q observed %d times, want %d (all: %v)", shape, counts[shape], n, counts)
+		}
+	}
+}

@@ -72,6 +72,7 @@ func (e *Engine) BatchPoint(ctx context.Context, p pathexpr.Path, objects []mode
 	start := time.Now()
 	e.queries.Add(int64(len(objects)))
 	defer func() { e.finish(start, err) }()
+	defer e.observeShape(pxql.ShapeBatch, start)
 	if err = e.Warm(ctx); err != nil {
 		return nil, err
 	}

@@ -202,13 +202,15 @@ func (h *IntHistogram) Snapshot() IntHistogramSnapshot {
 	return s
 }
 
-// Registry is a named collection of counters, gauges, and histograms.
+// Registry is a named collection of counters, gauges, histograms, and
+// timers.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	intHists map[string]*IntHistogram
+	timers   map[string]*Timer
 }
 
 // NewRegistry returns an empty registry.
@@ -218,6 +220,7 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		intHists: make(map[string]*IntHistogram),
+		timers:   make(map[string]*Timer),
 	}
 }
 
@@ -270,6 +273,71 @@ func (r *Registry) IntHistogram(name string) *IntHistogram {
 	return h
 }
 
+// Timer returns the named percentile timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// EachCounter calls f for every registered counter with its current value,
+// in unspecified order. The registry lock is not held during f.
+func (r *Registry) EachCounter(f func(name string, v int64)) {
+	r.mu.Lock()
+	snap := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		snap[n] = c
+	}
+	r.mu.Unlock()
+	for n, c := range snap {
+		f(n, c.Value())
+	}
+}
+
+// EachGauge calls f for every registered gauge with its current value.
+func (r *Registry) EachGauge(f func(name string, v int64)) {
+	r.mu.Lock()
+	snap := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		snap[n] = g
+	}
+	r.mu.Unlock()
+	for n, g := range snap {
+		f(n, g.Value())
+	}
+}
+
+// EachTimer calls f for every registered timer.
+func (r *Registry) EachTimer(f func(name string, t *Timer)) {
+	r.mu.Lock()
+	snap := make(map[string]*Timer, len(r.timers))
+	for n, t := range r.timers {
+		snap[n] = t
+	}
+	r.mu.Unlock()
+	for n, t := range snap {
+		f(n, t)
+	}
+}
+
+// EachIntHistogram calls f for every registered integer histogram.
+func (r *Registry) EachIntHistogram(f func(name string, h *IntHistogram)) {
+	r.mu.Lock()
+	snap := make(map[string]*IntHistogram, len(r.intHists))
+	for n, h := range r.intHists {
+		snap[n] = h
+	}
+	r.mu.Unlock()
+	for n, h := range snap {
+		f(n, h)
+	}
+}
+
 // Snapshot returns a JSON-encodable view of every registered metric:
 // counters as integers, histograms as HistogramSnapshot values. Names are
 // deterministic (map iteration order does not leak into encoded output
@@ -277,7 +345,7 @@ func (r *Registry) IntHistogram(name string) *IntHistogram {
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.intHists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.intHists)+len(r.timers))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
@@ -290,6 +358,9 @@ func (r *Registry) Snapshot() map[string]any {
 	for name, h := range r.intHists {
 		out[name] = h.Snapshot()
 	}
+	for name, t := range r.timers {
+		out[name] = t.Snapshot()
+	}
 	return out
 }
 
@@ -298,7 +369,7 @@ func (r *Registry) Snapshot() map[string]any {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.intHists))
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.intHists)+len(r.timers))
 	for n := range r.counters {
 		out = append(out, n)
 	}
@@ -309,6 +380,9 @@ func (r *Registry) Names() []string {
 		out = append(out, n)
 	}
 	for n := range r.intHists {
+		out = append(out, n)
+	}
+	for n := range r.timers {
 		out = append(out, n)
 	}
 	sort.Strings(out)

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// SampleRuntime refreshes the process-level gauges in r: Go runtime
+// occupancy (heap, GC, goroutines) plus OS-level resource usage (resident
+// set size, open file descriptors) read from /proc. A platform without
+// /proc simply never registers the OS gauges — sampling must degrade, not
+// fail, because it runs on every telemetry flush and every GET /metrics.
+func SampleRuntime(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("runtime_heap_sys_bytes").Set(int64(ms.HeapSys))
+	r.Gauge("runtime_gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	r.Gauge("runtime_num_gc").Set(int64(ms.NumGC))
+	r.Gauge("runtime_goroutines").Set(int64(runtime.NumGoroutine()))
+	if rss := readRSSBytes(); rss > 0 {
+		r.Gauge("os_rss_bytes").Set(rss)
+	}
+	if fds := countOpenFDs(); fds >= 0 {
+		r.Gauge("os_open_fds").Set(fds)
+	}
+}
+
+// readRSSBytes reports the resident set size from /proc/self/statm
+// (second field, in pages), or 0 when unavailable.
+func readRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}
+
+// countOpenFDs reports the number of open file descriptors from
+// /proc/self/fd, or -1 when unavailable.
+func countOpenFDs() int64 {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir handle itself is open during the listing; don't count it.
+	return int64(len(ents) - 1)
+}

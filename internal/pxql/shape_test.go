@@ -1,0 +1,57 @@
+package pxql
+
+import "testing"
+
+// TestClassifyShapeAgreesWithParse: the lexical classifier must agree with
+// the parser's canonical op on every statement Parse accepts.
+func TestClassifyShapeAgreesWithParse(t *testing.T) {
+	statements := []string{
+		"PROJECT R.book.author",
+		"SINGLE R.book.author",
+		"DESCEND R.book",
+		"SELECT R.book = B1",
+		"SELECT VAL(R.book.title) = Lore",
+		"PROB R.book.author = A1",
+		"PROB EXISTS R.book.author",
+		"PROB VAL(R.book.title) = Lore",
+		"PROB OBJECT A1",
+		"CHAIN R.B1.A1",
+		"COUNT R.book",
+		"MARGINALS",
+		"WORLDS 3",
+		"TOPK 2",
+		"ESTIMATE 100 EXISTS R.book",
+		"ESTIMATE 100 R.book = B1",
+		"STATS",
+		"  stats  ", // case- and whitespace-insensitive
+	}
+	for _, stmt := range statements {
+		q, err := Parse(stmt)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", stmt, err)
+		}
+		if got, want := ClassifyShape(stmt), q.Shape(); got != want {
+			t.Errorf("ClassifyShape(%q) = %q, parsed shape = %q (op %q)", stmt, got, want, q.Op)
+		}
+	}
+}
+
+func TestShapeValues(t *testing.T) {
+	cases := map[string]string{
+		"PROJECT R.a":            ShapeProject,
+		"SELECT R.a = X":         ShapeSelect,
+		"PROB R.a = X":           ShapePoint,
+		"PROB EXISTS R.a":        ShapeExists,
+		"PROB VAL(R.a) = v":      ShapeExists,
+		"WORLDS":                 ShapeEnum,
+		"ESTIMATE 10 EXISTS R.a": ShapeEstimate,
+		"STATS":                  ShapeStats,
+		"FROBNICATE the widget":  ShapeOther,
+		"":                       ShapeOther,
+	}
+	for stmt, want := range cases {
+		if got := ClassifyShape(stmt); got != want {
+			t.Errorf("ClassifyShape(%q) = %q, want %q", stmt, got, want)
+		}
+	}
+}

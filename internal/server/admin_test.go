@@ -102,7 +102,7 @@ func TestAdminBackupConfinedToRoot(t *testing.T) {
 }
 
 func TestAdminBackupWithoutStore(t *testing.T) {
-	s := New()
+	s := MustNew(Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, body := do(t, "POST", ts.URL+"/admin/backup?dir=/tmp/x", "", "application/json")

@@ -94,7 +94,7 @@ func runJSON(t *testing.T, eng *engine.Engine, stmt string) []byte {
 }
 
 func TestResultCacheInvalidationOnPut(t *testing.T) {
-	s := New()
+	s := MustNew(Config{})
 	fig := treeBib(t, 0.6)
 	varied := treeBib(t, 0.9)
 	if err := s.Put("x", fig); err != nil {
@@ -122,7 +122,7 @@ func TestResultCacheInvalidationOnPut(t *testing.T) {
 }
 
 func TestResultCacheInvalidationOnDelete(t *testing.T) {
-	s := New()
+	s := MustNew(Config{})
 	fig := treeBib(t, 0.6)
 	varied := treeBib(t, 0.9)
 	if err := s.Put("x", fig); err != nil {
@@ -196,7 +196,7 @@ func TestResultCacheServesDegradedStore(t *testing.T) {
 // evaluation against the instance currently installed.
 func TestResultCacheRandomizedInterleaving(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
-	s := New()
+	s := MustNew(Config{})
 	instances := []*core.ProbInstance{treeBib(t, 0.6), treeBib(t, 0.9)}
 	var cur *core.ProbInstance
 	queries := 0

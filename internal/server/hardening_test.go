@@ -156,7 +156,7 @@ func TestDegradedStoreKeepsServingReads(t *testing.T) {
 }
 
 func TestInflightLimiterSheds(t *testing.T) {
-	s := New()
+	s := MustNew(Config{})
 	s.SetMaxInflight(1)
 	entered := make(chan struct{})
 	release := make(chan struct{})
@@ -250,7 +250,7 @@ func TestHealthProbesBypassLimiter(t *testing.T) {
 }
 
 func TestPanicRecovery(t *testing.T) {
-	s := New()
+	s := MustNew(Config{})
 	h := s.instrument(s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("boom")
 	})))
@@ -259,9 +259,14 @@ func TestPanicRecovery(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler = %d, want 500", rec.Code)
 	}
-	var body map[string]string
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
-		t.Fatalf("panic response body = %q, %v; want JSON error", rec.Body.String(), err)
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error.Code != "internal" || body.Error.Message == "" {
+		t.Fatalf("panic response body = %q, %v; want v1 error envelope", rec.Body.String(), err)
 	}
 	if got := s.reg.Counter("http_panics").Value(); got != 1 {
 		t.Fatalf("http_panics = %d, want 1", got)

@@ -66,6 +66,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pxml/internal/admission"
+	"pxml/internal/apiv1"
 	"pxml/internal/codec"
 	"pxml/internal/core"
 	"pxml/internal/dot"
@@ -73,6 +75,7 @@ import (
 	"pxml/internal/metrics"
 	"pxml/internal/rescache"
 	"pxml/internal/store"
+	"pxml/internal/telemetry"
 )
 
 // defaultMaxBody bounds instance-upload bodies unless SetMaxBody overrides.
@@ -115,16 +118,90 @@ type Server struct {
 	panics   *metrics.Counter
 	inflight *metrics.Gauge
 	latency  *metrics.Histogram
+
+	adm    *admission.Controller // per-tenant admission; nil = admit all
+	exp    *telemetry.Exporter   // statsd push loop; nil unless configured
+	expCfg telemetry.Config      // for the /v1/metrics telemetry section
+	report *store.RecoveryReport // crash-recovery report from Config.StoreDir
 }
 
-// New returns an empty catalog. Request logging is off until SetLogger.
-func New() *Server {
+// Config collects every construction-time knob in one validated place,
+// replacing the former grow-a-setter surface. The zero value is a fully
+// working in-memory server: defaults are applied by New, and invalid
+// combinations (negative limits, unusable quotas, a bad telemetry
+// address) are rejected there rather than surfacing as misbehavior at
+// serve time.
+type Config struct {
+	// StoreDir enables the durable log-structured store in this
+	// directory (see NewPersistent for recovery semantics).
+	StoreDir string
+	// StoreOptions tunes the durable store; only read with StoreDir.
+	// Its Registry is overridden with the server's own.
+	StoreOptions store.Options
+	// FilesDir enables the legacy flat-file persistence layout instead.
+	// Mutually exclusive with StoreDir.
+	FilesDir string
+
+	// Logger enables structured request/lifecycle logging; nil disables.
+	Logger *slog.Logger
+	// MaxBody bounds instance-upload bodies in bytes; 0 means 64 MiB.
+	MaxBody int64
+	// RequestTimeout bounds each API request with a context deadline;
+	// 0 disables.
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrently served API requests; excess sheds
+	// with 429. 0 disables. Also the capacity the admission tier's
+	// fairness divides.
+	MaxInflight int
+	// QueryWorkers bounds each engine's batch pool; 0 = engine default.
+	QueryWorkers int
+	// BackupRoot enables POST /v1/admin/backup confined to this root.
+	BackupRoot string
+	// ResultCacheBytes bounds the shared query-result cache; 0 = 32 MiB.
+	ResultCacheBytes int64
+
+	// DefaultQuota applies to every tenant (instance name) without an
+	// entry in TenantQuotas. Zero = unlimited.
+	DefaultQuota admission.Quota
+	// TenantQuotas maps instance names to per-tenant quotas.
+	TenantQuotas map[string]admission.Quota
+	// OverloadFraction is the inflight utilisation above which weighted
+	// fair admission engages; 0 = admission default (0.75).
+	OverloadFraction float64
+
+	// StatsdAddr enables the telemetry push loop to this host:port.
+	StatsdAddr string
+	// StatsdNetwork is "udp" (default) or "tcp".
+	StatsdNetwork string
+	// StatsdInterval is the flush period; 0 = 10s.
+	StatsdInterval time.Duration
+	// StatsdPrefix namespaces exported metric names; "" = "pxmld".
+	StatsdPrefix string
+}
+
+// New builds a server from cfg, applying defaults and validating the
+// rest. The telemetry flush loop (if configured) starts immediately;
+// Close stops it.
+func New(cfg Config) (*Server, error) {
+	if cfg.StoreDir != "" && cfg.FilesDir != "" {
+		return nil, fmt.Errorf("server: StoreDir and FilesDir are mutually exclusive")
+	}
+	maxBody := cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	cacheBytes := cfg.ResultCacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = defaultResultCacheBytes
+	}
 	s := &Server{
-		engines: make(map[string]*engine.Engine),
-		maxBody: defaultMaxBody,
-		started: time.Now(),
-		reg:     metrics.NewRegistry(),
-		results: rescache.New(defaultResultCacheBytes),
+		engines:    make(map[string]*engine.Engine),
+		maxBody:    maxBody,
+		backupRoot: cfg.BackupRoot,
+		log:        cfg.Logger,
+		started:    time.Now(),
+		reg:        metrics.NewRegistry(),
+		results:    rescache.New(cacheBytes),
 	}
 	s.requests = s.reg.Counter("http_requests")
 	s.errors = s.reg.Counter("http_errors")
@@ -132,14 +209,94 @@ func New() *Server {
 	s.panics = s.reg.Counter("http_panics")
 	s.inflight = s.reg.Gauge("http_inflight")
 	s.latency = s.reg.Histogram("http_latency")
+	if cfg.RequestTimeout > 0 {
+		s.reqTimeout = cfg.RequestTimeout
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.QueryWorkers > 0 {
+		s.queryWorkers = cfg.QueryWorkers
+	}
+
+	adm, err := admission.New(admission.Config{
+		Default:          cfg.DefaultQuota,
+		Tenants:          cfg.TenantQuotas,
+		InflightLimit:    cfg.MaxInflight,
+		OverloadFraction: cfg.OverloadFraction,
+		Registry:         s.reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.adm = adm
+
+	if cfg.StatsdAddr != "" {
+		s.expCfg = telemetry.Config{
+			Addr:     cfg.StatsdAddr,
+			Network:  cfg.StatsdNetwork,
+			Interval: cfg.StatsdInterval,
+			Prefix:   cfg.StatsdPrefix,
+			Registry: s.reg,
+			Logger:   cfg.Logger,
+			Sample:   func() { metrics.SampleRuntime(s.reg) },
+		}
+		exp, err := telemetry.New(s.expCfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.exp = exp
+	}
+
+	switch {
+	case cfg.StoreDir != "":
+		opts := cfg.StoreOptions
+		if opts.Registry == nil {
+			opts.Registry = s.reg
+		}
+		st, report, err := store.Open(cfg.StoreDir, opts)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening store: %w", err)
+		}
+		s.store = st
+		s.report = report
+		for name, pi := range st.All() {
+			s.engines[name] = s.newEngine(name, pi)
+		}
+	case cfg.FilesDir != "":
+		if err := s.loadFlatFiles(cfg.FilesDir); err != nil {
+			return nil, err
+		}
+	}
+
+	if s.exp != nil {
+		s.exp.Start()
+	}
+	return s, nil
+}
+
+// MustNew is New for configurations known valid at compile time (tests,
+// fixed defaults); it panics on error.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
+// RecoveryReport returns the durable store's crash-recovery report, or
+// nil when the server is not store-backed.
+func (s *Server) RecoveryReport() *store.RecoveryReport { return s.report }
+
 // SetLogger enables structured request logging through l (nil disables).
+//
+// Deprecated: set Config.Logger instead.
 func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
 
-// SetMaxBody overrides the instance-upload size limit (bytes). Intended
-// for tests and memory-constrained deployments.
+// SetMaxBody overrides the instance-upload size limit (bytes).
+//
+// Deprecated: set Config.MaxBody instead.
 func (s *Server) SetMaxBody(n int64) {
 	if n > 0 {
 		s.maxBody = n
@@ -147,8 +304,9 @@ func (s *Server) SetMaxBody(n int64) {
 }
 
 // SetRequestTimeout bounds every API request with a context deadline;
-// handlers that outlive it answer 503. Zero disables. Like the other
-// Set* knobs, call it before the handler starts serving.
+// handlers that outlive it answer 503. Zero disables.
+//
+// Deprecated: set Config.RequestTimeout instead.
 func (s *Server) SetRequestTimeout(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -158,7 +316,10 @@ func (s *Server) SetRequestTimeout(d time.Duration) {
 
 // SetMaxInflight caps concurrently served API requests; excess requests
 // are shed immediately with 429 + Retry-After rather than queued. Health
-// probes are exempt. Zero disables. Call before serving.
+// probes are exempt. Zero disables.
+//
+// Deprecated: set Config.MaxInflight instead (which also feeds the
+// admission tier's fairness capacity).
 func (s *Server) SetMaxInflight(n int) {
 	if n > 0 {
 		s.sem = make(chan struct{}, n)
@@ -169,8 +330,9 @@ func (s *Server) SetMaxInflight(n int) {
 
 // SetQueryWorkers bounds each engine's batch worker pool; n < 1 selects
 // GOMAXPROCS. Existing engines are rebuilt with the new bound (their
-// derived-structure caches restart cold). Like the other Set* knobs,
-// call it before the handler starts serving.
+// derived-structure caches restart cold).
+//
+// Deprecated: set Config.QueryWorkers instead.
 func (s *Server) SetQueryWorkers(n int) {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
@@ -197,19 +359,28 @@ func (s *Server) QueryWorkers() int {
 // s.mu or have exclusive access during construction.
 func (s *Server) newEngine(name string, pi *core.ProbInstance) *engine.Engine {
 	prefix := fmt.Sprintf("%s@%d\x00", name, s.version.Add(1))
-	opts := []engine.Option{engine.WithResultCache(s.results, prefix)}
+	opts := []engine.Option{
+		engine.WithResultCache(s.results, prefix),
+		// Feed every statement's shape and latency into the shared
+		// percentile timers, so /v1/metrics and the statsd stream report
+		// p50/p95/p99 per statement shape across all instances.
+		engine.WithShapeObserver(func(shape string, d time.Duration) {
+			s.reg.Timer("pxql_latency." + shape).Observe(d)
+		}),
+	}
 	if s.queryWorkers > 0 {
 		opts = append(opts, engine.WithWorkers(s.queryWorkers))
 	}
 	return engine.New(pi, opts...)
 }
 
-// SetBackupRoot enables POST /admin/backup and confines its destinations
-// to subdirectories of root. Until it is called the endpoint answers 403:
-// accepting arbitrary server-side paths would let any client that can
-// reach the API create directories and write store-content files anywhere
-// the process can. Like the other Set* knobs, call it before the handler
-// starts serving (pxmld wires it to -backup-dir).
+// SetBackupRoot enables POST /v1/admin/backup and confines its
+// destinations to subdirectories of root. Until set the endpoint answers
+// 403: accepting arbitrary server-side paths would let any client that
+// can reach the API create directories and write store-content files
+// anywhere the process can.
+//
+// Deprecated: set Config.BackupRoot instead.
 func (s *Server) SetBackupRoot(root string) { s.backupRoot = root }
 
 // SetDraining flips the readiness probe: a draining server answers 503
@@ -289,10 +460,15 @@ func (s *Server) Delete(name string) (bool, error) {
 	return ok, nil
 }
 
-// Close releases the persistence backend (flushing the WAL when the
-// store is in use). The catalog keeps serving from memory afterwards, but
-// further writes are no longer durable.
+// Close stops the telemetry flush loop (after one final flush) and
+// releases the persistence backend (flushing the WAL when the store is
+// in use). The catalog keeps serving from memory afterwards, but further
+// writes are no longer durable.
 func (s *Server) Close() error {
+	if s.exp != nil {
+		s.exp.Stop()
+		s.exp = nil
+	}
 	if s.store != nil {
 		return s.store.Close()
 	}
@@ -315,29 +491,114 @@ func (s *Server) Names() []string {
 	return out
 }
 
-// Handler returns the HTTP handler for the catalog. API routes run under
-// the full hardening stack — request metrics, optional structured
-// logging, panic recovery, the in-flight limiter, and the per-request
-// deadline. The /healthz and /readyz probes sit outside the limiter and
-// deadline so they keep answering when the API is saturated.
+// Handler returns the HTTP handler for the catalog. The API lives under
+// /v1/; unversioned legacy paths answer 308 Permanent Redirect onto
+// their /v1 equivalent (method- and body-preserving, so old clients that
+// follow redirects keep working). API routes run under the full
+// hardening stack — request metrics, optional structured logging, panic
+// recovery, per-tenant admission, the in-flight limiter, and the
+// per-request deadline; each route also records into its own percentile
+// timer (http_latency.<endpoint>). The /healthz and /readyz probes sit
+// outside the limiter, deadline, and admission so they keep answering
+// when the API is saturated.
 func (s *Server) Handler() http.Handler {
+	// route tags a handler with its per-endpoint percentile timer.
+	route := func(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+		t := s.reg.Timer("http_latency." + endpoint)
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			t.Observe(time.Since(start))
+		}
+	}
 	api := http.NewServeMux()
-	api.HandleFunc("GET /instances", s.handleList)
-	api.HandleFunc("PUT /instances/{name}", s.handlePut)
-	api.HandleFunc("GET /instances/{name}", s.handleGet)
-	api.HandleFunc("DELETE /instances/{name}", s.handleDelete)
-	api.HandleFunc("GET /instances/{name}/dot", s.handleDot)
-	api.HandleFunc("POST /instances/{name}/query", s.handleQuery)
-	api.HandleFunc("POST /instances/{name}/batch", s.handleBatch)
-	api.HandleFunc("GET /metrics", s.handleMetrics)
-	api.HandleFunc("POST /admin/backup", s.handleBackup)
-	api.HandleFunc("POST /admin/scrub", s.handleScrub)
+	api.HandleFunc("GET /instances", route("list", s.handleList))
+	api.HandleFunc("PUT /instances/{name}", route("put", s.handlePut))
+	api.HandleFunc("GET /instances/{name}", route("get", s.handleGet))
+	api.HandleFunc("DELETE /instances/{name}", route("delete", s.handleDelete))
+	api.HandleFunc("GET /instances/{name}/dot", route("dot", s.handleDot))
+	api.HandleFunc("POST /instances/{name}/query", route("query", s.handleQuery))
+	api.HandleFunc("POST /instances/{name}/batch", route("batch", s.handleBatch))
+	api.HandleFunc("GET /metrics", route("metrics", s.handleMetrics))
+	api.HandleFunc("POST /admin/backup", route("backup", s.handleBackup))
+	api.HandleFunc("POST /admin/scrub", route("scrub", s.handleScrub))
+	api.HandleFunc("GET /admin/quotas", route("quotas", s.handleQuotasGet))
+	api.HandleFunc("PUT /admin/quotas", route("quotas", s.handleQuotasPut))
 
 	root := http.NewServeMux()
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	root.HandleFunc("GET /readyz", s.handleReadyz)
-	root.Handle("/", s.limitInflight(s.withDeadline(api)))
+	// Admission sits in front of the global limiter: a tenant over its
+	// quota is rejected before it can occupy one of the shared slots.
+	root.Handle(apiv1.Prefix+"/",
+		s.admit(s.limitInflight(s.withDeadline(http.StripPrefix(apiv1.Prefix, api)))))
+	root.HandleFunc("/", s.redirectLegacy)
 	return s.instrument(s.recoverPanics(root))
+}
+
+// redirectLegacy maps the pre-v1 unversioned API paths onto /v1 with a
+// 308 Permanent Redirect, which preserves method and body — a legacy
+// client that follows redirects (Go's default http.Client does) keeps
+// working unchanged.
+func (s *Server) redirectLegacy(w http.ResponseWriter, r *http.Request) {
+	// The escaped path keeps encoded separators intact (%2F must not
+	// become a real "/" and change how the v1 mux splits segments).
+	p := r.URL.EscapedPath()
+	switch {
+	case p == "/instances" || strings.HasPrefix(p, "/instances/"),
+		p == "/metrics",
+		strings.HasPrefix(p, "/admin/"):
+		target := apiv1.Prefix + p
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		http.Redirect(w, r, target, http.StatusPermanentRedirect)
+	default:
+		apiv1.WriteError(w, http.StatusNotFound, apiv1.CodeNotFound,
+			fmt.Sprintf("no route %s (the API lives under %s)", r.URL.Path, apiv1.Prefix))
+	}
+}
+
+// tenantFromPath extracts the admission tenant from a v1 request path:
+// the instance name for /v1/instances/{name}[/...], "" for everything
+// else (catalog listing, metrics, admin).
+func tenantFromPath(p string) string {
+	p = strings.TrimPrefix(p, apiv1.Prefix)
+	p = strings.TrimPrefix(p, "/instances/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	return p
+}
+
+// admit runs the per-tenant admission tier: token-bucket quotas first,
+// weighted fair sharing of the inflight capacity under overload second.
+// Shed requests answer 429 with the structured envelope and a
+// Retry-After hint and never reach the shared limiter.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Admin endpoints bypass admission: operators must be able to
+		// inspect and loosen quotas while the server is shedding.
+		if strings.HasPrefix(r.URL.Path, apiv1.Prefix+"/admin/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tenant := tenantFromPath(r.URL.Path)
+		d := s.adm.Admit(tenant)
+		if !d.OK {
+			s.shed.Inc()
+			code := apiv1.CodeQuotaExceeded
+			msg := fmt.Sprintf("tenant %q over its request quota, retry later", tenant)
+			if d.Reason == "overload" {
+				code = apiv1.CodeOverloaded
+				msg = fmt.Sprintf("server overloaded and tenant %q is over its fair share, retry later", tenant)
+			}
+			apiv1.WriteErrorRetry(w, http.StatusTooManyRequests, code, msg, d.RetryAfter)
+			return
+		}
+		defer s.adm.Release(tenant)
+		next.ServeHTTP(w, r)
+	})
 }
 
 // statusRecorder captures the status code and body size a handler wrote.
@@ -381,7 +642,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 					"panic", fmt.Sprint(v), "stack", string(debug.Stack()))
 			}
 			if rec, ok := w.(*statusRecorder); !ok || !rec.wrote {
-				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, fmt.Errorf("internal error"))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -404,7 +665,8 @@ func (s *Server) limitInflight(next http.Handler) http.Handler {
 		default:
 			s.shed.Inc()
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, fmt.Errorf("server overloaded (%d requests in flight), retry later", cap(s.sem)))
+			apiv1.WriteErrorRetry(w, http.StatusTooManyRequests, apiv1.CodeOverloaded,
+				fmt.Sprintf("server overloaded (%d requests in flight), retry later", cap(s.sem)), time.Second)
 		}
 	})
 }
@@ -522,6 +784,36 @@ func (s *Server) updateRuntimeGauges() {
 	s.reg.Gauge("runtime_goroutines").Set(int64(runtime.NumGoroutine()))
 }
 
+// metricsSchemaVersion identifies the /v1/metrics payload layout.
+// Bump it on any breaking change to section names or field meanings;
+// additive fields inside sections do not require a bump. The section
+// order below is part of the schema and is stable because the payload
+// is a struct (encoding/json emits fields in declaration order).
+const metricsSchemaVersion = 1
+
+// metricsPayload is the GET /v1/metrics response. See docs/API.md.
+type metricsPayload struct {
+	SchemaVersion int                 `json:"schema_version"`
+	UptimeS       float64             `json:"uptime_s"`
+	Server        map[string]any      `json:"server"`
+	Admission     *admission.Snapshot `json:"admission,omitempty"`
+	Telemetry     *telemetryStatus    `json:"telemetry,omitempty"`
+	Store         map[string]any      `json:"store,omitempty"`
+	ResultCache   any                 `json:"result_cache"`
+	Instances     map[string]any      `json:"instances"`
+}
+
+// telemetryStatus summarises the statsd exporter's configuration and
+// delivery counters for /v1/metrics.
+type telemetryStatus struct {
+	Addr           string  `json:"addr"`
+	Network        string  `json:"network"`
+	IntervalS      float64 `json:"interval_s"`
+	Flushes        int64   `json:"flushes"`
+	DroppedFlushes int64   `json:"dropped_flushes"`
+	Bytes          int64   `json:"bytes"`
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.updateRuntimeGauges()
 	s.mu.RLock()
@@ -530,14 +822,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		insts[name] = eng.Metrics()
 	}
 	s.mu.RUnlock()
-	payload := map[string]any{
-		"server":       s.reg.Snapshot(),
-		"uptime_s":     time.Since(s.started).Seconds(),
-		"instances":    insts,
-		"result_cache": s.results.Stats(),
+	payload := metricsPayload{
+		SchemaVersion: metricsSchemaVersion,
+		UptimeS:       time.Since(s.started).Seconds(),
+		Server:        s.reg.Snapshot(),
+		ResultCache:   s.results.Stats(),
+		Instances:     insts,
+	}
+	if s.adm != nil {
+		snap := s.adm.State()
+		payload.Admission = &snap
+	}
+	if s.exp != nil {
+		network := s.expCfg.Network
+		if network == "" {
+			network = "udp"
+		}
+		interval := s.expCfg.Interval
+		if interval <= 0 {
+			interval = 10 * time.Second
+		}
+		payload.Telemetry = &telemetryStatus{
+			Addr:           s.expCfg.Addr,
+			Network:        network,
+			IntervalS:      interval.Seconds(),
+			Flushes:        s.reg.Counter("telemetry_flushes").Value(),
+			DroppedFlushes: s.reg.Counter("telemetry_dropped_flushes").Value(),
+			Bytes:          s.reg.Counter("telemetry_bytes").Value(),
+		}
 	}
 	if s.store != nil {
-		payload["store"] = map[string]any{
+		payload.Store = map[string]any{
 			"dir":       s.store.Dir(),
 			"wal_bytes": s.store.WALSize(),
 			"instances": s.store.Len(),
@@ -547,34 +862,74 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, payload)
 }
 
-// writeErrStatus maps a persistence-write failure to its HTTP status:
+// handleQuotasGet reports the live admission configuration and per-tenant
+// state (token balances, inflight counts).
+func (s *Server) handleQuotasGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.adm.State())
+}
+
+// quotasRequest is the PUT /v1/admin/quotas body: a full replacement of
+// the default quota and the per-tenant table.
+type quotasRequest struct {
+	Default admission.Quota            `json:"default_quota"`
+	Tenants map[string]admission.Quota `json:"tenants"`
+}
+
+// handleQuotasPut replaces the admission quota table at runtime. Shed and
+// admit counters carry over; bucket levels are re-capped to the new
+// bursts so a tightened quota bites immediately.
+func (s *Server) handleQuotasPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStatementBytes))
+	if err != nil {
+		httpDecodeError(w, err)
+		return
+	}
+	var req quotasRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, fmt.Errorf("decode quotas: %w", err))
+		return
+	}
+	if err := s.adm.Reload(req.Default, req.Tenants); err != nil {
+		httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, err)
+		return
+	}
+	if s.log != nil {
+		s.log.Info("admission quotas reloaded", "tenants", len(req.Tenants))
+	}
+	writeJSON(w, http.StatusOK, s.adm.State())
+}
+
+// httpWriteError maps a persistence-write failure onto the envelope:
 // writes against a degraded (read-only) store are 503 — the condition is
 // the server's, not the request's — anything else stays a 500.
-func writeErrStatus(err error) int {
+func httpWriteError(w http.ResponseWriter, err error) {
 	if errors.Is(err, store.ErrDegraded) {
-		return http.StatusServiceUnavailable
+		apiv1.WriteErrorRetry(w, http.StatusServiceUnavailable, apiv1.CodeDegraded, err.Error(), time.Second)
+		return
 	}
-	return http.StatusInternalServerError
+	httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, err)
 }
 
-// overloadStatus maps a query failure to its HTTP status: an expired
+// httpQueryError maps a statement failure onto the envelope: an expired
 // per-request deadline (or a caller that went away) is 503 so clients
 // and load balancers treat it as server pressure, not statement error.
-func overloadStatus(err error) int {
+func httpQueryError(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		return http.StatusServiceUnavailable
+		apiv1.WriteErrorRetry(w, http.StatusServiceUnavailable, apiv1.CodeTimeout, err.Error(), time.Second)
+		return
 	}
-	return http.StatusUnprocessableEntity
+	httpError(w, http.StatusUnprocessableEntity, apiv1.CodeStatementFailed, err)
 }
 
-// decodeStatus maps a body-read/decode error to its HTTP status: oversized
-// bodies (cut off by MaxBytesReader) are 413, anything else 400.
-func decodeStatus(err error) int {
+// httpDecodeError maps a body-read/decode error onto the envelope:
+// oversized bodies (cut off by MaxBytesReader) are 413, anything else 400.
+func httpDecodeError(w http.ResponseWriter, err error) {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		return http.StatusRequestEntityTooLarge
+		httpError(w, http.StatusRequestEntityTooLarge, apiv1.CodeBodyTooLarge, err)
+		return
 	}
-	return http.StatusBadRequest
+	httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, err)
 }
 
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
@@ -583,7 +938,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	// as 413 rather than as whatever parse error the truncation causes.
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		httpError(w, decodeStatus(err), err)
+		httpDecodeError(w, err)
 		return
 	}
 	var pi *core.ProbInstance
@@ -593,19 +948,19 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		pi, err = codec.DecodeText(bytes.NewReader(raw))
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, err)
 		return
 	}
 	if err := pi.ValidateLite(); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("instance invalid: %w", err))
+		httpError(w, http.StatusUnprocessableEntity, apiv1.CodeInvalidInstance, fmt.Errorf("instance invalid: %w", err))
 		return
 	}
 	if s.persistent() && !validName(name) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", name))
+		httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", name))
 		return
 	}
 	if err := s.Put(name, pi); err != nil {
-		httpError(w, writeErrStatus(err), err)
+		httpWriteError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "objects": pi.NumObjects()})
@@ -614,30 +969,30 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	pi, ok := s.Get(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		httpError(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
 		return
 	}
 	if strings.Contains(r.Header.Get("Accept"), "json") {
 		w.Header().Set("Content-Type", "application/json")
 		if err := codec.EncodeJSON(w, pi); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, err)
 		}
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if err := codec.EncodeText(w, pi); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, err)
 	}
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	ok, err := s.Delete(r.PathValue("name"))
 	if err != nil {
-		httpError(w, writeErrStatus(err), err)
+		httpWriteError(w, err)
 		return
 	}
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		httpError(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -654,11 +1009,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // verify/restore needs to know about what was captured.
 func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("server has no durable store to back up"))
+		httpError(w, http.StatusConflict, apiv1.CodeConflict, fmt.Errorf("server has no durable store to back up"))
 		return
 	}
 	if s.backupRoot == "" {
-		httpError(w, http.StatusForbidden, fmt.Errorf("backup endpoint disabled: no backup root configured (start pxmld with -backup-dir)"))
+		httpError(w, http.StatusForbidden, apiv1.CodeForbidden, fmt.Errorf("backup endpoint disabled: no backup root configured (start pxmld with -backup-dir)"))
 		return
 	}
 	var req struct {
@@ -668,28 +1023,28 @@ func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
 	if r.Body != nil && req.Dir == "" {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStatementBytes))
 		if err != nil {
-			httpError(w, decodeStatus(err), err)
+			httpDecodeError(w, err)
 			return
 		}
 		if len(body) > 0 {
 			if err := json.Unmarshal(body, &req); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("decode backup request: %w", err))
+				httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, fmt.Errorf("decode backup request: %w", err))
 				return
 			}
 		}
 	}
 	if req.Dir == "" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("backup needs a destination name (?dir= or JSON {\"dir\": ...}) relative to the server's backup root"))
+		httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, fmt.Errorf("backup needs a destination name (?dir= or JSON {\"dir\": ...}) relative to the server's backup root"))
 		return
 	}
 	dest, err := resolveBackupDir(s.backupRoot, req.Dir)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, err)
 		return
 	}
 	man, err := s.store.Backup(dest)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, err)
 		return
 	}
 	if s.log != nil {
@@ -717,11 +1072,11 @@ func resolveBackupDir(root, name string) (string, error) {
 // back as a 500 so the caller knows restoration is now the job at hand.
 func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("server has no durable store to scrub"))
+		httpError(w, http.StatusConflict, apiv1.CodeConflict, fmt.Errorf("server has no durable store to scrub"))
 		return
 	}
 	if err := s.store.Scrub(); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, err)
 		return
 	}
 	h := s.store.Health()
@@ -734,7 +1089,7 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDot(w http.ResponseWriter, r *http.Request) {
 	pi, ok := s.Get(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		httpError(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
 		return
 	}
 	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
@@ -750,31 +1105,31 @@ type queryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	eng, ok := s.Engine(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		httpError(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
 		return
 	}
 	stmt, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStatementBytes))
 	if err != nil {
-		httpError(w, decodeStatus(err), err)
+		httpDecodeError(w, err)
 		return
 	}
 	res, err := eng.Run(r.Context(), string(stmt))
 	if err != nil {
-		httpError(w, overloadStatus(err), err)
+		httpQueryError(w, err)
 		return
 	}
 	resp := queryResponse{Text: res.Text, Prob: res.Prob}
 	if store := r.URL.Query().Get("store"); store != "" {
 		if res.Instance == nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("statement produced no instance to store"))
+			httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, fmt.Errorf("statement produced no instance to store"))
 			return
 		}
 		if s.persistent() && !validName(store) {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", store))
+			httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, fmt.Errorf("name %q not storable (use [A-Za-z0-9_-])", store))
 			return
 		}
 		if err := s.Put(store, res.Instance); err != nil {
-			httpError(w, writeErrStatus(err), err)
+			httpWriteError(w, err)
 			return
 		}
 		resp.Stored = store
@@ -796,12 +1151,12 @@ type batchEntry struct {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	eng, ok := s.Engine(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
+		httpError(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStatementBytes))
 	if err != nil {
-		httpError(w, decodeStatus(err), err)
+		httpDecodeError(w, err)
 		return
 	}
 	var stmts []string
@@ -811,7 +1166,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(stmts) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, fmt.Errorf("empty batch"))
 		return
 	}
 	results := eng.RunBatch(r.Context(), stmts)
@@ -834,8 +1189,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// httpError writes the shared v1 error envelope (see apiv1).
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	apiv1.WriteError(w, status, code, err.Error())
 }
 
 // NewPersistent returns a catalog backed by the durable storage engine
@@ -844,28 +1200,24 @@ func httpError(w http.ResponseWriter, status int, err error) {
 // quarantining corrupt records, truncating torn tails). A directory in
 // the legacy flat-file layout is migrated on first open. Names are
 // restricted to [A-Za-z0-9_-]+ to keep durable artifacts unambiguous.
+//
+// Deprecated: use New(Config{StoreDir: dir}).
 func NewPersistent(dir string) (*Server, error) {
-	s, _, err := NewWithStore(dir, store.Options{})
-	return s, err
+	return New(Config{StoreDir: dir})
 }
 
 // NewWithStore is NewPersistent with explicit store options, also
 // returning the crash-recovery report. The server's metrics registry is
 // installed into the options so store counters surface under /metrics.
+//
+// Deprecated: use New(Config{StoreDir: dir, StoreOptions: opts}) and
+// read the report from RecoveryReport.
 func NewWithStore(dir string, opts store.Options) (*Server, *store.RecoveryReport, error) {
-	s := New()
-	if opts.Registry == nil {
-		opts.Registry = s.reg
-	}
-	st, report, err := store.Open(dir, opts)
+	s, err := New(Config{StoreDir: dir, StoreOptions: opts})
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: opening store: %w", err)
+		return nil, nil, err
 	}
-	s.store = st
-	for name, pi := range st.All() {
-		s.engines[name] = s.newEngine(name, pi)
-	}
-	return s, report, nil
+	return s, s.report, nil
 }
 
 // NewPersistentFiles returns a catalog backed by the legacy flat-file
@@ -875,15 +1227,21 @@ func NewWithStore(dir string, opts store.Options) (*Server, *store.RecoveryRepor
 // decode does not abort startup: it is logged and quarantined to
 // <name>.pxml.corrupt. Names are restricted to [A-Za-z0-9_-]+ to keep
 // the file mapping unambiguous.
+//
+// Deprecated: use New(Config{FilesDir: dir}).
 func NewPersistentFiles(dir string) (*Server, error) {
+	return New(Config{FilesDir: dir})
+}
+
+// loadFlatFiles wires up legacy flat-file persistence during New.
+func (s *Server) loadFlatFiles(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("server: creating data dir: %w", err)
+		return fmt.Errorf("server: creating data dir: %w", err)
 	}
-	s := New()
 	s.dir = dir
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("server: reading data dir: %w", err)
+		return fmt.Errorf("server: reading data dir: %w", err)
 	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pxml") {
@@ -893,7 +1251,7 @@ func NewPersistentFiles(dir string) (*Server, error) {
 		path := filepath.Join(dir, e.Name())
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pi, err := codec.DecodeText(f)
 		f.Close()
@@ -902,7 +1260,7 @@ func NewPersistentFiles(dir string) (*Server, error) {
 			// set it aside for inspection and keep loading the rest.
 			corrupt := path + ".corrupt"
 			if rerr := os.Rename(path, corrupt); rerr != nil {
-				return nil, fmt.Errorf("server: quarantining corrupt %s: %w", e.Name(), rerr)
+				return fmt.Errorf("server: quarantining corrupt %s: %w", e.Name(), rerr)
 			}
 			slog.Warn("corrupt instance file quarantined",
 				"file", path, "quarantined_to", corrupt, "error", err)
@@ -910,7 +1268,7 @@ func NewPersistentFiles(dir string) (*Server, error) {
 		}
 		s.engines[name] = s.newEngine(name, pi)
 	}
-	return s, nil
+	return nil
 }
 
 // validName reports whether a name is safe for persistent storage.

@@ -23,7 +23,7 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New()
+	s := MustNew(Config{})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -308,7 +308,7 @@ func TestPersistentHTTPRejectsBadNames(t *testing.T) {
 }
 
 func TestPutOversizedBodyGets413(t *testing.T) {
-	s := New()
+	s := MustNew(Config{})
 	s.SetMaxBody(512)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -445,15 +445,15 @@ func TestBatchEndpoint(t *testing.T) {
 }
 
 func TestRequestLogging(t *testing.T) {
-	s := New()
+	s := MustNew(Config{})
 	var buf bytes.Buffer
 	var mu sync.Mutex
 	s.SetLogger(slog.New(slog.NewJSONHandler(syncWriter{&mu, &buf}, nil)))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	do(t, "GET", ts.URL+"/instances", "", "")
-	do(t, "GET", ts.URL+"/instances/none", "", "")
+	do(t, "GET", ts.URL+"/v1/instances", "", "")
+	do(t, "GET", ts.URL+"/v1/instances/none", "", "")
 
 	mu.Lock()
 	logged := buf.String()
@@ -471,7 +471,7 @@ func TestRequestLogging(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
 		t.Fatal(err)
 	}
-	if entry.Msg != "request" || entry.Method != "GET" || entry.Path != "/instances/none" || entry.Status != 404 {
+	if entry.Msg != "request" || entry.Method != "GET" || entry.Path != "/v1/instances/none" || entry.Status != 404 {
 		t.Errorf("logged entry = %+v", entry)
 	}
 }

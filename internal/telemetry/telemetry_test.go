@@ -1,0 +1,296 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pxml/internal/metrics"
+)
+
+// memConn is an in-memory net.Conn that records writes and can be set
+// to fail, standing in for a statsd sink.
+type memConn struct {
+	mu     sync.Mutex
+	chunks [][]byte
+	fail   error
+}
+
+func (c *memConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fail != nil {
+		return 0, c.fail
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	c.chunks = append(c.chunks, cp)
+	return len(b), nil
+}
+
+func (c *memConn) setFail(err error) {
+	c.mu.Lock()
+	c.fail = err
+	c.mu.Unlock()
+}
+
+func (c *memConn) lines() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, ch := range c.chunks {
+		for _, l := range strings.Split(string(ch), "\n") {
+			if l != "" {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+func (c *memConn) Read([]byte) (int, error)           { return 0, fmt.Errorf("not readable") }
+func (c *memConn) Close() error                       { return nil }
+func (c *memConn) LocalAddr() net.Addr                { return nil }
+func (c *memConn) RemoteAddr() net.Addr               { return nil }
+func (c *memConn) SetDeadline(time.Time) error        { return nil }
+func (c *memConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *memConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func newTestExporter(t *testing.T, reg *metrics.Registry, dial func(string, string) (net.Conn, error)) *Exporter {
+	t.Helper()
+	e, err := New(Config{
+		Addr:     "sink:8125",
+		Registry: reg,
+		Dial:     dial,
+		Interval: time.Hour, // tests call Flush directly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFlushFormatsAndDeltas(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sink := &memConn{}
+	e := newTestExporter(t, reg, func(string, string) (net.Conn, error) { return sink, nil })
+
+	reg.Counter("http_requests").Add(5)
+	reg.Gauge("http_inflight").Set(2)
+	reg.Timer("http_latency.query").Observe(10 * time.Millisecond)
+	e.Flush()
+
+	got := strings.Join(sink.lines(), "\n")
+	for _, want := range []string{
+		"pxmld.http_requests:5|c",
+		"pxmld.http_inflight:2|g",
+		"pxmld.http_latency.query.count:1|g",
+		"pxmld.http_latency.query.p50_ms:",
+		"pxmld.http_latency.query.p95_ms:",
+		"pxmld.http_latency.query.p99_ms:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("flush missing %q in:\n%s", want, got)
+		}
+	}
+
+	// Second flush: counters ship deltas, so an unchanged counter is
+	// omitted and an incremented one ships only the increment.
+	sink.chunks = nil
+	reg.Counter("http_requests").Add(3)
+	e.Flush()
+	got = strings.Join(sink.lines(), "\n")
+	if !strings.Contains(got, "pxmld.http_requests:3|c") {
+		t.Errorf("second flush should carry delta 3, got:\n%s", got)
+	}
+	if strings.Contains(got, "http_requests:5") || strings.Contains(got, "http_requests:8") {
+		t.Errorf("second flush shipped absolute value, got:\n%s", got)
+	}
+}
+
+func TestDeadSinkNeverBlocksAndCountsDrops(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := newTestExporter(t, reg, func(string, string) (net.Conn, error) {
+		return nil, fmt.Errorf("connection refused")
+	})
+	reg.Counter("c").Inc()
+	start := time.Now()
+	e.Flush()
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("flush against dead sink took %v", d)
+	}
+	if got := reg.Counter("telemetry_dropped_flushes").Value(); got != 1 {
+		t.Errorf("dropped_flushes = %d, want 1", got)
+	}
+	if got := reg.Counter("telemetry_flushes").Value(); got != 0 {
+		t.Errorf("flushes = %d, want 0", got)
+	}
+}
+
+func TestHangingDialBoundedByTimeout(t *testing.T) {
+	reg := metrics.NewRegistry()
+	block := make(chan struct{})
+	defer close(block)
+	e, err := New(Config{
+		Addr:     "sink:8125",
+		Registry: reg,
+		Interval: time.Hour,
+		Dial: func(string, string) (net.Conn, error) {
+			<-block // a sink that never completes the handshake
+			return nil, fmt.Errorf("never")
+		},
+		DialTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Counter("c").Inc()
+	start := time.Now()
+	e.Flush()
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("flush with hanging dial took %v, want ~50ms", d)
+	}
+	if reg.Counter("telemetry_dropped_flushes").Value() != 1 {
+		t.Error("hanging dial not counted as drop")
+	}
+}
+
+func TestWriteFailureDropsThenRecovers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sink := &memConn{}
+	dials := 0
+	e := newTestExporter(t, reg, func(string, string) (net.Conn, error) {
+		dials++
+		return sink, nil
+	})
+	reg.Counter("c").Inc()
+	e.Flush()
+	if len(sink.lines()) == 0 {
+		t.Fatal("healthy flush wrote nothing")
+	}
+
+	// Sink dies mid-run: the flush drops, the conn resets.
+	sink.setFail(fmt.Errorf("broken pipe"))
+	reg.Counter("c").Inc()
+	e.Flush()
+	if reg.Counter("telemetry_dropped_flushes").Value() != 1 {
+		t.Error("write failure not counted")
+	}
+
+	// Sink recovers: next flush redials and delivers.
+	sink.setFail(nil)
+	sink.chunks = nil
+	reg.Counter("c").Inc()
+	e.Flush()
+	if dials != 2 {
+		t.Errorf("dials = %d, want redial after write failure", dials)
+	}
+	if len(sink.lines()) == 0 {
+		t.Error("flush after recovery wrote nothing")
+	}
+}
+
+func TestStartStopLoopDelivers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sink := &memConn{}
+	sampled := 0
+	e, err := New(Config{
+		Addr:     "sink:8125",
+		Registry: reg,
+		Interval: 10 * time.Millisecond,
+		Dial:     func(string, string) (net.Conn, error) { return sink, nil },
+		Sample:   func() { sampled++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Counter("c").Inc()
+	e.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(sink.lines()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	e.Stop()
+	if len(sink.lines()) == 0 {
+		t.Fatal("loop never flushed")
+	}
+	if sampled == 0 {
+		t.Error("Sample hook never ran")
+	}
+}
+
+func TestUDPPacketSplitting(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sink := &memConn{}
+	e := newTestExporter(t, reg, func(string, string) (net.Conn, error) { return sink, nil })
+	// Enough gauges that one datagram cannot hold them all.
+	for i := 0; i < 200; i++ {
+		reg.Gauge(fmt.Sprintf("very_long_gauge_name_for_packet_splitting_%03d", i)).Set(int64(i))
+	}
+	e.Flush()
+	if len(sink.chunks) < 2 {
+		t.Fatalf("expected multiple datagrams, got %d", len(sink.chunks))
+	}
+	total := 0
+	for _, ch := range sink.chunks {
+		if len(ch) > maxDatagram {
+			t.Errorf("datagram of %d bytes exceeds %d", len(ch), maxDatagram)
+		}
+		total += len(strings.Split(string(ch), "\n"))
+	}
+	if total != 200 {
+		t.Errorf("lines across datagrams = %d, want 200", total)
+	}
+}
+
+func TestRealUDPSink(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback UDP:", err)
+	}
+	defer pc.Close()
+	reg := metrics.NewRegistry()
+	e, err := New(Config{Addr: pc.LocalAddr().String(), Registry: reg, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Counter("real").Add(7)
+	e.Flush()
+	pc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 65536)
+	n, _, err := pc.ReadFrom(buf)
+	if err != nil {
+		t.Fatal("sink received nothing:", err)
+	}
+	if got := string(buf[:n]); !strings.Contains(got, "pxmld.real:7|c") {
+		t.Errorf("datagram = %q", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"http_latency.query": "http_latency.query",
+		"shed tenant:a":      "shed_tenant_a",
+		"weird|pipe":         "weird_pipe",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Registry: metrics.NewRegistry()}); err == nil {
+		t.Error("New accepted empty addr")
+	}
+	if _, err := New(Config{Addr: "x:1"}); err == nil {
+		t.Error("New accepted nil registry")
+	}
+	if _, err := New(Config{Addr: "x:1", Registry: metrics.NewRegistry(), Network: "sctp"}); err == nil {
+		t.Error("New accepted unsupported network")
+	}
+}

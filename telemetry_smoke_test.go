@@ -1,0 +1,231 @@
+package pxml_test
+
+// Telemetry smoke test: boot the real pxmld binary with the statsd
+// exporter pointed at an in-process UDP sink, drive a little traffic,
+// and check that (a) the sink receives counters, gauges, and timer
+// percentiles, and (b) GET /v1/metrics reports the same percentile
+// timers under schema_version 1. Run directly via `make telemetry-smoke`;
+// skipped with -short like the other integration tests.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pxml"
+)
+
+func TestTelemetrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("telemetry smoke runs the daemon; skipped with -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	// In-process statsd stand-in: a UDP listener collecting datagrams.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	var mu sync.Mutex
+	var lines []string
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, _, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			for _, l := range strings.Split(string(buf[:n]), "\n") {
+				if l != "" {
+					lines = append(lines, l)
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+	sinkText := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return strings.Join(lines, "\n")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pxmld")
+	if out, err := exec.Command(goBin, "build", "-o", bin, "./cmd/pxmld").CombinedOutput(); err != nil {
+		t.Fatalf("building pxmld: %v\n%s", err, out)
+	}
+	addr := "127.0.0.1:39482"
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-statsd-addr", pc.LocalAddr().String(),
+		"-statsd-interval", "100ms",
+		"-quiet",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+	ready := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get("http://" + addr + "/v1/instances")
+		if err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("pxmld did not start")
+	}
+
+	// Traffic: upload an instance, query it a few times so the endpoint
+	// and statement-shape timers accumulate observations.
+	w, err := pxml.GenerateWorkload(pxml.GenConfig{Depth: 2, Branch: 2, Labeling: pxml.SL, Seed: 11, LeafDomainSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pxml.EncodeText(&buf, w.PI); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("PUT", "http://"+addr+"/v1/instances/gen", bytes.NewReader(buf.Bytes()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+	for i := 0; i < 10; i++ {
+		qr, err := http.Post("http://"+addr+"/v1/instances/gen/query", "text/plain",
+			strings.NewReader("PROB EXISTS R.n1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, qr.Body)
+		qr.Body.Close()
+		if qr.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", qr.StatusCode)
+		}
+	}
+
+	// The statsd stream must carry counters, OS gauges, and percentile
+	// timers for both the HTTP endpoint and the pxql statement shape.
+	wantMetrics := []string{
+		"pxmld.http_requests:",
+		"pxmld.os_rss_bytes:",
+		"pxmld.http_latency.query.p99_ms:",
+		"pxmld.http_latency.query.count:",
+		"pxmld.pxql_latency.exists.p95_ms:",
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		text := sinkText()
+		missing := false
+		for _, want := range wantMetrics {
+			if !strings.Contains(text, want) {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	text := sinkText()
+	for _, want := range wantMetrics {
+		if !strings.Contains(text, want) {
+			t.Errorf("statsd sink missing %q", want)
+		}
+	}
+	if t.Failed() {
+		max := len(text)
+		if max > 4000 {
+			max = 4000
+		}
+		t.Logf("sink received:\n%s", text[:max])
+	}
+
+	// Every line is well-formed statsd: name:value|type.
+	mu.Lock()
+	for _, l := range lines {
+		colon := strings.IndexByte(l, ':')
+		pipe := strings.LastIndexByte(l, '|')
+		if colon <= 0 || pipe <= colon {
+			t.Errorf("malformed statsd line %q", l)
+		}
+		switch kind := l[pipe+1:]; kind {
+		case "c", "g":
+		default:
+			t.Errorf("unexpected statsd type %q in line %q", kind, l)
+		}
+	}
+	mu.Unlock()
+
+	// /v1/metrics agrees: schema_version 1, the same timers with
+	// count and percentiles, and the exporter's own delivery counters.
+	mresp, err := http.Get("http://" + addr + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	var payload struct {
+		SchemaVersion int                        `json:"schema_version"`
+		Server        map[string]json.RawMessage `json:"server"`
+		Telemetry     struct {
+			Addr    string `json:"addr"`
+			Flushes int64  `json:"flushes"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(mbody, &payload); err != nil {
+		t.Fatalf("decoding /v1/metrics: %v\n%s", err, mbody)
+	}
+	if payload.SchemaVersion != 1 {
+		t.Errorf("schema_version = %d, want 1", payload.SchemaVersion)
+	}
+	if payload.Telemetry.Flushes < 1 {
+		t.Errorf("telemetry.flushes = %d, want >= 1", payload.Telemetry.Flushes)
+	}
+	for _, name := range []string{"http_latency.query", "pxql_latency.exists"} {
+		raw, ok := payload.Server[name]
+		if !ok {
+			t.Errorf("/v1/metrics missing timer %q", name)
+			continue
+		}
+		var snap struct {
+			Count int64   `json:"count"`
+			P50MS float64 `json:"p50_ms"`
+			P95MS float64 `json:"p95_ms"`
+			P99MS float64 `json:"p99_ms"`
+		}
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Count < 1 || snap.P99MS < snap.P50MS {
+			t.Errorf("timer %q snapshot implausible: %+v", name, snap)
+		}
+	}
+}
