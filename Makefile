@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke telemetry-smoke vet staticcheck cover clean
+.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke telemetry-smoke repl-smoke vet staticcheck cover clean
 
 all: check
 
@@ -51,7 +51,7 @@ bench-store:
 #   go test -run '^$$' -bench ConcurrentPut -count 10 ./internal/store > new.txt
 #   benchstat old.txt new.txt
 bench-json:
-	$(GO) run ./cmd/benchjson -out results/BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -out results/BENCH_pr7.json
 
 # Quick benchmark smoke for CI: a handful of iterations per benchmark,
 # enough to catch perf-critical paths that stop compiling or start
@@ -90,6 +90,15 @@ soak-smoke:
 telemetry-smoke:
 	$(GO) test -race -run TestTelemetrySmoke -v .
 	$(GO) test -race ./internal/telemetry ./internal/admission ./internal/metrics
+
+# Replication smoke: an in-process leader with two followers streaming
+# its WAL through partition proxies — leader killed and restarted
+# mid-run, partitions healed — asserting followers converge to the
+# leader's position with zero acknowledged-write loss, plus the
+# store-level streaming edge cases (rotation-boundary resume, timeline
+# gaps, torn tails), all under the race detector.
+repl-smoke:
+	$(GO) test -race -run 'TestRepl|TestStream|TestFollower' -v ./internal/server ./internal/store
 
 # Quick fuzz smoke for CI: a few seconds per fuzzer, catching gross
 # decoder/parser regressions without the cost of a long campaign.

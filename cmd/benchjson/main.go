@@ -1,9 +1,9 @@
 // benchjson runs the repo's benchmark suites (`go test -bench`) and
 // records the results as machine-readable JSON, so each PR can leave a
-// baseline behind (results/BENCH_pr4.json) and later PRs can diff
+// baseline behind (results/BENCH_pr7.json) and later PRs can diff
 // against it without re-parsing test output.
 //
-//	go run ./cmd/benchjson -out results/BENCH_pr4.json
+//	go run ./cmd/benchjson -out results/BENCH_pr7.json
 //	go run ./cmd/benchjson -benchtime 10x -out /tmp/smoke.json
 //
 // The output schema is documented in EXPERIMENTS.md. Besides the raw
@@ -40,6 +40,7 @@ var suites = []suite{
 	{"./internal/store", "WALAppend|ConcurrentPut|OpenReplay|Compact"},
 	{"./internal/engine", "QueryPoint"},
 	{"./internal/codec", "Encode|Decode"},
+	{"./internal/server", "FollowerFanout"},
 }
 
 // result is one benchmark line, parsed.
@@ -70,7 +71,7 @@ type report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "results/BENCH_pr4.json", "where to write the JSON report")
+	out := flag.String("out", "results/BENCH_pr7.json", "where to write the JSON report")
 	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime (e.g. 1s, 10x)")
 	flag.Parse()
 

@@ -90,9 +90,23 @@ import (
 
 	"pxml"
 	"pxml/internal/admission"
+	"pxml/internal/repl"
+	"pxml/internal/retry"
 	"pxml/internal/server"
 	"pxml/internal/store"
 )
+
+// dirEmpty reports whether dir is absent or has no entries.
+func dirEmpty(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return len(entries) == 0, nil
+}
 
 // loadFlags collects repeated -load name=file flags.
 type loadFlags []string
@@ -150,6 +164,10 @@ func main() {
 	statsdNetwork := flag.String("statsd-network", "udp", "telemetry transport: udp or tcp")
 	statsdPrefix := flag.String("statsd-prefix", "", "metric name prefix (empty = pxmld)")
 	quotaDefault := flag.String("quota-default", "", "default per-instance admission quota as rate:burst[:weight] in requests/second (empty = unlimited)")
+	adminToken := flag.String("admin-token", "", "require this bearer token on /v1/admin/* and /v1/repl/* (empty = open)")
+	followLeader := flag.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8080); requires -data")
+	followToken := flag.String("follow-token", "", "bearer token for the leader's replication endpoints (default: the -admin-token value)")
+	replMaxStaleness := flag.Duration("repl-max-staleness", 0, "follower readiness threshold: /readyz answers 503 once replicated data is staler than this (0 = default 10s)")
 	var quotaSpecs loadFlags
 	flag.Var(&quotaSpecs, "quota", "per-instance admission quota: name=rate:burst[:weight] (repeatable)")
 	var loads loadFlags
@@ -159,16 +177,23 @@ func main() {
 	if *dataDir == "" {
 		*dataDir = *dataDirAlias
 	}
+	if *followToken == "" {
+		*followToken = *adminToken
+	}
 	cfg := server.Config{
-		MaxBody:        *maxBody,
-		RequestTimeout: *reqTimeout,
-		MaxInflight:    *maxInflight,
-		QueryWorkers:   *queryWorkers,
-		BackupRoot:     *backupDir,
-		StatsdAddr:     *statsdAddr,
-		StatsdNetwork:  *statsdNetwork,
-		StatsdInterval: *statsdInterval,
-		StatsdPrefix:   *statsdPrefix,
+		MaxBody:          *maxBody,
+		RequestTimeout:   *reqTimeout,
+		MaxInflight:      *maxInflight,
+		QueryWorkers:     *queryWorkers,
+		BackupRoot:       *backupDir,
+		StatsdAddr:       *statsdAddr,
+		StatsdNetwork:    *statsdNetwork,
+		StatsdInterval:   *statsdInterval,
+		StatsdPrefix:     *statsdPrefix,
+		AdminToken:       *adminToken,
+		FollowLeader:     *followLeader,
+		FollowToken:      *followToken,
+		ReplMaxStaleness: *replMaxStaleness,
 	}
 	if !*quiet {
 		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -215,12 +240,34 @@ func main() {
 			Logger:           log.New(os.Stderr, "pxmld: ", 0),
 		}
 	}
+	if *followLeader != "" {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("-follow requires -data (the replica's local WAL mirror)"))
+		}
+		// A fresh replica bootstraps from a leader backup before serving;
+		// a replica with existing data resumes the stream from its
+		// recovered position.
+		if empty, err := dirEmpty(*dataDir); err != nil {
+			fatal(err)
+		} else if empty {
+			fmt.Fprintf(os.Stderr, "pxmld: bootstrapping replica from %s\n", *followLeader)
+			client := &repl.Client{BaseURL: *followLeader, Token: *followToken, Retry: retry.Default}
+			res, err := client.Bootstrap(context.Background(), *dataDir)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "pxmld: bootstrap complete: %d instances at %s\n", res.Instances, res.Pos)
+		}
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "catalog persisted in %s (fsync=%s): %s\n", *dataDir, policy, srv.RecoveryReport())
+	}
+	if *followLeader != "" {
+		fmt.Fprintf(os.Stderr, "pxmld: read replica of %s (writes 307-route there; readyz gates on staleness)\n", *followLeader)
 	}
 	if *statsdAddr != "" {
 		fmt.Fprintf(os.Stderr, "telemetry to %s://%s every %s\n", *statsdNetwork, *statsdAddr, *statsdInterval)

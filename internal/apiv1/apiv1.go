@@ -28,18 +28,20 @@ const Prefix = "/v1"
 
 // Stable error codes. Clients branch on these, never on messages.
 const (
-	CodeInvalidRequest  = "invalid_request"  // 400: malformed path, body, or parameters
-	CodeForbidden       = "forbidden"        // 403: endpoint disabled by configuration
-	CodeNotFound        = "not_found"        // 404: unknown instance
-	CodeConflict        = "conflict"         // 409: operation impossible in this server mode
-	CodeBodyTooLarge    = "body_too_large"   // 413: request body over the configured limit
-	CodeInvalidInstance = "invalid_instance" // 422: instance failed validation
-	CodeStatementFailed = "statement_failed" // 422: pxql statement rejected or failed
-	CodeQuotaExceeded   = "quota_exceeded"   // 429: tenant token bucket empty (retryable)
-	CodeOverloaded      = "overloaded"       // 429: server at capacity or over fair share (retryable)
-	CodeTimeout         = "timeout"          // 503: per-request deadline expired (retryable)
-	CodeDegraded        = "degraded"         // 503: durable store is read-only (retryable)
-	CodeInternal        = "internal"         // 500: unexpected server failure
+	CodeInvalidRequest   = "invalid_request"   // 400: malformed path, body, or parameters
+	CodeUnauthorized     = "unauthorized"      // 401: missing or wrong bearer token
+	CodeForbidden        = "forbidden"         // 403: endpoint disabled by configuration
+	CodeNotFound         = "not_found"         // 404: unknown instance
+	CodeConflict         = "conflict"          // 409: operation impossible in this server mode
+	CodeTimelineDiverged = "timeline_diverged" // 409: replication position off this server's WAL timeline
+	CodeBodyTooLarge     = "body_too_large"    // 413: request body over the configured limit
+	CodeInvalidInstance  = "invalid_instance"  // 422: instance failed validation
+	CodeStatementFailed  = "statement_failed"  // 422: pxql statement rejected or failed
+	CodeQuotaExceeded    = "quota_exceeded"    // 429: tenant token bucket empty (retryable)
+	CodeOverloaded       = "overloaded"        // 429: server at capacity or over fair share (retryable)
+	CodeTimeout          = "timeout"           // 503: per-request deadline expired (retryable)
+	CodeDegraded         = "degraded"          // 503: durable store is read-only (retryable)
+	CodeInternal         = "internal"          // 500: unexpected server failure
 )
 
 // ErrorDetail is the envelope's inner object.

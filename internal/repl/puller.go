@@ -1,0 +1,268 @@
+package repl
+
+// The Puller is the follower's replication engine: a single goroutine
+// that pulls stream chunks from the leader and applies them to the
+// local follower store, forever. It owns the reconnect backoff, the
+// lag/staleness bookkeeping the serving layer exposes in /v1/metrics
+// and /readyz, and the sticky-divergence rule: once the leader says the
+// local WAL is off its timeline, the puller parks permanently not-ready
+// rather than risk serving spliced history.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"pxml/internal/retry"
+	"pxml/internal/store"
+)
+
+// PullerConfig configures a Puller. Store and Client are required;
+// Store must have been opened with store.Options.Follower.
+type PullerConfig struct {
+	Store  *store.Store
+	Client *Client
+	// PollWait is the server-side long-poll per request (default
+	// DefaultPollWait). It bounds how stale a caught-up follower's
+	// freshness reading can get between confirmations.
+	PollWait time.Duration
+	// MaxChunk bounds one chunk's bytes (default MaxChunkBytes).
+	MaxChunk int
+	// Backoff paces reconnects after transient failures: BaseDelay up to
+	// MaxDelay, doubling, jittered, reset on the next success. Default
+	// 250ms..5s (retry.Default's shape). MaxAttempts is ignored — the
+	// puller never gives up on transient errors.
+	Backoff retry.Policy
+	// OnApply, when set, observes every applied chunk — the serving
+	// layer uses it to install changed instances into warm engines.
+	OnApply func(store.ApplyResult)
+	// Logf, when set, receives connection-state transitions.
+	Logf func(format string, args ...any)
+	// now stubs time in tests.
+	now func() time.Time
+}
+
+// Status is a point-in-time snapshot of replication state.
+type Status struct {
+	// Pos is the follower's current WAL position.
+	Pos store.Pos
+	// LeaderEnd is the leader's committed position as of the last
+	// successful exchange (zero before first contact).
+	LeaderEnd store.Pos
+	// LagBytes is the byte lag behind LeaderEnd as of the last exchange.
+	LagBytes int64
+	// LastStampNanos is the newest leader wall-clock stamp applied (unix
+	// nanoseconds; 0 before any stamp).
+	LastStampNanos int64
+	// FreshAsOf is the newest instant the local data is known current
+	// for: the wall-clock of the last applied stamp, or the local time
+	// of the last caught-up confirmation, whichever is later. Zero until
+	// the follower has synced once.
+	FreshAsOf time.Time
+	// LastContact is the local time of the last successful exchange with
+	// the leader (zero before first contact).
+	LastContact time.Time
+	// CaughtUp reports whether the last exchange ended at the leader's
+	// committed position.
+	CaughtUp bool
+	// Diverged reports the sticky divergence state: the leader rejected
+	// this follower's WAL as off its timeline. Only a re-bootstrap
+	// clears it.
+	Diverged bool
+	// LastErr is the most recent transient error, cleared on success.
+	LastErr string
+	// Counters since the puller started.
+	ChunksApplied  int64
+	BytesApplied   int64
+	RecordsApplied int64
+	Reconnects     int64
+}
+
+// Staleness reports how far behind the leader the local data may be at
+// now: time since FreshAsOf. Before the first sync it is time since the
+// puller started; on a diverged follower it is effectively infinite.
+func (s Status) Staleness(now time.Time) time.Duration {
+	if s.Diverged || s.FreshAsOf.IsZero() {
+		return 1<<63 - 1
+	}
+	d := now.Sub(s.FreshAsOf)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Puller replicates one leader into one follower store.
+type Puller struct {
+	cfg PullerConfig
+
+	mu     sync.Mutex
+	status Status
+}
+
+// NewPuller validates cfg and returns a Puller ready to Run.
+func NewPuller(cfg PullerConfig) (*Puller, error) {
+	if cfg.Store == nil || cfg.Client == nil {
+		return nil, fmt.Errorf("repl: puller needs a store and a client")
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = DefaultPollWait
+	}
+	if cfg.MaxChunk <= 0 || cfg.MaxChunk > MaxChunkBytes {
+		cfg.MaxChunk = MaxChunkBytes
+	}
+	if cfg.Backoff.BaseDelay <= 0 {
+		cfg.Backoff.BaseDelay = 250 * time.Millisecond
+	}
+	if cfg.Backoff.MaxDelay <= 0 {
+		cfg.Backoff.MaxDelay = 5 * time.Second
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &Puller{cfg: cfg}, nil
+}
+
+// Status returns a snapshot of the replication state, with Pos read
+// fresh from the store.
+func (p *Puller) Status() Status {
+	p.mu.Lock()
+	s := p.status
+	p.mu.Unlock()
+	s.Pos = p.cfg.Store.Pos()
+	if stamp := p.cfg.Store.LastReplStamp(); stamp > s.LastStampNanos {
+		s.LastStampNanos = stamp
+	}
+	return s
+}
+
+// Ready reports whether the follower should serve: not diverged, synced
+// at least once, and no staler than maxStaleness (0 disables the
+// staleness gate but still requires one sync and no divergence).
+func (p *Puller) Ready(maxStaleness time.Duration) bool {
+	s := p.Status()
+	if s.Diverged || s.FreshAsOf.IsZero() {
+		return false
+	}
+	return maxStaleness <= 0 || s.Staleness(p.cfg.now()) <= maxStaleness
+}
+
+func (p *Puller) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// Run pulls and applies until ctx is cancelled (returns ctx.Err()), the
+// leader declares divergence (returns an error matching ErrDiverged),
+// or the local store refuses an apply for a non-positional reason, e.g.
+// it degraded (returns that error). Transient failures — network,
+// overload, leader restarts — are retried forever with capped backoff.
+func (p *Puller) Run(ctx context.Context) error {
+	delay := p.cfg.Backoff.BaseDelay
+	wasConnected := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		from := p.cfg.Store.Pos()
+		chunk, err := p.cfg.Client.Stream(ctx, from, p.cfg.MaxChunk, p.cfg.PollWait)
+		now := p.cfg.now()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, ErrDiverged) {
+				p.mu.Lock()
+				p.status.Diverged = true
+				p.status.CaughtUp = false
+				p.status.LastErr = err.Error()
+				p.mu.Unlock()
+				p.logf("repl: follower diverged from leader at %s: %v", from, err)
+				return err
+			}
+			p.mu.Lock()
+			p.status.LastErr = err.Error()
+			p.status.CaughtUp = false
+			if wasConnected {
+				p.status.Reconnects++
+			}
+			p.mu.Unlock()
+			if wasConnected {
+				p.logf("repl: lost leader at %s: %v", from, err)
+			}
+			wasConnected = false
+			// Jittered capped exponential backoff, reset on success.
+			wait := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+			if delay *= 2; delay > p.cfg.Backoff.MaxDelay {
+				delay = p.cfg.Backoff.MaxDelay
+			}
+			continue
+		}
+		delay = p.cfg.Backoff.BaseDelay
+		if !wasConnected {
+			p.logf("repl: streaming from leader at %s (lag %d bytes)", chunk.From, chunk.LagBytes)
+		}
+		wasConnected = true
+
+		if len(chunk.Data) == 0 && chunk.From == from {
+			// Caught up: the long poll confirmed nothing is missing as of
+			// now.
+			p.noteExchange(chunk, now, true)
+			continue
+		}
+		res, err := p.cfg.Store.ReplApply(chunk.From, chunk.Data)
+		if err != nil {
+			if errors.Is(err, store.ErrApplyMismatch) {
+				// Raced a concurrent position change (e.g. recovery); loop
+				// re-reads Pos and resumes.
+				p.mu.Lock()
+				p.status.LastErr = err.Error()
+				p.mu.Unlock()
+				continue
+			}
+			p.mu.Lock()
+			p.status.LastErr = err.Error()
+			p.status.CaughtUp = false
+			p.mu.Unlock()
+			return fmt.Errorf("repl: apply at %s: %w", chunk.From, err)
+		}
+		p.mu.Lock()
+		p.status.ChunksApplied++
+		p.status.BytesApplied += int64(len(chunk.Data))
+		p.status.RecordsApplied += int64(res.Records)
+		if res.StampNanos > p.status.LastStampNanos {
+			p.status.LastStampNanos = res.StampNanos
+			if t := time.Unix(0, res.StampNanos); t.After(p.status.FreshAsOf) {
+				p.status.FreshAsOf = t
+			}
+		}
+		p.mu.Unlock()
+		p.noteExchange(chunk, now, res.Pos == chunk.End)
+		if p.cfg.OnApply != nil {
+			p.cfg.OnApply(res)
+		}
+	}
+}
+
+// noteExchange records a successful leader exchange.
+func (p *Puller) noteExchange(chunk Chunk, now time.Time, caughtUp bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.status.LastContact = now
+	p.status.LeaderEnd = chunk.End
+	p.status.LagBytes = chunk.LagBytes
+	p.status.CaughtUp = caughtUp
+	p.status.LastErr = ""
+	if caughtUp && now.After(p.status.FreshAsOf) {
+		p.status.FreshAsOf = now
+	}
+}

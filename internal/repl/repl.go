@@ -1,0 +1,70 @@
+// Package repl implements streaming WAL replication between pxmld
+// nodes: a leader serves its write-ahead log as raw CRC-framed chunks
+// addressed by store.Pos, and followers replay that stream into a
+// byte-identical local WAL through store.ReplApply, serving reads from
+// their own warm engines while routing writes back to the leader.
+//
+// The wire protocol is deliberately thin — the WAL frame format already
+// self-describes and self-verifies (see internal/store), so replication
+// ships segment bytes verbatim and carries positions in headers:
+//
+//	GET /v1/repl/stream?from=SEG:OFF&max_bytes=N&wait_ms=MS
+//	  200  body = raw frames; X-Pxml-Repl-From names where they start
+//	       (the requested position normalized past a rotation boundary —
+//	       an empty 200 body with a moved From is the rotation cue),
+//	       X-Pxml-Repl-Next where to resume, X-Pxml-Repl-End the
+//	       leader's committed position, X-Pxml-Repl-Lag-Bytes the byte
+//	       lag at Next.
+//	  204  caught up: the long poll expired with nothing new.
+//	  409  {"error":{"code":"timeline_diverged"}} — the position is not
+//	       on this leader's timeline (restore gap, trimmed history, or
+//	       bytes the leader never wrote). The follower cannot catch up
+//	       by replaying and must re-bootstrap.
+//	  401  bearer token required/wrong (when the leader enables auth).
+//
+//	GET /v1/repl/bootstrap
+//	  200  application/x-tar of a fresh, verified store backup. The
+//	       follower unpacks and restores it (keeping the leader's
+//	       segment numbering), then resumes the stream from the restored
+//	       position.
+//
+// Divergence is sticky by design: a follower whose WAL is not a prefix
+// of the leader's history must never serve spliced data, so the puller
+// parks not-ready until an operator re-bootstraps it.
+package repl
+
+import "time"
+
+// Route paths, shared by the leader-side handlers and the client.
+const (
+	StreamPath    = "/v1/repl/stream"
+	BootstrapPath = "/v1/repl/bootstrap"
+)
+
+// Stream response headers. Positions render as "seg:off" (store.Pos).
+const (
+	HeaderFrom = "X-Pxml-Repl-From"
+	HeaderNext = "X-Pxml-Repl-Next"
+	HeaderEnd  = "X-Pxml-Repl-End"
+	HeaderLag  = "X-Pxml-Repl-Lag-Bytes"
+)
+
+// Stream request query parameters.
+const (
+	ParamFrom     = "from"
+	ParamMaxBytes = "max_bytes"
+	ParamWaitMS   = "wait_ms"
+)
+
+// DefaultPollWait is how long a stream request long-polls at the tail
+// before answering 204, unless the client asks otherwise.
+const DefaultPollWait = 2 * time.Second
+
+// MaxPollWait caps client-requested long-poll waits so a stream request
+// can never pin a connection indefinitely.
+const MaxPollWait = 30 * time.Second
+
+// MaxChunkBytes caps one stream response body. Larger catch-ups take
+// multiple round trips, which keeps per-request memory bounded on both
+// sides and lets lag metrics refresh as the follower closes the gap.
+const MaxChunkBytes = 4 << 20

@@ -1,0 +1,133 @@
+package repl
+
+// Leader-side HTTP handlers. They live next to the client so both ends
+// of the wire share one definition of the protocol; internal/server
+// mounts them behind its own auth, instrumentation, and admission
+// layers.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"pxml/internal/apiv1"
+	"pxml/internal/store"
+)
+
+// ServeStream answers one GET /v1/repl/stream request against st,
+// long-polling at the tail for up to the client's wait_ms (capped at
+// MaxPollWait, defaulting to DefaultPollWait).
+func ServeStream(w http.ResponseWriter, r *http.Request, st *store.Store) {
+	q := r.URL.Query()
+	from, err := store.ParsePos(q.Get(ParamFrom))
+	if err != nil {
+		apiv1.WriteError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest,
+			fmt.Sprintf("bad %s: %v", ParamFrom, err))
+		return
+	}
+	maxBytes := 0
+	if v := q.Get(ParamMaxBytes); v != "" {
+		maxBytes, err = strconv.Atoi(v)
+		if err != nil || maxBytes < 0 {
+			apiv1.WriteError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest,
+				fmt.Sprintf("bad %s: %q", ParamMaxBytes, v))
+			return
+		}
+	}
+	if maxBytes <= 0 || maxBytes > MaxChunkBytes {
+		maxBytes = MaxChunkBytes
+	}
+	wait := DefaultPollWait
+	if v := q.Get(ParamWaitMS); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			apiv1.WriteError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest,
+				fmt.Sprintf("bad %s: %q", ParamWaitMS, v))
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+	}
+	if wait > MaxPollWait {
+		wait = MaxPollWait
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		// Grab the commit signal before reading: a commit that lands
+		// between the read and the wait then wakes us instead of being
+		// missed.
+		sig := st.CommitSignal()
+		chunk, err := st.ReadStream(from, maxBytes)
+		if err != nil {
+			if errors.Is(err, store.ErrTimelineDiverged) {
+				apiv1.WriteError(w, http.StatusConflict, apiv1.CodeTimelineDiverged, err.Error())
+				return
+			}
+			apiv1.WriteError(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+			return
+		}
+		if len(chunk.Data) > 0 || chunk.From != from {
+			// Data, or a rotation cue (empty body, From moved to the next
+			// segment's start).
+			writeChunkHeaders(w, chunk)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(chunk.Data)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(chunk.Data)
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			writeChunkHeaders(w, chunk)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-sig:
+			t.Stop()
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
+func writeChunkHeaders(w http.ResponseWriter, chunk store.StreamChunk) {
+	h := w.Header()
+	h.Set(HeaderFrom, chunk.From.String())
+	h.Set(HeaderNext, chunk.Next.String())
+	h.Set(HeaderEnd, chunk.End.String())
+	h.Set(HeaderLag, strconv.FormatInt(chunk.LagBytes, 10))
+}
+
+// ServeBootstrap answers one GET /v1/repl/bootstrap request: it takes a
+// fresh backup of st into a temporary directory and streams it out as a
+// tar archive a follower can restore from.
+func ServeBootstrap(w http.ResponseWriter, r *http.Request, st *store.Store) {
+	tmp, err := os.MkdirTemp("", "pxml-bootstrap-")
+	if err != nil {
+		apiv1.WriteError(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+		return
+	}
+	defer os.RemoveAll(tmp)
+	man, err := st.Backup(tmp)
+	if err != nil {
+		if errors.Is(err, store.ErrDegraded) {
+			apiv1.WriteErrorRetry(w, http.StatusServiceUnavailable, apiv1.CodeDegraded, err.Error(), 5*time.Second)
+			return
+		}
+		apiv1.WriteError(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-tar")
+	w.Header().Set(HeaderEnd, man.Pos.String())
+	w.WriteHeader(http.StatusOK)
+	// A write error here means the follower went away mid-download; it
+	// will retry the bootstrap from scratch.
+	_ = writeTar(w, tmp)
+}

@@ -1,0 +1,93 @@
+package repl
+
+// Flat tar packing for bootstrap transfers. A store backup is a flat
+// directory of regular files (MANIFEST.json, snapshot, segments), so
+// the archive format is deliberately restricted: no directories, no
+// symlinks, no path separators. extractTar enforces that on the way in
+// — a malicious or corrupt archive cannot escape the target directory.
+
+import (
+	"archive/tar"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// maxBootstrapFile caps one extracted file so a bad archive cannot fill
+// the disk unbounded.
+const maxBootstrapFile int64 = 16 << 30
+
+// writeTar streams every regular file in dir (flat, sorted by name —
+// os.ReadDir order) as a tar archive.
+func writeTar(w io.Writer, dir string) error {
+	tw := tar.NewWriter(w)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return err
+		}
+		hdr := &tar.Header{
+			Name: e.Name(),
+			Mode: 0o644,
+			Size: info.Size(),
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(tw, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// extractTar unpacks a flat archive produced by writeTar into dir,
+// rejecting anything that is not a plain file with a bare name.
+func extractTar(r io.Reader, dir string) error {
+	tr := tar.NewReader(r)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("repl: bootstrap archive: %w", err)
+		}
+		name := hdr.Name
+		if name == "" || name != filepath.Base(name) || strings.ContainsAny(name, `/\`) || name == ".." {
+			return fmt.Errorf("repl: bootstrap archive: unsafe entry name %q", name)
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			return fmt.Errorf("repl: bootstrap archive: entry %q is not a regular file", name)
+		}
+		if hdr.Size < 0 || hdr.Size > maxBootstrapFile {
+			return fmt.Errorf("repl: bootstrap archive: entry %q has bad size %d", name, hdr.Size)
+		}
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(f, io.LimitReader(tr, hdr.Size+1))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("repl: bootstrap archive: extract %q: %w", name, err)
+		}
+	}
+}

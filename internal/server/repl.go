@@ -1,0 +1,289 @@
+package server
+
+// Replication wiring: the leader-side stream/bootstrap endpoints, the
+// optional bearer-token gate over the admin and replication surfaces,
+// and follower mode — a server whose store mirrors a leader's WAL via
+// an embedded repl.Puller, serving all reads locally while 307-routing
+// writes to the leader and gating readiness on replication staleness.
+
+import (
+	"context"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"pxml/internal/apiv1"
+	"pxml/internal/repl"
+	"pxml/internal/retry"
+	"pxml/internal/store"
+)
+
+// defaultReplMaxStaleness gates follower readiness unless
+// Config.ReplMaxStaleness overrides it.
+const defaultReplMaxStaleness = 10 * time.Second
+
+// followerState is the replication machinery of a server running as a
+// read replica.
+type followerState struct {
+	leaderURL    string
+	puller       *repl.Puller
+	maxStaleness time.Duration
+	cancel       context.CancelFunc
+	done         chan struct{}
+}
+
+// startFollower wires the puller into the server and starts the pull
+// loop. Called from New after the store and engines are up.
+func (s *Server) startFollower(cfg Config) error {
+	client := &repl.Client{
+		BaseURL: cfg.FollowLeader,
+		Token:   cfg.FollowToken,
+		// Stream long-polls; the client must outlive MaxPollWait.
+		HTTPClient: &http.Client{Timeout: repl.MaxPollWait + 30*time.Second},
+		// One cheap retry inside each round trip; the puller's own loop
+		// handles real outages.
+		Retry: retry.Policy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second},
+	}
+	maxStale := cfg.ReplMaxStaleness
+	if maxStale <= 0 {
+		maxStale = defaultReplMaxStaleness
+	}
+	var logf func(string, ...any)
+	if s.log != nil {
+		log := s.log
+		logf = func(format string, args ...any) {
+			log.Info(fmt.Sprintf(format, args...))
+		}
+	}
+	puller, err := repl.NewPuller(repl.PullerConfig{
+		Store:    s.store,
+		Client:   client,
+		PollWait: cfg.ReplPollWait,
+		OnApply:  s.applyReplicated,
+		Logf:     logf,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &followerState{
+		leaderURL:    strings.TrimSuffix(cfg.FollowLeader, "/"),
+		puller:       puller,
+		maxStaleness: maxStale,
+		cancel:       cancel,
+		done:         make(chan struct{}),
+	}
+	s.follower = f
+	go func() {
+		defer close(f.done)
+		err := puller.Run(ctx)
+		if s.log != nil && err != nil && !errors.Is(err, context.Canceled) {
+			s.log.Error("replication stopped", "leader", f.leaderURL, "error", err)
+		}
+	}()
+	return nil
+}
+
+// stopFollower tears the pull loop down (idempotent).
+func (s *Server) stopFollower() {
+	if s.follower == nil {
+		return
+	}
+	s.follower.cancel()
+	<-s.follower.done
+}
+
+// applyReplicated refreshes the serving catalog after a replicated chunk
+// commits: every changed instance gets a fresh engine (or is dropped),
+// exactly as a local Put/Delete would have installed it.
+func (s *Server) applyReplicated(res store.ApplyResult) {
+	if len(res.Changed) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range res.Changed {
+		if pi, ok := s.store.Get(name); ok {
+			s.engines[name] = s.newEngine(name, pi)
+		} else {
+			delete(s.engines, name)
+			s.version.Add(1)
+		}
+	}
+}
+
+// Follower reports whether this server runs as a read replica, and if
+// so of which leader.
+func (s *Server) Follower() (leaderURL string, ok bool) {
+	if s.follower == nil {
+		return "", false
+	}
+	return s.follower.leaderURL, true
+}
+
+// ReplStatus returns the follower's replication status (zero Status and
+// false on a leader).
+func (s *Server) ReplStatus() (repl.Status, bool) {
+	if s.follower == nil {
+		return repl.Status{}, false
+	}
+	return s.follower.puller.Status(), true
+}
+
+// redirectToLeader answers a write request on a follower with a 307 onto
+// the leader's equivalent URL (method- and body-preserving), reporting
+// whether it did. p is the original v1 path (handlers run behind
+// StripPrefix, so r.URL.Path has lost it).
+func (s *Server) redirectToLeader(w http.ResponseWriter, r *http.Request) bool {
+	if s.follower == nil {
+		return false
+	}
+	target := s.follower.leaderURL + apiv1.Prefix + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+	return true
+}
+
+// checkToken enforces the configured bearer token, answering 401 and
+// reporting false when the request must not proceed. With no token
+// configured everything passes.
+func (s *Server) checkToken(w http.ResponseWriter, r *http.Request) bool {
+	if s.adminToken == "" {
+		return true
+	}
+	const scheme = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) > len(scheme) && strings.EqualFold(auth[:len(scheme)], scheme) &&
+		subtle.ConstantTimeCompare([]byte(auth[len(scheme):]), []byte(s.adminToken)) == 1 {
+		return true
+	}
+	w.Header().Set("WWW-Authenticate", `Bearer realm="pxmld"`)
+	apiv1.WriteError(w, http.StatusUnauthorized, apiv1.CodeUnauthorized,
+		"this endpoint requires the server's bearer token (Authorization: Bearer ...)")
+	return false
+}
+
+// authAdmin gates the /v1/admin/* surface behind the bearer token when
+// one is configured. It wraps the whole v1 chain (before admission's
+// admin bypass) so no admin handler is reachable unauthenticated.
+func (s *Server) authAdmin(next http.Handler) http.Handler {
+	if s.adminToken == "" {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, apiv1.Prefix+"/admin/") && !s.checkToken(w, r) {
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReplStream serves GET /v1/repl/stream. It is mounted outside the
+// admission/inflight/deadline stack: a long-poll parked at the tail must
+// not burn an inflight slot or be killed by the request deadline.
+// Followers serve it too — their store streams exactly like a leader's,
+// so replicas can chain.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	if !s.checkToken(w, r) {
+		return
+	}
+	if s.store == nil {
+		apiv1.WriteError(w, http.StatusConflict, apiv1.CodeConflict,
+			"server has no durable store to replicate")
+		return
+	}
+	repl.ServeStream(w, r, s.store)
+}
+
+// handleReplBootstrap serves GET /v1/repl/bootstrap: a tar of a fresh
+// backup a new follower restores from.
+func (s *Server) handleReplBootstrap(w http.ResponseWriter, r *http.Request) {
+	if !s.checkToken(w, r) {
+		return
+	}
+	if s.store == nil {
+		apiv1.WriteError(w, http.StatusConflict, apiv1.CodeConflict,
+			"server has no durable store to replicate")
+		return
+	}
+	repl.ServeBootstrap(w, r, s.store)
+}
+
+// replMetrics is the "replication" section of /v1/metrics.
+type replMetrics struct {
+	Role          string  `json:"role"`
+	Leader        string  `json:"leader,omitempty"`
+	Pos           string  `json:"pos"`
+	LeaderEnd     string  `json:"leader_end,omitempty"`
+	LagBytes      int64   `json:"lag_bytes"`
+	StalenessS    float64 `json:"staleness_s"`
+	CaughtUp      bool    `json:"caught_up"`
+	Diverged      bool    `json:"diverged"`
+	Ready         bool    `json:"ready"`
+	LastStampUnix float64 `json:"last_stamp_unix,omitempty"`
+	LastErr       string  `json:"last_err,omitempty"`
+	Chunks        int64   `json:"chunks_applied"`
+	Bytes         int64   `json:"bytes_applied"`
+	Records       int64   `json:"records_applied"`
+	Reconnects    int64   `json:"reconnects"`
+}
+
+// replSection builds the metrics section and refreshes the exported
+// replication gauges (repl_lag_bytes, repl_staleness_ms, repl_diverged)
+// so the statsd stream carries them too. Returns nil on a server with
+// no store.
+func (s *Server) replSection() *replMetrics {
+	if s.store == nil {
+		return nil
+	}
+	if s.follower == nil {
+		return &replMetrics{Role: "leader", Pos: s.store.Pos().String(), CaughtUp: true, Ready: true}
+	}
+	st := s.follower.puller.Status()
+	staleness := st.Staleness(time.Now())
+	ready := s.follower.puller.Ready(s.follower.maxStaleness)
+	m := &replMetrics{
+		Role:       "follower",
+		Leader:     s.follower.leaderURL,
+		Pos:        st.Pos.String(),
+		LagBytes:   st.LagBytes,
+		CaughtUp:   st.CaughtUp,
+		Diverged:   st.Diverged,
+		Ready:      ready,
+		LastErr:    st.LastErr,
+		Chunks:     st.ChunksApplied,
+		Bytes:      st.BytesApplied,
+		Records:    st.RecordsApplied,
+		Reconnects: st.Reconnects,
+	}
+	if !st.LeaderEnd.IsZero() {
+		m.LeaderEnd = st.LeaderEnd.String()
+	}
+	if st.LastStampNanos > 0 {
+		m.LastStampUnix = float64(st.LastStampNanos) / 1e9
+	}
+	// Staleness saturates (diverged / never synced); report a sentinel
+	// rather than a 292-year float.
+	if staleness > 365*24*time.Hour {
+		m.StalenessS = -1
+	} else {
+		m.StalenessS = staleness.Seconds()
+	}
+	s.reg.Gauge("repl_lag_bytes").Set(st.LagBytes)
+	if m.StalenessS >= 0 {
+		s.reg.Gauge("repl_staleness_ms").Set(staleness.Milliseconds())
+	} else {
+		s.reg.Gauge("repl_staleness_ms").Set(-1)
+	}
+	var div int64
+	if st.Diverged {
+		div = 1
+	}
+	s.reg.Gauge("repl_diverged").Set(div)
+	return m
+}

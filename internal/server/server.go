@@ -73,6 +73,7 @@ import (
 	"pxml/internal/dot"
 	"pxml/internal/engine"
 	"pxml/internal/metrics"
+	"pxml/internal/repl"
 	"pxml/internal/rescache"
 	"pxml/internal/store"
 	"pxml/internal/telemetry"
@@ -123,6 +124,9 @@ type Server struct {
 	exp    *telemetry.Exporter   // statsd push loop; nil unless configured
 	expCfg telemetry.Config      // for the /v1/metrics telemetry section
 	report *store.RecoveryReport // crash-recovery report from Config.StoreDir
+
+	adminToken string         // bearer token over /v1/admin/* and /v1/repl/*; "" = open
+	follower   *followerState // replication machinery; nil unless Config.FollowLeader
 }
 
 // Config collects every construction-time knob in one validated place,
@@ -177,6 +181,29 @@ type Config struct {
 	StatsdInterval time.Duration
 	// StatsdPrefix namespaces exported metric names; "" = "pxmld".
 	StatsdPrefix string
+
+	// AdminToken, when non-empty, gates /v1/admin/* and /v1/repl/*
+	// behind "Authorization: Bearer <token>" (401 otherwise). The
+	// replication surface exposes the entire WAL, so set this on any
+	// leader reachable beyond its own replicas.
+	AdminToken string
+	// FollowLeader runs this server as a read replica of the leader at
+	// this base URL (e.g. "http://leader:8080"): the store opens in
+	// follower mode (local writes 307-route to the leader), a background
+	// puller replays the leader's WAL stream, and /readyz gates on
+	// replication staleness. Requires StoreDir.
+	FollowLeader string
+	// FollowToken is the bearer token presented to the leader's
+	// replication endpoints (matching the leader's AdminToken).
+	FollowToken string
+	// ReplMaxStaleness is how stale a follower may get before /readyz
+	// flips not-ready; 0 means 10s. Ignored unless FollowLeader is set.
+	ReplMaxStaleness time.Duration
+	// ReplPollWait is the long-poll duration the follower requests from
+	// the leader's stream (0 means 2s). A caught-up follower's freshness
+	// reading is only confirmed once per poll, so keep this comfortably
+	// below ReplMaxStaleness. Ignored unless FollowLeader is set.
+	ReplPollWait time.Duration
 }
 
 // New builds a server from cfg, applying defaults and validating the
@@ -185,6 +212,9 @@ type Config struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.StoreDir != "" && cfg.FilesDir != "" {
 		return nil, fmt.Errorf("server: StoreDir and FilesDir are mutually exclusive")
+	}
+	if cfg.FollowLeader != "" && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("server: FollowLeader requires StoreDir (the replica's WAL mirror)")
 	}
 	maxBody := cfg.MaxBody
 	if maxBody <= 0 {
@@ -248,11 +278,22 @@ func New(cfg Config) (*Server, error) {
 		s.exp = exp
 	}
 
+	s.adminToken = cfg.AdminToken
+
 	switch {
 	case cfg.StoreDir != "":
 		opts := cfg.StoreOptions
 		if opts.Registry == nil {
 			opts.Registry = s.reg
+		}
+		if cfg.FollowLeader != "" {
+			// A replica's WAL is a byte mirror of its leader's; the store
+			// rejects local writes and rotates only on the leader's cue.
+			opts.Follower = true
+		} else {
+			// Leaders stamp each group commit with wall-clock time so
+			// followers can report staleness, not just byte lag.
+			opts.Stamps = true
 		}
 		st, report, err := store.Open(cfg.StoreDir, opts)
 		if err != nil {
@@ -266,6 +307,13 @@ func New(cfg Config) (*Server, error) {
 	case cfg.FilesDir != "":
 		if err := s.loadFlatFiles(cfg.FilesDir); err != nil {
 			return nil, err
+		}
+	}
+
+	if cfg.FollowLeader != "" {
+		if err := s.startFollower(cfg); err != nil {
+			s.store.Close()
+			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
 
@@ -460,15 +508,17 @@ func (s *Server) Delete(name string) (bool, error) {
 	return ok, nil
 }
 
-// Close stops the telemetry flush loop (after one final flush) and
-// releases the persistence backend (flushing the WAL when the store is
-// in use). The catalog keeps serving from memory afterwards, but further
-// writes are no longer durable.
+// Close stops the telemetry flush loop (after one final flush), stops
+// the replication puller on a follower, and releases the persistence
+// backend (flushing the WAL when the store is in use). The catalog
+// keeps serving from memory afterwards, but further writes are no
+// longer durable.
 func (s *Server) Close() error {
 	if s.exp != nil {
 		s.exp.Stop()
 		s.exp = nil
 	}
+	s.stopFollower()
 	if s.store != nil {
 		return s.store.Close()
 	}
@@ -528,10 +578,16 @@ func (s *Server) Handler() http.Handler {
 	root := http.NewServeMux()
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	root.HandleFunc("GET /readyz", s.handleReadyz)
+	// Replication sits outside admission, the inflight limiter, and the
+	// request deadline: a follower long-polling the tail must not burn a
+	// serving slot or be cut off mid-poll. The bearer token (when
+	// configured) gates it instead.
+	root.HandleFunc("GET "+repl.StreamPath, route("repl_stream", s.handleReplStream))
+	root.HandleFunc("GET "+repl.BootstrapPath, route("repl_bootstrap", s.handleReplBootstrap))
 	// Admission sits in front of the global limiter: a tenant over its
 	// quota is rejected before it can occupy one of the shared slots.
 	root.Handle(apiv1.Prefix+"/",
-		s.admit(s.limitInflight(s.withDeadline(http.StripPrefix(apiv1.Prefix, api)))))
+		s.authAdmin(s.admit(s.limitInflight(s.withDeadline(http.StripPrefix(apiv1.Prefix, api))))))
 	root.HandleFunc("/", s.redirectLegacy)
 	return s.instrument(s.recoverPanics(root))
 }
@@ -710,6 +766,31 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if f := s.follower; f != nil {
+		st := f.puller.Status()
+		if st.Diverged {
+			// Sticky: a diverged replica must never serve spliced history;
+			// an operator re-bootstraps it.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "diverged",
+				"reason": st.LastErr,
+			})
+			return
+		}
+		if !f.puller.Ready(f.maxStaleness) {
+			stale := st.Staleness(time.Now()).Seconds()
+			if stale > (365 * 24 * time.Hour).Seconds() {
+				stale = -1 // never synced
+			}
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":      "replica_stale",
+				"staleness_s": stale,
+				"lag_bytes":   st.LagBytes,
+				"max_s":       f.maxStaleness.Seconds(),
+			})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
@@ -799,6 +880,7 @@ type metricsPayload struct {
 	Admission     *admission.Snapshot `json:"admission,omitempty"`
 	Telemetry     *telemetryStatus    `json:"telemetry,omitempty"`
 	Store         map[string]any      `json:"store,omitempty"`
+	Replication   *replMetrics        `json:"replication,omitempty"`
 	ResultCache   any                 `json:"result_cache"`
 	Instances     map[string]any      `json:"instances"`
 }
@@ -859,6 +941,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"health":    s.store.Health(),
 		}
 	}
+	payload.Replication = s.replSection()
 	writeJSON(w, http.StatusOK, payload)
 }
 
@@ -901,10 +984,16 @@ func (s *Server) handleQuotasPut(w http.ResponseWriter, r *http.Request) {
 
 // httpWriteError maps a persistence-write failure onto the envelope:
 // writes against a degraded (read-only) store are 503 — the condition is
-// the server's, not the request's — anything else stays a 500.
+// the server's, not the request's — a follower's read-only refusal is a
+// 409 (the handler normally 307s writes away before this can happen),
+// and anything else stays a 500.
 func httpWriteError(w http.ResponseWriter, err error) {
 	if errors.Is(err, store.ErrDegraded) {
 		apiv1.WriteErrorRetry(w, http.StatusServiceUnavailable, apiv1.CodeDegraded, err.Error(), time.Second)
+		return
+	}
+	if errors.Is(err, store.ErrFollowerReadOnly) {
+		httpError(w, http.StatusConflict, apiv1.CodeConflict, err)
 		return
 	}
 	httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, err)
@@ -933,6 +1022,9 @@ func httpDecodeError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	if s.redirectToLeader(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	// Read fully before decoding so an oversized body is always reported
 	// as 413 rather than as whatever parse error the truncation causes.
@@ -986,6 +1078,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.redirectToLeader(w, r) {
+		return
+	}
 	ok, err := s.Delete(r.PathValue("name"))
 	if err != nil {
 		httpWriteError(w, err)
@@ -1103,6 +1198,12 @@ type queryResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// A query that stores its result writes; on a follower it belongs on
+	// the leader. Plain queries serve locally — that is the point of a
+	// read replica.
+	if r.URL.Query().Get("store") != "" && s.redirectToLeader(w, r) {
+		return
+	}
 	eng, ok := s.Engine(r.PathValue("name"))
 	if !ok {
 		httpError(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))

@@ -95,6 +95,17 @@ type Options struct {
 	// ArchiveRetention caps how many archived segments are kept; once
 	// exceeded, the oldest are deleted. 0 keeps everything.
 	ArchiveRetention int
+	// Stamps makes the committer write a wall-clock stamp frame ahead of
+	// each group commit even when ArchiveDir is unset. Replication
+	// leaders enable this so followers can measure wall-clock staleness
+	// from the stream itself; archiving stores stamp regardless.
+	Stamps bool
+	// Follower puts the store in replica mode: local Put/Delete are
+	// rejected (the WAL is a verbatim copy of a leader's, advanced only
+	// by ReplApply, so a local mutation would fork the timeline) and
+	// compaction snapshots without rotating (segment numbering must stay
+	// the leader's; see follower.go).
+	Follower bool
 	// ScrubInterval, when positive, re-reads one at-rest file (the
 	// snapshot or a sealed segment) on this cadence, verifying every
 	// frame CRC. A mismatch degrades the store: what fsync acknowledged
@@ -261,6 +272,14 @@ type Store struct {
 	done     chan struct{}
 	kick     chan struct{}
 	archKick chan struct{}
+
+	// commitSignal is closed and replaced whenever the WAL position
+	// advances; CommitSignal hands it to long-polling stream readers.
+	commitSignal chan struct{}
+
+	// lastReplStamp is the newest stamp applied via ReplApply (follower
+	// mode only), in unix nanoseconds.
+	lastReplStamp int64
 }
 
 // commitReq is one mutation waiting for its group commit. The payload is
@@ -336,6 +355,8 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		done:       make(chan struct{}),
 		kick:       make(chan struct{}, 1),
 		archKick:   make(chan struct{}, 1),
+
+		commitSignal: make(chan struct{}),
 	}
 	s.backupsDone = sync.NewCond(&s.mu)
 	if reg := opts.Registry; reg != nil {
@@ -453,6 +474,9 @@ func (s *Store) Put(name string, pi *core.ProbInstance) error {
 	if pi == nil {
 		return fmt.Errorf("store: nil instance %q", name)
 	}
+	if s.opts.Follower {
+		return fmt.Errorf("%w: put %q", ErrFollowerReadOnly, name)
+	}
 	req := commitReqPool.Get().(*commitReq)
 	req.op, req.name, req.inst = opPut, name, pi
 	req.payload = appendPutRecord(req.payload[:0], name, pi)
@@ -463,6 +487,9 @@ func (s *Store) Put(name string, pi *core.ProbInstance) error {
 // path as Put. Deleting an absent name is a no-op (and writes nothing).
 // A degraded store rejects Delete with an error matching ErrDegraded.
 func (s *Store) Delete(name string) error {
+	if s.opts.Follower {
+		return fmt.Errorf("%w: delete %q", ErrFollowerReadOnly, name)
+	}
 	s.mu.RLock()
 	if s.degraded {
 		err := s.degradedErrLocked()
@@ -633,10 +660,12 @@ collect:
 // — recovery on the next open truncates whatever tail actually landed.
 func (s *Store) commitGroup(batch []*commitReq) {
 	buf := s.commitBuf[:0]
-	if s.opts.ArchiveDir != "" {
+	if s.opts.ArchiveDir != "" || s.opts.Stamps {
 		// One wall-clock stamp ahead of each batch gives archived
-		// segments the timeline point-in-time restore cuts on. Only
-		// archiving stores pay for it; replay ignores the marker.
+		// segments the timeline point-in-time restore cuts on, and gives
+		// replication followers the wall-clock trail staleness is
+		// measured against. Only archiving or stamping stores pay for
+		// it; replay ignores the marker.
 		s.stampBuf = appendStampRecord(s.stampBuf[:0], time.Now().UnixNano())
 		buf = appendFrame(buf, s.stampBuf)
 	}
@@ -696,6 +725,7 @@ func (s *Store) commitLocked(frames []byte, batch []*commitReq) error {
 			delete(s.instances, r.name)
 		}
 	}
+	s.signalCommitLocked()
 	if s.opts.SegmentSize > 0 && s.walBytes >= s.opts.SegmentSize {
 		if err := s.rotateLocked(); err != nil {
 			// The batch is already durable in the (oversized) active
@@ -714,11 +744,19 @@ func (s *Store) commitLocked(frames []byte, batch []*commitReq) error {
 // that invariant is what lets backup, archive, and scrub read sealed
 // segments without coordination. On any failure the store keeps writing
 // to the old active segment, exactly as before. Callers hold s.mu.
-func (s *Store) rotateLocked() error {
+func (s *Store) rotateLocked() error { return s.rotateToLocked(s.seg + 1) }
+
+// rotateToLocked is rotateLocked with an explicit successor number:
+// follower apply uses it to mirror the leader's segment numbering,
+// including the gaps a restore leaves. next must exceed the active
+// segment's number.
+func (s *Store) rotateToLocked(next uint64) error {
+	if next <= s.seg {
+		return fmt.Errorf("rotate to segment %d: not past active segment %d", next, s.seg)
+	}
 	if err := s.syncLocked(); err != nil {
 		return err
 	}
-	next := s.seg + 1
 	nf, err := s.fs.OpenAppend(s.path(segmentFile(next)))
 	if err != nil {
 		return fmt.Errorf("open segment %d: %w", next, err)
@@ -838,7 +876,12 @@ func (s *Store) Compact() error {
 	// and segments left undeleted merely replay over the fresh snapshot
 	// (idempotently) on the next open. The background loop retries with
 	// backoff and degrades only when the errors persist.
-	if s.walBytes > 0 {
+	// A follower never rotates on its own: segment boundaries must mirror
+	// the leader's (ReplApply rotates on the leader's cue). Its snapshot
+	// supersedes the sealed segments only; the active segment replays
+	// over the snapshot on the next open, which is idempotent because
+	// records carry full instance values.
+	if s.walBytes > 0 && !s.opts.Follower {
 		// Seal the active segment so the snapshot supersedes whole
 		// segments only; a failed rotation leaves the store exactly as it
 		// was.

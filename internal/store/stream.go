@@ -1,0 +1,243 @@
+package store
+
+// WAL streaming for replication. A leader serves its log to followers as
+// raw CRC-framed segment bytes addressed by Pos: sealed segments are
+// immutable and can be read without coordination, and the active segment
+// is safe to read up to the committed append offset — commitLocked only
+// ever advances walBytes after the bytes are fully written, so a reader
+// that cuts at the committed offset never observes a torn frame even
+// while writers keep appending. Because segment numbers are never reused
+// and a restore leaves a permanent gap in the numbering (see backup.go),
+// a follower position that falls into such a gap — or names bytes the
+// leader never wrote — is proof the follower's history is not a prefix
+// of this leader's; ReadStream reports that as ErrTimelineDiverged
+// rather than serving spliced history.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTimelineDiverged marks a stream request whose position does not lie
+// on this store's timeline: the segment number falls in a restore gap,
+// names history older than what the store retains, or points past bytes
+// the store ever committed. A follower getting this error cannot catch
+// up by replaying — it must re-bootstrap from a fresh backup. Match with
+// errors.Is.
+var ErrTimelineDiverged = errors.New("store: timeline diverged")
+
+// DefaultStreamChunk bounds one ReadStream chunk when the caller passes
+// maxBytes <= 0.
+const DefaultStreamChunk = 1 << 20
+
+// StreamChunk is one ReadStream result: raw CRC-framed WAL bytes
+// starting at From, with Next the position the reader should resume
+// from. From is the requested position normalized past any rotation
+// boundary — if the request sat exactly at a sealed segment's end, From
+// names the next existing segment at offset 0 (skipping any restore
+// gap), which is the follower's cue to rotate before applying Data. A
+// chunk never spans a segment boundary; when it ends exactly at a
+// sealed segment's end, Next likewise names the successor segment's
+// start. An empty Data with Next == From means the reader is caught up
+// with End, the store's committed position at read time.
+type StreamChunk struct {
+	From Pos
+	Next Pos
+	End  Pos
+	// LagBytes is how many committed WAL bytes remain at or after Next —
+	// the exact byte lag of a follower that has applied through Next.
+	LagBytes int64
+	Data     []byte
+}
+
+// streamView is an immutable snapshot of the segment layout, taken under
+// s.mu and used for validation after the lock is dropped.
+type streamView struct {
+	sealed []segInfo
+	seg    uint64
+	off    int64
+}
+
+func (s *Store) streamViewLocked() streamView {
+	v := streamView{seg: s.seg, off: s.walBytes}
+	v.sealed = append(v.sealed, s.sealed...)
+	return v
+}
+
+// lagFrom sums the committed bytes at or after p. p must have been
+// validated against the view.
+func (v streamView) lagFrom(p Pos) int64 {
+	var lag int64
+	for _, si := range v.sealed {
+		if si.n > p.Seg {
+			lag += si.size
+		} else if si.n == p.Seg {
+			lag += si.size - p.Off
+		}
+	}
+	if p.Seg == v.seg {
+		lag += v.off - p.Off
+	} else if p.Seg < v.seg {
+		lag += v.off
+	}
+	return lag
+}
+
+// ReadStream returns committed WAL bytes starting at from, up to
+// maxBytes (cut on a frame boundary; maxBytes <= 0 means
+// DefaultStreamChunk). A from at the committed position returns an empty
+// chunk — callers long-polling for the tail should wait on CommitSignal
+// and retry. A from that does not lie on this store's timeline returns
+// ErrTimelineDiverged; a from naming a segment that has been compacted
+// away returns ErrTimelineDiverged too (the follower is too far behind
+// the retained history and must re-bootstrap). from.Seg == 0 is invalid.
+func (s *Store) ReadStream(from Pos, maxBytes int) (StreamChunk, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultStreamChunk
+	}
+	if from.Seg == 0 {
+		return StreamChunk{}, fmt.Errorf("%w: position %s has no segment", ErrTimelineDiverged, from)
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return StreamChunk{}, fmt.Errorf("store: closed")
+	}
+	view := s.streamViewLocked()
+	s.mu.RUnlock()
+
+	start, err := view.resolve(from)
+	if err != nil {
+		return StreamChunk{}, err
+	}
+	end := Pos{Seg: view.seg, Off: view.off}
+	chunk := StreamChunk{From: start, Next: start, End: end}
+	if start == end {
+		// Caught up. From/Next carry the normalized position: if the
+		// request sat exactly on a sealed segment's end they already name
+		// the successor segment's start, which is the follower's cue to
+		// rotate even though no bytes rode along.
+		return chunk, nil
+	}
+
+	// Serve from start's segment: a sealed one in full (up to maxBytes),
+	// or the active one cut at the committed offset.
+	var segEnd int64
+	sealedSeg := start.Seg != view.seg
+	if sealedSeg {
+		segEnd = view.sealedSize(start.Seg)
+	} else {
+		segEnd = view.off
+	}
+	data, err := s.fs.ReadFile(s.path(segmentFile(start.Seg)))
+	if err != nil {
+		// The segment can vanish between the snapshot and the read if a
+		// compaction slipped in; the caller retries and the revalidation
+		// then reports trimmed history as divergence.
+		return StreamChunk{}, fmt.Errorf("store: stream read segment %d: %w", start.Seg, err)
+	}
+	if int64(len(data)) < segEnd {
+		return StreamChunk{}, fmt.Errorf("store: stream segment %d short (%d bytes, want %d)", start.Seg, len(data), segEnd)
+	}
+	data = data[start.Off:segEnd]
+	if len(data) > maxBytes {
+		if cut := frameBoundaryAtOrBefore(data, int64(maxBytes)); cut > 0 {
+			data = data[:cut]
+		} else {
+			// A single frame larger than maxBytes still ships whole.
+			_, size, ferr := parseFrame(data)
+			if ferr != nil {
+				return StreamChunk{}, fmt.Errorf("store: stream frame at %s: %w", start, ferr)
+			}
+			data = data[:size]
+		}
+	}
+	chunk.Data = data
+	next := Pos{Seg: start.Seg, Off: start.Off + int64(len(data))}
+	if sealedSeg && next.Off == segEnd {
+		// Finished a sealed segment: resume at the next existing one.
+		next = Pos{Seg: view.nextSegment(start.Seg), Off: 0}
+	}
+	chunk.Next = next
+	chunk.LagBytes = view.lagFrom(next)
+	return chunk, nil
+}
+
+// resolve validates from against the view and normalizes end-of-segment
+// positions forward to the next segment's start. It returns the position
+// streaming should proceed from, or ErrTimelineDiverged.
+func (v streamView) resolve(from Pos) (Pos, error) {
+	for {
+		if from.Seg == v.seg {
+			if from.Off > v.off {
+				return Pos{}, fmt.Errorf("%w: position %s is past the committed position %d:%d",
+					ErrTimelineDiverged, from, v.seg, v.off)
+			}
+			return from, nil
+		}
+		if from.Seg > v.seg {
+			return Pos{}, fmt.Errorf("%w: position %s is past the active segment %d",
+				ErrTimelineDiverged, from, v.seg)
+		}
+		sz, ok := v.sealedLookup(from.Seg)
+		if !ok {
+			if len(v.sealed) == 0 || from.Seg < v.sealed[0].n {
+				return Pos{}, fmt.Errorf("%w: segment %d is older than the retained history (re-bootstrap required)",
+					ErrTimelineDiverged, from.Seg)
+			}
+			return Pos{}, fmt.Errorf("%w: segment %d falls in a timeline gap left by a restore",
+				ErrTimelineDiverged, from.Seg)
+		}
+		if from.Off > sz {
+			return Pos{}, fmt.Errorf("%w: position %s is past sealed segment %d's end (%d bytes)",
+				ErrTimelineDiverged, from, from.Seg, sz)
+		}
+		if from.Off < sz {
+			return from, nil
+		}
+		// Exactly at the sealed end — the rotation boundary. Resume at the
+		// next existing segment (skipping any restore gap).
+		from = Pos{Seg: v.nextSegment(from.Seg), Off: 0}
+	}
+}
+
+func (v streamView) sealedLookup(n uint64) (int64, bool) {
+	for _, si := range v.sealed {
+		if si.n == n {
+			return si.size, true
+		}
+	}
+	return 0, false
+}
+
+func (v streamView) sealedSize(n uint64) int64 {
+	sz, _ := v.sealedLookup(n)
+	return sz
+}
+
+// nextSegment returns the lowest existing segment number greater than n
+// (sealed or active). Sealed is ascending; the active segment is always
+// the highest.
+func (v streamView) nextSegment(n uint64) uint64 {
+	for _, si := range v.sealed {
+		if si.n > n {
+			return si.n
+		}
+	}
+	return v.seg
+}
+
+// CommitSignal returns a channel closed the next time the store's
+// position advances (a group commit lands). Long-polling stream readers
+// wait on it after an empty ReadStream instead of spinning.
+func (s *Store) CommitSignal() <-chan struct{} {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commitSignal
+}
+
+// signalCommitLocked wakes CommitSignal waiters. Callers hold s.mu.
+func (s *Store) signalCommitLocked() {
+	close(s.commitSignal)
+	s.commitSignal = make(chan struct{})
+}

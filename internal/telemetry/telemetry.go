@@ -6,7 +6,7 @@
 // drops the payload on any error, and retries the connection on the
 // next tick.
 //
-// Wire format is the classic StatsD line protocol:
+// Over UDP the wire format is the classic StatsD line protocol:
 //
 //	pxmld.http_requests:12|c        counters (delta since last flush)
 //	pxmld.http_inflight:3|g         gauges (current level)
@@ -16,6 +16,16 @@
 // timers flatten to .count/.mean_ms/.p50_ms/.p95_ms/.p99_ms/.max_ms
 // gauges, which is how percentile sketches travel over plain StatsD
 // without a histogram extension.
+//
+// Over TCP (Network "tcp") the exporter instead speaks the Graphite
+// plaintext protocol — "name value unix_ts\n" — and batches the whole
+// registry, timer percentiles included, into one buffer written with a
+// single conn.Write per flush. Large registries (hundreds of
+// per-endpoint and per-shape timers) would otherwise fragment into many
+// MTU-sized packets and many small writes; one buffered write keeps the
+// flush O(1) syscalls and lets the sink ingest the batch atomically.
+// Counters are sent cumulative on TCP, the Graphite convention (derive
+// rates at query time with nonNegativeDerivative).
 package telemetry
 
 import (
@@ -59,6 +69,9 @@ type Config struct {
 	// Logger, when set, records connection transitions (never per-flush
 	// chatter).
 	Logger *slog.Logger
+
+	// nowUnix stubs the Graphite line timestamp in tests.
+	nowUnix func() int64
 }
 
 // Exporter owns the flush loop. Create with New, start with Start, stop
@@ -107,6 +120,9 @@ func New(cfg Config) (*Exporter, error) {
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.nowUnix == nil {
+		cfg.nowUnix = func() int64 { return time.Now().Unix() }
 	}
 	return &Exporter{
 		cfg:     cfg,
@@ -161,9 +177,21 @@ func (e *Exporter) Flush() {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	lines := e.collect()
-	if len(lines) == 0 {
-		return
+	var packets [][]byte
+	if e.cfg.Network == "tcp" {
+		// One Graphite plaintext batch, one write: large registries flush
+		// in a single syscall instead of one write per MTU-sized packet.
+		payload := e.collectGraphite(e.cfg.nowUnix())
+		if len(payload) == 0 {
+			return
+		}
+		packets = [][]byte{payload}
+	} else {
+		lines := e.collect()
+		if len(lines) == 0 {
+			return
+		}
+		packets = packLines(lines, e.payloadLimit())
 	}
 	if e.conn == nil {
 		conn, err := e.dial()
@@ -174,7 +202,7 @@ func (e *Exporter) Flush() {
 		e.conn = conn
 	}
 	sent := 0
-	for _, packet := range packLines(lines, e.payloadLimit()) {
+	for _, packet := range packets {
 		n, err := e.conn.Write(packet)
 		if err != nil {
 			e.conn.Close()
@@ -271,6 +299,59 @@ func (e *Exporter) collect() []string {
 	})
 	sort.Strings(lines)
 	return lines
+}
+
+// collectGraphite renders the whole registry as one Graphite plaintext
+// batch: "prefix.name value ts\n" per metric, sorted by name (caller
+// holds e.mu). Counters are cumulative — the Graphite convention —
+// which also makes the batch idempotent: a retried flush after a
+// dropped one loses no counts.
+func (e *Exporter) collectGraphite(ts int64) []byte {
+	var lines []string
+	reg := e.cfg.Registry
+	stamp := strconv.FormatInt(ts, 10)
+	add := func(name, value string) {
+		lines = append(lines, e.cfg.Prefix+"."+sanitize(name)+" "+value+" "+stamp)
+	}
+	reg.EachCounter(func(name string, v int64) {
+		add(name, strconv.FormatInt(v, 10))
+	})
+	reg.EachGauge(func(name string, v int64) {
+		add(name, strconv.FormatInt(v, 10))
+	})
+	reg.EachTimer(func(name string, t *metrics.Timer) {
+		s := t.Snapshot()
+		if s.Count == 0 {
+			return
+		}
+		add(name+".count", strconv.FormatInt(s.Count, 10))
+		add(name+".mean_ms", formatFloat(s.MeanMS))
+		add(name+".p50_ms", formatFloat(s.P50MS))
+		add(name+".p95_ms", formatFloat(s.P95MS))
+		add(name+".p99_ms", formatFloat(s.P99MS))
+		add(name+".max_ms", formatFloat(s.MaxMS))
+	})
+	reg.EachIntHistogram(func(name string, h *metrics.IntHistogram) {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			return
+		}
+		add(name+".count", strconv.FormatInt(s.Count, 10))
+		add(name+".mean", formatFloat(s.Mean))
+		add(name+".max", strconv.FormatInt(s.Max, 10))
+	})
+	if len(lines) == 0 {
+		return nil
+	}
+	sort.Strings(lines)
+	// One buffer, newline-terminated lines (Graphite requires the
+	// trailing newline on the last line too).
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
 }
 
 func (e *Exporter) line(name, value, kind string) string {

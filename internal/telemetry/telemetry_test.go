@@ -294,3 +294,90 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("New accepted unsupported network")
 	}
 }
+
+func TestGraphiteTCPBatchesOneWrite(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sink := &memConn{}
+	e, err := New(Config{
+		Addr:     "sink:2003",
+		Network:  "tcp",
+		Registry: reg,
+		Dial:     func(string, string) (net.Conn, error) { return sink, nil },
+		Interval: time.Hour,
+		nowUnix:  func() int64 { return 1754600000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg.Counter("http_requests").Add(5)
+	reg.Gauge("http_inflight").Set(2)
+	reg.Timer("http_latency.query").Observe(10 * time.Millisecond)
+	e.Flush()
+
+	// The whole registry ships as ONE write — a single plaintext batch,
+	// not one packet per MTU.
+	if len(sink.chunks) != 1 {
+		t.Fatalf("tcp flush made %d writes, want 1", len(sink.chunks))
+	}
+	payload := string(sink.chunks[0])
+	if !strings.HasSuffix(payload, "\n") {
+		t.Error("Graphite batch must end with a trailing newline")
+	}
+	for _, want := range []string{
+		"pxmld.http_requests 5 1754600000\n",
+		"pxmld.http_inflight 2 1754600000\n",
+		"pxmld.http_latency.query.count 1 1754600000\n",
+	} {
+		if !strings.Contains(payload, want) {
+			t.Errorf("batch missing %q in:\n%s", want, payload)
+		}
+	}
+	if strings.Contains(payload, "|c") || strings.Contains(payload, "|g") || strings.Contains(payload, ":") {
+		t.Errorf("tcp batch leaked statsd framing:\n%s", payload)
+	}
+	lines := strings.Split(strings.TrimSuffix(payload, "\n"), "\n")
+	for i, l := range lines {
+		if got := len(strings.Fields(l)); got != 3 {
+			t.Errorf("line %q has %d fields, want 3 (name value timestamp)", l, got)
+		}
+		if i > 0 && lines[i-1] > l {
+			t.Errorf("batch not sorted: %q before %q", lines[i-1], l)
+		}
+	}
+
+	// Graphite carries cumulative counters, not statsd deltas: after
+	// another increment the next batch reports the running total.
+	sink.chunks = nil
+	reg.Counter("http_requests").Add(3)
+	e.Flush()
+	if len(sink.chunks) != 1 {
+		t.Fatalf("second tcp flush made %d writes, want 1", len(sink.chunks))
+	}
+	if got := string(sink.chunks[0]); !strings.Contains(got, "pxmld.http_requests 8 1754600000\n") {
+		t.Errorf("second batch should carry cumulative 8, got:\n%s", got)
+	}
+
+	// A fresh registry is never empty — the exporter self-observes — and
+	// Graphite counters ship cumulatively even at zero, so the batch
+	// carries the exporter's own health metrics from the first flush.
+	fresh, err := New(Config{
+		Addr:     "sink:2003",
+		Network:  "tcp",
+		Registry: metrics.NewRegistry(),
+		Dial:     func(string, string) (net.Conn, error) { return sink, nil },
+		Interval: time.Hour,
+		nowUnix:  func() int64 { return 1754600000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.chunks = nil
+	fresh.Flush()
+	if len(sink.chunks) != 1 {
+		t.Fatalf("fresh registry flush made %d writes, want 1", len(sink.chunks))
+	}
+	if got := string(sink.chunks[0]); !strings.Contains(got, "pxmld.telemetry_flushes 0 1754600000\n") {
+		t.Errorf("fresh batch should carry the exporter's own counters at zero, got:\n%s", got)
+	}
+}
