@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke telemetry-smoke repl-smoke vet staticcheck cover clean
+.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke telemetry-smoke repl-smoke failover-smoke vet staticcheck cover clean
 
 all: check
 
@@ -99,6 +99,15 @@ telemetry-smoke:
 # gaps, torn tails), all under the race detector.
 repl-smoke:
 	$(GO) test -race -run 'TestRepl|TestStream|TestFollower' -v ./internal/server ./internal/store
+
+# Failover smoke: the full leader-kill/promote/fence cycle under the
+# race detector — chaos failover with a writer storm across the epoch
+# flip, monitor-driven auto-promotion, promote/demote endpoint
+# validation, epoch-param fencing of a stale leader, and the
+# store-level EPOCH persistence/fencing suite plus the fake-clock
+# failover-monitor tests.
+failover-smoke:
+	$(GO) test -race -short -run 'TestFailover|TestPromote|TestDemote|TestFollowerEpoch|TestFence|TestEpoch|TestMonitor' -v ./internal/server ./internal/store ./internal/repl
 
 # Quick fuzz smoke for CI: a few seconds per fuzzer, catching gross
 # decoder/parser regressions without the cost of a long campaign.

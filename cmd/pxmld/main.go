@@ -44,6 +44,8 @@
 //	POST   /v1/admin/backup
 //	POST   /v1/admin/scrub
 //	GET    /v1/admin/quotas, PUT /v1/admin/quotas
+//	POST   /v1/admin/promote, POST /v1/admin/demote
+//	GET    /v1/repl/stream, GET /v1/repl/bootstrap, GET /v1/repl/epoch
 //	GET    /healthz
 //	GET    /readyz
 //
@@ -65,6 +67,16 @@
 // directory; clients then request backups by name and the daemon places
 // them in subdirectories of that root, so the HTTP API never accepts
 // arbitrary server-side filesystem paths.
+//
+// Replication and failover: -follow runs the daemon as a read replica
+// that bootstraps from and then tails the leader's WAL, redirecting
+// writes there (see docs/API.md). POST /v1/admin/promote flips a
+// follower into a leader under a new, durably persisted epoch; the
+// superseded leader fences itself read-only (learning of the new era
+// via demote notification, peer probes over -peers, or the epoch its
+// followers echo on every pull) and redirects writers to the successor
+// named by -advertise-url. -failover-priority arms automatic
+// promotion after a leader-silence window (-failover-silence).
 //
 // Each instance is served through a query engine that caches its derived
 // structures across queries; GET /metrics exposes per-instance query and
@@ -168,6 +180,10 @@ func main() {
 	followLeader := flag.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8080); requires -data")
 	followToken := flag.String("follow-token", "", "bearer token for the leader's replication endpoints (default: the -admin-token value)")
 	replMaxStaleness := flag.Duration("repl-max-staleness", 0, "follower readiness threshold: /readyz answers 503 once replicated data is staler than this (0 = default 10s)")
+	advertiseURL := flag.String("advertise-url", "", "base URL peers should use to reach this node (redirect targets and demote notifications after failover)")
+	peersFlag := flag.String("peers", "", "comma-separated base URLs of the other cluster nodes; a leader probes them for higher epochs at startup and on a timer (split-brain guard)")
+	failoverPriority := flag.Int("failover-priority", 0, "auto-promote this follower after the leader is silent for priority x failover-silence (0 = manual promotion only; requires -follow)")
+	failoverSilence := flag.Duration("failover-silence", 0, "one leader-silence window for the failover monitor (0 = default 15s)")
 	var quotaSpecs loadFlags
 	flag.Var(&quotaSpecs, "quota", "per-instance admission quota: name=rate:burst[:weight] (repeatable)")
 	var loads loadFlags
@@ -194,6 +210,16 @@ func main() {
 		FollowLeader:     *followLeader,
 		FollowToken:      *followToken,
 		ReplMaxStaleness: *replMaxStaleness,
+		AdvertiseURL:     *advertiseURL,
+		FailoverPriority: *failoverPriority,
+		FailoverSilence:  *failoverSilence,
+	}
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
 	}
 	if !*quiet {
 		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))

@@ -34,6 +34,8 @@ const (
 	CodeNotFound         = "not_found"         // 404: unknown instance
 	CodeConflict         = "conflict"          // 409: operation impossible in this server mode
 	CodeTimelineDiverged = "timeline_diverged" // 409: replication position off this server's WAL timeline
+	CodeEpochFenced      = "epoch_fenced"      // 409: node superseded by a higher leader epoch (writes fenced)
+	CodeNotFollower      = "not_follower"      // 409: promotion asked of a node that is not a follower
 	CodeBodyTooLarge     = "body_too_large"    // 413: request body over the configured limit
 	CodeInvalidInstance  = "invalid_instance"  // 422: instance failed validation
 	CodeStatementFailed  = "statement_failed"  // 422: pxql statement rejected or failed

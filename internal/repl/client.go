@@ -32,6 +32,35 @@ var ErrDiverged = errors.New("repl: timeline diverged from leader")
 // with errors.Is.
 var ErrUnauthorized = errors.New("repl: leader rejected credentials")
 
+// fencedError is a 409 epoch_fenced response: the node answering the
+// stream has been superseded by a higher leader epoch. It matches
+// store.ErrEpochFenced via errors.Is and carries the successor leader's
+// URL when the fenced node named one (X-Pxml-Repl-Leader).
+type fencedError struct {
+	msg    string
+	leader string
+}
+
+func (e *fencedError) Error() string {
+	if e.leader != "" {
+		return fmt.Sprintf("repl: %s (new leader %s)", e.msg, e.leader)
+	}
+	return "repl: " + e.msg
+}
+
+func (e *fencedError) Is(target error) bool { return target == store.ErrEpochFenced }
+
+// FencedLeader extracts the successor leader URL from an epoch_fenced
+// error chain ("" when the fenced node did not name one, or err is not
+// a fencing error).
+func FencedLeader(err error) string {
+	var fe *fencedError
+	if errors.As(err, &fe) {
+		return fe.leader
+	}
+	return ""
+}
+
 // Client talks to one leader.
 type Client struct {
 	// BaseURL is the leader's root URL, e.g. "http://10.0.0.1:8080".
@@ -65,6 +94,9 @@ type Chunk struct {
 	Data []byte
 	// CaughtUp is true when the long poll expired with nothing new.
 	CaughtUp bool
+	// Epoch is the leader epoch the response was served under (0 when
+	// the leader predates the epoch protocol).
+	Epoch uint64
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -101,19 +133,26 @@ func apiError(resp *http.Response) error {
 		return fmt.Errorf("%w: %s", ErrDiverged, e.Message)
 	case apiv1.CodeUnauthorized:
 		return fmt.Errorf("%w: %s", ErrUnauthorized, e.Message)
+	case apiv1.CodeEpochFenced:
+		return &fencedError{msg: e.Message, leader: resp.Header.Get(HeaderLeader)}
 	}
 	return e
 }
 
 // Stream fetches one chunk of WAL starting at from, long-polling on the
 // leader for up to wait when caught up (0 means the leader's default).
-func (c *Client) Stream(ctx context.Context, from store.Pos, maxBytes int, wait time.Duration) (Chunk, error) {
+// epoch, when non-zero, is the follower's highest-seen leader epoch; a
+// leader superseded by it fences itself and answers 409 epoch_fenced.
+func (c *Client) Stream(ctx context.Context, from store.Pos, maxBytes int, wait time.Duration, epoch uint64) (Chunk, error) {
 	q := url.Values{ParamFrom: {from.String()}}
 	if maxBytes > 0 {
 		q.Set(ParamMaxBytes, strconv.Itoa(maxBytes))
 	}
 	if wait > 0 {
 		q.Set(ParamWaitMS, strconv.FormatInt(int64(wait/time.Millisecond), 10))
+	}
+	if epoch > 0 {
+		q.Set(ParamEpoch, strconv.FormatUint(epoch, 10))
 	}
 	resp, err := c.get(ctx, StreamPath, q)
 	if err != nil {
@@ -138,6 +177,11 @@ func (c *Client) Stream(ctx context.Context, from store.Pos, maxBytes int, wait 
 	if v := resp.Header.Get(HeaderLag); v != "" {
 		if chunk.LagBytes, err = strconv.ParseInt(v, 10, 64); err != nil {
 			return Chunk{}, fmt.Errorf("repl: stream: bad %s header: %q", HeaderLag, v)
+		}
+	}
+	if v := resp.Header.Get(HeaderEpoch); v != "" {
+		if chunk.Epoch, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return Chunk{}, fmt.Errorf("repl: stream: bad %s header: %q", HeaderEpoch, v)
 		}
 	}
 	if resp.StatusCode == http.StatusOK {

@@ -1,0 +1,214 @@
+package repl
+
+// Failover monitor suite under a fake clock: the silence window scales
+// with priority, leader contact resets the clock, a diverged follower
+// never promotes, failed promotions retry, and cancellation wins.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startMonitor runs a monitor against p with the fake clock and a fast
+// real ticker, returning the cancel func and Run's result channel. It
+// only returns once Run has captured its start time — Run's first now()
+// call — so tests can advance the fake clock without racing startup
+// (an advance before start capture would push start past LastContact
+// and silence would never accrue).
+func startMonitor(t *testing.T, p *Puller, clock *fakeClock, priority int, silence time.Duration, promote func(context.Context) error) (context.CancelFunc, chan error) {
+	t.Helper()
+	started := make(chan struct{})
+	var once sync.Once
+	m, err := NewMonitor(MonitorConfig{
+		Puller:   p,
+		Priority: priority,
+		Silence:  silence,
+		Promote:  promote,
+		now: func() time.Time {
+			once.Do(func() { close(started) })
+			return clock.Now()
+		},
+		tick: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Run(ctx) }()
+	t.Cleanup(cancel)
+	<-started
+	return cancel, done
+}
+
+// settle gives the real ticker a few cycles to observe the fake clock.
+func settle() { time.Sleep(30 * time.Millisecond) }
+
+func TestMonitorPromotesAfterSilenceWindow(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+	p.noteExchange(Chunk{}, clock.Now(), true) // leader was alive at start
+
+	var promoted atomic.Int32
+	_, done := startMonitor(t, p, clock, 1, time.Minute, func(context.Context) error {
+		promoted.Add(1)
+		return nil
+	})
+
+	// Just short of the window: no action.
+	clock.Advance(time.Minute - time.Second)
+	settle()
+	if promoted.Load() != 0 {
+		t.Fatal("monitor promoted before the silence window elapsed")
+	}
+	// Past the window: promote, then Run exits nil.
+	clock.Advance(2 * time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run after successful promotion = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("monitor did not promote after the silence window")
+	}
+	if promoted.Load() != 1 {
+		t.Fatalf("promotions = %d, want 1", promoted.Load())
+	}
+}
+
+func TestMonitorPriorityStaggersWindow(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+	p.noteExchange(Chunk{}, clock.Now(), true)
+
+	var promoted atomic.Int32
+	_, done := startMonitor(t, p, clock, 3, time.Minute, func(context.Context) error {
+		promoted.Add(1)
+		return nil
+	})
+
+	// One window of silence would trip priority 1; priority 3 waits
+	// three full windows so the higher-priority candidates get to act
+	// first.
+	clock.Advance(2*time.Minute + 30*time.Second)
+	settle()
+	if promoted.Load() != 0 {
+		t.Fatal("priority-3 monitor promoted before 3 windows of silence")
+	}
+	clock.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("priority-3 monitor never promoted")
+	}
+}
+
+func TestMonitorContactResetsSilenceClock(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+	p.noteExchange(Chunk{}, clock.Now(), true)
+
+	var promoted atomic.Int32
+	_, done := startMonitor(t, p, clock, 1, time.Minute, func(context.Context) error {
+		promoted.Add(1)
+		return nil
+	})
+
+	// The leader keeps talking just inside the window; the monitor must
+	// never fire.
+	for i := 0; i < 4; i++ {
+		clock.Advance(45 * time.Second)
+		p.noteExchange(Chunk{}, clock.Now(), true)
+		settle()
+	}
+	if promoted.Load() != 0 {
+		t.Fatal("monitor promoted despite ongoing leader contact")
+	}
+	// Contact stops; one full window later the monitor acts.
+	clock.Advance(61 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("monitor did not promote after contact ceased")
+	}
+}
+
+func TestMonitorNeverPromotesDivergedFollower(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+	p.mu.Lock()
+	p.status.Diverged = true
+	p.mu.Unlock()
+
+	var promoted atomic.Int32
+	cancel, done := startMonitor(t, p, clock, 1, time.Minute, func(context.Context) error {
+		promoted.Add(1)
+		return nil
+	})
+	// Arbitrarily long silence changes nothing: promoting a forked
+	// history would institutionalize the fork.
+	clock.Advance(24 * time.Hour)
+	settle()
+	if promoted.Load() != 0 {
+		t.Fatal("monitor promoted a diverged follower")
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestMonitorRetriesFailedPromotion(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+	var attempts atomic.Int32
+	// Silence is also the real-time delay between failed attempts, so
+	// keep it small here.
+	_, done := startMonitor(t, p, clock, 1, 20*time.Millisecond, func(context.Context) error {
+		if attempts.Add(1) == 1 {
+			return errors.New("drain blew up")
+		}
+		return nil
+	})
+	clock.Advance(time.Hour) // deep silence: promote immediately and keep trying
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run = %v, want nil after retry succeeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("monitor never retried the failed promotion")
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("promotion attempts = %d, want 2", got)
+	}
+}
+
+func TestMonitorConfigValidation(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+	promote := func(context.Context) error { return nil }
+	if _, err := NewMonitor(MonitorConfig{Priority: 1, Promote: promote}); err == nil {
+		t.Fatal("NewMonitor without a puller must fail")
+	}
+	if _, err := NewMonitor(MonitorConfig{Puller: p, Priority: 1}); err == nil {
+		t.Fatal("NewMonitor without a promote func must fail")
+	}
+	if _, err := NewMonitor(MonitorConfig{Puller: p, Priority: 0, Promote: promote}); err == nil {
+		t.Fatal("NewMonitor with priority 0 must fail")
+	}
+	m, err := NewMonitor(MonitorConfig{Puller: p, Priority: 2, Promote: promote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.Silence != DefaultFailoverSilence {
+		t.Fatalf("default silence = %v, want %v", m.cfg.Silence, DefaultFailoverSilence)
+	}
+	if m.window() != 2*DefaultFailoverSilence {
+		t.Fatalf("window = %v, want %v", m.window(), 2*DefaultFailoverSilence)
+	}
+}

@@ -39,6 +39,11 @@ type PullerConfig struct {
 	// OnApply, when set, observes every applied chunk — the serving
 	// layer uses it to install changed instances into warm engines.
 	OnApply func(store.ApplyResult)
+	// OnRetarget, when set, observes leader changes: when the old leader
+	// answers 409 epoch_fenced naming its successor, the puller swaps
+	// Client.BaseURL to the new leader and reports the URL here so the
+	// serving layer can retarget its write redirects too.
+	OnRetarget func(leaderURL string)
 	// Logf, when set, receives connection-state transitions.
 	Logf func(format string, args ...any)
 	// now stubs time in tests.
@@ -72,6 +77,9 @@ type Status struct {
 	// this follower's WAL as off its timeline. Only a re-bootstrap
 	// clears it.
 	Diverged bool
+	// LeaderEpoch is the highest leader epoch observed on the stream (0
+	// before first contact or against a pre-epoch leader).
+	LeaderEpoch uint64
 	// LastErr is the most recent transient error, cleared on success.
 	LastErr string
 	// Counters since the puller started.
@@ -169,7 +177,7 @@ func (p *Puller) Run(ctx context.Context) error {
 			return err
 		}
 		from := p.cfg.Store.Pos()
-		chunk, err := p.cfg.Client.Stream(ctx, from, p.cfg.MaxChunk, p.cfg.PollWait)
+		chunk, err := p.cfg.Client.Stream(ctx, from, p.cfg.MaxChunk, p.cfg.PollWait, p.cfg.Store.Epoch())
 		now := p.cfg.now()
 		if err != nil {
 			if ctx.Err() != nil {
@@ -183,6 +191,27 @@ func (p *Puller) Run(ctx context.Context) error {
 				p.mu.Unlock()
 				p.logf("repl: follower diverged from leader at %s: %v", from, err)
 				return err
+			}
+			if errors.Is(err, store.ErrEpochFenced) {
+				// The node we stream from was superseded. If it named its
+				// successor, follow the new leader immediately; otherwise
+				// keep polling with backoff — the fenced node learns the
+				// successor from the demote notification or its own probe
+				// and names it on a later response.
+				if leader := FencedLeader(err); leader != "" && leader != p.cfg.Client.BaseURL {
+					p.logf("repl: leader %s fenced; retargeting to %s", p.cfg.Client.BaseURL, leader)
+					p.cfg.Client.BaseURL = leader
+					if p.cfg.OnRetarget != nil {
+						p.cfg.OnRetarget(leader)
+					}
+					p.mu.Lock()
+					p.status.LastErr = ""
+					p.status.Reconnects++
+					p.mu.Unlock()
+					delay = p.cfg.Backoff.BaseDelay
+					wasConnected = false
+					continue
+				}
 			}
 			p.mu.Lock()
 			p.status.LastErr = err.Error()
@@ -215,11 +244,18 @@ func (p *Puller) Run(ctx context.Context) error {
 
 		if len(chunk.Data) == 0 && chunk.From == from {
 			// Caught up: the long poll confirmed nothing is missing as of
-			// now.
+			// now. The response still carries the leader's epoch — adopt it,
+			// or a follower bootstrapped straight to the leader's position
+			// (no chunk ever flows) would never learn the current era.
+			if chunk.Epoch > p.cfg.Store.Epoch() {
+				if err := p.cfg.Store.AdoptEpoch(chunk.Epoch); err != nil {
+					p.logf("repl: epoch adopt failed: %v", err)
+				}
+			}
 			p.noteExchange(chunk, now, true)
 			continue
 		}
-		res, err := p.cfg.Store.ReplApply(chunk.From, chunk.Data)
+		res, err := p.cfg.Store.ReplApply(chunk.From, chunk.Epoch, chunk.Data)
 		if err != nil {
 			if errors.Is(err, store.ErrApplyMismatch) {
 				// Raced a concurrent position change (e.g. recovery); loop
@@ -227,6 +263,23 @@ func (p *Puller) Run(ctx context.Context) error {
 				p.mu.Lock()
 				p.status.LastErr = err.Error()
 				p.mu.Unlock()
+				continue
+			}
+			if errors.Is(err, store.ErrEpochFenced) {
+				// The chunk came from a superseded era (our store has seen
+				// a higher epoch than the node serving us). Don't apply,
+				// don't die: back off and re-poll — our requests carry our
+				// epoch, so a stale leader fences itself and names the
+				// successor, and the retarget path above takes over.
+				p.mu.Lock()
+				p.status.LastErr = err.Error()
+				p.status.CaughtUp = false
+				p.mu.Unlock()
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(delay):
+				}
 				continue
 			}
 			p.mu.Lock()
@@ -262,6 +315,9 @@ func (p *Puller) noteExchange(chunk Chunk, now time.Time, caughtUp bool) {
 	p.status.LagBytes = chunk.LagBytes
 	p.status.CaughtUp = caughtUp
 	p.status.LastErr = ""
+	if chunk.Epoch > p.status.LeaderEpoch {
+		p.status.LeaderEpoch = chunk.Epoch
+	}
 	if caughtUp && now.After(p.status.FreshAsOf) {
 		p.status.FreshAsOf = now
 	}

@@ -8,18 +8,26 @@
 // self-describes and self-verifies (see internal/store), so replication
 // ships segment bytes verbatim and carries positions in headers:
 //
-//	GET /v1/repl/stream?from=SEG:OFF&max_bytes=N&wait_ms=MS
+//	GET /v1/repl/stream?from=SEG:OFF&max_bytes=N&wait_ms=MS&epoch=E
 //	  200  body = raw frames; X-Pxml-Repl-From names where they start
 //	       (the requested position normalized past a rotation boundary —
 //	       an empty 200 body with a moved From is the rotation cue),
 //	       X-Pxml-Repl-Next where to resume, X-Pxml-Repl-End the
 //	       leader's committed position, X-Pxml-Repl-Lag-Bytes the byte
-//	       lag at Next.
-//	  204  caught up: the long poll expired with nothing new.
+//	       lag at Next, X-Pxml-Repl-Epoch the leader epoch the bytes
+//	       were committed under.
+//	  204  caught up: the long poll expired with nothing new (epoch
+//	       header still present).
 //	  409  {"error":{"code":"timeline_diverged"}} — the position is not
 //	       on this leader's timeline (restore gap, trimmed history, or
 //	       bytes the leader never wrote). The follower cannot catch up
 //	       by replaying and must re-bootstrap.
+//	  409  {"error":{"code":"epoch_fenced"}} — this node has been
+//	       superseded by a higher leader epoch and no longer serves the
+//	       stream; X-Pxml-Repl-Leader names the successor when known, so
+//	       the puller can retarget. The optional epoch=E request
+//	       parameter is the follower's highest-seen epoch: a leader that
+//	       receives a higher one than its own fences itself on the spot.
 //	  401  bearer token required/wrong (when the leader enables auth).
 //
 //	GET /v1/repl/bootstrap
@@ -39,6 +47,9 @@ import "time"
 const (
 	StreamPath    = "/v1/repl/stream"
 	BootstrapPath = "/v1/repl/bootstrap"
+	// EpochPath answers the lightweight peer epoch probe:
+	// {"epoch":N,"role":"leader|follower|fenced","leader":"url"}.
+	EpochPath = "/v1/repl/epoch"
 )
 
 // Stream response headers. Positions render as "seg:off" (store.Pos).
@@ -47,6 +58,12 @@ const (
 	HeaderNext = "X-Pxml-Repl-Next"
 	HeaderEnd  = "X-Pxml-Repl-End"
 	HeaderLag  = "X-Pxml-Repl-Lag-Bytes"
+	// HeaderEpoch carries the leader epoch a stream (or bootstrap)
+	// response was served under.
+	HeaderEpoch = "X-Pxml-Repl-Epoch"
+	// HeaderLeader, on an epoch_fenced 409, names the successor leader's
+	// base URL when the fenced node knows it.
+	HeaderLeader = "X-Pxml-Repl-Leader"
 )
 
 // Stream request query parameters.
@@ -54,6 +71,10 @@ const (
 	ParamFrom     = "from"
 	ParamMaxBytes = "max_bytes"
 	ParamWaitMS   = "wait_ms"
+	// ParamEpoch is the follower's highest-seen leader epoch; a leader
+	// that sees a higher epoch than its own in a pull request has been
+	// superseded and fences itself.
+	ParamEpoch = "epoch"
 )
 
 // DefaultPollWait is how long a stream request long-polls at the tail

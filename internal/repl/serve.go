@@ -20,12 +20,43 @@ import (
 // ServeStream answers one GET /v1/repl/stream request against st,
 // long-polling at the tail for up to the client's wait_ms (capped at
 // MaxPollWait, defaulting to DefaultPollWait).
-func ServeStream(w http.ResponseWriter, r *http.Request, st *store.Store) {
+//
+// onSuperseded, when non-nil, is invoked (once, before the 409 is
+// written) when the request's epoch parameter proves a higher leader
+// era exists than st's own: the serving layer uses it to fence the
+// store and tear down leader-only machinery. A fenced store answers
+// every stream request with 409 epoch_fenced plus X-Pxml-Repl-Leader
+// when the successor is known — followers of the old leader retarget
+// off that header.
+func ServeStream(w http.ResponseWriter, r *http.Request, st *store.Store, onSuperseded func(epoch uint64)) {
 	q := r.URL.Query()
 	from, err := store.ParsePos(q.Get(ParamFrom))
 	if err != nil {
 		apiv1.WriteError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest,
 			fmt.Sprintf("bad %s: %v", ParamFrom, err))
+		return
+	}
+	var peerEpoch uint64
+	if v := q.Get(ParamEpoch); v != "" {
+		peerEpoch, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			apiv1.WriteError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest,
+				fmt.Sprintf("bad %s: %q", ParamEpoch, v))
+			return
+		}
+	}
+	// A follower that has seen a higher epoch than ours is proof we were
+	// superseded: fence before serving a single byte. Only a node still
+	// acting as leader can be superseded this way — followers legally
+	// chain at any epoch.
+	if peerEpoch > st.Epoch() && !st.IsFollower() {
+		if onSuperseded != nil {
+			onSuperseded(peerEpoch)
+		} else {
+			_ = st.Fence(peerEpoch, "")
+		}
+	}
+	if writeFenced(w, st) {
 		return
 	}
 	maxBytes := 0
@@ -103,12 +134,35 @@ func writeChunkHeaders(w http.ResponseWriter, chunk store.StreamChunk) {
 	h.Set(HeaderNext, chunk.Next.String())
 	h.Set(HeaderEnd, chunk.End.String())
 	h.Set(HeaderLag, strconv.FormatInt(chunk.LagBytes, 10))
+	h.Set(HeaderEpoch, strconv.FormatUint(chunk.Epoch, 10))
+}
+
+// writeFenced answers 409 epoch_fenced (naming the successor leader in
+// X-Pxml-Repl-Leader when known) if st has been fenced, reporting
+// whether it wrote. A fenced node serves neither the stream nor
+// bootstraps: its history may have forked from the new era's, and
+// feeding it to followers would spread the fork.
+func writeFenced(w http.ResponseWriter, st *store.Store) bool {
+	fenced, epoch, leader := st.Fenced()
+	if !fenced {
+		return false
+	}
+	if leader != "" {
+		w.Header().Set(HeaderLeader, leader)
+	}
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+	apiv1.WriteError(w, http.StatusConflict, apiv1.CodeEpochFenced,
+		fmt.Sprintf("node fenced at epoch %d; replicate from the current leader", epoch))
+	return true
 }
 
 // ServeBootstrap answers one GET /v1/repl/bootstrap request: it takes a
 // fresh backup of st into a temporary directory and streams it out as a
 // tar archive a follower can restore from.
 func ServeBootstrap(w http.ResponseWriter, r *http.Request, st *store.Store) {
+	if writeFenced(w, st) {
+		return
+	}
 	tmp, err := os.MkdirTemp("", "pxml-bootstrap-")
 	if err != nil {
 		apiv1.WriteError(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
@@ -126,6 +180,7 @@ func ServeBootstrap(w http.ResponseWriter, r *http.Request, st *store.Store) {
 	}
 	w.Header().Set("Content-Type", "application/x-tar")
 	w.Header().Set(HeaderEnd, man.Pos.String())
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(st.Epoch(), 10))
 	w.WriteHeader(http.StatusOK)
 	// A write error here means the follower went away mid-download; it
 	// will retry the bootstrap from scratch.

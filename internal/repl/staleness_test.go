@@ -1,0 +1,204 @@
+package repl
+
+// Staleness accounting under a fake clock: the never-synced and
+// diverged sentinels, clamping of clock-skewed (future) leader stamps,
+// and the healing path where a caught-up 204 long-poll refreshes
+// FreshAsOf without any bytes flowing.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pxml/internal/store"
+)
+
+// fakeClock is a hand-advanced time source for deterministic
+// staleness/monitor tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	// Any fixed, non-zero instant works; using a readable one keeps
+	// failure output sane.
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// maxStaleness is the "effectively infinite" sentinel Staleness returns
+// for never-synced and diverged followers.
+const maxStaleness = time.Duration(1<<63 - 1)
+
+func TestStalenessTable(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	for _, tc := range []struct {
+		name   string
+		status Status
+		now    time.Time
+		want   time.Duration
+	}{
+		{
+			name:   "never-synced sentinel",
+			status: Status{}, // zero FreshAsOf: no stamp, no caught-up poll yet
+			now:    base,
+			want:   maxStaleness,
+		},
+		{
+			name: "diverged is infinitely stale even with a recent stamp",
+			status: Status{
+				FreshAsOf: base.Add(-time.Second),
+				Diverged:  true,
+			},
+			now:  base,
+			want: maxStaleness,
+		},
+		{
+			name:   "normal lag",
+			status: Status{FreshAsOf: base.Add(-3 * time.Second)},
+			now:    base,
+			want:   3 * time.Second,
+		},
+		{
+			name:   "exactly fresh",
+			status: Status{FreshAsOf: base},
+			now:    base,
+			want:   0,
+		},
+		{
+			name: "clock-skewed stamp from the future clamps to zero",
+			// The leader's wall clock ran ahead of ours: FreshAsOf is
+			// later than local now. Negative staleness would read as
+			// "fresher than fresh" and destabilize readiness math.
+			status: Status{FreshAsOf: base.Add(45 * time.Second)},
+			now:    base,
+			want:   0,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.status.Staleness(tc.now); got != tc.want {
+				t.Fatalf("Staleness(%v) = %v, want %v", tc.now, got, tc.want)
+			}
+		})
+	}
+}
+
+// newTestPuller opens a real follower store (staleness reads positions
+// and stamps through it) and wires the fake clock in.
+func newTestPuller(t *testing.T, clock *fakeClock) *Puller {
+	t.Helper()
+	st, _, err := store.Open(t.TempDir(), store.Options{Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	p, err := NewPuller(PullerConfig{
+		Store:  st,
+		Client: &Client{BaseURL: "http://unused.invalid"},
+		now:    clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStalenessHealsAfterCaughtUpPoll(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+
+	// Before any exchange: infinitely stale, not ready.
+	if got := p.Status().Staleness(clock.Now()); got != maxStaleness {
+		t.Fatalf("pre-sync staleness = %v, want sentinel", got)
+	}
+	if p.Ready(time.Second) {
+		t.Fatal("never-synced follower must not be ready")
+	}
+
+	// A caught-up 204 (empty chunk, position unchanged) is a freshness
+	// proof: the long poll confirmed nothing is missing as of now, so
+	// FreshAsOf heals to the poll time even though zero bytes flowed.
+	p.noteExchange(Chunk{End: store.Pos{Seg: 1, Off: 0}}, clock.Now(), true)
+	if got := p.Status().Staleness(clock.Now()); got != 0 {
+		t.Fatalf("staleness after caught-up poll = %v, want 0", got)
+	}
+	if !p.Ready(time.Second) {
+		t.Fatal("caught-up follower must be ready")
+	}
+
+	// Staleness accrues as the clock moves with no further contact...
+	clock.Advance(2 * time.Second)
+	if got := p.Status().Staleness(clock.Now()); got != 2*time.Second {
+		t.Fatalf("staleness after 2s silence = %v, want 2s", got)
+	}
+	if p.Ready(time.Second) {
+		t.Fatal("follower 2s stale must fail a 1s staleness gate")
+	}
+
+	// ...and heals again on the next caught-up confirmation.
+	p.noteExchange(Chunk{End: store.Pos{Seg: 1, Off: 0}}, clock.Now(), true)
+	if got := p.Status().Staleness(clock.Now()); got != 0 {
+		t.Fatalf("staleness after healing poll = %v, want 0", got)
+	}
+	if !p.Ready(time.Second) {
+		t.Fatal("healed follower must be ready again")
+	}
+}
+
+func TestStalenessCaughtUpNeverRegressesFreshness(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+
+	// A skewed stamp put FreshAsOf ahead of the local clock.
+	future := clock.Now().Add(30 * time.Second)
+	p.mu.Lock()
+	p.status.FreshAsOf = future
+	p.mu.Unlock()
+
+	// A caught-up poll stamped with the (earlier) local now must not
+	// drag freshness backwards.
+	p.noteExchange(Chunk{}, clock.Now(), true)
+	if got := p.Status().FreshAsOf; !got.Equal(future) {
+		t.Fatalf("FreshAsOf regressed to %v, want %v", got, future)
+	}
+	// And staleness stays clamped at zero until the local clock catches
+	// up with the skew.
+	if got := p.Status().Staleness(clock.Now()); got != 0 {
+		t.Fatalf("staleness under skew = %v, want 0", got)
+	}
+	clock.Advance(31 * time.Second)
+	if got := p.Status().Staleness(clock.Now()); got != time.Second {
+		t.Fatalf("staleness after skew expires = %v, want 1s", got)
+	}
+}
+
+func TestStalenessNotCaughtUpDoesNotHeal(t *testing.T) {
+	clock := newFakeClock()
+	p := newTestPuller(t, clock)
+	p.noteExchange(Chunk{}, clock.Now(), true)
+	clock.Advance(5 * time.Second)
+
+	// A partial exchange (bytes applied but still behind the leader's
+	// committed end, and no stamp in the batch) proves contact, not
+	// freshness: LastContact moves, FreshAsOf must not.
+	p.noteExchange(Chunk{LagBytes: 1024}, clock.Now(), false)
+	st := p.Status()
+	if !st.LastContact.Equal(clock.Now()) {
+		t.Fatalf("LastContact = %v, want %v", st.LastContact, clock.Now())
+	}
+	if got := st.Staleness(clock.Now()); got != 5*time.Second {
+		t.Fatalf("staleness after non-caught-up exchange = %v, want 5s", got)
+	}
+}

@@ -1,0 +1,595 @@
+package server
+
+// Failover suite: the promote/demote/epoch admin surface, epoch-fenced
+// split-brain prevention, post-promotion redirect retargeting, the
+// flag-gated auto-promotion monitor end to end, and the headline chaos
+// scenario — kill the leader mid-write-storm, promote a follower,
+// restart the old leader — asserting zero acknowledged-write loss, no
+// dual-epoch acks, and byte-identical convergence.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pxml/internal/repl"
+)
+
+// failoverCluster is a leader plus followers where every node sits
+// behind its own swappable front, so each has a stable URL usable as
+// AdvertiseURL/Peers config and survives process "kills" and restarts.
+type failoverCluster struct {
+	t *testing.T
+
+	leader    *Server
+	leaderCfg Config
+	front     *leaderFront
+	frontTS   *httptest.Server
+
+	followers   []*Server
+	followerCfg []Config
+	fronts      []*leaderFront
+	followerTS  []*httptest.Server
+	followerDir []string
+}
+
+// newFailoverCluster starts a leader and n followers. Every node knows
+// every other node's URL (Peers) and its own (AdvertiseURL).
+func newFailoverCluster(t *testing.T, n int, failoverPriority int, failoverSilence time.Duration) *failoverCluster {
+	t.Helper()
+	c := &failoverCluster{t: t}
+
+	// Allocate every URL first: nodes need each other's addresses in
+	// their configs before any server exists.
+	c.front = newLeaderFront(leaderDown)
+	c.frontTS = httptest.NewServer(c.front)
+	t.Cleanup(c.frontTS.Close)
+	var urls []string
+	for i := 0; i < n; i++ {
+		front := newLeaderFront(leaderDown)
+		ts := httptest.NewServer(front)
+		t.Cleanup(ts.Close)
+		c.fronts = append(c.fronts, front)
+		c.followerTS = append(c.followerTS, ts)
+		urls = append(urls, ts.URL)
+	}
+
+	c.leaderCfg = Config{
+		StoreDir:      t.TempDir(),
+		AdminToken:    clusterToken,
+		AdvertiseURL:  c.frontTS.URL,
+		Peers:         urls,
+		ProbeInterval: 100 * time.Millisecond,
+	}
+	c.leader = MustNew(c.leaderCfg)
+	t.Cleanup(func() { c.leader.Close() })
+	c.front.swap(c.leader.Handler())
+
+	for i := 0; i < n; i++ {
+		dir := t.TempDir()
+		peers := []string{c.frontTS.URL}
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		cfg := Config{
+			StoreDir:         dir,
+			AdminToken:       clusterToken,
+			FollowLeader:     c.frontTS.URL,
+			FollowToken:      clusterToken,
+			ReplMaxStaleness: 2 * time.Second,
+			ReplPollWait:     50 * time.Millisecond,
+			AdvertiseURL:     urls[i],
+			Peers:            peers,
+			ProbeInterval:    100 * time.Millisecond,
+		}
+		if i == 0 && failoverPriority > 0 {
+			cfg.FailoverPriority = failoverPriority
+			cfg.FailoverSilence = failoverSilence
+		}
+		f := MustNew(cfg)
+		t.Cleanup(func() { f.Close() })
+		c.fronts[i].swap(f.Handler())
+		c.followers = append(c.followers, f)
+		c.followerCfg = append(c.followerCfg, cfg)
+		c.followerDir = append(c.followerDir, dir)
+	}
+	return c
+}
+
+// authReq performs an authenticated request and returns status + body.
+func authReq(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+clusterToken)
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := noRedirect().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+// putEpoch PUTs an instance and returns (acked, epoch from the ack
+// header). Unacknowledged writes (redirects, 5xx, transport errors)
+// return acked=false.
+func putEpoch(client *http.Client, url, name, text string) (bool, uint64) {
+	req, err := http.NewRequest("PUT", url+"/v1/instances/"+name, strings.NewReader(text))
+	if err != nil {
+		return false, 0
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return false, 0
+	}
+	epoch, _ := strconv.ParseUint(resp.Header.Get(repl.HeaderEpoch), 10, 64)
+	return true, epoch
+}
+
+func (c *failoverCluster) waitFollowerCaughtUp(i int) {
+	c.t.Helper()
+	waitFor(c.t, 15*time.Second, fmt.Sprintf("follower %d caught up", i), func() bool {
+		st, ok := c.followers[i].ReplStatus()
+		return ok && st.CaughtUp && !st.Diverged
+	})
+}
+
+// sameWALBytes asserts the WAL segment files the two directories share
+// are byte-identical (and that they share at least one).
+func sameWALBytes(t *testing.T, dirA, dirB string) {
+	t.Helper()
+	segs := func(dir string) map[string][]byte {
+		m := map[string][]byte{}
+		paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[filepath.Base(p)] = data
+		}
+		return m
+	}
+	a, b := segs(dirA), segs(dirB)
+	common := 0
+	for name, da := range a {
+		db, ok := b[name]
+		if !ok {
+			continue
+		}
+		common++
+		if string(da) != string(db) {
+			t.Errorf("WAL segment %s differs between %s and %s (%d vs %d bytes)", name, dirA, dirB, len(da), len(db))
+		}
+	}
+	if common == 0 {
+		t.Errorf("no common WAL segments between %s and %s", dirA, dirB)
+	}
+}
+
+// replOnly exposes the replication read surface of a handler while the
+// "process" is gone from the clients' point of view: the serving side
+// of a leader whose load balancer already pulled it. Draining a
+// promotion out of it works; acknowledging new client writes does not.
+func replOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/repl/") {
+			h.ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "leader unreachable", http.StatusServiceUnavailable)
+	})
+}
+
+// TestFailoverChaos is the headline scenario: a write storm runs while
+// the leader is cut off from clients, a follower is promoted (fully
+// drained, epoch bumped), the old leader dies and later restarts, and
+// the cluster re-forms around the new leader with zero acknowledged
+// writes lost, strictly monotonic ack epochs, and byte-identical WALs.
+func TestFailoverChaos(t *testing.T) {
+	c := newFailoverCluster(t, 2, 0, 0)
+	text := figure2Text(t)
+	a, b := c.followers[0], c.followers[1]
+	aURL := c.followerTS[0].URL
+
+	// Write storm against a retargetable URL: starts at the leader,
+	// repointed to the promoted follower after failover (clients follow
+	// their load balancer; what matters is which acks survive).
+	var storm struct {
+		sync.Mutex
+		target string
+		acks   []struct {
+			name  string
+			epoch uint64
+		}
+	}
+	storm.target = c.frontTS.URL
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	writer := &http.Client{Timeout: 2 * time.Second}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("storm-%d-%04d", w, i)
+				storm.Lock()
+				target := storm.target
+				storm.Unlock()
+				if ok, epoch := putEpoch(writer, target, name, text); ok {
+					storm.Lock()
+					storm.acks = append(storm.acks, struct {
+						name  string
+						epoch uint64
+					}{name, epoch})
+					storm.Unlock()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Let the storm land some epoch-1 writes, then cut the leader off
+	// from clients mid-storm (its replication surface survives a little
+	// longer — the realistic "LB pulled it / SIGTERM draining" window a
+	// supervised failover drains through).
+	waitFor(t, 10*time.Second, "some epoch-1 acks", func() bool {
+		storm.Lock()
+		defer storm.Unlock()
+		return len(storm.acks) >= 10
+	})
+	c.front.swap(replOnly(c.leader.Handler()))
+
+	// Promote follower A without force: the drain must finish and report
+	// a zero gap.
+	status, body := authReq(t, "POST", aURL+"/v1/admin/promote", "")
+	if status != http.StatusOK {
+		t.Fatalf("promote: %d %s", status, body)
+	}
+	var res promoteResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("promote response %q: %v", body, err)
+	}
+	if res.Epoch != 2 || !res.Drained || res.GapBytes != 0 {
+		t.Fatalf("promote result = %+v, want epoch 2, drained, zero gap", res)
+	}
+
+	// The old leader is now fully dead. Clients repoint to A.
+	c.front.swap(leaderDown)
+	c.leader.Close()
+	storm.Lock()
+	storm.target = aURL
+	storm.Unlock()
+
+	// A serves writes under epoch 2.
+	waitFor(t, 10*time.Second, "epoch-2 acks on the new leader", func() bool {
+		storm.Lock()
+		defer storm.Unlock()
+		return len(storm.acks) > 0 && storm.acks[len(storm.acks)-1].epoch == 2
+	})
+
+	// The old leader restarts from its surviving directory. Its startup
+	// peer probe must fence it before it serves a single write...
+	c.leader = MustNew(c.leaderCfg)
+	c.front.swap(c.leader.Handler())
+	if fenced, epoch, leader := c.leader.store.Fenced(); !fenced || epoch != 2 || leader != aURL {
+		t.Fatalf("restarted old leader Fenced() = (%v, %d, %q), want fenced at 2 by %q", fenced, epoch, leader, aURL)
+	}
+	// ...307-ing writes to its successor,
+	req, _ := http.NewRequest("PUT", c.frontTS.URL+"/v1/instances/zombie", strings.NewReader(text))
+	resp, err := noRedirect().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("write to fenced ex-leader = %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != aURL+"/v1/instances/zombie" {
+		t.Fatalf("fenced redirect Location = %q, want new leader", loc)
+	}
+	// ...and reporting itself not ready.
+	if resp, rbody := do(t, "GET", c.frontTS.URL+"/readyz", "", ""); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(rbody, "fenced") {
+		t.Fatalf("fenced ex-leader readyz = %d %s, want 503 fenced", resp.StatusCode, rbody)
+	}
+
+	// Follower B, still pointed at the old leader, learns the successor
+	// from the fenced 409 and retargets to A.
+	waitFor(t, 15*time.Second, "follower B to retarget to A", func() bool {
+		leader, ok := b.Follower()
+		return ok && leader == aURL
+	})
+	// Satellite regression: B's 307s now derive from the live leader
+	// URL, not the -follow value cached at construction.
+	req, _ = http.NewRequest("PUT", c.followerTS[1].URL+"/v1/instances/via-b", strings.NewReader(text))
+	resp, err = noRedirect().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("write via follower B = %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != aURL+"/v1/instances/via-b" {
+		t.Fatalf("follower B redirect Location = %q, want %q (the NEW leader)", loc, aURL+"/v1/instances/via-b")
+	}
+
+	// Stop the storm and let B catch up with A.
+	close(stop)
+	wg.Wait()
+	c.waitFollowerCaughtUp(1)
+	waitFor(t, 15*time.Second, "B to reach A's position", func() bool {
+		st, ok := b.ReplStatus()
+		return ok && st.Pos == a.store.Pos()
+	})
+
+	// The old leader rejoins as a follower of A via bootstrap, on a
+	// fresh directory (its fenced history stays quarantined).
+	rejoinDir := t.TempDir()
+	client := &repl.Client{BaseURL: aURL, Token: clusterToken}
+	if _, err := client.Bootstrap(context.Background(), rejoinDir); err != nil {
+		t.Fatalf("bootstrap rejoin: %v", err)
+	}
+	rejoined := MustNew(Config{
+		StoreDir:         rejoinDir,
+		FollowLeader:     aURL,
+		FollowToken:      clusterToken,
+		ReplMaxStaleness: 2 * time.Second,
+		ReplPollWait:     50 * time.Millisecond,
+	})
+	defer rejoined.Close()
+	// Bootstrap restores the data but deliberately not the EPOCH file;
+	// the rejoined node adopts the current era from its first stream
+	// exchange (a caught-up 204 suffices).
+	waitFor(t, 15*time.Second, "rejoined node to reach A's position and epoch", func() bool {
+		st, ok := rejoined.ReplStatus()
+		return ok && !st.Diverged && st.Pos == a.store.Pos() && rejoined.store.Epoch() == 2
+	})
+
+	// Acceptance: zero acknowledged-write loss across the whole cluster.
+	storm.Lock()
+	acks := storm.acks
+	storm.Unlock()
+	if len(acks) == 0 {
+		t.Fatal("storm acknowledged nothing")
+	}
+	var e1, e2 int
+	for _, ack := range acks {
+		switch ack.epoch {
+		case 1:
+			e1++
+		case 2:
+			e2++
+		default:
+			t.Fatalf("write %q acked under unexpected epoch %d", ack.name, ack.epoch)
+		}
+	}
+	if e1 == 0 || e2 == 0 {
+		t.Fatalf("storm must span both eras (epoch1=%d epoch2=%d acks)", e1, e2)
+	}
+	for _, node := range []*Server{a, b, rejoined} {
+		for _, ack := range acks {
+			if _, ok := node.store.Get(ack.name); !ok {
+				t.Fatalf("acknowledged write %q (epoch %d) lost", ack.name, ack.epoch)
+			}
+		}
+	}
+
+	// No dual-epoch writes: once an epoch-2 ack exists, no epoch-1 ack
+	// may follow it.
+	sawE2 := false
+	for _, ack := range acks {
+		if ack.epoch == 2 {
+			sawE2 = true
+		} else if sawE2 {
+			t.Fatalf("epoch-1 ack %q after the first epoch-2 ack: dual-epoch write window", ack.name)
+		}
+	}
+
+	// Byte-identical convergence: A, B, and the rejoined node share the
+	// same WAL bytes.
+	sameWALBytes(t, c.followerDir[0], c.followerDir[1])
+	sameWALBytes(t, c.followerDir[0], rejoinDir)
+}
+
+// TestFailoverMonitorAutoPromotes: a follower started with
+// -failover-priority takes over by itself once the leader goes silent.
+func TestFailoverMonitorAutoPromotes(t *testing.T) {
+	c := newFailoverCluster(t, 1, 1, 400*time.Millisecond)
+	text := figure2Text(t)
+	if resp, body := do(t, "PUT", c.frontTS.URL+"/v1/instances/bib", text, "text/plain"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", resp.StatusCode, body)
+	}
+	c.waitFollowerCaughtUp(0)
+
+	// Kill the leader outright. The monitor promotes with force after
+	// one silence window (the drain cannot reach the dead leader, and a
+	// presumed-dead leader must not block the failover).
+	c.front.swap(leaderDown)
+	c.leader.Close()
+	f := c.followers[0]
+	waitFor(t, 20*time.Second, "auto-promotion", func() bool {
+		return !f.store.IsFollower()
+	})
+	if got := f.store.Epoch(); got != 2 {
+		t.Fatalf("auto-promoted epoch = %d, want 2", got)
+	}
+	// The new leader serves writes.
+	waitFor(t, 10*time.Second, "writes on the new leader", func() bool {
+		ok, epoch := putEpoch(http.DefaultClient, c.followerTS[0].URL, "post-failover", text)
+		return ok && epoch == 2
+	})
+}
+
+// TestPromoteDemoteEndpointValidation covers the admin surface's error
+// contract.
+func TestPromoteDemoteEndpointValidation(t *testing.T) {
+	c := newFailoverCluster(t, 1, 0, 0)
+	leaderURL, followerURL := c.frontTS.URL, c.followerTS[0].URL
+
+	// Promote requires the bearer token.
+	if resp, _ := do(t, "POST", followerURL+"/v1/admin/promote", "", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated promote = %d, want 401", resp.StatusCode)
+	}
+	// Promoting a leader is a typed 409.
+	status, body := authReq(t, "POST", leaderURL+"/v1/admin/promote", "")
+	if status != http.StatusConflict || !strings.Contains(body, "not_follower") {
+		t.Fatalf("promote on leader = %d %s, want 409 not_follower", status, body)
+	}
+	// Demote validation: missing epoch, stale epoch, follower target.
+	status, body = authReq(t, "POST", leaderURL+"/v1/admin/demote", `{}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("demote without epoch = %d %s, want 400", status, body)
+	}
+	status, body = authReq(t, "POST", leaderURL+"/v1/admin/demote", `{"epoch":1,"leader":"http://usurper"}`)
+	if status != http.StatusConflict || !strings.Contains(body, "not superseded") {
+		t.Fatalf("demote at own epoch = %d %s, want 409 refusal", status, body)
+	}
+	status, body = authReq(t, "POST", followerURL+"/v1/admin/demote", `{"epoch":9}`)
+	if status != http.StatusConflict || !strings.Contains(body, "already a follower") {
+		t.Fatalf("demote on follower = %d %s, want 409", status, body)
+	}
+
+	// The epoch probe names each node's role and era.
+	status, body = authReq(t, "GET", leaderURL+repl.EpochPath, "")
+	if status != http.StatusOK || !strings.Contains(body, `"role":"leader"`) || !strings.Contains(body, `"epoch":1`) {
+		t.Fatalf("leader epoch probe = %d %s", status, body)
+	}
+	status, body = authReq(t, "GET", followerURL+repl.EpochPath, "")
+	if status != http.StatusOK || !strings.Contains(body, `"role":"follower"`) {
+		t.Fatalf("follower epoch probe = %d %s", status, body)
+	}
+
+	// A legitimate demote fences the leader and reports the new state.
+	status, body = authReq(t, "POST", leaderURL+"/v1/admin/demote", `{"epoch":7,"leader":"`+followerURL+`"}`)
+	if status != http.StatusOK || !strings.Contains(body, `"role":"fenced"`) || !strings.Contains(body, `"epoch":7`) {
+		t.Fatalf("valid demote = %d %s, want fenced at 7", status, body)
+	}
+	if err := c.leader.store.Put("nope", nil); err == nil {
+		t.Fatal("fenced leader accepted a local write")
+	}
+	// Metrics reflect the fenced role.
+	if _, mbody := do(t, "GET", leaderURL+"/v1/metrics", "", ""); !strings.Contains(mbody, `"role":"fenced"`) {
+		t.Errorf("fenced leader metrics: %s", mbody)
+	}
+}
+
+// TestPromoteNonForceAbortsWhenLeaderUnreachable: without force, a
+// promotion that cannot drain the old leader rolls back to following
+// and reports the gap; with force it proceeds.
+func TestPromoteNonForceAbortsWhenLeaderUnreachable(t *testing.T) {
+	c := newFailoverCluster(t, 1, 0, 0)
+	text := figure2Text(t)
+	if resp, body := do(t, "PUT", c.frontTS.URL+"/v1/instances/bib", text, "text/plain"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", resp.StatusCode, body)
+	}
+	c.waitFollowerCaughtUp(0)
+	c.front.swap(leaderDown)
+	c.leader.Close()
+
+	fURL := c.followerTS[0].URL
+	status, body := authReq(t, "POST", fURL+"/v1/admin/promote", "")
+	if status != http.StatusConflict || !strings.Contains(body, "not drained") {
+		t.Fatalf("non-force promote with dead leader = %d %s, want 409 drain failure", status, body)
+	}
+	f := c.followers[0]
+	if !f.store.IsFollower() {
+		t.Fatal("aborted promotion must leave the node a follower")
+	}
+	if _, ok := f.ReplStatus(); !ok {
+		t.Fatal("aborted promotion must restart the pull loop")
+	}
+
+	status, body = authReq(t, "POST", fURL+"/v1/admin/promote?force=1", "")
+	if status != http.StatusOK {
+		t.Fatalf("forced promote = %d %s", status, body)
+	}
+	var res promoteResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Forced || res.Drained || res.Epoch != 2 {
+		t.Fatalf("forced promote result = %+v, want forced, undrained, epoch 2", res)
+	}
+	if ok, epoch := putEpoch(http.DefaultClient, fURL, "after-force", text); !ok || epoch != 2 {
+		t.Fatalf("write after forced promote: acked=%v epoch=%d", ok, epoch)
+	}
+	// Promoting again is a typed 409 now.
+	if status, body := authReq(t, "POST", fURL+"/v1/admin/promote", ""); status != http.StatusConflict || !strings.Contains(body, "not_follower") {
+		t.Fatalf("re-promote = %d %s, want 409 not_follower", status, body)
+	}
+}
+
+// TestFollowerEpochParamFencesStaleLeader: a leader that sees a pull
+// request carrying a higher epoch fences itself on the spot — the
+// replication stream doubles as the epoch gossip channel.
+func TestFollowerEpochParamFencesStaleLeader(t *testing.T) {
+	c := newFailoverCluster(t, 0, 0, 0)
+	text := figure2Text(t)
+	if resp, body := do(t, "PUT", c.frontTS.URL+"/v1/instances/bib", text, "text/plain"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", resp.StatusCode, body)
+	}
+	// A "follower from the future" polls with epoch 5.
+	status, _ := authReq(t, "GET", c.frontTS.URL+repl.StreamPath+"?from=1:0&wait_ms=1&epoch=5", "")
+	if status != http.StatusConflict {
+		t.Fatalf("stream with higher epoch = %d, want 409 (leader fences, then refuses)", status)
+	}
+	if fenced, epoch, _ := c.leader.store.Fenced(); !fenced || epoch != 5 {
+		t.Fatalf("leader Fenced() = (%v, %d), want fenced at 5", fenced, epoch)
+	}
+	if err := c.leader.store.Put("nope", nil); err == nil {
+		t.Fatal("fenced leader accepted a write")
+	}
+	// The fence is sticky across restart.
+	c.front.swap(leaderDown)
+	c.leader.Close()
+	c.leader = MustNew(Config{StoreDir: c.leaderCfg.StoreDir, AdminToken: clusterToken})
+	c.front.swap(c.leader.Handler())
+	if fenced, epoch, _ := c.leader.store.Fenced(); !fenced || epoch != 5 {
+		t.Fatalf("restarted Fenced() = (%v, %d), want sticky fence at 5", fenced, epoch)
+	}
+}

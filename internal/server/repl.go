@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"pxml/internal/apiv1"
@@ -26,17 +27,46 @@ import (
 const defaultReplMaxStaleness = 10 * time.Second
 
 // followerState is the replication machinery of a server running as a
-// read replica.
+// read replica. The server holds it behind an atomic pointer so a
+// promotion can atomically retire it while request handlers read it
+// lock-free.
 type followerState struct {
-	leaderURL    string
+	client       *repl.Client
 	puller       *repl.Puller
 	maxStaleness time.Duration
-	cancel       context.CancelFunc
-	done         chan struct{}
+	pullCancel   context.CancelFunc
+	pullDone     chan struct{}
+
+	// monCancel/monDone manage the failover monitor goroutine; nil
+	// channels when no -failover-priority was configured.
+	monCancel context.CancelFunc
+	monDone   chan struct{}
+
+	// mu guards leaderURL: the puller retargets it live when the old
+	// leader's fenced 409 names a successor, and every 307 redirect
+	// reads it.
+	mu        sync.Mutex
+	leaderURL string
 }
 
-// startFollower wires the puller into the server and starts the pull
-// loop. Called from New after the store and engines are up.
+// LeaderURL returns the current leader base URL — the configured
+// -follow target until a fencing retarget moves it.
+func (f *followerState) LeaderURL() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leaderURL
+}
+
+func (f *followerState) setLeaderURL(u string) {
+	f.mu.Lock()
+	f.leaderURL = strings.TrimSuffix(u, "/")
+	f.mu.Unlock()
+}
+
+// startFollower wires the puller (and, when configured, the failover
+// monitor) into the server and starts the loops. Called from New after
+// the store and engines are up, and from PromoteSelf when a failed
+// drain rolls the promotion back.
 func (s *Server) startFollower(cfg Config) error {
 	client := &repl.Client{
 		BaseURL: cfg.FollowLeader,
@@ -51,49 +81,88 @@ func (s *Server) startFollower(cfg Config) error {
 	if maxStale <= 0 {
 		maxStale = defaultReplMaxStaleness
 	}
-	var logf func(string, ...any)
-	if s.log != nil {
-		log := s.log
-		logf = func(format string, args ...any) {
-			log.Info(fmt.Sprintf(format, args...))
-		}
+	f := &followerState{
+		client:       client,
+		maxStaleness: maxStale,
+		pullDone:     make(chan struct{}),
+		leaderURL:    strings.TrimSuffix(cfg.FollowLeader, "/"),
 	}
 	puller, err := repl.NewPuller(repl.PullerConfig{
-		Store:    s.store,
-		Client:   client,
-		PollWait: cfg.ReplPollWait,
-		OnApply:  s.applyReplicated,
-		Logf:     logf,
+		Store:      s.store,
+		Client:     client,
+		PollWait:   cfg.ReplPollWait,
+		OnApply:    s.applyReplicated,
+		OnRetarget: f.setLeaderURL,
+		Logf:       s.logf(),
 	})
 	if err != nil {
 		return err
 	}
+	f.puller = puller
 	ctx, cancel := context.WithCancel(context.Background())
-	f := &followerState{
-		leaderURL:    strings.TrimSuffix(cfg.FollowLeader, "/"),
-		puller:       puller,
-		maxStaleness: maxStale,
-		cancel:       cancel,
-		done:         make(chan struct{}),
-	}
-	s.follower = f
+	f.pullCancel = cancel
+	s.follower.Store(f)
 	go func() {
-		defer close(f.done)
+		defer close(f.pullDone)
 		err := puller.Run(ctx)
 		if s.log != nil && err != nil && !errors.Is(err, context.Canceled) {
-			s.log.Error("replication stopped", "leader", f.leaderURL, "error", err)
+			s.log.Error("replication stopped", "leader", f.LeaderURL(), "error", err)
 		}
 	}()
+	if cfg.FailoverPriority > 0 {
+		mon, err := repl.NewMonitor(repl.MonitorConfig{
+			Puller:   puller,
+			Priority: cfg.FailoverPriority,
+			Silence:  cfg.FailoverSilence,
+			Promote: func(ctx context.Context) error {
+				// The promotion cancels the monitor's own context as it
+				// retires the follower state; detach so the in-flight
+				// promotion (this very call) isn't aborted by that.
+				_, err := s.PromoteSelf(context.WithoutCancel(ctx), true)
+				return err
+			},
+			Logf: s.logf(),
+		})
+		if err != nil {
+			cancel()
+			<-f.pullDone
+			return err
+		}
+		mctx, mcancel := context.WithCancel(context.Background())
+		f.monCancel = mcancel
+		f.monDone = make(chan struct{})
+		go func() {
+			defer close(f.monDone)
+			_ = mon.Run(mctx)
+		}()
+	}
 	return nil
 }
 
-// stopFollower tears the pull loop down (idempotent).
+// logf adapts the server's structured logger to the repl package's
+// printf-style hooks (nil when logging is off).
+func (s *Server) logf() func(string, ...any) {
+	if s.log == nil {
+		return nil
+	}
+	log := s.log
+	return func(format string, args ...any) {
+		log.Info(fmt.Sprintf(format, args...))
+	}
+}
+
+// stopFollower tears the pull loop and monitor down (idempotent).
 func (s *Server) stopFollower() {
-	if s.follower == nil {
+	f := s.follower.Load()
+	if f == nil {
 		return
 	}
-	s.follower.cancel()
-	<-s.follower.done
+	if f.monCancel != nil {
+		f.monCancel()
+		<-f.monDone
+	}
+	f.pullCancel()
+	<-f.pullDone
 }
 
 // applyReplicated refreshes the serving catalog after a replicated chunk
@@ -118,30 +187,43 @@ func (s *Server) applyReplicated(res store.ApplyResult) {
 // Follower reports whether this server runs as a read replica, and if
 // so of which leader.
 func (s *Server) Follower() (leaderURL string, ok bool) {
-	if s.follower == nil {
+	f := s.follower.Load()
+	if f == nil {
 		return "", false
 	}
-	return s.follower.leaderURL, true
+	return f.LeaderURL(), true
 }
 
 // ReplStatus returns the follower's replication status (zero Status and
 // false on a leader).
 func (s *Server) ReplStatus() (repl.Status, bool) {
-	if s.follower == nil {
+	f := s.follower.Load()
+	if f == nil {
 		return repl.Status{}, false
 	}
-	return s.follower.puller.Status(), true
+	return f.puller.Status(), true
 }
 
-// redirectToLeader answers a write request on a follower with a 307 onto
-// the leader's equivalent URL (method- and body-preserving), reporting
-// whether it did. p is the original v1 path (handlers run behind
-// StripPrefix, so r.URL.Path has lost it).
+// redirectToLeader answers a write request with a 307 onto the current
+// leader's equivalent URL (method- and body-preserving), reporting
+// whether it did. On a follower the target is the live leader URL — the
+// configured -follow address until a failover retargets it — never a
+// value cached at redirect-construction time. A fenced ex-leader
+// redirects too, once it knows its successor; before that, writes fall
+// through to the store's epoch_fenced rejection.
 func (s *Server) redirectToLeader(w http.ResponseWriter, r *http.Request) bool {
-	if s.follower == nil {
+	var leader string
+	if f := s.follower.Load(); f != nil {
+		leader = f.LeaderURL()
+	} else if s.store != nil {
+		if fenced, _, url := s.store.Fenced(); fenced {
+			leader = url
+		}
+	}
+	if leader == "" {
 		return false
 	}
-	target := s.follower.leaderURL + apiv1.Prefix + r.URL.Path
+	target := leader + apiv1.Prefix + r.URL.Path
 	if r.URL.RawQuery != "" {
 		target += "?" + r.URL.RawQuery
 	}
@@ -197,7 +279,10 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 			"server has no durable store to replicate")
 		return
 	}
-	repl.ServeStream(w, r, s.store)
+	// A pull request carrying a higher epoch than ours is proof a
+	// follower was promoted while we thought we were still the leader:
+	// fence before serving a byte (see failover.go).
+	repl.ServeStream(w, r, s.store, func(epoch uint64) { s.fenceSelf(epoch, "") })
 }
 
 // handleReplBootstrap serves GET /v1/repl/bootstrap: a tar of a fresh
@@ -217,6 +302,7 @@ func (s *Server) handleReplBootstrap(w http.ResponseWriter, r *http.Request) {
 // replMetrics is the "replication" section of /v1/metrics.
 type replMetrics struct {
 	Role          string  `json:"role"`
+	Epoch         uint64  `json:"epoch"`
 	Leader        string  `json:"leader,omitempty"`
 	Pos           string  `json:"pos"`
 	LeaderEnd     string  `json:"leader_end,omitempty"`
@@ -241,15 +327,26 @@ func (s *Server) replSection() *replMetrics {
 	if s.store == nil {
 		return nil
 	}
-	if s.follower == nil {
-		return &replMetrics{Role: "leader", Pos: s.store.Pos().String(), CaughtUp: true, Ready: true}
+	epoch := s.store.Epoch()
+	s.reg.Gauge("repl_epoch").Set(int64(epoch))
+	f := s.follower.Load()
+	if f == nil {
+		m := &replMetrics{Role: "leader", Epoch: epoch, Pos: s.store.Pos().String(), CaughtUp: true, Ready: true}
+		if fenced, _, leader := s.store.Fenced(); fenced {
+			m.Role = "fenced"
+			m.Leader = leader
+			m.CaughtUp = false
+			m.Ready = false
+		}
+		return m
 	}
-	st := s.follower.puller.Status()
+	st := f.puller.Status()
 	staleness := st.Staleness(time.Now())
-	ready := s.follower.puller.Ready(s.follower.maxStaleness)
+	ready := f.puller.Ready(f.maxStaleness)
 	m := &replMetrics{
 		Role:       "follower",
-		Leader:     s.follower.leaderURL,
+		Epoch:      epoch,
+		Leader:     f.LeaderURL(),
 		Pos:        st.Pos.String(),
 		LagBytes:   st.LagBytes,
 		CaughtUp:   st.CaughtUp,

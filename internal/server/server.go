@@ -61,6 +61,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -125,8 +126,20 @@ type Server struct {
 	expCfg telemetry.Config      // for the /v1/metrics telemetry section
 	report *store.RecoveryReport // crash-recovery report from Config.StoreDir
 
-	adminToken string         // bearer token over /v1/admin/* and /v1/repl/*; "" = open
-	follower   *followerState // replication machinery; nil unless Config.FollowLeader
+	adminToken string                         // bearer token over /v1/admin/* and /v1/repl/*; "" = open
+	follower   atomic.Pointer[followerState] // replication machinery; nil unless following (promotion retires it live)
+
+	// Failover state (see failover.go). cfg keeps the construction-time
+	// config so a rolled-back promotion can rebuild the follower loop.
+	cfg           Config
+	promoteMu     sync.Mutex // serializes PromoteSelf
+	advertiseURL  string     // this node's base URL, told to peers/old leader
+	peers         []string   // peer base URLs for the epoch probe
+	outboundToken string     // bearer for outbound probe/demote calls
+	probeInterval time.Duration
+	proberMu      sync.Mutex
+	proberCancel  context.CancelFunc
+	proberDone    chan struct{}
 }
 
 // Config collects every construction-time knob in one validated place,
@@ -204,6 +217,32 @@ type Config struct {
 	// reading is only confirmed once per poll, so keep this comfortably
 	// below ReplMaxStaleness. Ignored unless FollowLeader is set.
 	ReplPollWait time.Duration
+
+	// AdvertiseURL is this node's own base URL as peers should reach it
+	// (e.g. "http://10.0.0.2:8080"). A promoted leader hands it to the
+	// demoted one and to probing peers so their write redirects land
+	// here. Optional; without it a fenced old leader rejects writes
+	// instead of redirecting them.
+	AdvertiseURL string
+	// Peers lists the other cluster nodes' base URLs for the epoch
+	// probe. A node that starts as (or becomes) leader asks each peer
+	// for its epoch — once before serving any write, then every
+	// ProbeInterval — and fences itself if any peer has seen a higher
+	// one. This is what stops a rebooted old leader from accepting
+	// writes into a superseded era.
+	Peers []string
+	// FailoverPriority, when >= 1, arms the failover monitor on this
+	// follower: after the leader has been silent for
+	// FailoverSilence×priority, the node promotes itself (force
+	// semantics). Lower numbers act first; 0 disables. Requires
+	// FollowLeader.
+	FailoverPriority int
+	// FailoverSilence is one leader-silence window for the monitor
+	// (0 means 15s).
+	FailoverSilence time.Duration
+	// ProbeInterval paces the periodic peer epoch probe on a leader
+	// (0 means 5s). Ignored without Peers.
+	ProbeInterval time.Duration
 }
 
 // New builds a server from cfg, applying defaults and validating the
@@ -215,6 +254,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.FollowLeader != "" && cfg.StoreDir == "" {
 		return nil, fmt.Errorf("server: FollowLeader requires StoreDir (the replica's WAL mirror)")
+	}
+	if cfg.FailoverPriority < 0 {
+		return nil, fmt.Errorf("server: FailoverPriority must be >= 0")
+	}
+	if cfg.FailoverPriority > 0 && cfg.FollowLeader == "" {
+		return nil, fmt.Errorf("server: FailoverPriority requires FollowLeader (only a follower can be a failover candidate)")
 	}
 	maxBody := cfg.MaxBody
 	if maxBody <= 0 {
@@ -279,6 +324,17 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s.adminToken = cfg.AdminToken
+	s.cfg = cfg
+	s.advertiseURL = strings.TrimSuffix(cfg.AdvertiseURL, "/")
+	s.peers = cfg.Peers
+	s.probeInterval = cfg.ProbeInterval
+	// Outbound probe/demote calls authenticate with the follow token
+	// when one is set (homogeneous clusters share one bearer), falling
+	// back to this node's own admin token.
+	s.outboundToken = cfg.FollowToken
+	if s.outboundToken == "" {
+		s.outboundToken = cfg.AdminToken
+	}
 
 	switch {
 	case cfg.StoreDir != "":
@@ -315,6 +371,13 @@ func New(cfg Config) (*Server, error) {
 			s.store.Close()
 			return nil, fmt.Errorf("server: %w", err)
 		}
+	} else if s.store != nil && !s.store.IsFollower() && len(s.peers) > 0 {
+		// Split-brain guard for restarts: before this node serves a
+		// single write as leader, ask the peers whether a higher epoch
+		// exists. A rebooted old leader fences here, ahead of its first
+		// client. Unreachable peers are no objection (see failover.go).
+		s.probePeersOnce(context.Background())
+		s.startProber()
 	}
 
 	if s.exp != nil {
@@ -518,6 +581,7 @@ func (s *Server) Close() error {
 		s.exp.Stop()
 		s.exp = nil
 	}
+	s.stopProber()
 	s.stopFollower()
 	if s.store != nil {
 		return s.store.Close()
@@ -572,6 +636,8 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("GET /metrics", route("metrics", s.handleMetrics))
 	api.HandleFunc("POST /admin/backup", route("backup", s.handleBackup))
 	api.HandleFunc("POST /admin/scrub", route("scrub", s.handleScrub))
+	api.HandleFunc("POST /admin/promote", route("promote", s.handlePromote))
+	api.HandleFunc("POST /admin/demote", route("demote", s.handleDemote))
 	api.HandleFunc("GET /admin/quotas", route("quotas", s.handleQuotasGet))
 	api.HandleFunc("PUT /admin/quotas", route("quotas", s.handleQuotasPut))
 
@@ -584,6 +650,7 @@ func (s *Server) Handler() http.Handler {
 	// configured) gates it instead.
 	root.HandleFunc("GET "+repl.StreamPath, route("repl_stream", s.handleReplStream))
 	root.HandleFunc("GET "+repl.BootstrapPath, route("repl_bootstrap", s.handleReplBootstrap))
+	root.HandleFunc("GET "+repl.EpochPath, route("repl_epoch", s.handleReplEpoch))
 	// Admission sits in front of the global limiter: a tenant over its
 	// quota is rejected before it can occupy one of the shared slots.
 	root.Handle(apiv1.Prefix+"/",
@@ -765,8 +832,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
+		if fenced, epoch, leader := s.store.Fenced(); fenced {
+			// A fenced ex-leader still serves reads, but readiness is the
+			// routing signal and writes belong on the successor.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "fenced",
+				"epoch":  epoch,
+				"leader": leader,
+			})
+			return
+		}
 	}
-	if f := s.follower; f != nil {
+	if f := s.follower.Load(); f != nil {
 		st := f.puller.Status()
 		if st.Diverged {
 			// Sticky: a diverged replica must never serve spliced history;
@@ -996,6 +1073,13 @@ func httpWriteError(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusConflict, apiv1.CodeConflict, err)
 		return
 	}
+	if errors.Is(err, store.ErrEpochFenced) {
+		// A fenced ex-leader without a known successor cannot redirect;
+		// the hard backstop is this typed rejection — a superseded node
+		// never acknowledges a write.
+		httpError(w, http.StatusConflict, apiv1.CodeEpochFenced, err)
+		return
+	}
 	httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, err)
 }
 
@@ -1055,7 +1139,18 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		httpWriteError(w, err)
 		return
 	}
+	s.stampEpoch(w)
 	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "objects": pi.NumObjects()})
+}
+
+// stampEpoch marks a successful write acknowledgement with the leader
+// epoch it was committed under, so clients (and the failover chaos
+// harness) can prove no two epochs ever acknowledged writes
+// concurrently.
+func (s *Server) stampEpoch(w http.ResponseWriter) {
+	if s.store != nil {
+		w.Header().Set(repl.HeaderEpoch, strconv.FormatUint(s.store.Epoch(), 10))
+	}
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -1090,6 +1185,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Errorf("no instance %q", r.PathValue("name")))
 		return
 	}
+	s.stampEpoch(w)
 	w.WriteHeader(http.StatusNoContent)
 }
 

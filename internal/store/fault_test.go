@@ -11,6 +11,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -287,4 +289,82 @@ func TestInjectedWriteLatencyDoesNotCorrupt(t *testing.T) {
 	s2, _ := open(t, dir, Options{})
 	defer s2.Close()
 	wantInstance(t, s2, "slow", fixtures.Figure2())
+}
+
+func TestGroupCommitDiskFullDegradesStore(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(nil)
+	reg := metrics.NewRegistry()
+	s, _ := open(t, dir, Options{
+		Fsync:       FsyncAlways,
+		FS:          ffs,
+		Registry:    reg,
+		CommitBatch: 64,
+		CommitDelay: 20 * time.Millisecond,
+	})
+	defer s.Close()
+	fig := fixtures.Figure2()
+	mustPut(t, s, "keep", fig)
+
+	// The volume fills mid-storm: every allocating operation on the WAL
+	// now returns ENOSPC, so the storm's first coalesced batch append
+	// fails mid-group-commit. That must degrade the store and fail every
+	// waiter in the batch — an ENOSPC'd WAL write may have landed a frame
+	// prefix, so the store cannot pretend the log is still appendable.
+	ffs.DiskFull("wal", 0)
+	const writers = 6
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Put(fmt.Sprintf("w%d", i), fig)
+		}(i)
+	}
+	wg.Wait()
+
+	enospc := 0
+	for i, err := range errs {
+		if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("writer %d: err = %v, want ErrDegraded", i, err)
+		}
+		if errors.Is(err, syscall.ENOSPC) {
+			enospc++
+		}
+	}
+	if enospc == 0 {
+		t.Fatal("no writer saw the ENOSPC cause; the batch error should carry it")
+	}
+
+	// Sticky read-only: later writes rejected, reads keep serving.
+	if err := s.Put("more", fig); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Put after disk full = %v, want ErrDegraded", err)
+	}
+	if err := s.Delete("keep"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Delete after disk full = %v, want ErrDegraded", err)
+	}
+	wantInstance(t, s, "keep", fig)
+	h := s.Health()
+	if !h.Degraded || h.Reason == "" {
+		t.Fatalf("health = %+v, want degraded with reason", h)
+	}
+	if got := reg.Gauge("store_degraded").Value(); got != 1 {
+		t.Fatalf("store_degraded gauge = %d, want 1", got)
+	}
+
+	// The full volume heals (space freed); reopening the same directory
+	// must recover every acknowledged write and nothing else.
+	ffs.Reset()
+	if err := s.Close(); err == nil {
+		t.Log("close after degrade returned nil (flush skipped)")
+	}
+	s2, _ := open(t, dir, Options{FS: ffs})
+	defer s2.Close()
+	wantInstance(t, s2, "keep", fig)
+	for i := 0; i < writers; i++ {
+		if _, ok := s2.Get(fmt.Sprintf("w%d", i)); ok {
+			t.Fatalf("unacknowledged write w%d survived reopen", i)
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pxml/internal/core"
@@ -280,6 +281,17 @@ type Store struct {
 	// lastReplStamp is the newest stamp applied via ReplApply (follower
 	// mode only), in unix nanoseconds.
 	lastReplStamp int64
+
+	// Leader-epoch and fencing state (see epoch.go). epoch/fenced/
+	// fencedLeader are guarded by mu and mirrored in the fsync'd EPOCH
+	// file. roleFollower and stamps start as Options.Follower /
+	// Options.Stamps but are atomics because Promote flips the role live
+	// while Put/Delete/commitGroup read them without holding mu.
+	epoch        uint64
+	fenced       bool
+	fencedLeader string
+	roleFollower atomic.Bool
+	stamps       atomic.Bool
 }
 
 // commitReq is one mutation waiting for its group commit. The payload is
@@ -381,8 +393,13 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		s.quarantineG = reg.Gauge("store_quarantine_files")
 		s.segmentsG = reg.Gauge("store_wal_segments")
 	}
+	s.roleFollower.Store(opts.Follower)
+	s.stamps.Store(opts.Stamps)
 	report, err := s.recover()
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.loadEpoch(); err != nil {
 		return nil, nil, err
 	}
 	var archMax uint64
@@ -474,7 +491,7 @@ func (s *Store) Put(name string, pi *core.ProbInstance) error {
 	if pi == nil {
 		return fmt.Errorf("store: nil instance %q", name)
 	}
-	if s.opts.Follower {
+	if s.roleFollower.Load() {
 		return fmt.Errorf("%w: put %q", ErrFollowerReadOnly, name)
 	}
 	req := commitReqPool.Get().(*commitReq)
@@ -487,12 +504,17 @@ func (s *Store) Put(name string, pi *core.ProbInstance) error {
 // path as Put. Deleting an absent name is a no-op (and writes nothing).
 // A degraded store rejects Delete with an error matching ErrDegraded.
 func (s *Store) Delete(name string) error {
-	if s.opts.Follower {
+	if s.roleFollower.Load() {
 		return fmt.Errorf("%w: delete %q", ErrFollowerReadOnly, name)
 	}
 	s.mu.RLock()
 	if s.degraded {
 		err := s.degradedErrLocked()
+		s.mu.RUnlock()
+		return err
+	}
+	if s.fenced {
+		err := s.fencedErrLocked()
 		s.mu.RUnlock()
 		return err
 	}
@@ -521,6 +543,12 @@ func (s *Store) submit(req *commitReq) error {
 	}
 	if s.degraded {
 		err := s.degradedErrLocked()
+		s.mu.RUnlock()
+		freeCommitReq(req)
+		return err
+	}
+	if s.fenced {
+		err := s.fencedErrLocked()
 		s.mu.RUnlock()
 		freeCommitReq(req)
 		return err
@@ -660,7 +688,7 @@ collect:
 // — recovery on the next open truncates whatever tail actually landed.
 func (s *Store) commitGroup(batch []*commitReq) {
 	buf := s.commitBuf[:0]
-	if s.opts.ArchiveDir != "" || s.opts.Stamps {
+	if s.opts.ArchiveDir != "" || s.stamps.Load() {
 		// One wall-clock stamp ahead of each batch gives archived
 		// segments the timeline point-in-time restore cuts on, and gives
 		// replication followers the wall-clock trail staleness is
@@ -881,7 +909,7 @@ func (s *Store) Compact() error {
 	// supersedes the sealed segments only; the active segment replays
 	// over the snapshot on the next open, which is idempotent because
 	// records carry full instance values.
-	if s.walBytes > 0 && !s.opts.Follower {
+	if s.walBytes > 0 && !s.roleFollower.Load() {
 		// Seal the active segment so the snapshot supersedes whole
 		// segments only; a failed rotation leaves the store exactly as it
 		// was.

@@ -47,7 +47,11 @@ type StreamChunk struct {
 	// LagBytes is how many committed WAL bytes remain at or after Next —
 	// the exact byte lag of a follower that has applied through Next.
 	LagBytes int64
-	Data     []byte
+	// Epoch is the leader epoch the chunk was read under; followers pass
+	// it to ReplApply so bytes from a superseded leader are refused (see
+	// epoch.go).
+	Epoch uint64
+	Data  []byte
 }
 
 // streamView is an immutable snapshot of the segment layout, taken under
@@ -104,6 +108,7 @@ func (s *Store) ReadStream(from Pos, maxBytes int) (StreamChunk, error) {
 		return StreamChunk{}, fmt.Errorf("store: closed")
 	}
 	view := s.streamViewLocked()
+	epoch := s.epoch
 	s.mu.RUnlock()
 
 	start, err := view.resolve(from)
@@ -111,7 +116,7 @@ func (s *Store) ReadStream(from Pos, maxBytes int) (StreamChunk, error) {
 		return StreamChunk{}, err
 	}
 	end := Pos{Seg: view.seg, Off: view.off}
-	chunk := StreamChunk{From: start, Next: start, End: end}
+	chunk := StreamChunk{From: start, Next: start, End: end, Epoch: epoch}
 	if start == end {
 		// Caught up. From/Next carry the normalized position: if the
 		// request sat exactly on a sealed segment's end they already name

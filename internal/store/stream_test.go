@@ -39,7 +39,7 @@ func replicate(t *testing.T, leader, follower *Store, maxBytes int) {
 		if len(chunk.Data) == 0 {
 			applyAt = chunk.Next // caught up behind a rotation boundary
 		}
-		res, err := follower.ReplApply(applyAt, chunk.Data)
+		res, err := follower.ReplApply(applyAt, chunk.Epoch, chunk.Data)
 		if err != nil {
 			t.Fatalf("ReplApply(%s, %d bytes): %v", applyAt, len(chunk.Data), err)
 		}
@@ -304,7 +304,7 @@ func TestStreamNeverServesTornTail(t *testing.T) {
 	// A follower applying them accepts the chunk whole.
 	follower, _ := open(t, t.TempDir(), Options{Follower: true})
 	defer follower.Close()
-	if _, err := follower.ReplApply(Pos{Seg: 1, Off: 0}, chunk.Data); err != nil {
+	if _, err := follower.ReplApply(Pos{Seg: 1, Off: 0}, chunk.Epoch, chunk.Data); err != nil {
 		t.Fatalf("follower rejected clean committed bytes: %v", err)
 	}
 }
@@ -344,7 +344,7 @@ func TestReplApplyGuards(t *testing.T) {
 	if err := follower.Delete("x"); !errors.Is(err, ErrFollowerReadOnly) {
 		t.Fatalf("follower Delete err = %v, want ErrFollowerReadOnly", err)
 	}
-	if _, err := leader.ReplApply(Pos{Seg: 1, Off: 0}, nil); err == nil {
+	if _, err := leader.ReplApply(Pos{Seg: 1, Off: 0}, 0, nil); err == nil {
 		t.Fatal("ReplApply on a leader store must fail")
 	}
 
@@ -353,13 +353,13 @@ func TestReplApplyGuards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := follower.ReplApply(Pos{Seg: 1, Off: 4}, chunk.Data); !errors.Is(err, ErrApplyMismatch) {
+	if _, err := follower.ReplApply(Pos{Seg: 1, Off: 4}, chunk.Epoch, chunk.Data); !errors.Is(err, ErrApplyMismatch) {
 		t.Fatalf("misaligned apply err = %v, want ErrApplyMismatch", err)
 	}
 	// Corrupt chunk: flip one payload byte so the CRC fails.
 	bad := append([]byte(nil), chunk.Data...)
 	bad[len(bad)-1] ^= 0xff
-	if _, err := follower.ReplApply(Pos{Seg: 1, Off: 0}, bad); err == nil {
+	if _, err := follower.ReplApply(Pos{Seg: 1, Off: 0}, chunk.Epoch, bad); err == nil {
 		t.Fatal("corrupt chunk must be rejected whole")
 	}
 	if follower.Pos() != (Pos{Seg: 1, Off: 0}) {

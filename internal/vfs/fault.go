@@ -7,12 +7,19 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
 // ErrInjected is the default error a FaultFS rule returns. Tests can
 // match it with errors.Is even when the store wraps it.
 var ErrInjected = errors.New("vfs: injected fault")
+
+// ErrDiskFull is the error DiskFull rules inject. It wraps both
+// ErrInjected and syscall.ENOSPC, so callers can match either the
+// generic "a fault fired" sentinel or the specific errno real kernels
+// return when the volume fills.
+var ErrDiskFull = fmt.Errorf("%w: disk full: %w", ErrInjected, syscall.ENOSPC)
 
 // Op names one filesystem operation class for fault matching.
 type Op string
@@ -108,6 +115,29 @@ func (f *FaultFS) FailAll(op Op, path string) {
 // ErrInjected, counting from now.
 func (f *FaultFS) FailNth(op Op, path string, n int) {
 	f.Inject(Rule{Op: op, Path: path, After: n - 1, Times: 1})
+}
+
+// diskFullOps are the operation classes that allocate blocks and hence
+// fail first when a volume fills: data writes, file creation, appends,
+// directory creation, and the metadata writes rename/link need for new
+// directory entries.
+var diskFullOps = []Op{OpWrite, OpCreate, OpOpenAppend, OpMkdir, OpRename, OpLink}
+
+// DiskFull simulates the volume running out of space for paths
+// containing path (empty = everywhere): every subsequent operation that
+// allocates blocks fails with ErrDiskFull (ENOSPC). Reads, syncs of
+// already-written data, removes, and truncates still succeed — matching
+// how a full ext4/xfs volume behaves, where freeing space is the only
+// mutation that works. skipWrites lets that many OpWrite operations
+// succeed first, so a test can land the fault mid-batch.
+func (f *FaultFS) DiskFull(path string, skipWrites int) {
+	for _, op := range diskFullOps {
+		after := 0
+		if op == OpWrite {
+			after = skipWrites
+		}
+		f.Inject(Rule{Op: op, Path: path, After: after, Err: ErrDiskFull})
+	}
 }
 
 // Reset drops all rules and injection counts.

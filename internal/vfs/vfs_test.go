@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -251,5 +252,60 @@ func TestFaultFSConcurrent(t *testing.T) {
 	}
 	if got := ffs.Injected(OpSync); got != 50 {
 		t.Fatalf("Injected(sync) = %d, want 50", got)
+	}
+}
+
+func TestFaultFSDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	f, err := ffs.OpenAppend(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("before")); err != nil {
+		t.Fatalf("write before disk full: %v", err)
+	}
+
+	ffs.DiskFull("", 1) // one more write squeezes in, then the volume is full
+
+	if _, err := f.Write([]byte("last")); err != nil {
+		t.Fatalf("skipWrites should let one write through: %v", err)
+	}
+	_, err = f.Write([]byte("lost"))
+	if !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("write on full disk = %v, want ErrDiskFull", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("disk-full error should match syscall.ENOSPC, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("disk-full error should match ErrInjected, got %v", err)
+	}
+
+	// Every allocating op fails...
+	if _, err := ffs.CreateTemp(dir, "t-*"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("CreateTemp = %v, want ENOSPC", err)
+	}
+	if _, err := ffs.OpenAppend(filepath.Join(dir, "other.log")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("OpenAppend = %v, want ENOSPC", err)
+	}
+	if err := ffs.MkdirAll(filepath.Join(dir, "sub")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("MkdirAll = %v, want ENOSPC", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "wal.log"), filepath.Join(dir, "wal2.log")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Rename = %v, want ENOSPC", err)
+	}
+
+	// ...but reads, syncs, and removes still work: freeing space is the
+	// only mutation a full volume allows.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync on full disk: %v", err)
+	}
+	if data, err := ffs.ReadFile(filepath.Join(dir, "wal.log")); err != nil || string(data) != "beforelast" {
+		t.Fatalf("ReadFile = %q, %v; want %q", data, err, "beforelast")
+	}
+	if err := ffs.Remove(filepath.Join(dir, "wal.log")); err != nil {
+		t.Fatalf("Remove on full disk: %v", err)
 	}
 }
