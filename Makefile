@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke telemetry-smoke repl-smoke failover-smoke vet staticcheck cover clean
+.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke mvcc-smoke telemetry-smoke repl-smoke failover-smoke vet staticcheck cover clean
 
 all: check
 
@@ -51,7 +51,7 @@ bench-store:
 #   go test -run '^$$' -bench ConcurrentPut -count 10 ./internal/store > new.txt
 #   benchstat old.txt new.txt
 bench-json:
-	$(GO) run ./cmd/benchjson -out results/BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -out results/BENCH_pr9.json
 
 # Quick benchmark smoke for CI: a handful of iterations per benchmark,
 # enough to catch perf-critical paths that stop compiling or start
@@ -81,6 +81,15 @@ soak:
 # Short chaos soak for CI: the same harness at the 25-cycle floor.
 soak-smoke:
 	PXML_SOAK_CYCLES=25 $(GO) test -race -run TestChaosSoak -v ./internal/store
+
+# MVCC publication smoke: the epoch-catalog stress suite (point readers,
+# Names/All scanners, a 16-writer storm, follower ReplApply, and a
+# degraded-mode flip, all asserting monotone epochs/versions) under the
+# race detector, plus the mmap/lazy-decode seams and a cold-open
+# benchmark pass at GOMAXPROCS>1 to catch the lazy path regressing.
+mvcc-smoke:
+	$(GO) test -race -run 'TestMVCCStress|TestMapFile|TestCheckBinary|TestDecodeBinaryInterned' -v ./internal/store ./internal/vfs ./internal/codec
+	$(GO) test -run '^$$' -bench 'StormRead|ColdOpen' -benchtime 20x -cpu 2 -benchmem ./internal/store
 
 # Telemetry end-to-end smoke: boot the real pxmld with the statsd
 # exporter aimed at an in-process UDP sink, drive traffic, and assert

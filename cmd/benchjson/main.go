@@ -1,16 +1,23 @@
 // benchjson runs the repo's benchmark suites (`go test -bench`) and
 // records the results as machine-readable JSON, so each PR can leave a
-// baseline behind (results/BENCH_pr7.json) and later PRs can diff
+// baseline behind (results/BENCH_pr9.json) and later PRs can diff
 // against it without re-parsing test output.
 //
-//	go run ./cmd/benchjson -out results/BENCH_pr7.json
-//	go run ./cmd/benchjson -benchtime 10x -out /tmp/smoke.json
+//	go run ./cmd/benchjson -out results/BENCH_pr9.json
+//	go run ./cmd/benchjson -benchtime 10x -cpu 1,4 -out /tmp/smoke.json
+//
+// The -cpu list is handed to `go test -cpu`, which runs every benchmark
+// once per entry with GOMAXPROCS pinned to it — that is how concurrency
+// suites get exercised at GOMAXPROCS>1 even on single-core runners. The
+// GOMAXPROCS each line actually ran at is parsed from the -N name suffix
+// and recorded per benchmark, and custom metrics emitted through
+// b.ReportMetric (e.g. the storm-read suite's p99-ns) land in the
+// benchmark's "extra" map.
 //
 // The output schema is documented in EXPERIMENTS.md. Besides the raw
-// per-benchmark numbers (iterations, ns/op, B/op, allocs/op), the tool
-// derives the two headline ratios this PR is accountable for: the
-// group-commit speedup on concurrent Puts and the result-cache speedup
-// on repeated point queries.
+// per-benchmark numbers, the tool derives the headline ratios earlier
+// PRs are accountable for: the group-commit speedup on concurrent Puts
+// and the result-cache speedup on repeated point queries.
 package main
 
 import (
@@ -38,6 +45,7 @@ type suite struct {
 var suites = []suite{
 	{".", "Fig7"},
 	{"./internal/store", "WALAppend|ConcurrentPut|OpenReplay|Compact"},
+	{"./internal/store", "StormRead|ColdOpen"},
 	{"./internal/engine", "QueryPoint"},
 	{"./internal/codec", "Encode|Decode"},
 	{"./internal/server", "FollowerFanout"},
@@ -45,13 +53,15 @@ var suites = []suite{
 
 // result is one benchmark line, parsed.
 type result struct {
-	Package     string  `json:"package"`
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	Package     string             `json:"package"`
+	Name        string             `json:"name"`
+	Gomaxprocs  int                `json:"gomaxprocs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -60,33 +70,40 @@ type report struct {
 	GoVersion  string             `json:"go_version"`
 	GOOS       string             `json:"goos"`
 	GOARCH     string             `json:"goarch"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
+	CPUList    string             `json:"cpu_list"`
 	Benchtime  string             `json:"benchtime"`
 	Benchmarks []result           `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
-// benchLine matches go test benchmark output. The -N GOMAXPROCS suffix
-// is optional: single-CPU machines emit bare names.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchLine matches go test benchmark output up through ns/op; the
+// remaining "<value> <unit>" pairs (MB/s, B/op, allocs/op, and any
+// b.ReportMetric units like p99-ns) are parsed separately. The -N
+// GOMAXPROCS suffix is captured; bare names (GOMAXPROCS=1 default on
+// single-CPU machines) fall back to 1.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// metricPair matches one trailing "<value> <unit>" measurement.
+var metricPair = regexp.MustCompile(`([\d.]+) (\S+)`)
 
 func main() {
-	out := flag.String("out", "results/BENCH_pr7.json", "where to write the JSON report")
+	out := flag.String("out", "results/BENCH_pr9.json", "where to write the JSON report")
 	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime (e.g. 1s, 10x)")
+	cpu := flag.String("cpu", "1,4", "passed to go test -cpu: GOMAXPROCS values to run each benchmark at")
 	flag.Parse()
 
 	rep := report{
-		Schema:     "pxml-bench/v1",
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchtime:  *benchtime,
-		Derived:    map[string]float64{},
+		Schema:    "pxml-bench/v2",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUList:   *cpu,
+		Benchtime: *benchtime,
+		Derived:   map[string]float64{},
 	}
 	for _, s := range suites {
-		rs, err := runSuite(s, *benchtime)
+		rs, err := runSuite(s, *benchtime, *cpu)
 		if err != nil {
 			fatal(err)
 		}
@@ -113,13 +130,13 @@ func main() {
 	}
 }
 
-func runSuite(s suite, benchtime string) ([]result, error) {
+func runSuite(s suite, benchtime, cpu string) ([]result, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", s.Pattern, "-benchmem", "-benchtime", benchtime, s.Pkg)
+		"-bench", s.Pattern, "-benchmem", "-benchtime", benchtime, "-cpu", cpu, s.Pkg)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
-	fmt.Fprintf(os.Stderr, "benchjson: go test -bench '%s' %s\n", s.Pattern, s.Pkg)
+	fmt.Fprintf(os.Stderr, "benchjson: go test -bench '%s' -cpu %s %s\n", s.Pattern, cpu, s.Pkg)
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Pkg, err)
 	}
@@ -137,17 +154,28 @@ func runSuite(s suite, benchtime string) ([]result, error) {
 		r := result{
 			Package:    pkg,
 			Name:       strings.TrimPrefix(m[1], "Benchmark"),
-			Iterations: atoi(m[2]),
-			NsPerOp:    atof(m[3]),
+			Gomaxprocs: 1,
+			Iterations: atoi(m[3]),
+			NsPerOp:    atof(m[4]),
 		}
-		if m[4] != "" {
-			r.MBPerS = atof(m[4])
+		if m[2] != "" {
+			r.Gomaxprocs = int(atoi(m[2]))
 		}
-		if m[5] != "" {
-			r.BytesPerOp = atoi(m[5])
-		}
-		if m[6] != "" {
-			r.AllocsPerOp = atoi(m[6])
+		for _, pair := range metricPair.FindAllStringSubmatch(m[5], -1) {
+			v, unit := atof(pair[1]), pair[2]
+			switch unit {
+			case "MB/s":
+				r.MBPerS = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
+			}
 		}
 		out = append(out, r)
 	}
@@ -158,10 +186,16 @@ func runSuite(s suite, benchtime string) ([]result, error) {
 }
 
 // derive records the headline before/after ratios when both sides ran.
+// With a -cpu list each name appears once per GOMAXPROCS value; ratios
+// are taken at the highest GOMAXPROCS, where contention effects show.
 func derive(rep *report) {
 	ns := map[string]float64{}
+	procs := map[string]int{}
 	for _, r := range rep.Benchmarks {
-		ns[r.Name] = r.NsPerOp
+		if r.Gomaxprocs >= procs[r.Name] {
+			procs[r.Name] = r.Gomaxprocs
+			ns[r.Name] = r.NsPerOp
+		}
 	}
 	if slow, fast := ns["ConcurrentPutNoBatch"], ns["ConcurrentPutGroupCommit"]; slow > 0 && fast > 0 {
 		rep.Derived["concurrent_put_speedup"] = slow / fast

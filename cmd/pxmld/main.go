@@ -22,6 +22,17 @@
 //	pxmld -addr :8080 -pprof 127.0.0.1:6060
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
 //
+// The mutex and block profiles served there are empty unless sampling is
+// turned on: -mutex-profile-fraction n feeds
+// runtime.SetMutexProfileFraction (1 = every contended mutex event) and
+// -block-profile-rate n feeds runtime.SetBlockProfileRate (nanoseconds;
+// 1 = every blocking event). Both default to off — sampling costs a few
+// percent under contention — and exist to audit lock-free read-path
+// claims against a live process:
+//
+//	pxmld -pprof 127.0.0.1:6060 -mutex-profile-fraction 1
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/mutex
+//
 // The serving path is hardened: GET /healthz answers liveness, GET
 // /readyz readiness (503 while draining or once the store degrades to
 // read-only), -request-timeout bounds each API request, -max-inflight
@@ -96,6 +107,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -171,6 +183,8 @@ func main() {
 	scrubInterval := flag.Duration("scrub-interval", 0, "verify one at-rest store file's checksums on this cadence; corruption degrades to read-only (0 = off)")
 	quarantineMax := flag.Int("quarantine-max", 0, "keep at most this many quarantined corrupt-region files (0 = default 64, negative = unbounded)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = off)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events into /debug/pprof/mutex (0 = off, 1 = all)")
+	blockRate := flag.Int("block-profile-rate", 0, "sample goroutine blocking events >= n ns into /debug/pprof/block (0 = off, 1 = all)")
 	statsdAddr := flag.String("statsd-addr", "", "push metrics to this StatsD/Graphite sink (host:port; empty = off)")
 	statsdInterval := flag.Duration("statsd-interval", 10*time.Second, "telemetry flush period")
 	statsdNetwork := flag.String("statsd-network", "udp", "telemetry transport: udp or tcp")
@@ -298,9 +312,18 @@ func main() {
 	if *statsdAddr != "" {
 		fmt.Fprintf(os.Stderr, "telemetry to %s://%s every %s\n", *statsdNetwork, *statsdAddr, *statsdInterval)
 	}
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 	if *pprofAddr != "" {
 		if err := servePprof(*pprofAddr); err != nil {
 			fatal(err)
+		}
+		if *mutexFraction > 0 || *blockRate > 0 {
+			fmt.Fprintf(os.Stderr, "pprof on %s (mutex fraction %d, block rate %d)\n", *pprofAddr, *mutexFraction, *blockRate)
 		}
 	}
 	for _, spec := range loads {

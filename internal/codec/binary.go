@@ -243,6 +243,35 @@ func DecodeBinary(r io.Reader) (*core.ProbInstance, error) {
 // DecodeBinaryBytes is DecodeBinary over an in-memory record. The record
 // must contain exactly one framed instance with no trailing bytes.
 func DecodeBinaryBytes(data []byte) (*core.ProbInstance, error) {
+	return DecodeBinaryBytesInterned(data, nil)
+}
+
+// DecodeBinaryBytesInterned is DecodeBinaryBytes with an optional string
+// interner. With in != nil every decoded string is routed through the
+// interner, so labels and identifiers repeated across records (the
+// dominant content of a store's snapshot) are allocated once and shared;
+// nothing in the returned instance references data, making this the
+// decode mode for memory-mapped inputs whose lifetime is shorter than
+// the instance's.
+func DecodeBinaryBytesInterned(data []byte, in *Interner) (*core.ProbInstance, error) {
+	body, err := binaryBody(data)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBinaryBody(body, in)
+}
+
+// CheckBinary verifies the record frame — magic, length prefix, CRC —
+// without decoding the body. It is the cheap, allocation-free integrity
+// gate the store's lazy load runs at open time, deferring the expensive
+// structural decode to first touch.
+func CheckBinary(data []byte) error {
+	_, err := binaryBody(data)
+	return err
+}
+
+// binaryBody validates the record frame and returns the body bytes.
+func binaryBody(data []byte) ([]byte, error) {
 	if len(data) < len(binaryMagic) || string(data[:4]) != string(binaryMagic[:]) {
 		return nil, fmt.Errorf("codec: not a %s record (bad magic)", FormatBinary)
 	}
@@ -262,7 +291,7 @@ func DecodeBinaryBytes(data []byte) (*core.ProbInstance, error) {
 	if got := crc32.ChecksumIEEE(body); got != want {
 		return nil, fmt.Errorf("codec: binary record CRC mismatch (got %08x, want %08x)", got, want)
 	}
-	return decodeBinaryBody(body)
+	return body, nil
 }
 
 // bcursor is a bounds-checked reader over the record body.
@@ -362,27 +391,44 @@ func (a *strArena) take(n int) []string {
 	return out
 }
 
-func decodeBinaryBody(body []byte) (*core.ProbInstance, error) {
+func decodeBinaryBody(body []byte, in *Interner) (*core.ProbInstance, error) {
 	c := &bcursor{b: body}
 	nStrs, err := c.count(1)
 	if err != nil {
 		return nil, err
 	}
-	// One string conversion for the whole table region: entries are
-	// substrings of it, so the table costs one allocation instead of one
-	// per string (the table is the bulk of a large record).
-	bodyStr := string(body)
 	table := make([]string, nStrs)
-	for i := range table {
-		l, err := c.uvarint()
-		if err != nil {
-			return nil, err
+	if in != nil {
+		// Interned mode: each table entry is resolved through the
+		// interner, so entries repeated across records share one heap
+		// string and nothing retains body.
+		for i := range table {
+			l, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if l > uint64(c.remaining()) {
+				return nil, fmt.Errorf("codec: string length %d exceeds remaining input", l)
+			}
+			table[i] = in.Intern(body[c.off : c.off+int(l)])
+			c.off += int(l)
 		}
-		if l > uint64(c.remaining()) {
-			return nil, fmt.Errorf("codec: string length %d exceeds remaining input", l)
+	} else {
+		// One string conversion for the whole table region: entries are
+		// substrings of it, so the table costs one allocation instead of
+		// one per string (the table is the bulk of a large record).
+		bodyStr := string(body)
+		for i := range table {
+			l, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if l > uint64(c.remaining()) {
+				return nil, fmt.Errorf("codec: string length %d exceeds remaining input", l)
+			}
+			table[i] = bodyStr[c.off : c.off+int(l)]
+			c.off += int(l)
 		}
-		table[i] = bodyStr[c.off : c.off+int(l)]
-		c.off += int(l)
 	}
 	root, err := c.str(table)
 	if err != nil {

@@ -1,0 +1,58 @@
+package codec
+
+import "sync"
+
+// Interner deduplicates strings across decodes. A store-wide interner
+// makes warm lazy decode allocate near zero: the labels, type names,
+// and identifiers that repeat across instances are copied to the heap
+// once and every later occurrence resolves to the same string.
+//
+// The interner copies each new string out of the caller's buffer (it
+// never retains the input slice), so it is safe to feed bytes from a
+// memory mapping that may later be unmapped. Entries are never evicted;
+// callers should scope an Interner to a set of records with a shared
+// vocabulary (one store), not use a global one.
+type Interner struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[string]string, 256)}
+}
+
+// Intern returns the canonical heap string equal to b, allocating it on
+// first sight. Lookups on the hit path do not allocate (the compiler
+// elides the []byte→string conversion for map indexing).
+func (in *Interner) Intern(b []byte) string {
+	in.mu.Lock()
+	s, ok := in.m[string(b)]
+	if !ok {
+		s = string(b)
+		in.m[s] = s
+	}
+	in.mu.Unlock()
+	return s
+}
+
+// InternString is Intern for an existing string.
+func (in *Interner) InternString(v string) string {
+	in.mu.Lock()
+	s, ok := in.m[v]
+	if !ok {
+		// Strings arriving here may be substrings of a larger buffer;
+		// clone so the interner pins only its own bytes.
+		s = string(append([]byte(nil), v...))
+		in.m[s] = s
+	}
+	in.mu.Unlock()
+	return s
+}
+
+// Len reports the number of distinct strings interned.
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.m)
+}

@@ -12,13 +12,23 @@
 // every mutation, so entries for the old version become unreachable and
 // age out of the LRU naturally.
 //
-// Sharding bounds lock contention: a key is hashed (FNV-1a) to one of a
-// power-of-two number of shards, each with its own mutex, LRU list, and
-// byte budget. All methods are safe for concurrent use.
+// The hit path is lock-free: each shard publishes an immutable entry map
+// behind an atomic pointer, so a lookup is one pointer load, one map
+// index, and one atomic timestamp touch. Mutations (inserts after a
+// computed miss, removals, purges) build a copy-on-write successor map
+// under the shard mutex and publish it atomically — the cost lands on
+// the miss path, next to the compute it just paid for. Recency is
+// tracked by a global monotone tick each hit stamps into the entry;
+// eviction removes the smallest-tick entries until the shard is back
+// under budget. Under serial access this reproduces exact LRU order;
+// under concurrency it is approximate (ticks race by at most the number
+// of in-flight readers), which is indistinguishable for a result cache.
+//
+// A key is hashed (FNV-1a) to one of a power-of-two number of shards,
+// each with its own budget. All methods are safe for concurrent use.
 package rescache
 
 import (
-	"container/list"
 	"sync"
 	"sync/atomic"
 )
@@ -36,6 +46,10 @@ type Cache struct {
 	shards []shard
 	mask   uint32
 
+	// clock is the recency tick: every hit and insert stamps the next
+	// value into the touched entry.
+	clock atomic.Int64
+
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
@@ -43,11 +57,12 @@ type Cache struct {
 }
 
 type shard struct {
+	// items is the published immutable entry map; readers load it
+	// without taking mu. mu guards everything else and all publishes.
+	items   atomic.Pointer[map[string]*entry]
 	mu      sync.Mutex
 	budget  int64
 	bytes   int64
-	lru     *list.List // front = most recent
-	items   map[string]*list.Element
 	flights map[string]*flight
 }
 
@@ -55,6 +70,7 @@ type entry struct {
 	key  string
 	val  any
 	cost int64
+	used atomic.Int64 // last-touch tick from Cache.clock
 }
 
 // flight is one in-progress compute that concurrent callers share.
@@ -83,8 +99,8 @@ func NewSharded(maxBytes int64, shards int) *Cache {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.budget = per
-		s.lru = list.New()
-		s.items = make(map[string]*list.Element)
+		empty := make(map[string]*entry)
+		s.items.Store(&empty)
 		s.flights = make(map[string]*flight)
 	}
 	return c
@@ -108,22 +124,19 @@ func (c *Cache) shard(key string) *shard {
 	return &c.shards[fnv32a(key)&c.mask]
 }
 
-// Get returns the cached value for key, if present, promoting it to
-// most-recently-used.
+// Get returns the cached value for key, if present, marking it
+// most-recently-used. Lock-free: one atomic map load plus an atomic
+// recency stamp.
 func (c *Cache) Get(key string) (any, bool) {
 	s := c.shard(key)
-	s.mu.Lock()
-	el, ok := s.items[key]
+	e, ok := (*s.items.Load())[key]
 	if !ok {
-		s.mu.Unlock()
 		c.misses.Add(1)
 		return nil, false
 	}
-	s.lru.MoveToFront(el)
-	v := el.Value.(*entry).val
-	s.mu.Unlock()
+	e.used.Store(c.clock.Add(1))
 	c.hits.Add(1)
-	return v, true
+	return e.val, true
 }
 
 // Put inserts (or replaces) key with the given value and cost. A cost
@@ -141,16 +154,22 @@ func (c *Cache) Put(key string, v any, cost int64) {
 // concurrent callers. compute returns (value, cost, err): on err the value
 // is handed to every waiting caller but never cached; on success the value
 // is cached unless cost is negative (the caller's "do not cache" signal —
-// still shared with concurrent waiters).
+// still shared with concurrent waiters). A hit acquires no locks.
 func (c *Cache) Do(key string, compute func() (v any, cost int64, err error)) (any, error) {
 	s := c.shard(key)
-	s.mu.Lock()
-	if el, ok := s.items[key]; ok {
-		s.lru.MoveToFront(el)
-		v := el.Value.(*entry).val
-		s.mu.Unlock()
+	if e, ok := (*s.items.Load())[key]; ok {
+		e.used.Store(c.clock.Add(1))
 		c.hits.Add(1)
-		return v, nil
+		return e.val, nil
+	}
+	s.mu.Lock()
+	// Re-check under the mutex: the entry may have been published
+	// between the lock-free miss and acquiring mu.
+	if e, ok := (*s.items.Load())[key]; ok {
+		s.mu.Unlock()
+		e.used.Store(c.clock.Add(1))
+		c.hits.Add(1)
+		return e.val, nil
 	}
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
@@ -178,31 +197,38 @@ func (c *Cache) Do(key string, compute func() (v any, cost int64, err error)) (a
 	return v, err
 }
 
-// insertLocked adds or replaces an entry and evicts LRU entries until the
-// shard is back under budget. Caller holds s.mu.
+// insertLocked publishes a successor map with the entry added or
+// replaced, evicting least-recently-used entries until the shard is back
+// under budget. Caller holds s.mu.
 func (s *shard) insertLocked(c *Cache, key string, v any, cost int64) {
 	if cost < 0 {
 		cost = 0
 	}
 	cost += entryOverhead
-	if el, ok := s.items[key]; ok {
-		e := el.Value.(*entry)
-		s.bytes += cost - e.cost
-		e.val, e.cost = v, cost
-		s.lru.MoveToFront(el)
-	} else {
-		e := &entry{key: key, val: v, cost: cost}
-		s.items[key] = s.lru.PushFront(e)
-		s.bytes += cost
+	cur := *s.items.Load()
+	m := make(map[string]*entry, len(cur)+1)
+	for k, e := range cur {
+		m[k] = e
 	}
-	for s.bytes > s.budget && s.lru.Len() > 0 {
-		back := s.lru.Back()
-		e := back.Value.(*entry)
-		s.lru.Remove(back)
-		delete(s.items, e.key)
-		s.bytes -= e.cost
+	if old, ok := m[key]; ok {
+		s.bytes -= old.cost
+	}
+	e := &entry{key: key, val: v, cost: cost}
+	e.used.Store(c.clock.Add(1))
+	m[key] = e
+	s.bytes += cost
+	for s.bytes > s.budget && len(m) > 0 {
+		var victim *entry
+		for _, cand := range m {
+			if victim == nil || cand.used.Load() < victim.used.Load() {
+				victim = cand
+			}
+		}
+		delete(m, victim.key)
+		s.bytes -= victim.cost
 		c.evictions.Add(1)
 	}
+	s.items.Store(&m)
 }
 
 // Remove drops key from the cache, reporting whether it was present.
@@ -211,14 +237,19 @@ func (c *Cache) Remove(key string) bool {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.items[key]
+	cur := *s.items.Load()
+	e, ok := cur[key]
 	if !ok {
 		return false
 	}
-	e := el.Value.(*entry)
-	s.lru.Remove(el)
-	delete(s.items, key)
+	m := make(map[string]*entry, len(cur))
+	for k, v := range cur {
+		if k != key {
+			m[k] = v
+		}
+	}
 	s.bytes -= e.cost
+	s.items.Store(&m)
 	return true
 }
 
@@ -227,21 +258,18 @@ func (c *Cache) Purge() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.lru.Init()
-		clear(s.items)
+		empty := make(map[string]*entry)
+		s.items.Store(&empty)
 		s.bytes = 0
 		s.mu.Unlock()
 	}
 }
 
-// Len returns the number of cached entries.
+// Len returns the number of cached entries. Lock-free.
 func (c *Cache) Len() int {
 	n := 0
 	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		n += s.lru.Len()
-		s.mu.Unlock()
+		n += len(*c.shards[i].items.Load())
 	}
 	return n
 }

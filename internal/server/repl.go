@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pxml/internal/apiv1"
+	"pxml/internal/engine"
 	"pxml/internal/repl"
 	"pxml/internal/retry"
 	"pxml/internal/store"
@@ -174,14 +175,23 @@ func (s *Server) applyReplicated(res store.ApplyResult) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, name := range res.Changed {
-		if pi, ok := s.store.Get(name); ok {
-			s.engines[name] = s.newEngine(name, pi)
-		} else {
-			delete(s.engines, name)
-			s.version.Add(1)
+	// One copy-on-write publish per applied chunk. Names without an
+	// engine yet stay lazy — Engine's slow path builds them from the
+	// fresh store state on first query, so there is nothing stale to
+	// replace.
+	s.mutateEnginesLocked(func(m map[string]*engine.Engine) {
+		for _, name := range res.Changed {
+			if _, built := m[name]; !built {
+				continue
+			}
+			if pi, ok := s.store.Get(name); ok {
+				m[name] = s.newEngine(name, pi)
+			} else {
+				delete(m, name)
+				s.version.Add(1)
+			}
 		}
-	}
+	})
 }
 
 // Follower reports whether this server runs as a read replica, and if

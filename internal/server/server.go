@@ -93,8 +93,15 @@ const maxStatementBytes = 1 << 20
 // backed by the durable storage engine (see NewPersistent) or, for the
 // legacy layout, by a directory of flat text files (NewPersistentFiles).
 type Server struct {
-	mu         sync.RWMutex
-	engines    map[string]*engine.Engine
+	mu sync.RWMutex
+	// engines is the published engine registry: an immutable map behind
+	// an atomic pointer, mirroring the store's MVCC catalog. Readers
+	// (Engine, Get, request handlers) load it with one pointer read and
+	// no lock; writers build a copy-on-write successor under s.mu and
+	// publish it atomically (see mutateEnginesLocked). Store-backed
+	// servers build engines on demand: a name missing here but live in
+	// the store materializes through Engine's slow path.
+	engines    atomic.Pointer[map[string]*engine.Engine]
 	store      *store.Store // log-structured persistence; nil unless NewPersistent/NewWithStore
 	dir        string       // legacy flat-file persistence; "" unless NewPersistentFiles
 	backupRoot string       // /admin/backup destination root; "" = endpoint disabled
@@ -270,7 +277,6 @@ func New(cfg Config) (*Server, error) {
 		cacheBytes = defaultResultCacheBytes
 	}
 	s := &Server{
-		engines:    make(map[string]*engine.Engine),
 		maxBody:    maxBody,
 		backupRoot: cfg.BackupRoot,
 		log:        cfg.Logger,
@@ -278,6 +284,8 @@ func New(cfg Config) (*Server, error) {
 		reg:        metrics.NewRegistry(),
 		results:    rescache.New(cacheBytes),
 	}
+	em := make(map[string]*engine.Engine)
+	s.engines.Store(&em)
 	s.requests = s.reg.Counter("http_requests")
 	s.errors = s.reg.Counter("http_errors")
 	s.shed = s.reg.Counter("http_shed")
@@ -357,9 +365,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = st
 		s.report = report
-		for name, pi := range st.All() {
-			s.engines[name] = s.newEngine(name, pi)
-		}
+		// Engines build lazily: Engine's slow path materializes one on a
+		// name's first query. Cold open therefore costs the store's
+		// frame scan, not a full decode + engine build per instance.
 	case cfg.FilesDir != "":
 		if err := s.loadFlatFiles(cfg.FilesDir); err != nil {
 			return nil, err
@@ -451,9 +459,11 @@ func (s *Server) SetQueryWorkers(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.queryWorkers = n
-	for name, eng := range s.engines {
-		s.engines[name] = s.newEngine(name, eng.Instance())
-	}
+	s.mutateEnginesLocked(func(m map[string]*engine.Engine) {
+		for name, eng := range m {
+			m[name] = s.newEngine(name, eng.Instance())
+		}
+	})
 }
 
 // QueryWorkers returns the configured per-engine batch worker bound
@@ -519,12 +529,12 @@ func (s *Server) Put(name string, pi *core.ProbInstance) error {
 			return err
 		}
 		s.mu.Lock()
-		s.engines[name] = s.newEngine(name, pi)
+		s.mutateEnginesLocked(func(m map[string]*engine.Engine) { m[name] = s.newEngine(name, pi) })
 		s.mu.Unlock()
 		return nil
 	}
 	s.mu.Lock()
-	s.engines[name] = s.newEngine(name, pi)
+	s.mutateEnginesLocked(func(m map[string]*engine.Engine) { m[name] = s.newEngine(name, pi) })
 	s.mu.Unlock()
 	return s.persist(name, pi)
 }
@@ -538,12 +548,48 @@ func (s *Server) Get(name string) (*core.ProbInstance, bool) {
 	return eng.Instance(), true
 }
 
-// Engine returns the named instance's query engine.
+// engineMap returns the published engine registry. The map is immutable;
+// mutators publish successors via mutateEnginesLocked.
+func (s *Server) engineMap() map[string]*engine.Engine {
+	return *s.engines.Load()
+}
+
+// mutateEnginesLocked publishes a copy-on-write successor of the engine
+// registry transformed by fn. Callers hold s.mu.
+func (s *Server) mutateEnginesLocked(fn func(m map[string]*engine.Engine)) {
+	cur := s.engineMap()
+	m := make(map[string]*engine.Engine, len(cur)+1)
+	for k, v := range cur {
+		m[k] = v
+	}
+	fn(m)
+	s.engines.Store(&m)
+}
+
+// Engine returns the named instance's query engine. The fast path is
+// one atomic registry load — no locks. On a store-backed server a name
+// that is live in the store but has no engine yet (cold start, or a
+// follower apply that outpaced queries) gets one built and published on
+// first touch.
 func (s *Server) Engine(name string) (*engine.Engine, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	eng, ok := s.engines[name]
-	return eng, ok
+	if eng, ok := s.engineMap()[name]; ok {
+		return eng, true
+	}
+	if s.store == nil {
+		return nil, false
+	}
+	pi, ok := s.store.Get(name)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if eng, ok := s.engineMap()[name]; ok {
+		return eng, true
+	}
+	eng := s.newEngine(name, pi)
+	s.mutateEnginesLocked(func(m map[string]*engine.Engine) { m[name] = eng })
+	return eng, true
 }
 
 // Delete removes the named instance, reporting whether it existed. Like
@@ -552,23 +598,31 @@ func (s *Server) Engine(name string) (*engine.Engine, bool) {
 // served, rather than vanishing from memory only to resurrect from disk
 // on the next restart.
 func (s *Server) Delete(name string) (bool, error) {
+	var existed bool
 	if s.store != nil {
+		// Existence comes from the store's catalog, not the engine map:
+		// with lazily built engines, a recovered instance that was never
+		// queried has no engine yet but very much exists.
+		_, existed = s.store.Version(name)
 		if err := s.store.Delete(name); err != nil {
 			return false, err
 		}
 	}
 	s.mu.Lock()
-	_, ok := s.engines[name]
-	delete(s.engines, name)
+	_, ok := s.engineMap()[name]
+	if ok {
+		s.mutateEnginesLocked(func(m map[string]*engine.Engine) { delete(m, name) })
+	}
 	s.mu.Unlock()
+	existed = existed || ok
 	// Bump the version so any future engine for this name starts under a
 	// fresh cache prefix; the dropped engine's entries are already
 	// unreachable and will age out of the LRU.
 	s.version.Add(1)
-	if ok && s.store == nil {
+	if existed && s.store == nil {
 		s.unpersist(name)
 	}
-	return ok, nil
+	return existed, nil
 }
 
 // Close stops the telemetry flush loop (after one final flush), stops
@@ -593,12 +647,16 @@ func (s *Server) Close() error {
 // and hence are restricted to [A-Za-z0-9_-]+.
 func (s *Server) persistent() bool { return s.store != nil || s.dir != "" }
 
-// Names returns the stored names, sorted.
+// Names returns the stored names, sorted. Lock-free: the store's
+// catalog (which caches its sorted key list per epoch) on store-backed
+// servers, the published engine registry otherwise.
 func (s *Server) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.engines))
-	for n := range s.engines {
+	if s.store != nil {
+		return s.store.Names()
+	}
+	em := s.engineMap()
+	out := make([]string, 0, len(em))
+	for n := range em {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -909,12 +967,20 @@ type listEntry struct {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	engines := make(map[string]*engine.Engine, len(s.engines))
-	for name, eng := range s.engines {
-		engines[name] = eng
+	// The registry map is immutable once published — iterate it
+	// directly, no lock, no copy. Store-backed servers list the store's
+	// catalog instead (engines build lazily, so the registry alone may
+	// under-report); Engine materializes any not-yet-built entry.
+	engines := s.engineMap()
+	if s.store != nil {
+		names := s.store.Names()
+		engines = make(map[string]*engine.Engine, len(names))
+		for _, name := range names {
+			if eng, ok := s.Engine(name); ok {
+				engines[name] = eng
+			}
+		}
 	}
-	s.mu.RUnlock()
 	entries := make([]listEntry, 0, len(engines))
 	for name, eng := range engines {
 		pi := eng.Instance()
@@ -975,12 +1041,13 @@ type telemetryStatus struct {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.updateRuntimeGauges()
-	s.mu.RLock()
-	insts := make(map[string]any, len(s.engines))
-	for name, eng := range s.engines {
+	// Live engines only: a lazily loaded instance that was never queried
+	// has no engine and no per-engine metrics to report.
+	em := s.engineMap()
+	insts := make(map[string]any, len(em))
+	for name, eng := range em {
 		insts[name] = eng.Metrics()
 	}
-	s.mu.RUnlock()
 	payload := metricsPayload{
 		SchemaVersion: metricsSchemaVersion,
 		UptimeS:       time.Since(s.started).Seconds(),
@@ -1463,7 +1530,9 @@ func (s *Server) loadFlatFiles(dir string) error {
 				"file", path, "quarantined_to", corrupt, "error", err)
 			continue
 		}
-		s.engines[name] = s.newEngine(name, pi)
+		s.mu.Lock()
+		s.mutateEnginesLocked(func(m map[string]*engine.Engine) { m[name] = s.newEngine(name, pi) })
+		s.mu.Unlock()
 	}
 	return nil
 }

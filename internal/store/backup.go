@@ -88,7 +88,7 @@ func (s *Store) Backup(destDir string) (*Manifest, error) {
 		Format:     ManifestFormat,
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339Nano),
 		Pos:        Pos{Seg: s.seg, Off: s.walBytes},
-		Instances:  len(s.instances),
+		Instances:  s.Len(),
 		WALRecords: s.walRecords,
 	}
 	type copyItem struct {

@@ -1,0 +1,245 @@
+package store
+
+// MVCC read-path benchmarks. BenchmarkStormRead* measure point-read tail
+// latency (p99-ns) while a 16-writer group-commit storm churns the
+// catalog — on a leader taking local Puts, and on a follower ingesting
+// the same storm through ReplApply. BenchmarkColdOpen* measure open wall
+// time and allocations against a compacted snapshot, where lazy decode
+// keeps the cost I/O-bound: frames are CRC-checked but instance bodies
+// stay undecoded until first touch.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"pxml/internal/fixtures"
+)
+
+const stormNames = 64
+
+// stormSetup opens a store preloaded with stormNames instances.
+func stormSetup(b *testing.B, dir string, opts Options) *Store {
+	b.Helper()
+	opts.Fsync = FsyncNever
+	opts.CompactThreshold = -1
+	s := benchOpen(b, dir, opts)
+	pi := fixtures.Figure2()
+	for i := 0; i < stormNames; i++ {
+		if err := s.Put(stormName(i), pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func stormName(i int) string { return fmt.Sprintf("inst-%03d", i) }
+
+// runStormReaders drives concurrent point reads against reads while the
+// caller keeps a write storm running, and reports the p99 read latency.
+func runStormReaders(b *testing.B, reads *Store) {
+	var (
+		mu      sync.Mutex
+		samples []int64
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(rand.Int63()))
+		local := make([]int64, 0, 4096)
+		for pb.Next() {
+			name := stormName(r.Intn(stormNames))
+			t0 := time.Now()
+			pi, ok := reads.Get(name)
+			local = append(local, int64(time.Since(t0)))
+			if !ok || pi == nil {
+				b.Errorf("Get(%s) missed during storm", name)
+				return
+			}
+		}
+		mu.Lock()
+		samples = append(samples, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		idx := (len(samples) * 99) / 100
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		b.ReportMetric(float64(samples[idx]), "p99-ns")
+	}
+}
+
+// BenchmarkStormReadLeader: readers hit the leader's catalog while 16
+// writers commit through the group-commit path.
+func BenchmarkStormReadLeader(b *testing.B) {
+	s := stormSetup(b, b.TempDir(), Options{})
+	defer s.Close()
+	pi := fixtures.Figure2()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.Put(stormName(r.Intn(stormNames)), pi); err != nil {
+					return // degraded/closed: stop writing, readers still measure
+				}
+			}
+		}(w)
+	}
+	runStormReaders(b, s)
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkStormReadFollower: readers hit a follower whose catalog is
+// churned by ReplApply chunks streamed from a leader under the same
+// 16-writer storm.
+func BenchmarkStormReadFollower(b *testing.B) {
+	leader := stormSetup(b, b.TempDir(), Options{})
+	defer leader.Close()
+
+	fdir := b.TempDir()
+	f, _, err := Open(fdir, Options{Follower: true, Fsync: FsyncNever, CompactThreshold: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	catchUp := func() {
+		for {
+			from := f.Pos()
+			chunk, err := leader.ReadStream(from, 1<<20)
+			if err != nil {
+				b.Fatalf("ReadStream(%s): %v", from, err)
+			}
+			applyAt := chunk.From
+			if len(chunk.Data) == 0 {
+				if chunk.Next == from {
+					return
+				}
+				applyAt = chunk.Next
+			}
+			if _, err := f.ReplApply(applyAt, chunk.Epoch, chunk.Data); err != nil {
+				b.Fatalf("ReplApply(%s): %v", applyAt, err)
+			}
+		}
+	}
+	catchUp()
+	if f.Len() != stormNames {
+		b.Fatalf("follower catalog has %d instances, want %d", f.Len(), stormNames)
+	}
+
+	pi := fixtures.Figure2()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := leader.Put(stormName(r.Intn(stormNames)), pi); err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	// One applier mirrors the leader's group commits onto the follower,
+	// the way the repl client does in production.
+	walBefore := f.WALSize()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			from := f.Pos()
+			chunk, err := leader.ReadStream(from, 1<<20)
+			if err != nil {
+				return
+			}
+			applyAt := chunk.From
+			if len(chunk.Data) == 0 {
+				if chunk.Next == from {
+					continue
+				}
+				applyAt = chunk.Next
+			}
+			if _, err := f.ReplApply(applyAt, chunk.Epoch, chunk.Data); err != nil {
+				return
+			}
+		}
+	}()
+	runStormReaders(b, f)
+	close(stop)
+	wg.Wait()
+	// Prove the storm actually churned the follower: report how many
+	// replicated bytes landed per measured read.
+	b.ReportMetric(float64(f.WALSize()-walBefore)/float64(b.N), "repl-B/op")
+}
+
+// benchmarkColdOpen builds a compacted store of n random instances once,
+// then measures reopening it cold: wall time per open plus allocations,
+// validated by a single point read.
+func benchmarkColdOpen(b *testing.B, n int) {
+	dir := b.TempDir()
+	s := benchOpen(b, dir, Options{Fsync: FsyncNever, CompactThreshold: -1})
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		pi := fixtures.RandomInstance(r, fixtures.RandomConfig{
+			MaxDepth: 4, MaxChildren: 4, WithCard: true, LeafDomain: 3,
+		})
+		if err := s.Put(stormName(i%stormNames)+fmt.Sprintf("-%d", i), pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	probe := stormName(0) + "-0"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _, err := Open(dir, Options{CompactThreshold: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != n {
+			b.Fatalf("opened %d instances, want %d", s.Len(), n)
+		}
+		if _, ok := s.Get(probe); !ok {
+			b.Fatalf("probe instance %q missing after open", probe)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdOpenSmall(b *testing.B) { benchmarkColdOpen(b, 32) }
+func BenchmarkColdOpenLarge(b *testing.B) { benchmarkColdOpen(b, 512) }

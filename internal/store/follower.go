@@ -134,22 +134,27 @@ func (s *Store) ReplApply(from Pos, epoch uint64, data []byte) (ApplyResult, err
 				return ApplyResult{}, s.degradeLocked(err)
 			}
 		}
-		for _, rec := range recs {
-			switch rec.op {
-			case opPut:
-				s.instances[rec.name] = rec.inst
-				out.Records++
-				out.Changed = append(out.Changed, rec.name)
-			case opDelete:
-				delete(s.instances, rec.name)
-				out.Records++
-				out.Changed = append(out.Changed, rec.name)
-			case opStamp:
-				if rec.ts > out.StampNanos {
-					out.StampNanos = rec.ts
+		// One catalog publish per applied chunk, mirroring the leader's
+		// one-publish-per-group-commit: follower readers step whole
+		// epochs, never a partially applied chunk.
+		s.mutateCatalogLocked(func(m map[string]*catEntry) {
+			for _, rec := range recs {
+				switch rec.op {
+				case opPut:
+					m[rec.name] = s.newEntryLocked(rec.name, rec.inst)
+					out.Records++
+					out.Changed = append(out.Changed, rec.name)
+				case opDelete:
+					delete(m, rec.name)
+					out.Records++
+					out.Changed = append(out.Changed, rec.name)
+				case opStamp:
+					if rec.ts > out.StampNanos {
+						out.StampNanos = rec.ts
+					}
 				}
 			}
-		}
+		})
 		s.walRecords += int64(out.Records)
 		if out.StampNanos > s.lastReplStamp {
 			s.lastReplStamp = out.StampNanos

@@ -64,7 +64,7 @@ func (s *Store) Health() Health {
 	h := Health{
 		Degraded:         s.degraded,
 		Reason:           s.degradeCause,
-		Instances:        len(s.instances),
+		Instances:        s.Len(),
 		WALBytes:         s.walTotal,
 		WALRecords:       s.walRecords,
 		WALSegments:      len(s.sealed) + 1,

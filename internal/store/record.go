@@ -59,43 +59,60 @@ func appendDeleteRecord(buf []byte, name string) []byte {
 	return append(buf, name...)
 }
 
+// splitRecord parses a frame payload's header — op, name, undecoded
+// body — without touching the instance encoding. It is the cheap half
+// of decodeRecord, used by the lazy snapshot load to defer the
+// expensive structural decode to first touch. The returned name is a
+// fresh heap string; body aliases payload. For opStamp, body is the
+// 8-byte timestamp and name is empty.
+func splitRecord(payload []byte) (op byte, name string, body []byte, err error) {
+	if len(payload) < 1 {
+		return 0, "", nil, fmt.Errorf("store: empty record payload")
+	}
+	op = payload[0]
+	if op == opStamp {
+		if len(payload) != 9 {
+			return 0, "", nil, fmt.Errorf("store: stamp record is %d bytes, want 9", len(payload))
+		}
+		return opStamp, "", payload[1:], nil
+	}
+	if op != opPut && op != opDelete {
+		return 0, "", nil, fmt.Errorf("store: unknown record op %d", op)
+	}
+	n, k := binary.Uvarint(payload[1:])
+	if k <= 0 || n > uint64(len(payload)-1-k) {
+		return 0, "", nil, fmt.Errorf("store: malformed record name length")
+	}
+	name = string(payload[1+k : 1+k+int(n)])
+	if name == "" {
+		return 0, "", nil, fmt.Errorf("store: record with empty name")
+	}
+	body = payload[1+k+int(n):]
+	if op == opDelete && len(body) != 0 {
+		return 0, "", nil, fmt.Errorf("store: delete record %q carries %d stray bytes", name, len(body))
+	}
+	return op, name, body, nil
+}
+
 // decodeRecord parses one frame payload. The instance is fully decoded
 // and validated, so a record that survives the frame checksum can still
 // be rejected here (e.g. a writer bug produced an invalid instance); the
 // caller quarantines such records like any other corruption.
 func decodeRecord(payload []byte) (record, error) {
-	if len(payload) < 1 {
-		return record{}, fmt.Errorf("store: empty record payload")
+	op, name, body, err := splitRecord(payload)
+	if err != nil {
+		return record{}, err
 	}
-	op := payload[0]
-	if op == opStamp {
-		if len(payload) != 9 {
-			return record{}, fmt.Errorf("store: stamp record is %d bytes, want 9", len(payload))
-		}
-		return record{op: opStamp, ts: int64(binary.LittleEndian.Uint64(payload[1:]))}, nil
-	}
-	n, k := binary.Uvarint(payload[1:])
-	if k <= 0 || n > uint64(len(payload)-1-k) {
-		return record{}, fmt.Errorf("store: malformed record name length")
-	}
-	name := string(payload[1+k : 1+k+int(n)])
-	if name == "" {
-		return record{}, fmt.Errorf("store: record with empty name")
-	}
-	body := payload[1+k+int(n):]
 	switch op {
+	case opStamp:
+		return record{op: opStamp, ts: int64(binary.LittleEndian.Uint64(body))}, nil
 	case opPut:
 		pi, err := codec.DecodeBinaryBytes(body)
 		if err != nil {
 			return record{}, fmt.Errorf("store: record %q: %w", name, err)
 		}
 		return record{op: opPut, name: name, inst: pi}, nil
-	case opDelete:
-		if len(body) != 0 {
-			return record{}, fmt.Errorf("store: delete record %q carries %d stray bytes", name, len(body))
-		}
-		return record{op: opDelete, name: name}, nil
 	default:
-		return record{}, fmt.Errorf("store: unknown record op %d", op)
+		return record{op: opDelete, name: name}, nil
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pxml/internal/codec"
+	"pxml/internal/vfs"
 )
 
 // Recovery runs before the WAL is opened, so all its I/O goes through
@@ -87,13 +88,23 @@ func (r *RecoveryReport) String() string {
 // failures (not data corruption) abort recovery.
 func (s *Store) recover() (*RecoveryReport, error) {
 	report := &RecoveryReport{}
-	if _, _, err := s.recoverFile(snapshotName, "snapshot", false, &report.SnapshotRecords, report); err != nil {
+	// Recovery builds the first catalog in s.recm (single-goroutine:
+	// nothing else runs before Open starts the committer) and publishes
+	// it once, at the end.
+	s.recm = make(map[string]*catEntry)
+	// The snapshot is the one file large enough to matter at open: map
+	// it read-only and defer instance decode to first touch (frame CRCs
+	// are still verified eagerly, so corruption quarantines now, not at
+	// query time). WAL files replay eagerly — they are short-lived,
+	// carry deletes, and get truncated/rewritten, so aliasing them is
+	// not worth the bookkeeping.
+	if _, _, err := s.recoverFile(snapshotName, "snapshot", false, true, &report.SnapshotRecords, report); err != nil {
 		return nil, err
 	}
 	// A pre-segmentation wal.log predates every segment, so it replays
 	// right after the snapshot. It is retired (snapshotted into the new
 	// layout, then deleted) by the post-recovery compaction.
-	if _, found, err := s.recoverFile(legacyWALName, "wal", true, &report.WALRecords, report); err != nil {
+	if _, found, err := s.recoverFile(legacyWALName, "wal", true, false, &report.WALRecords, report); err != nil {
 		return nil, err
 	} else if found {
 		report.MigratedWAL = true
@@ -110,7 +121,7 @@ func (s *Store) recover() (*RecoveryReport, error) {
 		// quarantined instead.
 		last := i == len(segs)-1
 		source := strings.TrimSuffix(segmentFile(n), segSuffix)
-		size, _, err := s.recoverFile(segmentFile(n), source, last, &report.WALRecords, report)
+		size, _, err := s.recoverFile(segmentFile(n), source, last, false, &report.WALRecords, report)
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +141,12 @@ func (s *Store) recover() (*RecoveryReport, error) {
 	// Pick up quarantine files left by earlier runs so the cap and the
 	// gauge reflect the directory, not just this recovery.
 	s.pruneQuarantine()
-	report.Recovered = len(s.instances)
+	report.Recovered = len(s.recm)
+	// Publish the recovered catalog in one step; readers existing from
+	// here on see the complete replay result.
+	cur := s.cat.Load()
+	s.cat.Store(&catalog{epoch: cur.epoch + 1, m: s.recm})
+	s.recm = nil
 	if s.opts.Logger != nil {
 		s.opts.Logger.Printf("store: %s", report)
 	}
@@ -144,15 +160,59 @@ func (s *Store) recover() (*RecoveryReport, error) {
 // the signature of an append cut short by a crash. Otherwise a torn tail
 // is quarantined like any other corruption (snapshots and sealed
 // segments are never appended to, so a short tail means real damage).
-func (s *Store) recoverFile(fileName, source string, truncateTail bool, nRecords *int, report *RecoveryReport) (int64, bool, error) {
-	data, err := s.fs.ReadFile(s.path(fileName))
-	if os.IsNotExist(err) {
-		return 0, false, nil
-	}
-	if err != nil {
-		return 0, false, fmt.Errorf("store: %w", err)
+func (s *Store) recoverFile(fileName, source string, truncateTail, lazy bool, nRecords *int, report *RecoveryReport) (int64, bool, error) {
+	var data []byte
+	var src *vfs.Mapping
+	if lazy {
+		// Map instead of read: the bytes stay in the page cache and lazy
+		// entries alias them until first touch. Through a FaultFS (no
+		// Mapper capability) this degrades to a ReadFile, so injected
+		// read failures still fire.
+		m, err := vfs.MapFile(s.fs, s.path(fileName))
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		if err != nil {
+			return 0, false, fmt.Errorf("store: %w", err)
+		}
+		src = m
+		data = m.Bytes()
+	} else {
+		var err error
+		data, err = s.fs.ReadFile(s.path(fileName))
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		if err != nil {
+			return 0, false, fmt.Errorf("store: %w", err)
+		}
 	}
 	res, err := scanFrames(data, func(off int64, payload []byte) error {
+		if lazy {
+			op, name, body, derr := splitRecord(payload)
+			if derr == nil && op == opPut {
+				// Frame CRC already covers these bytes; CheckBinary
+				// additionally validates the record's own frame (magic,
+				// length, CRC) so a malformed embed quarantines at open,
+				// exactly like the eager path. Only the structural
+				// decode is deferred.
+				derr = codec.CheckBinary(body)
+			}
+			if derr != nil {
+				return s.quarantine(source, off, payload, derr, report)
+			}
+			switch op {
+			case opPut:
+				*nRecords++
+				s.recm[name] = s.newLazyEntryLocked(name, payload, len(payload)-len(body), src)
+			case opDelete:
+				*nRecords++
+				delete(s.recm, name)
+			case opStamp:
+				// Commit-time wall-clock marker; no catalog effect.
+			}
+			return nil
+		}
 		rec, derr := decodeRecord(payload)
 		if derr != nil {
 			return s.quarantine(source, off, payload, derr, report)
@@ -160,10 +220,10 @@ func (s *Store) recoverFile(fileName, source string, truncateTail bool, nRecords
 		switch rec.op {
 		case opPut:
 			*nRecords++
-			s.instances[rec.name] = rec.inst
+			s.recm[rec.name] = s.newEntryLocked(rec.name, rec.inst)
 		case opDelete:
 			*nRecords++
-			delete(s.instances, rec.name)
+			delete(s.recm, rec.name)
 		case opStamp:
 			// Commit-time wall-clock marker; no catalog effect.
 		}
@@ -295,7 +355,7 @@ func (s *Store) migrateLegacy(report *RecoveryReport) error {
 			}
 			continue
 		}
-		s.instances[name] = pi
+		s.recm[name] = s.newEntryLocked(name, pi)
 		migrated = append(migrated, p)
 		report.MigratedLegacy++
 	}

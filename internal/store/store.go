@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pxml/internal/codec"
 	"pxml/internal/core"
 	"pxml/internal/metrics"
 	"pxml/internal/vfs"
@@ -191,8 +191,22 @@ type Store struct {
 	// and compaction (the only deleter of the sealed local segments the
 	// archiver copies). It is always taken before s.mu, never inside it,
 	// so the copies themselves can run without stalling readers/writers.
-	archMu      sync.Mutex
-	instances   map[string]*core.ProbInstance
+	archMu sync.Mutex
+
+	// cat is the published MVCC catalog (see catalog.go): readers load
+	// it with one atomic pointer read; every publisher (group commit,
+	// follower apply, recovery) builds a copy-on-write successor under
+	// s.mu and stores it here. nameVers is the publish-side per-name
+	// version counter feeding catEntry.version; interner dedupes strings
+	// across lazy decodes; lazyErrs counts failed materializations.
+	cat      atomic.Pointer[catalog]
+	nameVers map[string]uint64
+	interner *codec.Interner
+	lazyErrs atomic.Int64
+	// recm is the catalog under construction during recovery; published
+	// into cat (and cleared) before Open starts any goroutine.
+	recm map[string]*catEntry
+
 	wal         vfs.File  // active segment, open for append
 	seg         uint64    // active segment number
 	activeBytes int64     // recovered size of the active segment (set by recover)
@@ -255,6 +269,7 @@ type Store struct {
 	scrubCorruptC  *metrics.Counter
 	quarantineG    *metrics.Gauge
 	segmentsG      *metrics.Gauge
+	lazyErrsC      *metrics.Counter
 
 	// Group commit: Put/Delete enqueue framed records on commits and a
 	// single committer goroutine coalesces them into one WAL write + one
@@ -360,7 +375,8 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		dir:        dir,
 		opts:       opts,
 		fs:         opts.FS,
-		instances:  make(map[string]*core.ProbInstance),
+		nameVers:   make(map[string]uint64),
+		interner:   codec.NewInterner(),
 		commits:    make(chan *commitReq, commitQueueDepth),
 		commitDone: make(chan struct{}),
 		stop:       make(chan struct{}),
@@ -370,6 +386,7 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 
 		commitSignal: make(chan struct{}),
 	}
+	s.cat.Store(emptyCatalog())
 	s.backupsDone = sync.NewCond(&s.mu)
 	if reg := opts.Registry; reg != nil {
 		s.walAppends = reg.Counter("store_wal_appends")
@@ -392,6 +409,7 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		s.scrubCorruptC = reg.Counter("store_scrub_corruptions")
 		s.quarantineG = reg.Gauge("store_quarantine_files")
 		s.segmentsG = reg.Gauge("store_wal_segments")
+		s.lazyErrsC = reg.Counter("store_lazy_decode_errors")
 	}
 	s.roleFollower.Store(opts.Follower)
 	s.stamps.Store(opts.Stamps)
@@ -464,7 +482,7 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		}
 	}
 	if reg := opts.Registry; reg != nil {
-		reg.Counter("store_recovered_instances").Add(int64(len(s.instances)))
+		reg.Counter("store_recovered_instances").Add(int64(s.Len()))
 		reg.Counter("store_recovery_quarantined").Add(int64(len(report.Quarantined)))
 		reg.Counter("store_recovery_truncated_bytes").Add(report.TruncatedBytes)
 	}
@@ -518,9 +536,8 @@ func (s *Store) Delete(name string) error {
 		s.mu.RUnlock()
 		return err
 	}
-	_, ok := s.instances[name]
 	s.mu.RUnlock()
-	if !ok {
+	if _, ok := s.cat.Load().m[name]; !ok {
 		return nil
 	}
 	req := commitReqPool.Get().(*commitReq)
@@ -562,43 +579,44 @@ func (s *Store) submit(req *commitReq) error {
 	return err
 }
 
-// Get returns the named instance.
+// Get returns the named instance. Lock-free: one atomic catalog load
+// plus, for entries recovered lazily from the snapshot, a one-time
+// materialization on first touch (see catalog.go).
 func (s *Store) Get(name string) (*core.ProbInstance, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pi, ok := s.instances[name]
-	return pi, ok
+	e, ok := s.cat.Load().m[name]
+	if !ok {
+		return nil, false
+	}
+	return s.entryInstance(name, e)
 }
 
-// Names returns the catalog names in sorted order.
+// Names returns the catalog names in sorted order. Lock-free; the sort
+// runs at most once per published catalog and is cached, so steady-state
+// calls cost one copy.
 func (s *Store) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.instances))
-	for n := range s.instances {
-		out = append(out, n)
-	}
-	sort.Strings(out)
+	ns := s.cat.Load().sortedNames()
+	out := make([]string, len(ns))
+	copy(out, ns)
 	return out
 }
 
 // All returns a copy of the catalog map (the instances themselves are
-// shared).
+// shared). Lock-free; lazy entries materialize as they are visited, and
+// entries whose materialization failed are omitted.
 func (s *Store) All() map[string]*core.ProbInstance {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]*core.ProbInstance, len(s.instances))
-	for n, pi := range s.instances {
-		out[n] = pi
+	c := s.cat.Load()
+	out := make(map[string]*core.ProbInstance, len(c.m))
+	for n, e := range c.m {
+		if pi, ok := s.entryInstance(n, e); ok {
+			out[n] = pi
+		}
 	}
 	return out
 }
 
-// Len returns the number of catalogued instances.
+// Len returns the number of catalogued instances. Lock-free.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.instances)
+	return len(s.cat.Load().m)
 }
 
 // WALSize returns the current WAL length in bytes, summed across the
@@ -745,14 +763,19 @@ func (s *Store) commitLocked(frames []byte, batch []*commitReq) error {
 			return s.degradeLocked(err)
 		}
 	}
-	for _, r := range batch {
-		switch r.op {
-		case opPut:
-			s.instances[r.name] = r.inst
-		case opDelete:
-			delete(s.instances, r.name)
+	// One copy-on-write catalog publish for the whole batch: readers go
+	// from epoch N to N+1 in a single atomic step, never observing a
+	// partially applied group commit.
+	s.mutateCatalogLocked(func(m map[string]*catEntry) {
+		for _, r := range batch {
+			switch r.op {
+			case opPut:
+				m[r.name] = s.newEntryLocked(r.name, r.inst)
+			case opDelete:
+				delete(m, r.name)
+			}
 		}
-	}
+	})
 	s.signalCommitLocked()
 	if s.opts.SegmentSize > 0 && s.walBytes >= s.opts.SegmentSize {
 		if err := s.rotateLocked(); err != nil {
@@ -994,21 +1017,23 @@ func (s *Store) Compact() error {
 		s.compactions.Inc()
 	}
 	if s.opts.Logger != nil {
-		s.opts.Logger.Printf("store: compacted %d instances into %s", len(s.instances), snapshotName)
+		s.opts.Logger.Printf("store: compacted %d instances into %s", s.Len(), snapshotName)
 	}
 	return nil
 }
 
 // writeSnapshotLocked stages and atomically installs snapshot.pxs.
+// Materialized entries re-encode from their instance; entries still
+// lazy from the previous snapshot splice their raw record bytes through
+// without decoding, so compacting a cold store stays I/O-bound.
 func (s *Store) writeSnapshotLocked() error {
-	names := make([]string, 0, len(s.instances))
-	for n := range s.instances {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	c := s.cat.Load()
 	var buf []byte
-	for _, n := range names {
-		buf = appendFrame(buf, appendPutRecord(nil, n, s.instances[n]))
+	for _, n := range c.sortedNames() {
+		var err error
+		if buf, err = s.snapshotAppendLocked(buf, n, c.m[n]); err != nil {
+			return err
+		}
 	}
 	tmp, err := s.fs.CreateTemp(s.dir, snapshotName+".tmp-")
 	if err != nil {

@@ -1,0 +1,73 @@
+package vfs
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Mapping is a read-only view of a whole file. Mapped views point at the
+// kernel's page cache (zero heap copies); fallback views hold the file's
+// bytes on the heap. Bytes must not be written through either way.
+//
+// Close is idempotent and releases the view. A finalizer also releases
+// it when the Mapping becomes unreachable, so holders that hand
+// sub-slices of Bytes to long-lived structures can simply keep the
+// Mapping referenced from those structures and never call Close — the
+// view unmaps only after the last referent is gone. After Close (or the
+// finalizer) runs, previously returned sub-slices are dangling; see
+// DESIGN.md §16 for the lifetime rules the store layers on top.
+type Mapping struct {
+	data   []byte
+	closed atomic.Bool
+	// unmap releases a kernel mapping; nil for heap-backed fallbacks.
+	unmap func([]byte) error
+}
+
+// Bytes returns the mapped contents. The slice is valid until Close.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the view is a true kernel mapping (false for
+// the heap-backed fallback).
+func (m *Mapping) Mapped() bool { return m.unmap != nil }
+
+// Close releases the view. Safe to call more than once.
+func (m *Mapping) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	runtime.SetFinalizer(m, nil)
+	data := m.data
+	m.data = nil
+	if m.unmap != nil {
+		return m.unmap(data)
+	}
+	return nil
+}
+
+// Mapper is an optional FS capability: filesystems that can memory-map
+// a file implement it. Callers should not type-assert directly; MapFile
+// performs the capability check and the fallback.
+type Mapper interface {
+	// Mmap maps name read-only in its entirety.
+	Mmap(name string) (*Mapping, error)
+}
+
+// MapFile returns a read-only Mapping of name. When fsys supports
+// mmap (OS on unix builds) the file is mapped; otherwise — FaultFS,
+// non-unix builds, or the pxml_nommap build tag — the contents are read
+// through fsys.ReadFile so fault injection still sees the access.
+func MapFile(fsys FS, name string) (*Mapping, error) {
+	if mp, ok := fsys.(Mapper); ok {
+		m, err := mp.Mmap(name)
+		if err != nil {
+			return nil, err
+		}
+		runtime.SetFinalizer(m, func(m *Mapping) { m.Close() })
+		return m, nil
+	}
+	data, err := fsys.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}

@@ -1,0 +1,82 @@
+package vfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMapFileOS(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "blob")
+	want := bytes.Repeat([]byte("pxml-mmap "), 1000)
+	if err := os.WriteFile(name, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(OS, name)
+	if err != nil {
+		t.Fatalf("MapFile: %v", err)
+	}
+	if !bytes.Equal(m.Bytes(), want) {
+		t.Fatalf("mapped bytes differ: got %d bytes", len(m.Bytes()))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Bytes() != nil {
+		t.Fatal("Bytes non-nil after Close")
+	}
+}
+
+func TestMapFileEmpty(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "empty")
+	if err := os.WriteFile(name, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(OS, name)
+	if err != nil {
+		t.Fatalf("MapFile: %v", err)
+	}
+	if len(m.Bytes()) != 0 {
+		t.Fatalf("want empty, got %d bytes", len(m.Bytes()))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestMapFileMissing(t *testing.T) {
+	if _, err := MapFile(OS, filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+// fallbackFS hides any Mapper capability, forcing the ReadFile path.
+type fallbackFS struct{ FS }
+
+func TestMapFileFallback(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "blob")
+	want := []byte("fallback bytes")
+	if err := os.WriteFile(name, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(fallbackFS{OS}, name)
+	if err != nil {
+		t.Fatalf("MapFile: %v", err)
+	}
+	if m.Mapped() {
+		t.Fatal("fallback mapping claims to be kernel-mapped")
+	}
+	if !bytes.Equal(m.Bytes(), want) {
+		t.Fatal("fallback bytes differ")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

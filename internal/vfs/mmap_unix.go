@@ -1,0 +1,37 @@
+//go:build unix && !pxml_nommap
+
+package vfs
+
+import (
+	"os"
+	"syscall"
+)
+
+// Mmap maps name read-only. Empty files return a heap-backed Mapping:
+// zero-length mmap is an EINVAL on Linux.
+func (osFS) Mmap(name string) (*Mapping, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, syscall.EFBIG
+	}
+	// MAP_SHARED is safe: the store never writes a live snapshot in
+	// place — replacements arrive as a rename of a new inode, which
+	// leaves existing mappings pointing at the old, now-immutable one.
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, unmap: syscall.Munmap}, nil
+}
