@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke mvcc-smoke telemetry-smoke repl-smoke failover-smoke vet staticcheck cover clean
+.PHONY: all build check test test-short race bench bench-store bench-json bench-smoke fig7 fuzz fuzz-smoke faults soak soak-smoke mvcc-smoke telemetry-smoke repl-smoke failover-smoke govern-smoke vet staticcheck cover clean
 
 all: check
 
@@ -117,6 +117,17 @@ repl-smoke:
 # failover-monitor tests.
 failover-smoke:
 	$(GO) test -race -short -run 'TestFailover|TestPromote|TestDemote|TestFollowerEpoch|TestFence|TestEpoch|TestMonitor' -v ./internal/server ./internal/store ./internal/repl
+
+# Governor smoke: boot the real pxmld with a query budget and circuit
+# breaker, feed it width-bomb instances, and assert typed refusals
+# (intractable/budget_exceeded), breaker open/half-open/reclose over
+# the wire, and unaffected healthy traffic — plus the governor,
+# result-cache-cancellation, and engine suites (admission, runtime
+# budget trips, prompt cancellation, panic isolation, goroutine-leak
+# TestMain), all under the race detector.
+govern-smoke:
+	$(GO) test -race -run TestGovernSmoke -v .
+	$(GO) test -race ./internal/govern ./internal/rescache ./internal/engine
 
 # Quick fuzz smoke for CI: a few seconds per fuzzer, catching gross
 # decoder/parser regressions without the cost of a long campaign.

@@ -33,6 +33,17 @@
 //	pxmld -pprof 127.0.0.1:6060 -mutex-profile-fraction 1
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/mutex
 //
+// Runaway-query protection: -query-deadline, -query-max-nodes, and
+// -query-max-bytes impose a per-statement resource budget enforced
+// cooperatively inside the inference kernels — statements whose upfront
+// cost estimate provably exceeds the budget are refused with 422
+// (intractable) before allocating, and ones that trip the budget at
+// runtime stop within one loop iteration and answer 503
+// (budget_exceeded). -breaker-threshold arms a per-statement-shape
+// circuit breaker on top: shapes that trip repeatedly shed instantly
+// with 503 (breaker_open) until -breaker-cooldown passes, then a
+// half-open probe (-breaker-probes) decides whether to reclose.
+//
 // The serving path is hardened: GET /healthz answers liveness, GET
 // /readyz readiness (503 while draining or once the store degrades to
 // read-only), -request-timeout bounds each API request, -max-inflight
@@ -174,6 +185,12 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline for API requests; expired requests answer 503 (0 = no deadline)")
 	maxInflight := flag.Int("max-inflight", 0, "maximum concurrent API requests before shedding with 429 (0 = unlimited)")
 	queryWorkers := flag.Int("query-workers", 0, "per-engine batch query worker bound (0 = GOMAXPROCS)")
+	queryDeadline := flag.Duration("query-deadline", 0, "per-statement evaluation deadline inside the query engines (0 = none; -request-timeout still bounds the whole request)")
+	queryMaxNodes := flag.Int64("query-max-nodes", 0, "per-statement work-unit budget: objects visited, OPF entries scanned, factor cells filled, samples drawn; provably-over-budget statements are refused upfront with 422 (0 = unlimited)")
+	queryMaxBytes := flag.Int64("query-max-bytes", 0, "per-statement inference allocation budget in bytes (factor tables, enumeration state); 0 = unlimited")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "open the per-statement-shape circuit breaker after this many consecutive budget trips; tripped shapes shed with 503 breaker_open (0 = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker rejects before probing again (0 = default 10s)")
+	breakerProbes := flag.Int("breaker-probes", 0, "trial statements a half-open breaker admits; that many successes reclose it (0 = default 1)")
 	commitBatch := flag.Int("commit-batch", 0, "max mutations coalesced into one WAL write+fsync (0 = default, 1 = no batching)")
 	commitDelay := flag.Duration("commit-delay", 0, "how long the committer lingers to fill a batch (0 = commit as soon as the queue drains)")
 	segmentSize := flag.Int64("segment-size", 0, "WAL segment rotation threshold in bytes (0 = default 1MiB, negative = rotate only on compaction)")
@@ -215,6 +232,12 @@ func main() {
 		RequestTimeout:   *reqTimeout,
 		MaxInflight:      *maxInflight,
 		QueryWorkers:     *queryWorkers,
+		QueryDeadline:    *queryDeadline,
+		QueryMaxNodes:    *queryMaxNodes,
+		QueryMaxBytes:    *queryMaxBytes,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		BreakerProbes:    *breakerProbes,
 		BackupRoot:       *backupDir,
 		StatsdAddr:       *statsdAddr,
 		StatsdNetwork:    *statsdNetwork,

@@ -1,0 +1,222 @@
+package pxml_test
+
+// Governor smoke test: boot the real pxmld binary with a query budget
+// and circuit breaker configured, upload a width-bomb instance, and
+// check end to end that (a) bomb inference is refused with the typed
+// intractable envelope before any big allocation, (b) repeated bombs
+// open the shape's breaker (observable in /v1/metrics) and shed with
+// breaker_open + Retry-After, (c) half-open probing recloses the
+// breaker once bombs stop, and (d) healthy instances keep serving point
+// queries and accepting writes throughout. Run via `make govern-smoke`
+// (which adds -race); skipped with -short like the other integration
+// tests.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pxml"
+)
+
+func TestGovernSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("govern smoke runs the daemon; skipped with -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pxmld")
+	if out, err := exec.Command(goBin, "build", "-o", bin, "./cmd/pxmld").CombinedOutput(); err != nil {
+		t.Fatalf("building pxmld: %v\n%s", err, out)
+	}
+	addr := "127.0.0.1:39486"
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-query-deadline", "5s",
+		"-query-max-nodes", "1048576",
+		"-query-max-bytes", "67108864",
+		"-breaker-threshold", "3",
+		"-breaker-cooldown", "500ms",
+		"-breaker-probes", "1",
+		"-quiet",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+	base := "http://" + addr
+	ready := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/v1/instances")
+		if err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("pxmld did not start")
+	}
+
+	put := func(name string, pi *pxml.ProbInstance) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := pxml.EncodeText(&buf, pi); err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest("PUT", base+"/v1/instances/"+name, bytes.NewReader(buf.Bytes()))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			t.Fatalf("PUT %s status %d", name, resp.StatusCode)
+		}
+	}
+	query := func(name, stmt string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/instances/"+name+"/query", "text/plain", strings.NewReader(stmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header
+	}
+	codeOf := func(body string) string {
+		var env struct {
+			Error struct {
+				Code         string `json:"code"`
+				RetryAfterMS int64  `json:"retry_after_ms"`
+			} `json:"error"`
+		}
+		_ = json.Unmarshal([]byte(body), &env)
+		return env.Error.Code
+	}
+
+	// A healthy instance and the bomb side by side.
+	w, err := pxml.GenerateWorkload(pxml.GenConfig{Depth: 2, Branch: 2, Labeling: pxml.SL, Seed: 11, LeafDomainSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put("healthy", w.PI)
+	bomb, err := pxml.GenerateWidthBomb(pxml.BombConfig{Width: 12, Parents: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put("bomb", bomb)
+
+	// (a) The bomb is refused upfront: 422 intractable, fast.
+	start := time.Now()
+	status, body, _ := query("bomb", "PROB OBJECT leaf0")
+	if status != http.StatusUnprocessableEntity || codeOf(body) != "intractable" {
+		t.Fatalf("bomb query: status %d code %q body %s", status, codeOf(body), body)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("refusal took %v, want fast upfront admission", d)
+	}
+	// A width-bomb ESTIMATE over the step budget is refused as
+	// budget_exceeded (fewer samples would fit) with a retry hint.
+	status, body, hdr := query("bomb", "ESTIMATE 100000000 EXISTS bomb.arm")
+	if status != http.StatusServiceUnavailable || codeOf(body) != "budget_exceeded" {
+		t.Fatalf("bomb estimate: status %d code %q body %s", status, codeOf(body), body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("budget_exceeded missing Retry-After header")
+	}
+
+	// (b) Two more bombs reach the threshold; the shape's breaker opens
+	// and sheds fast.
+	for i := 0; i < 2; i++ {
+		query("bomb", "PROB OBJECT leaf0")
+	}
+	status, body, _ = query("bomb", "PROB OBJECT leaf0")
+	if status != http.StatusServiceUnavailable || codeOf(body) != "breaker_open" {
+		t.Fatalf("after repeated bombs: status %d code %q body %s", status, codeOf(body), body)
+	}
+
+	// (d) Healthy instances are untouched by the bomb's breaker: point
+	// queries answer and writes land while bombs are being shed.
+	if status, body, _ := query("healthy", "PROB EXISTS R.n1"); status != http.StatusOK {
+		t.Fatalf("healthy query during shedding: %d %s", status, body)
+	}
+	put("healthy2", w.PI)
+
+	// The open breaker is observable in /v1/metrics.
+	mresp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	var payload struct {
+		Governor struct {
+			QueryMaxNodes int64 `json:"query_max_nodes"`
+			Breaker       map[string]struct {
+				State string `json:"state"`
+			} `json:"breaker"`
+		} `json:"governor"`
+	}
+	if err := json.Unmarshal(mbody, &payload); err != nil {
+		t.Fatalf("decoding /v1/metrics: %v\n%s", err, mbody)
+	}
+	if payload.Governor.QueryMaxNodes != 1048576 {
+		t.Errorf("governor.query_max_nodes = %d, want 1048576", payload.Governor.QueryMaxNodes)
+	}
+	if st := payload.Governor.Breaker["bomb.point"].State; st != "open" {
+		t.Errorf("breaker bomb.point state = %q, want open\n%s", st, mbody)
+	}
+
+	// (c) Half-open probing, both outcomes. After the cooldown the bomb's
+	// point circuit admits a probe; every point query on that instance is
+	// intractable, so the probe fails and the circuit reopens at once.
+	time.Sleep(700 * time.Millisecond)
+	status, body, _ = query("bomb", "PROB OBJECT leaf0")
+	if codeOf(body) != "intractable" {
+		t.Fatalf("half-open probe not admitted: status %d code %q", status, codeOf(body))
+	}
+	status, body, _ = query("bomb", "PROB OBJECT leaf0")
+	if codeOf(body) != "breaker_open" {
+		t.Fatalf("failed probe did not reopen: status %d code %q", status, codeOf(body))
+	}
+	// For the reclosing outcome, open a circuit on a statement shape that
+	// CAN succeed: trip the healthy instance's estimate circuit with
+	// over-budget sample counts, wait out the cooldown, and probe with a
+	// cheap estimate.
+	for i := 0; i < 3; i++ {
+		if _, b, _ := query("healthy", "ESTIMATE 100000000 EXISTS R.n1"); codeOf(b) != "budget_exceeded" {
+			t.Fatalf("estimate trip %d: %s", i, b)
+		}
+	}
+	if _, b, _ := query("healthy", "ESTIMATE 10 EXISTS R.n1"); codeOf(b) != "breaker_open" {
+		t.Fatalf("healthy estimate circuit should be open: %s", b)
+	}
+	time.Sleep(700 * time.Millisecond)
+	if status, b, _ := query("healthy", "ESTIMATE 10 EXISTS R.n1"); status != http.StatusOK {
+		t.Fatalf("half-open probe failed: %d %s", status, b)
+	}
+	// Reclosed: cheap estimates flow freely again.
+	for i := 0; i < 2; i++ {
+		if status, b, _ := query("healthy", "ESTIMATE 10 EXISTS R.n1"); status != http.StatusOK {
+			t.Fatalf("post-reclose estimate %d: %d %s", i, status, b)
+		}
+	}
+}

@@ -39,10 +39,13 @@ const (
 	CodeBodyTooLarge     = "body_too_large"    // 413: request body over the configured limit
 	CodeInvalidInstance  = "invalid_instance"  // 422: instance failed validation
 	CodeStatementFailed  = "statement_failed"  // 422: pxql statement rejected or failed
+	CodeIntractable      = "intractable"       // 422: query provably exceeds the resource budget (not retryable)
 	CodeQuotaExceeded    = "quota_exceeded"    // 429: tenant token bucket empty (retryable)
 	CodeOverloaded       = "overloaded"        // 429: server at capacity or over fair share (retryable)
 	CodeTimeout          = "timeout"           // 503: per-request deadline expired (retryable)
 	CodeDegraded         = "degraded"          // 503: durable store is read-only (retryable)
+	CodeBudgetExceeded   = "budget_exceeded"   // 503: query ran past its cost budget (a cheaper variant may fit; retryable)
+	CodeBreakerOpen      = "breaker_open"      // 503: circuit breaker open for this statement shape (retryable after cooldown)
 	CodeInternal         = "internal"          // 500: unexpected server failure
 )
 
@@ -103,7 +106,8 @@ func (e *Error) Error() string {
 // Retryable reports whether the server asked the client to retry later.
 func (e *Error) Retryable() bool {
 	switch e.Code {
-	case CodeQuotaExceeded, CodeOverloaded, CodeTimeout, CodeDegraded:
+	case CodeQuotaExceeded, CodeOverloaded, CodeTimeout, CodeDegraded,
+		CodeBudgetExceeded, CodeBreakerOpen:
 		return true
 	}
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable

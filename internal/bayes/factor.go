@@ -12,9 +12,12 @@
 package bayes
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"pxml/internal/govern"
 )
 
 // Factor is a nonnegative function over a set of discrete variables,
@@ -36,6 +39,11 @@ func NewFactor(vars []int, card []int) *Factor {
 	for _, c := range card {
 		if c <= 0 {
 			panic("bayes: nonpositive cardinality")
+		}
+		if size > MaxFactorEntries/c {
+			// Refuse rather than overflow int and make() a garbage size.
+			// Governed paths pre-check with cellsOf and never reach this.
+			panic(fmt.Sprintf("bayes: factor over %d vars exceeds %d entries", len(card), MaxFactorEntries))
 		}
 		size *= c
 	}
@@ -222,14 +230,89 @@ func (f *Factor) Scalar() (float64, error) {
 	return f.vals[0], nil
 }
 
-// maxFactorSize bounds intermediate factor tables during elimination.
-const maxFactorSize = 1 << 22
+// MaxFactorEntries is the hard cap on any factor table built during
+// compilation or elimination, governed or not. It bounds a single
+// allocation to 32 MiB of float64s regardless of configured budgets.
+const MaxFactorEntries = 1 << 22
+
+// maxFactorSize is the historical internal name for the same cap.
+const maxFactorSize = MaxFactorEntries
+
+// cellsOf returns the table size for the given cardinalities as a
+// float64, so width-bomb products that overflow int64 stay comparable.
+func cellsOf(card []int) float64 {
+	p := 1.0
+	for _, c := range card {
+		p *= float64(c)
+	}
+	return p
+}
+
+// productCells returns the table size Multiply(a, b) would allocate.
+func productCells(a, b *Factor) float64 {
+	cells := cellsOf(a.card)
+	seen := make(map[int]bool, len(a.vars))
+	for _, v := range a.vars {
+		seen[v] = true
+	}
+	for i, v := range b.vars {
+		if !seen[v] {
+			cells *= float64(b.card[i])
+		}
+	}
+	return cells
+}
+
+// checkedMultiply charges the governor for the product table and refuses
+// it before allocation when it exceeds the hard cap or the byte budget.
+func checkedMultiply(g *govern.Governor, a, b *Factor) (*Factor, error) {
+	cells := productCells(a, b)
+	if cells > MaxFactorEntries {
+		return nil, fmt.Errorf("%w: intermediate factor needs %.4g entries (cap %d)", govern.ErrIntractable, cells, MaxFactorEntries)
+	}
+	if err := g.Alloc(int64(cells) * 8); err != nil {
+		return nil, err
+	}
+	if err := g.Step(int64(cells)); err != nil {
+		return nil, err
+	}
+	return Multiply(a, b), nil
+}
+
+// checkedNewFactor refuses an oversized factor table before allocating
+// it and charges the governor for the table it admits. CPT construction
+// and the path-reachability augmentation build factors through this so
+// a width-bomb fails with a typed error instead of an OOM.
+func checkedNewFactor(g *govern.Governor, vars []int, card []int) (*Factor, error) {
+	cells := cellsOf(card)
+	if cells > MaxFactorEntries {
+		return nil, fmt.Errorf("%w: factor over %d variables needs %.4g entries (cap %d)", govern.ErrIntractable, len(card), cells, MaxFactorEntries)
+	}
+	if err := g.Alloc(int64(cells) * 8); err != nil {
+		return nil, err
+	}
+	if err := g.Step(int64(cells)); err != nil {
+		return nil, err
+	}
+	return NewFactor(vars, card), nil
+}
 
 // EliminateAll multiplies the factors and sums out every variable in keep's
 // complement, returning the joint factor over keep (nil keep = eliminate
 // everything, yielding a scalar factor). Elimination order is min-degree
 // greedy over the factor graph.
 func EliminateAll(factors []*Factor, keep map[int]bool) (*Factor, error) {
+	return EliminateAllCtx(context.Background(), factors, keep)
+}
+
+// EliminateAllCtx is EliminateAll under a context-carried resource
+// governor: every intermediate product is charged against the query's
+// step and byte budgets and size-checked BEFORE its table is allocated,
+// and cancellation is honoured between bucket multiplications, so an
+// abandoned query stops within one factor product instead of running
+// the elimination to completion.
+func EliminateAllCtx(ctx context.Context, factors []*Factor, keep map[int]bool) (*Factor, error) {
+	g := govern.From(ctx)
 	work := append([]*Factor(nil), factors...)
 	// Collect variables to eliminate.
 	varCard := map[int]int{}
@@ -246,6 +329,9 @@ func EliminateAll(factors []*Factor, keep map[int]bool) (*Factor, error) {
 	}
 	sort.Ints(elim)
 	for len(elim) > 0 {
+		if err := g.Err(); err != nil {
+			return nil, err
+		}
 		// Min-degree: pick the variable whose bucket product is smallest.
 		best, bestCost := -1, math.MaxFloat64
 		for _, v := range elim {
@@ -270,9 +356,9 @@ func EliminateAll(factors []*Factor, keep map[int]bool) (*Factor, error) {
 				if bucket == nil {
 					bucket = f
 				} else {
-					bucket = Multiply(bucket, f)
-					if bucket.Size() > maxFactorSize {
-						return nil, fmt.Errorf("bayes: intermediate factor exceeds %d entries", maxFactorSize)
+					var err error
+					if bucket, err = checkedMultiply(g, bucket, f); err != nil {
+						return nil, err
 					}
 				}
 			} else {
@@ -288,9 +374,9 @@ func EliminateAll(factors []*Factor, keep map[int]bool) (*Factor, error) {
 	out := NewFactor(nil, nil)
 	out.vals[0] = 1
 	for _, f := range work {
-		out = Multiply(out, f)
-		if out.Size() > maxFactorSize {
-			return nil, fmt.Errorf("bayes: result factor exceeds %d entries", maxFactorSize)
+		var err error
+		if out, err = checkedMultiply(g, out, f); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -1,10 +1,12 @@
 package bayes
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"pxml/internal/core"
+	"pxml/internal/govern"
 	"pxml/internal/model"
 	"pxml/internal/pathexpr"
 	"pxml/internal/sets"
@@ -77,6 +79,17 @@ func (n *Network) addVar(name string, states []string) int {
 // the weak instance graph, so every object's weak parents already have
 // variables when its CPT is built.
 func Compile(pi *core.ProbInstance) (*Network, error) {
+	return CompileCtx(context.Background(), pi)
+}
+
+// CompileCtx is Compile under a context-carried resource governor: each
+// CPT is size-checked against the hard factor cap and the query's byte
+// budget BEFORE its table is allocated, and cancellation is honoured
+// between objects. Even without a governor the hard cap applies, so a
+// width-bomb instance fails compilation with a typed error instead of
+// allocating an astronomically large table.
+func CompileCtx(ctx context.Context, pi *core.ProbInstance) (*Network, error) {
+	gov := govern.From(ctx)
 	g := pi.WeakInstance.Graph()
 	order, err := g.TopoSort()
 	if err != nil {
@@ -96,6 +109,9 @@ func Compile(pi *core.ProbInstance) (*Network, error) {
 	for _, o := range order {
 		if !reach[o] {
 			continue
+		}
+		if err := gov.Err(); err != nil {
+			return nil, err
 		}
 		isRoot := o == pi.Root()
 		var states []string
@@ -159,7 +175,10 @@ func Compile(pi *core.ProbInstance) (*Network, error) {
 			fvars = append(fvars, pv)
 			fcard = append(fcard, net.vars[pv].Card())
 		}
-		f := NewFactor(fvars, fcard)
+		f, err := checkedNewFactor(gov, fvars, fcard)
+		if err != nil {
+			return nil, fmt.Errorf("compiling CPT for %s: %w", o, err)
+		}
 		f.EachAssignment(func(assign []int, _ float64) {
 			present := isRoot
 			for i, p := range keptParents {
@@ -204,11 +223,16 @@ func includesChild(net *Network, pv, st int, o model.ObjectID) bool {
 
 // Marginal computes the marginal distribution of an object's variable.
 func (n *Network) Marginal(o model.ObjectID) (map[string]float64, error) {
+	return n.MarginalCtx(context.Background(), o)
+}
+
+// MarginalCtx is Marginal with elimination governed by ctx's budget.
+func (n *Network) MarginalCtx(ctx context.Context, o model.ObjectID) (map[string]float64, error) {
 	id, ok := n.objVar[o]
 	if !ok {
 		return nil, fmt.Errorf("bayes: unknown object %s", o)
 	}
-	f, err := EliminateAll(n.factors, map[int]bool{id: true})
+	f, err := EliminateAllCtx(ctx, n.factors, map[int]bool{id: true})
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +247,12 @@ func (n *Network) Marginal(o model.ObjectID) (map[string]float64, error) {
 // instance — the Section 2 scenario 4 query ("the probability that a
 // particular author exists"), exact on DAGs.
 func (n *Network) ProbExists(o model.ObjectID) (float64, error) {
-	m, err := n.Marginal(o)
+	return n.ProbExistsCtx(context.Background(), o)
+}
+
+// ProbExistsCtx is ProbExists with elimination governed by ctx's budget.
+func (n *Network) ProbExistsCtx(ctx context.Context, o model.ObjectID) (float64, error) {
+	m, err := n.MarginalCtx(ctx, o)
 	if err != nil {
 		return 0, err
 	}
@@ -253,7 +282,7 @@ func PathProb(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64
 	if err != nil {
 		return 0, err
 	}
-	return pathProbOn(net, pi, p, o)
+	return pathProbOn(context.Background(), net, pi, p, o)
 }
 
 // PathProbWith is PathProb over a previously compiled network: callers
@@ -261,10 +290,18 @@ func PathProb(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64
 // reuse. The shared network is never mutated — the path augmentation works
 // on a shallow per-query clone of the variable table.
 func PathProbWith(net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64, error) {
+	return PathProbWithCtx(context.Background(), net, pi, p, o)
+}
+
+// PathProbWithCtx is PathProbWith under a context-carried resource
+// governor: the reachability factors and every elimination product are
+// budget-checked before allocation and cancellation is honoured at the
+// per-variable loop boundaries.
+func PathProbWithCtx(ctx context.Context, net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64, error) {
 	if p.Root != pi.Root() {
 		return 0, nil
 	}
-	return pathProbOn(net.queryClone(), pi, p, o)
+	return pathProbOn(ctx, net.queryClone(), pi, p, o)
 }
 
 // queryClone returns a shallow copy whose variable table can be extended
@@ -288,7 +325,8 @@ func (n *Network) queryClone() *Network {
 // pathProbOn runs the reachability augmentation and elimination on net,
 // which it may extend with fresh variables (pass a queryClone when the
 // network is shared).
-func pathProbOn(net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64, error) {
+func pathProbOn(ctx context.Context, net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float64, error) {
+	gov := govern.From(ctx)
 	if p.Len() == 0 {
 		if o == "" || o == pi.Root() {
 			return 1, nil
@@ -330,6 +368,9 @@ func pathProbOn(net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.Ob
 	boolStates := []string{"f", "t"}
 	for level := 1; level < len(plan.Keep); level++ {
 		for _, x := range sortedKeys(plan.Keep[level]) {
+			if err := gov.Err(); err != nil {
+				return 0, err
+			}
 			key := lk{level, x}
 			ps := parentsOf[key]
 			sort.Strings(ps)
@@ -358,7 +399,10 @@ func pathProbOn(net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.Ob
 					fcard = append(fcard, 2)
 				}
 			}
-			f := NewFactor(fvars, fcard)
+			f, err := checkedNewFactor(gov, fvars, fcard)
+			if err != nil {
+				return 0, fmt.Errorf("reachability factor R%d:%s: %w", level, x, err)
+			}
 			f.EachAssignment(func(assign []int, _ float64) {
 				reached := false
 				pos := 1
@@ -398,7 +442,10 @@ func pathProbOn(net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.Ob
 		fvars = append(fvars, rv)
 		fcard = append(fcard, 2)
 	}
-	f := NewFactor(fvars, fcard)
+	f, err := checkedNewFactor(gov, fvars, fcard)
+	if err != nil {
+		return 0, fmt.Errorf("path match factor: %w", err)
+	}
 	f.EachAssignment(func(assign []int, _ float64) {
 		any := false
 		for i := 1; i < len(assign); i++ {
@@ -416,7 +463,7 @@ func pathProbOn(net *Network, pi *core.ProbInstance, p pathexpr.Path, o model.Ob
 		}
 	})
 	factors = append(factors, f)
-	joint, err := EliminateAll(factors, map[int]bool{anyVar: true})
+	joint, err := EliminateAllCtx(ctx, factors, map[int]bool{anyVar: true})
 	if err != nil {
 		return 0, err
 	}

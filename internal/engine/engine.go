@@ -22,6 +22,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +31,7 @@ import (
 	"pxml/internal/bayes"
 	"pxml/internal/core"
 	"pxml/internal/enumerate"
+	"pxml/internal/govern"
 	"pxml/internal/metrics"
 	"pxml/internal/model"
 	"pxml/internal/pathexpr"
@@ -36,6 +39,20 @@ import (
 	"pxml/internal/query"
 	"pxml/internal/rescache"
 )
+
+// ErrQueryPanic reports that one query's evaluation panicked. The panic is
+// contained to that query — the engine, its caches, and concurrent queries
+// are unaffected — and surfaces as an error so servers can answer 500 for
+// the one statement instead of crashing the process.
+var ErrQueryPanic = errors.New("engine: query evaluation panicked")
+
+// recoverQueryPanic converts a panic on the query path into ErrQueryPanic.
+// Intended as `defer recoverQueryPanic(&err)` at each evaluation boundary.
+func recoverQueryPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrQueryPanic, r)
+	}
+}
 
 // lazy is a build-once cache slot. ready is set (with release semantics)
 // only after once.Do completes, so a true load guarantees v/err are
@@ -49,14 +66,22 @@ type lazy[T any] struct {
 
 // get returns the cached value, building it on first use. hit reports
 // whether the value was already built (callers that raced the builder and
-// had to wait count as misses).
+// had to wait count as misses). A build that panics is contained: the
+// slot caches ErrQueryPanic (a sync.Once never re-runs, so letting the
+// panic escape would leave every later caller a zero value with no
+// error), and the engine keeps serving queries that don't need the slot.
 func (l *lazy[T]) get(build func() (T, error)) (v T, err error, hit bool) {
 	if l.ready.Load() {
 		return l.v, l.err, true
 	}
 	l.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				l.err = fmt.Errorf("%w: building query structure: %v", ErrQueryPanic, r)
+			}
+			l.ready.Store(true)
+		}()
 		l.v, l.err = build()
-		l.ready.Store(true)
 	})
 	return l.v, l.err, false
 }
@@ -70,6 +95,18 @@ type Engine struct {
 	idx  lazy[*pathexpr.Index]
 	net  lazy[*bayes.Network]
 	marg lazy[map[model.ObjectID]float64]
+	prof lazy[govern.Profile]
+
+	// budget is the per-query resource envelope (WithBudget). The zero
+	// value imposes no limits; either way every entry point installs a
+	// governor so caller cancellation reaches the inference kernels.
+	budget govern.Budget
+
+	// costObs, when set (WithCostObserver), receives each governed
+	// statement's shape with the admission estimator's predicted step
+	// cost and the steps actually charged — the estimated-vs-actual
+	// telemetry the server exports.
+	costObs func(shape string, estimated, actual int64)
 
 	// Optional memoization of whole statement results (see
 	// WithResultCache). rkey namespaces this engine's entries inside the
@@ -128,6 +165,26 @@ func WithResultCache(c *rescache.Cache, keyPrefix string) Option {
 // block — recording into a lock-free metrics.Timer is the intended use.
 func WithShapeObserver(f func(shape string, d time.Duration)) Option {
 	return func(e *Engine) { e.shapeObs = f }
+}
+
+// WithBudget sets the per-query resource envelope. Each Run/Exec/Prob*
+// call gets its own governor enforcing the budget (deadline, step budget,
+// approximate allocation budget) cooperatively inside the inference
+// kernels, plus an upfront admission check that refuses statements whose
+// predicted cost provably exceeds the budget (govern.ErrIntractable)
+// before any factor table is allocated. The zero budget imposes no limits
+// but still propagates cancellation into the kernels.
+func WithBudget(b govern.Budget) Option {
+	return func(e *Engine) { e.budget = b }
+}
+
+// WithCostObserver registers f to receive, for every governed statement,
+// its shape, the admission estimator's predicted step cost (0 when the
+// statement's shape has no estimator), and the steps actually charged.
+// f runs on the request goroutine after the result is ready; it must be
+// fast and must not block.
+func WithCostObserver(f func(shape string, estimated, actual int64)) Option {
+	return func(e *Engine) { e.costObs = f }
 }
 
 // defaultWorkers bounds batch parallelism when WithWorkers is not given.
@@ -216,6 +273,94 @@ func (e *Engine) Marginals() (map[model.ObjectID]float64, error) {
 	return out, nil
 }
 
+// Profile returns the cached upfront width/cost profile of the instance
+// (govern.Measure): the structural quantities admission control compares
+// against the budget without allocating any inference state.
+func (e *Engine) Profile() govern.Profile {
+	v, _, hit := e.prof.get(func() (govern.Profile, error) { return govern.Measure(e.pi), nil })
+	e.count(hit)
+	return v
+}
+
+// Budget returns the engine's configured per-query resource envelope.
+func (e *Engine) Budget() govern.Budget { return e.budget }
+
+// governed returns ctx carrying a governor for one query. A governor
+// already on ctx is reused (backend sub-evaluations run under their
+// statement's governor rather than getting a fresh budget each); otherwise
+// the engine's budget deadline is applied to ctx and a new governor
+// installed. The cancel func must be called when the query finishes.
+func (e *Engine) governed(ctx context.Context) (context.Context, *govern.Governor, context.CancelFunc) {
+	if g := govern.From(ctx); g != nil {
+		return ctx, g, func() {}
+	}
+	cancel := context.CancelFunc(func() {})
+	if e.budget.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, e.budget.Deadline)
+	}
+	g := govern.New(ctx, e.budget)
+	return govern.With(ctx, g), g, cancel
+}
+
+// admit is the upfront admission check: it compares the statement's
+// predicted cost (from the cached instance profile) against the engine's
+// budget and refuses provably-over-budget work before any inference state
+// is allocated. Structural impossibilities — a compiled CPT that cannot
+// fit under the hard factor cap or the byte budget — are
+// govern.ErrIntractable (retrying the same statement cannot succeed);
+// a sample count that merely overruns the step budget is
+// govern.ErrBudgetExceeded (a cheaper variant may fit). The predicted
+// step cost is recorded on g for estimated-vs-actual observability.
+func (e *Engine) admit(op string, top int, g *govern.Governor) error {
+	b := e.budget
+	if b.MaxSteps == 0 && b.MaxBytes == 0 {
+		return nil
+	}
+	switch op {
+	case "estimate-exists", "estimate-point":
+		prof := e.Profile()
+		per := int64(prof.Objects)
+		if per < 1 {
+			per = 1
+		}
+		est := int64(top) * per
+		g.SetEstimate(est)
+		if b.MaxSteps > 0 && est > b.MaxSteps {
+			return fmt.Errorf("%w: %d samples × %d objects ≈ %d steps over the %d-step budget (reduce the sample count)",
+				govern.ErrBudgetExceeded, top, per, est, b.MaxSteps)
+		}
+	case "worlds", "topk":
+		prof := e.Profile()
+		g.SetEstimate(govern.ClampSteps(prof.WorldsFloor))
+		if b.MaxSteps > 0 && prof.WorldsFloor > float64(b.MaxSteps) {
+			return fmt.Errorf("%w: at least %.0f possible worlds exceed the %d-step budget",
+				govern.ErrIntractable, prof.WorldsFloor, b.MaxSteps)
+		}
+	case "prob-object", "prob-point", "prob-exists", "prob-value":
+		prof := e.Profile()
+		if prof.Tree && op != "prob-object" {
+			// ε-recursion route: one pass over the local distributions.
+			g.SetEstimate(prof.TotalOPFEntries)
+			return nil
+		}
+		// BN route: compiling materializes every CPT.
+		g.SetEstimate(govern.ClampSteps(prof.TotalCPTCells))
+		if prof.MaxCPTCells > float64(bayes.MaxFactorEntries) {
+			return fmt.Errorf("%w: CPT for %s needs %.3g cells, over the %d-cell factor cap",
+				govern.ErrIntractable, prof.WidestObject, prof.MaxCPTCells, int64(bayes.MaxFactorEntries))
+		}
+		if b.MaxBytes > 0 && prof.TotalCPTCells*8 > float64(b.MaxBytes) {
+			return fmt.Errorf("%w: compiled network needs ≈%.3g bytes, over the %d-byte budget",
+				govern.ErrIntractable, prof.TotalCPTCells*8, b.MaxBytes)
+		}
+		if b.MaxSteps > 0 && prof.TotalCPTCells > float64(b.MaxSteps) {
+			return fmt.Errorf("%w: compiled network needs ≈%.3g cells, over the %d-step budget",
+				govern.ErrIntractable, prof.TotalCPTCells, b.MaxSteps)
+		}
+	}
+	return nil
+}
+
 // Warm precomputes the structures queries will need: the tree
 // classification and path index always, the Bayesian network only for DAG
 // instances (tree queries never touch it). Cancellation is honored
@@ -274,7 +419,7 @@ func (e *Engine) Run(ctx context.Context, statement string) (res *pxql.Result, e
 		return res, err
 	}
 	computed := false
-	v, err := e.rcache.Do(e.rkey+statement, func() (any, int64, error) {
+	v, err := e.rcache.DoCtx(ctx, e.rkey+statement, func() (any, int64, error) {
 		computed = true
 		r, rerr := e.runParsed(ctx, statement)
 		if rerr != nil {
@@ -339,11 +484,21 @@ func (e *Engine) Exec(ctx context.Context, q pxql.Query) (res *pxql.Result, err 
 	return res, err
 }
 
-func (e *Engine) exec(ctx context.Context, q pxql.Query) (*pxql.Result, error) {
-	if err := ctx.Err(); err != nil {
+func (e *Engine) exec(ctx context.Context, q pxql.Query) (res *pxql.Result, err error) {
+	if err = ctx.Err(); err != nil {
 		return nil, err
 	}
-	return pxql.ExecWith(e.pi, q, backend{e: e, ctx: ctx})
+	ctx, g, cancel := e.governed(ctx)
+	defer cancel()
+	if err = e.admit(q.Op, q.Top, g); err != nil {
+		return nil, err
+	}
+	if e.costObs != nil {
+		defer func() { e.costObs(q.Shape(), g.Estimate(), g.Steps()) }()
+	}
+	defer recoverQueryPanic(&err)
+	res, err = pxql.ExecWithCtx(ctx, e.pi, q, backend{e: e, ctx: ctx})
+	return res, err
 }
 
 // ProbExists returns P(∃o. o ∈ p): the Section 6.2 tree fast path through
@@ -353,6 +508,12 @@ func (e *Engine) ProbExists(ctx context.Context, p pathexpr.Path) (pr float64, e
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
 	defer e.observeShape(pxql.ShapeExists, start)
+	ctx, g, cancel := e.governed(ctx)
+	defer cancel()
+	if err = e.admit("prob-exists", 0, g); err != nil {
+		return 0, err
+	}
+	defer recoverQueryPanic(&err)
 	pr, err = e.existsProb(ctx, p)
 	return pr, err
 }
@@ -363,6 +524,12 @@ func (e *Engine) ProbPoint(ctx context.Context, p pathexpr.Path, o model.ObjectI
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
 	defer e.observeShape(pxql.ShapePoint, start)
+	ctx, g, cancel := e.governed(ctx)
+	defer cancel()
+	if err = e.admit("prob-point", 0, g); err != nil {
+		return 0, err
+	}
+	defer recoverQueryPanic(&err)
 	pr, err = e.pointProb(ctx, p, o)
 	return pr, err
 }
@@ -379,8 +546,14 @@ func (e *Engine) ProbValue(ctx context.Context, p pathexpr.Path, o model.ObjectI
 	if err = ctx.Err(); err != nil {
 		return 0, err
 	}
+	ctx, g, cancel := e.governed(ctx)
+	defer cancel()
+	if err = e.admit("prob-value", 0, g); err != nil {
+		return 0, err
+	}
+	defer recoverQueryPanic(&err)
 	if e.IsTree() {
-		pr, err = query.ValuePointQueryIndexed(e.pi, e.Index(), p, o, v)
+		pr, err = query.ValuePointQueryIndexedCtx(ctx, e.pi, e.Index(), p, o, v)
 		return pr, err
 	}
 	vpf := e.pi.VPF(o)
@@ -402,6 +575,12 @@ func (e *Engine) ProbObject(ctx context.Context, o model.ObjectID) (pr float64, 
 	e.queries.Inc()
 	defer func() { e.finish(start, err) }()
 	defer e.observeShape(pxql.ShapePoint, start)
+	ctx, g, cancel := e.governed(ctx)
+	defer cancel()
+	if err = e.admit("prob-object", 0, g); err != nil {
+		return 0, err
+	}
+	defer recoverQueryPanic(&err)
 	pr, err = e.objectProb(ctx, o)
 	return pr, err
 }
@@ -414,7 +593,7 @@ func (e *Engine) pointProb(ctx context.Context, p pathexpr.Path, o model.ObjectI
 		return 0, err
 	}
 	if e.IsTree() {
-		return query.PointQueryIndexed(e.pi, e.Index(), p, o)
+		return query.PointQueryIndexedCtx(ctx, e.pi, e.Index(), p, o)
 	}
 	net, err := e.Network()
 	if err != nil {
@@ -423,7 +602,7 @@ func (e *Engine) pointProb(ctx context.Context, p pathexpr.Path, o model.ObjectI
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return bayes.PathProbWith(net, e.pi, p, o)
+	return bayes.PathProbWithCtx(ctx, net, e.pi, p, o)
 }
 
 func (e *Engine) existsProb(ctx context.Context, p pathexpr.Path) (float64, error) {
@@ -431,7 +610,7 @@ func (e *Engine) existsProb(ctx context.Context, p pathexpr.Path) (float64, erro
 		return 0, err
 	}
 	if e.IsTree() {
-		return query.ExistsQueryIndexed(e.pi, e.Index(), p)
+		return query.ExistsQueryIndexedCtx(ctx, e.pi, e.Index(), p)
 	}
 	net, err := e.Network()
 	if err != nil {
@@ -440,7 +619,7 @@ func (e *Engine) existsProb(ctx context.Context, p pathexpr.Path) (float64, erro
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return bayes.PathProbWith(net, e.pi, p, "")
+	return bayes.PathProbWithCtx(ctx, net, e.pi, p, "")
 }
 
 func (e *Engine) objectProb(ctx context.Context, o model.ObjectID) (float64, error) {
@@ -451,7 +630,7 @@ func (e *Engine) objectProb(ctx context.Context, o model.ObjectID) (float64, err
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return net.ProbExists(o)
+	return net.ProbExistsCtx(ctx, o)
 }
 
 // backend adapts the engine's cached primitives to the pxql.Backend seam,
@@ -474,7 +653,7 @@ func (b backend) ValueExistsProb(p pathexpr.Path, v model.Value) (float64, error
 		return 0, err
 	}
 	if b.e.IsTree() {
-		return query.ValueExistsQueryIndexed(b.e.pi, b.e.Index(), p, v)
+		return query.ValueExistsQueryIndexedCtx(b.ctx, b.e.pi, b.e.Index(), p, v)
 	}
 	// Parity with the direct backend: no DAG route exists for
 	// value-existence over multiple leaves.

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain fails the package on goroutine leaks. The engine spawns
+// bounded worker pools and governed per-query goroutines; every one of
+// them must unwind when its context is cancelled, its budget trips, or
+// its panic is contained. A straggler left computing after cancellation
+// is exactly the runaway this package exists to prevent, so the test
+// binary itself enforces it.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		const slack = 5
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > baseline+slack {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				fmt.Fprintf(os.Stderr, "goroutine leak: %d at start, %d after tests\n%s\n",
+					baseline, runtime.NumGoroutine(), buf[:n])
+				code = 1
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}

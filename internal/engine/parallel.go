@@ -9,6 +9,7 @@ import (
 
 	"pxml/internal/algebra"
 	"pxml/internal/enumerate"
+	"pxml/internal/govern"
 	"pxml/internal/model"
 	"pxml/internal/pathexpr"
 	"pxml/internal/pxql"
@@ -56,6 +57,13 @@ func (e *Engine) RunBatch(ctx context.Context, statements []string) []BatchResul
 				return
 			}
 			defer e.release()
+			// acquire's select can win the slot even when ctx is already
+			// done; re-check so a cancelled batch stops draining the queue
+			// into fresh evaluations.
+			if err := ctx.Err(); err != nil {
+				out[i] = BatchResult{Err: err}
+				return
+			}
 			res, err := e.Run(ctx, stmt)
 			out[i] = BatchResult{Result: res, Err: err}
 		}(i, stmt)
@@ -92,7 +100,21 @@ func (e *Engine) BatchPoint(ctx context.Context, p pathexpr.Path, objects []mode
 				return // cancelled while queued; firstErr already set or ctx expired
 			}
 			defer e.release()
-			pr, qerr := e.pointProb(ctx, p, o)
+			if ctx.Err() != nil {
+				return // won the slot racing cancellation; don't start work
+			}
+			// Each point gets its own governor (per-point budget) and its
+			// own panic containment, so one pathological object neither
+			// exhausts the whole batch's budget nor takes down its workers.
+			pr, qerr := func() (pr float64, qerr error) {
+				pctx, g, pcancel := e.governed(ctx)
+				defer pcancel()
+				if qerr = e.admit("prob-point", 0, g); qerr != nil {
+					return 0, qerr
+				}
+				defer recoverQueryPanic(&qerr)
+				return e.pointProb(pctx, p, o)
+			}()
 			if qerr != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -131,9 +153,16 @@ func (e *Engine) estimate(ctx context.Context, op string, p pathexpr.Path, o mod
 	if n < estimateShards {
 		// Too small to be worth fanning out; match the direct backend.
 		r := rand.New(rand.NewSource(1))
-		return enumerate.EstimateProb(e.pi, pxql.EstimatePred(op, p, o), n, r)
+		return enumerate.EstimateProbCtx(ctx, e.pi, pxql.EstimatePred(op, p, o), n, r)
 	}
 	pred := pxql.EstimatePred(op, p, o)
+	// The shards share the statement's governor: the step budget bounds
+	// the total sample work regardless of how it is split.
+	gov := govern.From(ctx)
+	perSample := int64(e.pi.NumObjects())
+	if perSample < 1 {
+		perSample = 1
+	}
 	per := n / estimateShards
 	var (
 		wg       sync.WaitGroup
@@ -158,9 +187,35 @@ func (e *Engine) estimate(ctx context.Context, op string, p pathexpr.Path, o mod
 				return
 			}
 			defer e.release()
+			if err := ctx.Err(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
 			r := rand.New(rand.NewSource(1 + int64(shard)))
 			h := 0
 			for i := 0; i < cnt; i++ {
+				if err := gov.Step(perSample); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if gov == nil && i&63 == 0 {
+					if err := ctx.Err(); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
 				s, err := enumerate.Sample(e.pi, r)
 				if err != nil {
 					mu.Lock()
@@ -218,7 +273,7 @@ func Product(ctx context.Context, a, b *Engine, newRoot model.ObjectID) (*Engine
 	if err != nil {
 		return nil, nil, err
 	}
-	return New(out, WithWorkers(cap(a.sem))), renames, nil
+	return New(out, WithWorkers(cap(a.sem)), WithBudget(a.budget)), renames, nil
 }
 
 // Join computes σ_cond(a × b), the paper's join, preparing both operands
@@ -235,5 +290,5 @@ func Join(ctx context.Context, a, b *Engine, newRoot model.ObjectID, cond algebr
 	if err != nil {
 		return nil, nil, err
 	}
-	return New(res.Instance, WithWorkers(cap(a.sem))), res, nil
+	return New(res.Instance, WithWorkers(cap(a.sem)), WithBudget(a.budget)), res, nil
 }

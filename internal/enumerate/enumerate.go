@@ -8,11 +8,13 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"pxml/internal/core"
+	"pxml/internal/govern"
 	"pxml/internal/model"
 	"pxml/internal/prob"
 	"pxml/internal/sets"
@@ -166,6 +168,15 @@ func (gi *GlobalInterpretation) Equal(other *GlobalInterpretation, tol float64) 
 // DefaultWorldLimit. An error is returned when the weak instance graph is
 // cyclic or the world count exceeds the limit.
 func Enumerate(pi *core.ProbInstance, limit int) (*GlobalInterpretation, error) {
+	return EnumerateCtx(context.Background(), pi, limit)
+}
+
+// EnumerateCtx is Enumerate under a context-carried resource governor:
+// each recursion step charges one work unit and each materialized world
+// charges its object count, so an over-budget or cancelled enumeration
+// unwinds within one branch instead of materializing the full domain.
+func EnumerateCtx(ctx context.Context, pi *core.ProbInstance, limit int) (*GlobalInterpretation, error) {
+	gov := govern.From(ctx)
 	if limit <= 0 {
 		limit = DefaultWorldLimit
 	}
@@ -195,6 +206,10 @@ func Enumerate(pi *core.ProbInstance, limit int) (*GlobalInterpretation, error) 
 			overflow = fmt.Errorf("enumerate: more than %d compatible instances", limit)
 			return
 		}
+		if err := gov.Step(int64(len(st.present))); err != nil {
+			overflow = err
+			return
+		}
 		s := model.NewInstance(root)
 		for _, t := range pi.Types() {
 			_ = s.RegisterType(t)
@@ -219,6 +234,10 @@ func Enumerate(pi *core.ProbInstance, limit int) (*GlobalInterpretation, error) 
 	}
 	rec = func(i int, st *state) {
 		if overflow != nil {
+			return
+		}
+		if err := gov.Step(1); err != nil {
+			overflow = err
 			return
 		}
 		if i == len(order) {

@@ -1,11 +1,13 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"pxml/internal/core"
+	"pxml/internal/govern"
 	"pxml/internal/model"
 	"pxml/internal/prob"
 	"pxml/internal/sets"
@@ -108,11 +110,32 @@ func (e Estimate) String() string {
 // queries on instances too large for Enumerate (and too entangled for the
 // tree fast paths): the error shrinks as 1/√n regardless of instance size.
 func EstimateProb(pi *core.ProbInstance, pred func(*model.Instance) bool, n int, r *rand.Rand) (Estimate, error) {
+	return EstimateProbCtx(context.Background(), pi, pred, n, r)
+}
+
+// EstimateProbCtx is EstimateProb under a context-carried resource
+// governor: every sample charges the instance's object count against
+// the step budget and polls cancellation, so an adversarially large n
+// stops within one sample of its budget instead of running all n.
+func EstimateProbCtx(ctx context.Context, pi *core.ProbInstance, pred func(*model.Instance) bool, n int, r *rand.Rand) (Estimate, error) {
 	if n <= 0 {
 		return Estimate{}, fmt.Errorf("enumerate: sample count must be positive")
 	}
+	gov := govern.From(ctx)
+	perSample := int64(pi.NumObjects())
+	if perSample < 1 {
+		perSample = 1
+	}
 	hits := 0
 	for i := 0; i < n; i++ {
+		if err := gov.Step(perSample); err != nil {
+			return Estimate{}, err
+		}
+		if gov == nil && i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Estimate{}, err
+			}
+		}
 		s, err := Sample(pi, r)
 		if err != nil {
 			return Estimate{}, err

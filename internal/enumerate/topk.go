@@ -2,9 +2,11 @@ package enumerate
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"pxml/internal/core"
+	"pxml/internal/govern"
 	"pxml/internal/model"
 	"pxml/internal/sets"
 )
@@ -57,6 +59,15 @@ func (h *topkHeap) Pop() (out any) {
 // search typically needs O(k · |V|) expansions but can degenerate when the
 // local distributions are near-uniform.
 func TopK(pi *core.ProbInstance, k int, maxExpansions int) ([]World, error) {
+	return TopKCtx(context.Background(), pi, k, maxExpansions)
+}
+
+// TopKCtx is TopK under a context-carried resource governor: every pop
+// charges one work unit plus the entries scanned to expand it, so a
+// degenerate (near-uniform) search stops at its budget or cancellation
+// instead of grinding through the full expansion cap.
+func TopKCtx(ctx context.Context, pi *core.ProbInstance, k int, maxExpansions int) ([]World, error) {
+	gov := govern.From(ctx)
 	if k <= 0 {
 		return nil, fmt.Errorf("enumerate: k must be positive")
 	}
@@ -91,6 +102,9 @@ func TopK(pi *core.ProbInstance, k int, maxExpansions int) ([]World, error) {
 		expansions++
 		if expansions > maxExpansions {
 			return nil, fmt.Errorf("enumerate: TopK exceeded %d expansions", maxExpansions)
+		}
+		if err := gov.Step(1); err != nil {
+			return nil, err
 		}
 		pr := collectPresent(st)
 		// Advance past absent objects.
@@ -144,6 +158,9 @@ func TopK(pi *core.ProbInstance, k int, maxExpansions int) ([]World, error) {
 		opf := pi.OPF(o)
 		if opf == nil {
 			return nil, fmt.Errorf("enumerate: non-leaf %s has no OPF", o)
+		}
+		if err := gov.Step(int64(opf.Len())); err != nil {
+			return nil, err
 		}
 		for _, e := range opf.Entries() {
 			if e.Prob <= 0 {

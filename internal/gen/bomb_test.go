@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"pxml/internal/codec"
+	"pxml/internal/govern"
+)
+
+// TestWidthBombShape: the bomb is a small, valid, serializable DAG whose
+// predicted inference cost is astronomically larger than its encoding —
+// exactly the gap the resource governor has to close.
+func TestWidthBombShape(t *testing.T) {
+	pi, err := WidthBomb(BombConfig{Width: 8, Parents: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pi.Validate(); err != nil {
+		t.Fatalf("bomb must be a valid instance: %v", err)
+	}
+	if pi.IsTree() {
+		t.Fatal("bomb must be a DAG (shared leaves), not a tree")
+	}
+	if got, want := pi.NumObjects(), 1+4+8; got != want {
+		t.Fatalf("objects = %d, want %d", got, want)
+	}
+
+	prof := govern.Measure(pi)
+	// Each arm has 2^8 = 256 OPF entries; each leaf's CPT is
+	// 2·(256+1)^4 cells.
+	if prof.MaxOPFEntries != 256 {
+		t.Fatalf("MaxOPFEntries = %d, want 256", prof.MaxOPFEntries)
+	}
+	want := 2.0 * 257 * 257 * 257 * 257
+	if prof.MaxCPTCells != want {
+		t.Fatalf("MaxCPTCells = %g, want %g", prof.MaxCPTCells, want)
+	}
+
+	// Round-trips through the text codec, so it can be uploaded to a
+	// server over the normal API.
+	var buf bytes.Buffer
+	if err := codec.EncodeText(&buf, pi); err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.DecodeText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumObjects() != pi.NumObjects() {
+		t.Fatalf("round trip lost objects: %d != %d", back.NumObjects(), pi.NumObjects())
+	}
+}
+
+// TestWidthBombDeterministic: same config, same instance.
+func TestWidthBombDeterministic(t *testing.T) {
+	enc := func() string {
+		pi, err := WidthBomb(BombConfig{Width: 5, Parents: 3, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := codec.EncodeText(&buf, pi); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if enc() != enc() {
+		t.Fatal("WidthBomb not deterministic for a fixed config")
+	}
+}
+
+func TestWidthBombErrors(t *testing.T) {
+	if _, err := WidthBomb(BombConfig{Width: 0, Parents: 2}); err == nil {
+		t.Fatal("want error for width 0")
+	}
+	if _, err := WidthBomb(BombConfig{Width: 17, Parents: 2}); err == nil {
+		t.Fatal("want error for width 17")
+	}
+	if _, err := WidthBomb(BombConfig{Width: 3, Parents: 0}); err == nil {
+		t.Fatal("want error for parents 0")
+	}
+}

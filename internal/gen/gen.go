@@ -232,6 +232,59 @@ func randomVPF(r *rand.Rand, domain []model.Value) *prob.VPF {
 	return v
 }
 
+// BombConfig parameterizes WidthBomb.
+type BombConfig struct {
+	// Width is the number of shared leaves per arm; each arm's OPF
+	// enumerates all 2^Width child subsets. Capped at 16 like Branch.
+	Width int
+	// Parents is the number of arms sharing the leaves. The compiled
+	// BN's leaf CPTs are exponential in this: ≈ 2·(2^Width+1)^Parents
+	// cells each.
+	Parents int
+	// Seed drives the deterministic random source.
+	Seed int64
+}
+
+// WidthBomb builds an adversarial diamond DAG: root → Parents arms, each
+// arm holding a full 2^Width OPF over the SAME Width leaves. The weak
+// graph is small (2 + Parents + Width objects) and the instance encodes
+// and round-trips like any other, but compiling its Bayesian network
+// would materialize leaf CPTs of ≈ 2·(2^Width+1)^Parents cells — the
+// workload the resource governor exists to refuse. Deterministic for a
+// given config.
+func WidthBomb(cfg BombConfig) (*core.ProbInstance, error) {
+	if cfg.Width < 1 || cfg.Width > 16 {
+		return nil, fmt.Errorf("gen: bomb width %d outside [1,16]", cfg.Width)
+	}
+	if cfg.Parents < 1 {
+		return nil, fmt.Errorf("gen: bomb parents %d < 1", cfg.Parents)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	root := model.ObjectID("bomb")
+	pi := core.NewProbInstance(root)
+	arms := make([]model.ObjectID, cfg.Parents)
+	for i := range arms {
+		arms[i] = "arm" + strconv.Itoa(i)
+	}
+	leaves := make([]model.ObjectID, cfg.Width)
+	for j := range leaves {
+		leaves[j] = "leaf" + strconv.Itoa(j)
+	}
+	pi.SetLCh(root, "arm", arms...)
+	pi.SetCard(root, "arm", 0, len(arms))
+	// The root deterministically keeps every arm, so no arm's blowup can
+	// be pruned away as improbable.
+	all := prob.NewOPF()
+	all.Put(sets.NewSet(arms...), 1)
+	pi.SetOPF(root, all)
+	for _, a := range arms {
+		pi.SetLCh(a, "leaf", leaves...)
+		pi.SetCard(a, "leaf", 0, len(leaves))
+		pi.SetOPF(a, randomOPF(r, leaves))
+	}
+	return pi, nil
+}
+
 // RandomQuery generates a random path expression of length Depth whose
 // labels are drawn from the per-level label sets, accepted only if some
 // object satisfies it (the Section 7.1 acceptance rule: queries "returned

@@ -1,0 +1,157 @@
+package govern
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold, probes int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown, Probes: probes, Now: clk.now})
+	return b, clk
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 0})
+	if b != nil {
+		t.Fatal("threshold 0 should return nil breaker")
+	}
+	if ok, _ := b.Allow("x"); !ok {
+		t.Fatal("nil breaker must always allow")
+	}
+	b.Record("x", true) // must not panic
+	if b.StateOf("x") != BreakerClosed {
+		t.Fatal("nil breaker state not closed")
+	}
+	if b.Status() != nil {
+		t.Fatal("nil breaker status not nil")
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, 1, 10*time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow("estimate"); !ok {
+			t.Fatalf("trip %d rejected while closed", i)
+		}
+		b.Record("estimate", true)
+	}
+	if st := b.StateOf("estimate"); st != BreakerClosed {
+		t.Fatalf("state after 2 trips = %v, want closed", st)
+	}
+	b.Allow("estimate")
+	b.Record("estimate", true)
+	if st := b.StateOf("estimate"); st != BreakerOpen {
+		t.Fatalf("state after 3 trips = %v, want open", st)
+	}
+	ok, retry := b.Allow("estimate")
+	if ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	if retry <= 0 || retry > 10*time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 10s]", retry)
+	}
+	// Other keys are independent.
+	if ok, _ := b.Allow("point"); !ok {
+		t.Fatal("unrelated shape rejected")
+	}
+	b.Record("point", false)
+}
+
+func TestBreakerSuccessResetsTrips(t *testing.T) {
+	b, _ := newTestBreaker(3, 1, time.Second)
+	b.Allow("s")
+	b.Record("s", true)
+	b.Allow("s")
+	b.Record("s", true)
+	b.Allow("s")
+	b.Record("s", false) // success wipes the streak
+	b.Allow("s")
+	b.Record("s", true)
+	b.Allow("s")
+	b.Record("s", true)
+	if st := b.StateOf("s"); st != BreakerClosed {
+		t.Fatalf("non-consecutive trips opened the breaker: %v", st)
+	}
+}
+
+func TestBreakerHalfOpenRecloses(t *testing.T) {
+	b, clk := newTestBreaker(2, 2, 10*time.Second)
+	b.Allow("s")
+	b.Record("s", true)
+	b.Allow("s")
+	b.Record("s", true)
+	if b.StateOf("s") != BreakerOpen {
+		t.Fatal("not open after threshold")
+	}
+	clk.advance(5 * time.Second)
+	if ok, _ := b.Allow("s"); ok {
+		t.Fatal("admitted during cooldown")
+	}
+	clk.advance(6 * time.Second)
+	// First post-cooldown request becomes a probe.
+	if ok, _ := b.Allow("s"); !ok {
+		t.Fatal("probe rejected after cooldown")
+	}
+	if b.StateOf("s") != BreakerHalfOpen {
+		t.Fatal("not half-open during probe")
+	}
+	// Second concurrent probe fits (Probes=2); a third is shed.
+	if ok, _ := b.Allow("s"); !ok {
+		t.Fatal("second probe rejected")
+	}
+	if ok, _ := b.Allow("s"); ok {
+		t.Fatal("third request admitted beyond probe cap")
+	}
+	b.Record("s", false)
+	if b.StateOf("s") != BreakerHalfOpen {
+		t.Fatal("closed after 1 of 2 required successes")
+	}
+	b.Record("s", false)
+	if b.StateOf("s") != BreakerClosed {
+		t.Fatal("did not reclose after required successes")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, 1, 10*time.Second)
+	b.Allow("s")
+	b.Record("s", true)
+	clk.advance(11 * time.Second)
+	if ok, _ := b.Allow("s"); !ok {
+		t.Fatal("probe rejected")
+	}
+	b.Record("s", true) // probe trips → reopen, cooldown restarts
+	if b.StateOf("s") != BreakerOpen {
+		t.Fatal("failed probe did not reopen")
+	}
+	clk.advance(5 * time.Second)
+	if ok, _ := b.Allow("s"); ok {
+		t.Fatal("admitted before restarted cooldown elapsed")
+	}
+	clk.advance(6 * time.Second)
+	if ok, _ := b.Allow("s"); !ok {
+		t.Fatal("probe rejected after restarted cooldown")
+	}
+	b.Record("s", false)
+	if b.StateOf("s") != BreakerClosed {
+		t.Fatal("did not close after successful probe")
+	}
+}
+
+func TestBreakerStatus(t *testing.T) {
+	b, _ := newTestBreaker(1, 1, time.Second)
+	b.Allow("s")
+	b.Record("s", true)
+	b.Allow("s") // shed
+	st := b.Status()["s"]
+	if st.State != "open" || st.Opens != 1 || st.Shed != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}

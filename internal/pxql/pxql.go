@@ -34,6 +34,7 @@
 package pxql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -45,11 +46,21 @@ import (
 	"pxml/internal/bayes"
 	"pxml/internal/core"
 	"pxml/internal/enumerate"
+	"pxml/internal/govern"
 	"pxml/internal/model"
 	"pxml/internal/pathexpr"
 	"pxml/internal/query"
 	"pxml/internal/sets"
 )
+
+// execErr is the cooperative pre-dispatch check: the governor when one
+// is attached, the bare context otherwise.
+func execErr(ctx context.Context, gov *govern.Governor) error {
+	if gov != nil {
+		return gov.Err()
+	}
+	return ctx.Err()
+}
 
 // Query is a parsed statement.
 type Query struct {
@@ -418,10 +429,28 @@ func Exec(pi *core.ProbInstance, q Query) (*Result, error) {
 // algebra, enumeration and stats statements still evaluate against pi
 // directly (they produce fresh instances, which caching cannot amortize).
 func ExecWith(pi *core.ProbInstance, q Query, b Backend) (*Result, error) {
+	return ExecWithCtx(context.Background(), pi, q, b)
+}
+
+// ExecWithCtx is ExecWith under a context-carried resource governor
+// (govern.From): the enumeration, top-k, and count paths cooperate at
+// their loop boundaries, the algebra paths check the budget between
+// operator applications and charge each result instance's size, and
+// the probabilistic primitives inherit whatever governance the backend
+// itself threads (the engine backend passes the same ctx down to the
+// ε, BN, and sampling kernels).
+func ExecWithCtx(ctx context.Context, pi *core.ProbInstance, q Query, b Backend) (*Result, error) {
+	gov := govern.From(ctx)
+	if err := execErr(ctx, gov); err != nil {
+		return nil, err
+	}
 	switch q.Op {
 	case "project":
 		out, err := algebra.AncestorProject(pi, q.Path)
 		if err != nil {
+			return nil, err
+		}
+		if err := gov.Step(int64(out.NumObjects())); err != nil {
 			return nil, err
 		}
 		return &Result{Instance: out, Text: fmt.Sprintf("Λ_%s: %d objects", q.Path, out.NumObjects())}, nil
@@ -430,16 +459,25 @@ func ExecWith(pi *core.ProbInstance, q Query, b Backend) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := gov.Step(int64(out.NumObjects())); err != nil {
+			return nil, err
+		}
 		return &Result{Instance: out, Text: fmt.Sprintf("Π_%s: %d objects", q.Path, out.NumObjects())}, nil
 	case "descend":
 		out, err := algebra.DescendantProject(pi, q.Path)
 		if err != nil {
 			return nil, err
 		}
+		if err := gov.Step(int64(out.NumObjects())); err != nil {
+			return nil, err
+		}
 		return &Result{Instance: out, Text: fmt.Sprintf("Δ_%s: %d objects", q.Path, out.NumObjects())}, nil
 	case "select":
 		out, p, err := algebra.Select(pi, q.Cond)
 		if err != nil {
+			return nil, err
+		}
+		if err := gov.Step(int64(out.NumObjects())); err != nil {
 			return nil, err
 		}
 		return &Result{Instance: out, Prob: &p, Text: fmt.Sprintf("σ(%s): P = %.9f", q.Cond, p)}, nil
@@ -474,13 +512,13 @@ func ExecWith(pi *core.ProbInstance, q Query, b Backend) (*Result, error) {
 		}
 		return &Result{Prob: &p, Text: fmt.Sprintf("P(chain %s) = %.9f", strings.Join(q.Chain, "."), p)}, nil
 	case "count":
-		d, err := query.CountDistribution(pi, q.Path)
+		d, err := query.CountDistributionCtx(ctx, pi, q.Path)
 		if err != nil {
 			return nil, err
 		}
-		e, err := query.ExpectedCount(pi, q.Path)
-		if err != nil {
-			return nil, err
+		e := 0.0
+		for k, pr := range d {
+			e += float64(k) * pr
 		}
 		maxK := 0
 		for k := range d {
@@ -509,7 +547,7 @@ func ExecWith(pi *core.ProbInstance, q Query, b Backend) (*Result, error) {
 		}
 		return &Result{Text: strings.TrimRight(b.String(), "\n")}, nil
 	case "worlds":
-		gi, err := enumerate.Enumerate(pi, 0)
+		gi, err := enumerate.EnumerateCtx(ctx, pi, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -530,7 +568,7 @@ func ExecWith(pi *core.ProbInstance, q Query, b Backend) (*Result, error) {
 		p := est.P
 		return &Result{Prob: &p, Text: fmt.Sprintf("P ≈ %s", est)}, nil
 	case "topk":
-		worlds, err := enumerate.TopK(pi, q.Top, 0)
+		worlds, err := enumerate.TopKCtx(ctx, pi, q.Top, 0)
 		if err != nil {
 			return nil, err
 		}

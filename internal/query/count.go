@@ -1,12 +1,13 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"pxml/internal/core"
+	"pxml/internal/govern"
 	"pxml/internal/model"
 	"pxml/internal/pathexpr"
-	"pxml/internal/sets"
 )
 
 // CountDistribution computes the exact probability distribution of
@@ -19,6 +20,15 @@ import (
 // The result maps counts to probabilities and always sums to one (count 0
 // collects the no-match worlds).
 func CountDistribution(pi *core.ProbInstance, p pathexpr.Path) (map[int]float64, error) {
+	return CountDistributionCtx(context.Background(), pi, p)
+}
+
+// CountDistributionCtx is CountDistribution under a context-carried
+// resource governor: each convolution product is charged against the
+// step budget before it is computed, so a wide plan stops within one
+// OPF entry of exhausting its budget or being cancelled.
+func CountDistributionCtx(ctx context.Context, pi *core.ProbInstance, p pathexpr.Path) (map[int]float64, error) {
+	gov := govern.From(ctx)
 	if !pi.IsTree() {
 		return nil, ErrNotTree
 	}
@@ -53,17 +63,23 @@ func CountDistribution(pi *core.ProbInstance, p pathexpr.Path) (map[int]float64,
 			}
 			kept := keptChildren[o]
 			out := map[int]float64{}
-			opf.Each(func(c sets.Set, pr float64) {
-				if pr <= 0 {
-					return
+			for _, e := range opf.Entries() {
+				if e.Prob <= 0 {
+					continue
+				}
+				if err := gov.Step(1); err != nil {
+					return nil, err
 				}
 				// Convolve the kept children present in this child set.
-				acc := map[int]float64{0: pr}
+				acc := map[int]float64{0: e.Prob}
 				for _, j := range kept {
-					if !c.Contains(j) {
+					if !e.Set.Contains(j) {
 						continue
 					}
 					dj := dist[j]
+					if err := gov.Step(int64(len(acc) * len(dj))); err != nil {
+						return nil, err
+					}
 					next := make(map[int]float64, len(acc)*len(dj))
 					for a, pa := range acc {
 						for b, pb := range dj {
@@ -75,7 +91,7 @@ func CountDistribution(pi *core.ProbInstance, p pathexpr.Path) (map[int]float64,
 				for k, v := range acc {
 					out[k] += v
 				}
-			})
+			}
 			dist[o] = out
 		}
 	}

@@ -15,10 +15,10 @@ import (
 
 	"pxml/internal/algebra"
 	"pxml/internal/core"
+	"pxml/internal/govern"
 	"pxml/internal/graph"
 	"pxml/internal/model"
 	"pxml/internal/pathexpr"
-	"pxml/internal/sets"
 )
 
 // ErrNotTree is returned by the query fast paths on non-tree instances;
@@ -65,7 +65,7 @@ func PointQuery(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID) (float
 	if !pi.IsTree() {
 		return 0, ErrNotTree
 	}
-	return epsilonRoot(pi, nil, p, map[model.ObjectID]bool{o: true}, nil)
+	return epsilonRoot(pi, nil, p, map[model.ObjectID]bool{o: true}, nil, nil)
 }
 
 // ExistsQuery computes the extension the paper describes at the end of
@@ -76,7 +76,7 @@ func ExistsQuery(pi *core.ProbInstance, p pathexpr.Path) (float64, error) {
 	if !pi.IsTree() {
 		return 0, ErrNotTree
 	}
-	return epsilonRoot(pi, nil, p, nil, nil)
+	return epsilonRoot(pi, nil, p, nil, nil, nil)
 }
 
 // ValueExistsQuery computes the probability that some leaf satisfying p
@@ -93,7 +93,7 @@ func ValueExistsQuery(pi *core.ProbInstance, p pathexpr.Path, v model.Value) (fl
 		}
 		return 0
 	}
-	return epsilonRoot(pi, nil, p, nil, success)
+	return epsilonRoot(pi, nil, p, nil, success, nil)
 }
 
 // ValuePointQuery computes P(o ∈ p ∧ val(o) = v) for a specific leaf o.
@@ -107,7 +107,7 @@ func ValuePointQuery(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID, v
 		}
 		return 0
 	}
-	return epsilonRoot(pi, nil, p, map[model.ObjectID]bool{o: true}, success)
+	return epsilonRoot(pi, nil, p, map[model.ObjectID]bool{o: true}, success, nil)
 }
 
 // epsilonRoot runs the ε recursion of Section 6.1/6.2 over the plan of p
@@ -119,8 +119,11 @@ func ValuePointQuery(pi *core.ProbInstance, p pathexpr.Path, o model.ObjectID, v
 // success function is supplied, e.g. a VPF lookup for value queries). ε_r
 // is the probability that a compatible instance contains a successful
 // match. When idx is non-nil the plan is built through the label index
-// (touching only same-label edges) instead of the full graph.
-func epsilonRoot(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, targets map[model.ObjectID]bool, success func(model.ObjectID) float64) (float64, error) {
+// (touching only same-label edges) instead of the full graph. A non-nil
+// governor is charged one work unit per OPF entry scanned, so wide-OPF
+// instances hit their step budget (or observe cancellation) within one
+// kept object instead of finishing the full bottom-up pass.
+func epsilonRoot(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, targets map[model.ObjectID]bool, success func(model.ObjectID) float64, gov *govern.Governor) (float64, error) {
 	if p.Root != pi.Root() {
 		return 0, nil
 	}
@@ -164,20 +167,23 @@ func epsilonRoot(pi *core.ProbInstance, idx *pathexpr.Index, p pathexpr.Path, ta
 			if opf == nil {
 				return 0, fmt.Errorf("query: non-leaf %s has no OPF", o)
 			}
+			if err := gov.Step(int64(opf.Len())); err != nil {
+				return 0, err
+			}
 			kept := keptChildren[o]
 			fail := 0.0
-			opf.Each(func(c sets.Set, pr float64) {
-				if pr <= 0 {
-					return
+			for _, e := range opf.Entries() {
+				if e.Prob <= 0 {
+					continue
 				}
-				f := pr
+				f := e.Prob
 				for _, j := range kept {
-					if c.Contains(j) {
+					if e.Set.Contains(j) {
 						f *= 1 - eps[j]
 					}
 				}
 				fail += f
-			})
+			}
 			eps[o] = 1 - fail
 		}
 	}

@@ -29,6 +29,7 @@
 package rescache
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -74,10 +75,13 @@ type entry struct {
 }
 
 // flight is one in-progress compute that concurrent callers share.
+// done is closed by the leader after val/err are set; waiters select on
+// it against their own context so an abandoned caller unblocks promptly
+// while the leader keeps computing (and still populates the cache).
 type flight struct {
-	wg  sync.WaitGroup
-	val any
-	err error
+	done chan struct{}
+	val  any
+	err  error
 }
 
 // New returns a cache bounded to roughly maxBytes across DefaultShards
@@ -156,6 +160,17 @@ func (c *Cache) Put(key string, v any, cost int64) {
 // is cached unless cost is negative (the caller's "do not cache" signal —
 // still shared with concurrent waiters). A hit acquires no locks.
 func (c *Cache) Do(key string, compute func() (v any, cost int64, err error)) (any, error) {
+	return c.DoCtx(context.Background(), key, compute)
+}
+
+// DoCtx is Do with caller cancellation: a waiter whose ctx is done
+// returns ctx.Err() promptly instead of blocking on the flight leader.
+// The leader itself is NOT cancelled by a waiter's ctx — it runs compute
+// to completion and still populates the cache, so one abandoned client
+// cannot poison the result for the callers that stayed. (A leader whose
+// own compute observes its ctx — as the engine's governed computes do —
+// fails with an error, which is never cached.)
+func (c *Cache) DoCtx(ctx context.Context, key string, compute func() (v any, cost int64, err error)) (any, error) {
 	s := c.shard(key)
 	if e, ok := (*s.items.Load())[key]; ok {
 		e.used.Store(c.clock.Add(1))
@@ -173,13 +188,16 @@ func (c *Cache) Do(key string, compute func() (v any, cost int64, err error)) (a
 	}
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
-		f.wg.Wait()
-		c.collapsed.Add(1)
-		c.hits.Add(1)
-		return f.val, f.err
+		select {
+		case <-f.done:
+			c.collapsed.Add(1)
+			c.hits.Add(1)
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	f := &flight{}
-	f.wg.Add(1)
+	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
 	s.mu.Unlock()
 	c.misses.Add(1)
@@ -193,7 +211,7 @@ func (c *Cache) Do(key string, compute func() (v any, cost int64, err error)) (a
 		s.insertLocked(c, key, v, cost)
 	}
 	s.mu.Unlock()
-	f.wg.Done()
+	close(f.done)
 	return v, err
 }
 

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain fails the package if tests leak goroutines: every server
+// started here is shut down by its cleanup, so after the run (plus idle
+// HTTP connections closed and a settle window for runtime bookkeeping)
+// the goroutine count must return to near its baseline. This is the
+// regression net for governor work — a cancelled or shed query that
+// leaves its evaluation goroutine running would show up here.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	http.DefaultClient.CloseIdleConnections()
+	if code == 0 {
+		// Allow modest slack: the HTTP transport and testing machinery
+		// keep a few goroutines alive legitimately.
+		const slack = 5
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > baseline+slack {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				fmt.Fprintf(os.Stderr, "goroutine leak: %d at start, %d after tests\n%s\n",
+					baseline, runtime.NumGoroutine(), buf[:n])
+				code = 1
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}

@@ -73,7 +73,9 @@ import (
 	"pxml/internal/core"
 	"pxml/internal/dot"
 	"pxml/internal/engine"
+	"pxml/internal/govern"
 	"pxml/internal/metrics"
+	"pxml/internal/pxql"
 	"pxml/internal/repl"
 	"pxml/internal/rescache"
 	"pxml/internal/store"
@@ -128,12 +130,23 @@ type Server struct {
 	inflight *metrics.Gauge
 	latency  *metrics.Histogram
 
+	// Runaway-query protection: budget is the per-query resource
+	// envelope every engine enforces; breaker sheds statement shapes
+	// that repeatedly trip it (nil = disabled).
+	budget      govern.Budget
+	breaker     *govern.Breaker
+	qBudget     *metrics.Counter // query_budget_exceeded
+	qIntract    *metrics.Counter // query_intractable
+	qCancel     *metrics.Counter // query_cancelled
+	qPanic      *metrics.Counter // query_panics
+	breakerShed *metrics.Counter // breaker_shed
+
 	adm    *admission.Controller // per-tenant admission; nil = admit all
 	exp    *telemetry.Exporter   // statsd push loop; nil unless configured
 	expCfg telemetry.Config      // for the /v1/metrics telemetry section
 	report *store.RecoveryReport // crash-recovery report from Config.StoreDir
 
-	adminToken string                         // bearer token over /v1/admin/* and /v1/repl/*; "" = open
+	adminToken string                        // bearer token over /v1/admin/* and /v1/repl/*; "" = open
 	follower   atomic.Pointer[followerState] // replication machinery; nil unless following (promotion retires it live)
 
 	// Failover state (see failover.go). cfg keeps the construction-time
@@ -179,6 +192,30 @@ type Config struct {
 	MaxInflight int
 	// QueryWorkers bounds each engine's batch pool; 0 = engine default.
 	QueryWorkers int
+
+	// QueryDeadline bounds one statement's evaluation wall clock inside
+	// the engines (independent of RequestTimeout, which covers the whole
+	// HTTP exchange); 0 disables.
+	QueryDeadline time.Duration
+	// QueryMaxNodes bounds the cooperative work units (objects visited,
+	// OPF entries scanned, factor cells filled, worlds sampled) one
+	// statement may spend; 0 disables. Statements whose upfront cost
+	// estimate provably exceeds it are refused before allocating.
+	QueryMaxNodes int64
+	// QueryMaxBytes bounds the approximate bytes one statement may
+	// allocate for inference state (factor tables); 0 disables.
+	QueryMaxBytes int64
+	// BreakerThreshold arms the per-statement-shape circuit breaker:
+	// after this many consecutive budget trips of one shape, further
+	// statements of that shape shed with 503 breaker_open until the
+	// cooldown passes; 0 disables.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before probing
+	// again (0 = 10s). Read only with BreakerThreshold > 0.
+	BreakerCooldown time.Duration
+	// BreakerProbes is how many concurrent trial statements a half-open
+	// breaker admits, and how many must succeed to reclose (0 = 1).
+	BreakerProbes int
 	// BackupRoot enables POST /v1/admin/backup confined to this root.
 	BackupRoot string
 	// ResultCacheBytes bounds the shared query-result cache; 0 = 32 MiB.
@@ -268,6 +305,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FailoverPriority > 0 && cfg.FollowLeader == "" {
 		return nil, fmt.Errorf("server: FailoverPriority requires FollowLeader (only a follower can be a failover candidate)")
 	}
+	if cfg.QueryDeadline < 0 || cfg.QueryMaxNodes < 0 || cfg.QueryMaxBytes < 0 {
+		return nil, fmt.Errorf("server: query budget limits must be >= 0 (0 disables)")
+	}
+	if cfg.BreakerThreshold < 0 || cfg.BreakerCooldown < 0 || cfg.BreakerProbes < 0 {
+		return nil, fmt.Errorf("server: breaker settings must be >= 0 (0 disables/defaults)")
+	}
 	maxBody := cfg.MaxBody
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
@@ -292,6 +335,21 @@ func New(cfg Config) (*Server, error) {
 	s.panics = s.reg.Counter("http_panics")
 	s.inflight = s.reg.Gauge("http_inflight")
 	s.latency = s.reg.Histogram("http_latency")
+	s.qBudget = s.reg.Counter("query_budget_exceeded")
+	s.qIntract = s.reg.Counter("query_intractable")
+	s.qCancel = s.reg.Counter("query_cancelled")
+	s.qPanic = s.reg.Counter("query_panics")
+	s.breakerShed = s.reg.Counter("breaker_shed")
+	s.budget = govern.Budget{
+		Deadline: cfg.QueryDeadline,
+		MaxSteps: cfg.QueryMaxNodes,
+		MaxBytes: cfg.QueryMaxBytes,
+	}
+	s.breaker = govern.NewBreaker(govern.BreakerConfig{
+		Threshold: cfg.BreakerThreshold,
+		Cooldown:  cfg.BreakerCooldown,
+		Probes:    cfg.BreakerProbes,
+	})
 	if cfg.RequestTimeout > 0 {
 		s.reqTimeout = cfg.RequestTimeout
 	}
@@ -487,6 +545,16 @@ func (s *Server) newEngine(name string, pi *core.ProbInstance) *engine.Engine {
 		// p50/p95/p99 per statement shape across all instances.
 		engine.WithShapeObserver(func(shape string, d time.Duration) {
 			s.reg.Timer("pxql_latency." + shape).Observe(d)
+		}),
+		// Per-query resource envelope (zero = no limits, cancellation
+		// still reaches the kernels) plus estimated-vs-actual cost
+		// telemetry per statement shape.
+		engine.WithBudget(s.budget),
+		engine.WithCostObserver(func(shape string, estimated, actual int64) {
+			if estimated > 0 {
+				s.reg.IntHistogram("query_cost_est_steps." + shape).Observe(estimated)
+			}
+			s.reg.IntHistogram("query_cost_actual_steps." + shape).Observe(actual)
 		}),
 	}
 	if s.queryWorkers > 0 {
@@ -1024,8 +1092,20 @@ type metricsPayload struct {
 	Telemetry     *telemetryStatus    `json:"telemetry,omitempty"`
 	Store         map[string]any      `json:"store,omitempty"`
 	Replication   *replMetrics        `json:"replication,omitempty"`
+	Governor      *governorStatus     `json:"governor,omitempty"`
 	ResultCache   any                 `json:"result_cache"`
 	Instances     map[string]any      `json:"instances"`
+}
+
+// governorStatus summarises the runaway-query protection for
+// /v1/metrics: the configured per-query budget and the live
+// circuit-breaker states, keyed <instance>.<shape>. Present only when
+// either is enabled.
+type governorStatus struct {
+	QueryDeadlineS float64                         `json:"query_deadline_s,omitempty"`
+	QueryMaxNodes  int64                           `json:"query_max_nodes,omitempty"`
+	QueryMaxBytes  int64                           `json:"query_max_bytes,omitempty"`
+	Breaker        map[string]govern.BreakerStatus `json:"breaker,omitempty"`
 }
 
 // telemetryStatus summarises the statsd exporter's configuration and
@@ -1041,6 +1121,14 @@ type telemetryStatus struct {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.updateRuntimeGauges()
+	// Publish breaker states as gauges (closed=0, half-open=1, open=2),
+	// keyed <instance>.<shape>, so the statsd stream and alerting see
+	// transitions too.
+	if s.breaker != nil {
+		for key := range s.breaker.Status() {
+			s.reg.Gauge("breaker_state." + key).Set(int64(s.breaker.StateOf(key)))
+		}
+	}
 	// Live engines only: a lazily loaded instance that was never queried
 	// has no engine and no per-engine metrics to report.
 	em := s.engineMap()
@@ -1086,6 +1174,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	payload.Replication = s.replSection()
+	if !s.budget.IsZero() || s.breaker != nil {
+		g := &governorStatus{
+			QueryDeadlineS: s.budget.Deadline.Seconds(),
+			QueryMaxNodes:  s.budget.MaxSteps,
+			QueryMaxBytes:  s.budget.MaxBytes,
+		}
+		if s.breaker != nil {
+			g.Breaker = s.breaker.Status()
+		}
+		payload.Governor = g
+	}
 	writeJSON(w, http.StatusOK, payload)
 }
 
@@ -1150,15 +1249,64 @@ func httpWriteError(w http.ResponseWriter, err error) {
 	httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, err)
 }
 
-// httpQueryError maps a statement failure onto the envelope: an expired
-// per-request deadline (or a caller that went away) is 503 so clients
-// and load balancers treat it as server pressure, not statement error.
-func httpQueryError(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		apiv1.WriteErrorRetry(w, http.StatusServiceUnavailable, apiv1.CodeTimeout, err.Error(), time.Second)
-		return
+// breakerKey names one circuit: statement shape scoped by instance, so a
+// width-bomb tripping "point" on one instance never sheds point queries
+// on healthy instances. The key doubles as the breaker_state.<key> gauge
+// suffix in /v1/metrics.
+func breakerKey(instance, shape string) string {
+	return instance + "." + shape
+}
+
+// isBreakerTrip classifies one statement outcome for the circuit
+// breaker: budget exhaustion, a provably-intractable refusal, an expired
+// deadline, and a contained evaluation panic all count as trips — they
+// are the server protecting itself from the statement. A client that
+// went away (context.Canceled) is not the statement's fault and must not
+// open the breaker for everyone else.
+func isBreakerTrip(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
 	}
-	httpError(w, http.StatusUnprocessableEntity, apiv1.CodeStatementFailed, err)
+	return errors.Is(err, govern.ErrBudgetExceeded) ||
+		errors.Is(err, govern.ErrIntractable) ||
+		errors.Is(err, engine.ErrQueryPanic) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// countQueryError tallies one failed statement on the governor counters.
+func (s *Server) countQueryError(err error) {
+	switch {
+	case errors.Is(err, govern.ErrIntractable):
+		s.qIntract.Inc()
+	case errors.Is(err, govern.ErrBudgetExceeded):
+		s.qBudget.Inc()
+	case errors.Is(err, engine.ErrQueryPanic):
+		s.qPanic.Inc()
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.qCancel.Inc()
+	}
+}
+
+// httpQueryError maps a statement failure onto the envelope. Governor
+// refusals keep their retry semantics on the wire: an intractable
+// statement is a 422 (retrying the same statement cannot succeed), a
+// runtime budget trip is a 503 with Retry-After (a cheaper variant may
+// fit), a contained evaluation panic is a 500. An expired per-request
+// deadline (or a caller that went away) is 503 so clients and load
+// balancers treat it as server pressure, not statement error.
+func httpQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, govern.ErrIntractable):
+		apiv1.WriteError(w, http.StatusUnprocessableEntity, apiv1.CodeIntractable, err.Error())
+	case errors.Is(err, govern.ErrBudgetExceeded):
+		apiv1.WriteErrorRetry(w, http.StatusServiceUnavailable, apiv1.CodeBudgetExceeded, err.Error(), time.Second)
+	case errors.Is(err, engine.ErrQueryPanic):
+		apiv1.WriteError(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		apiv1.WriteErrorRetry(w, http.StatusServiceUnavailable, apiv1.CodeTimeout, err.Error(), time.Second)
+	default:
+		httpError(w, http.StatusUnprocessableEntity, apiv1.CodeStatementFailed, err)
+	}
 }
 
 // httpDecodeError maps a body-read/decode error onto the envelope:
@@ -1377,8 +1525,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpDecodeError(w, err)
 		return
 	}
+	// The breaker key scopes by instance as well as shape: repeated trips
+	// on one instance must not shed the same statement shape on healthy
+	// instances.
+	key := breakerKey(r.PathValue("name"), pxql.ClassifyShape(string(stmt)))
+	if allowed, retry := s.breaker.Allow(key); !allowed {
+		s.breakerShed.Inc()
+		apiv1.WriteErrorRetry(w, http.StatusServiceUnavailable, apiv1.CodeBreakerOpen,
+			fmt.Sprintf("circuit breaker open for %q statements (repeated budget trips)", key), retry)
+		return
+	}
 	res, err := eng.Run(r.Context(), string(stmt))
+	s.breaker.Record(key, isBreakerTrip(err))
 	if err != nil {
+		s.countQueryError(err)
 		httpQueryError(w, err)
 		return
 	}
@@ -1433,11 +1593,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, apiv1.CodeInvalidRequest, fmt.Errorf("empty batch"))
 		return
 	}
-	results := eng.RunBatch(r.Context(), stmts)
-	out := make([]batchEntry, len(results))
-	for i, br := range results {
-		out[i].Statement = stmts[i]
+	// The breaker applies per statement, preserving input order: shed
+	// statements report breaker_open inline and never reach the engine,
+	// the rest run over the pool and feed their outcomes back.
+	out := make([]batchEntry, len(stmts))
+	shapes := make([]string, len(stmts))
+	run := make([]string, 0, len(stmts))
+	runIdx := make([]int, 0, len(stmts))
+	for i, stmt := range stmts {
+		out[i].Statement = stmt
+		shapes[i] = breakerKey(r.PathValue("name"), pxql.ClassifyShape(stmt))
+		if allowed, _ := s.breaker.Allow(shapes[i]); !allowed {
+			s.breakerShed.Inc()
+			out[i].Error = fmt.Sprintf("%s: circuit breaker open for %q statements", apiv1.CodeBreakerOpen, shapes[i])
+			continue
+		}
+		run = append(run, stmt)
+		runIdx = append(runIdx, i)
+	}
+	results := eng.RunBatch(r.Context(), run)
+	for j, br := range results {
+		i := runIdx[j]
+		s.breaker.Record(shapes[i], isBreakerTrip(br.Err))
 		if br.Err != nil {
+			s.countQueryError(br.Err)
 			out[i].Error = br.Err.Error()
 			continue
 		}

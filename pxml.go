@@ -156,6 +156,8 @@ type (
 	Workload = gen.Instance
 	// Labeling is SL or FR.
 	Labeling = gen.Labeling
+	// BombConfig parameterizes the adversarial width-bomb generator.
+	BombConfig = gen.BombConfig
 	// BenchConfig parameterizes the Figure 7 experiment harness.
 	BenchConfig = bench.Config
 	// BenchRow is one aggregated experiment series point.
@@ -455,6 +457,10 @@ func DecodeText(r io.Reader) (*ProbInstance, error) { return codec.DecodeText(r)
 
 // GenerateWorkload builds a Section 7.1 experimental instance.
 func GenerateWorkload(cfg GenConfig) (*Workload, error) { return gen.Generate(cfg) }
+
+// GenerateWidthBomb builds a small adversarial DAG whose inference cost
+// is astronomical — the governor test workload.
+func GenerateWidthBomb(cfg BombConfig) (*ProbInstance, error) { return gen.WidthBomb(cfg) }
 
 // RunBench executes a Figure 7 experiment sweep.
 func RunBench(cfg BenchConfig) ([]BenchRow, error) { return bench.Run(cfg) }
